@@ -1,0 +1,117 @@
+// Ablations on the detection design choices DESIGN.md calls out:
+//  (a) template condition: capture-aligned vs naive native-rate loading —
+//      quantifying the sampling-rate-mismatch effect the paper blames for
+//      Fig. 6's low single-preamble rates;
+//  (b) energy threshold setting vs detection turn-on SNR (the 3-30 dB
+//      range of §2.3);
+//  (c) false-alarm target vs detection probability trade (Fig. 6's pair of
+//      curves, denser).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/calibration.h"
+#include "core/detection_experiment.h"
+#include "core/presets.h"
+#include "core/templates.h"
+#include "phy80211/ofdm.h"
+#include "phy80211/preamble.h"
+#include "phy80211/transmitter.h"
+
+using namespace rjf;
+
+int main() {
+  bench::print_header("bench_ablation_detection — detector design ablations",
+                      "design choices discussed in Sections 2.3 and 3.2");
+
+  const std::size_t frames = bench::frames_per_point(200);
+  std::vector<std::uint8_t> psdu(310, 0xA5);
+  phy80211::Transmitter tx({phy80211::Rate::kMbps54, 0x5D});
+  const dsp::cvec frame = tx.transmit(psdu);
+
+  // ---------------- (a) template condition --------------------------------
+  std::printf("\n(a) correlator template condition (WiFi long preamble, "
+              "FA 0.52/s, full frames)\n");
+  dsp::cvec lts2 = phy80211::long_training_symbol();
+  {
+    const auto copy = lts2;
+    lts2.insert(lts2.end(), copy.begin(), copy.end());
+  }
+  struct TemplateCase {
+    const char* name;
+    bool resample;
+  };
+  for (const auto& c : {TemplateCase{"capture-aligned (25 MSPS)", true},
+                        TemplateCase{"naive native-rate (20 MSPS)", false}}) {
+    core::JammerConfig config;
+    config.detection = core::DetectionMode::kCrossCorrelator;
+    config.xcorr_template =
+        core::template_from_waveform(lts2, phy80211::kSampleRateHz, c.resample);
+    config.xcorr_threshold =
+        core::XcorrNoiseModel(*config.xcorr_template).threshold_for_rate(0.52);
+    core::ReactiveJammer jammer(config);
+    std::printf("  %-30s:", c.name);
+    for (const double snr : {0.0, 5.0, 10.0, 20.0}) {
+      core::DetectionRunConfig run;
+      run.snr_db = snr;
+      run.num_frames = frames;
+      run.seed = 0xAB1;
+      const auto r = core::run_detection_experiment(
+          jammer, frame, core::DetectorTap::kXcorr, run);
+      std::printf("  P(%2.0fdB)=%.2f", snr, r.probability);
+    }
+    std::printf("\n");
+  }
+  std::printf("  -> the raw rate mismatch destroys detection outright; the\n"
+              "     paper's partial-window loss is the residual effect.\n");
+
+  // ---------------- (b) energy threshold sweep ----------------------------
+  std::printf("\n(b) energy threshold vs turn-on SNR (P_det at each SNR)\n");
+  std::printf("  %10s", "thresh(dB)");
+  const double snrs[] = {4, 8, 12, 16, 20, 24};
+  for (const double snr : snrs) std::printf(" %7.0fdB", snr);
+  std::printf("\n");
+  for (const double threshold_db : {3.0, 6.0, 10.0, 15.0, 20.0}) {
+    core::ReactiveJammer jammer(
+        core::energy_reactive_preset(1e-4, threshold_db));
+    std::printf("  %10.0f", threshold_db);
+    for (const double snr : snrs) {
+      core::DetectionRunConfig run;
+      run.snr_db = snr;
+      run.num_frames = frames / 2;
+      run.seed = 0xAB2;
+      const auto r = core::run_detection_experiment(
+          jammer, frame, core::DetectorTap::kEnergyHigh, run);
+      std::printf(" %9.2f", r.probability);
+    }
+    std::printf("\n");
+  }
+  std::printf("  -> the detector turns on roughly at its configured rise\n"
+              "     threshold: lower settings detect weaker signals (at the\n"
+              "     cost of false alarms on fading channels).\n");
+
+  // ---------------- (c) false-alarm target sweep --------------------------
+  std::printf("\n(c) false-alarm target vs P_det (short preamble, full "
+              "frames, SNR -3 dB)\n");
+  std::printf("  %12s %12s %10s\n", "FA target/s", "threshold", "P_det");
+  const auto tpl = core::wifi_short_preamble_template();
+  const core::XcorrNoiseModel model(tpl);
+  for (const double fa : {10.0, 1.0, 0.52, 0.083, 0.059, 0.01}) {
+    core::JammerConfig config;
+    config.detection = core::DetectionMode::kCrossCorrelator;
+    config.xcorr_template = tpl;
+    config.xcorr_threshold = model.threshold_for_rate(fa);
+    core::ReactiveJammer jammer(config);
+    core::DetectionRunConfig run;
+    run.snr_db = -3.0;
+    run.num_frames = frames;
+    run.seed = 0xAB3;
+    const auto r = core::run_detection_experiment(jammer, frame,
+                                                  core::DetectorTap::kXcorr, run);
+    std::printf("  %12.3f %12u %10.3f\n", fa, config.xcorr_threshold,
+                r.probability);
+  }
+  std::printf("  -> 'aiming for a lower false alarm rate generally decreases\n"
+              "     the probability of detection' (paper Section 3.2).\n");
+  bench::print_footer();
+  return 0;
+}

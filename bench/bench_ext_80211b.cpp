@@ -1,0 +1,66 @@
+// Extension: multi-standard claim for 802.11b DSSS ("WiFi (802.11 a/b/g)",
+// paper §1). Detection probability of 802.11b long-preamble frames using
+// the deterministic scrambled-SYNC template, across DSSS rates — the same
+// methodology as Figs. 6-7 applied to the DSSS leg of the standard.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/calibration.h"
+#include "core/detection_experiment.h"
+#include "core/reactive_jammer.h"
+#include "core/templates.h"
+#include "phy80211b/dsss.h"
+
+using namespace rjf;
+
+int main() {
+  bench::print_header(
+      "bench_ext_80211b — 802.11b DSSS preamble detection (extension)",
+      "the multi-standard claim of Section 1 applied to 802.11b");
+
+  const auto tpl = core::wifi_dsss_preamble_template();
+  const core::XcorrNoiseModel model(tpl);
+  core::JammerConfig config;
+  config.detection = core::DetectionMode::kCrossCorrelator;
+  config.xcorr_template = tpl;
+  config.xcorr_threshold = model.threshold_for_rate(0.059);
+  core::ReactiveJammer jammer(config);
+
+  const std::size_t frames = bench::frames_per_point(300);
+  std::printf("frames per point: %zu, FA target 0.059/s, threshold %u\n\n",
+              frames, config.xcorr_threshold);
+
+  std::printf("%10s", "SNR(dB)");
+  const phy80211b::DsssRate rates[] = {
+      phy80211b::DsssRate::kMbps1, phy80211b::DsssRate::kMbps2,
+      phy80211b::DsssRate::kMbps5_5, phy80211b::DsssRate::kMbps11};
+  for (const auto rate : rates)
+    std::printf("   P_det@%4.1fM", phy80211b::dsss_rate_mbps(rate));
+  std::printf("\n");
+
+  for (const double snr : {-9.0, -6.0, -3.0, 0.0, 3.0, 8.0}) {
+    std::printf("%10.1f", snr);
+    for (const auto rate : rates) {
+      std::vector<std::uint8_t> psdu(60, 0xC3);
+      const phy80211b::DsssTransmitter tx(rate);
+      const dsp::cvec frame = tx.transmit(psdu);
+      core::DetectionRunConfig run;
+      run.snr_db = snr;
+      run.num_frames = frames;
+      run.tx_rate_hz = phy80211b::kChipRateHz;
+      run.seed = 0xB0B + static_cast<std::uint64_t>(snr * 10);
+      const auto r = core::run_detection_experiment(
+          jammer, frame, core::DetectorTap::kXcorr, run);
+      std::printf(" %13.3f", r.probability);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nAll rates share the 192 us DSSS long preamble, so detection is\n"
+      "rate-independent — one template covers the whole 802.11b family,\n"
+      "which is what makes the jammer \"protocol aware\" rather than\n"
+      "\"rate aware\". The 128 scrambled SYNC symbols give the correlator\n"
+      "dozens of trigger opportunities per frame (compare Fig. 7).\n");
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Extension: the "jamming-based secure communication schemes" the paper
+// pitches the platform for (§1): iJam self-jamming secrecy and ally-
+// friendly key-controlled jamming, quantified as symbol-error-rate tables.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "dsp/noise.h"
+#include "dsp/rng.h"
+#include "secure/friendly.h"
+#include "secure/ijam.h"
+
+using namespace rjf;
+
+namespace {
+
+dsp::cvec random_qpsk(std::size_t n, std::uint64_t seed) {
+  dsp::Xoshiro256 rng(seed);
+  dsp::cvec out(n);
+  for (auto& s : out)
+    s = dsp::cfloat{rng.next() & 1u ? 0.707f : -0.707f,
+                    rng.next() & 1u ? 0.707f : -0.707f};
+  return out;
+}
+
+double qpsk_ser(const dsp::cvec& a, const dsp::cvec& b) {
+  std::size_t errors = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    if ((a[k].real() >= 0) != (b[k].real() >= 0) ||
+        (a[k].imag() >= 0) != (b[k].imag() >= 0))
+      ++errors;
+  }
+  return n ? static_cast<double>(errors) / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "bench_ext_secure — jamming-based secure communication (extension)",
+      "the secure-scheme prototyping role described in Section 1");
+
+  // ---------------- iJam ---------------------------------------------------
+  std::printf("iJam: symbol error rate vs self-jamming power "
+              "(QPSK, 64-sample symbols, 200 symbols)\n");
+  std::printf("%14s %10s %12s %12s %12s\n", "jam/signal(dB)", "legit",
+              "eve:first", "eve:random", "eve:minpow");
+  const std::size_t symbol_len = 64;
+  const std::size_t num_symbols = 200;
+  for (const double jam_db : {-3.0, 0.0, 3.0, 7.0, 14.0}) {
+    const double jam_power = std::pow(10.0, jam_db / 10.0);
+    const dsp::cvec signal = random_qpsk(symbol_len * num_symbols, 1);
+    const dsp::cvec tx = secure::ijam_duplicate(signal, symbol_len);
+    const auto mask = secure::ijam_mask(symbol_len, num_symbols, 0x5EC7);
+    const dsp::cvec jam =
+        secure::ijam_jamming_waveform(mask, symbol_len, jam_power, 7);
+    dsp::cvec rx(tx.size());
+    for (std::size_t k = 0; k < tx.size(); ++k) rx[k] = tx[k] + jam[k];
+
+    const double legit =
+        qpsk_ser(secure::ijam_reconstruct(rx, mask, symbol_len), signal);
+    const double e1 = qpsk_ser(
+        secure::ijam_eavesdrop(rx, symbol_len, secure::EveStrategy::kFirstCopy, 3),
+        signal);
+    const double e2 = qpsk_ser(
+        secure::ijam_eavesdrop(rx, symbol_len, secure::EveStrategy::kRandom, 5),
+        signal);
+    const double e3 = qpsk_ser(
+        secure::ijam_eavesdrop(rx, symbol_len, secure::EveStrategy::kMinPower, 9),
+        signal);
+    std::printf("%14.1f %10.4f %12.4f %12.4f %12.4f\n", jam_db, legit, e1, e2,
+                e3);
+  }
+  std::printf("-> the legitimate receiver stays at SER 0 at any jamming\n"
+              "   power while every eavesdropper strategy degrades; the\n"
+              "   min-power heuristic forces the jammer toward signal-level\n"
+              "   power (iJam's design point).\n\n");
+
+  // ---------------- ally friendly jamming ---------------------------------
+  std::printf("ally-friendly jamming: residual interference after "
+              "cancellation (4096 samples)\n");
+  std::printf("%14s %18s %20s\n", "jam/signal(dB)", "authorized resid.",
+              "unauthorized resid.");
+  for (const double jam_db : {0.0, 6.0, 12.0, 20.0}) {
+    const double jam_power = std::pow(10.0, jam_db / 10.0);
+    const secure::FriendlyJammer ally(0xA117, jam_power);
+    const secure::FriendlyJammer intruder_guess(0xBAD, jam_power);
+    const dsp::cvec signal = random_qpsk(4096, 11);
+    const dsp::cvec jam = ally.waveform(1, signal.size());
+    dsp::cvec rx(signal.size());
+    dsp::NoiseSource noise(1e-4, 13);
+    for (std::size_t k = 0; k < rx.size(); ++k)
+      rx[k] = signal[k] + dsp::cfloat{0.8f, -0.3f} * jam[k] + noise.sample();
+
+    const dsp::cvec auth = secure::cancel_friendly_jamming(rx, ally, 1);
+    const dsp::cvec unauth =
+        secure::cancel_friendly_jamming(rx, intruder_guess, 1);
+    std::printf("%14.1f %18.4f %20.4f\n", jam_db,
+                secure::cancellation_residual(rx, auth, signal),
+                secure::cancellation_residual(rx, unauth, signal));
+  }
+  std::printf("-> key holders cancel the jamming to a few percent residual;\n"
+              "   without the key the channel stays jammed (Shen et al.'s\n"
+              "   ally-friendly property).\n");
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Simulation-performance microbenchmarks (google-benchmark): how fast the
+// cycle-accurate fabric and the PHY pipelines run on the host. These bound
+// how much paper-scale experimentation (10000-frame characterisations,
+// 60-second iperf runs) costs in wall-clock time.
+#include <benchmark/benchmark.h>
+
+#include "core/templates.h"
+#include "dsp/fft.h"
+#include "dsp/noise.h"
+#include "dsp/resampler.h"
+#include "fpga/dsp_core.h"
+#include "phy80211/receiver.h"
+#include "phy80211/transmitter.h"
+
+using namespace rjf;
+
+namespace {
+
+void BM_DspCoreTick(benchmark::State& state) {
+  fpga::DspCore core;
+  fpga::program_template(core.registers(), core::wifi_short_preamble_template());
+  core.registers().write(fpga::Reg::kXcorrThreshold, 1u << 20);
+  core.registers().set_trigger_stages(fpga::kEventXcorr, 0, 0);
+  core.apply_registers();
+  dsp::NoiseSource noise(0.01, 1);
+  const dsp::iqvec samples = dsp::to_iq16(noise.block(4096));
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core.tick(samples[k % samples.size()]));
+    for (int c = 1; c < 4; ++c) benchmark::DoNotOptimize(core.tick(std::nullopt));
+    ++k;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["baseband_samples_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DspCoreTick);
+
+void BM_CrossCorrelatorStep(benchmark::State& state) {
+  fpga::CrossCorrelator corr;
+  const auto tpl = core::wifi_long_preamble_template();
+  corr.set_coefficients(tpl.coef_i, tpl.coef_q);
+  dsp::NoiseSource noise(0.01, 2);
+  const dsp::iqvec samples = dsp::to_iq16(noise.block(4096));
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corr.step(samples[k++ % samples.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CrossCorrelatorStep);
+
+void BM_WifiTransmit54(benchmark::State& state) {
+  const std::vector<std::uint8_t> psdu(1534, 0x42);
+  phy80211::Transmitter tx({phy80211::Rate::kMbps54, 0x5D});
+  for (auto _ : state) benchmark::DoNotOptimize(tx.transmit(psdu));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WifiTransmit54);
+
+void BM_WifiReceive54(benchmark::State& state) {
+  const std::vector<std::uint8_t> psdu(1534, 0x42);
+  phy80211::Transmitter tx({phy80211::Rate::kMbps54, 0x5D});
+  dsp::cvec wave = tx.transmit(psdu);
+  dsp::NoiseSource noise(1e-4, 3);
+  noise.add_to(wave);
+  phy80211::Receiver rx;
+  for (auto _ : state) benchmark::DoNotOptimize(rx.receive(wave));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WifiReceive54);
+
+void BM_Resample20to25(benchmark::State& state) {
+  dsp::NoiseSource noise(1.0, 4);
+  const dsp::cvec in = noise.block(4960);  // one 54 Mb/s frame's worth
+  const dsp::Resampler rs(20e6, 25e6);
+  for (auto _ : state) benchmark::DoNotOptimize(rs.resample(in));
+  state.SetItemsProcessed(state.iterations() * in.size());
+}
+BENCHMARK(BM_Resample20to25);
+
+void BM_Fft1024(benchmark::State& state) {
+  dsp::NoiseSource noise(1.0, 5);
+  dsp::cvec buf = noise.block(1024);
+  for (auto _ : state) {
+    dsp::fft(buf);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fft1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Fig. 10 — WiFi UDP bandwidth (iperf) vs measured SIR at the AP, for
+// jammer-off / continuous / reactive-0.1ms / reactive-0.01ms.
+//
+// Paper anchors: ~29 Mb/s ceiling without the jammer; the continuous
+// jammer kills the link at SIR 33.85 dB; the 0.1 ms reactive jammer halves
+// bandwidth at 33.85 dB and kills at 15.94 dB; the 0.01 ms reactive jammer
+// needs SIR 2.79 dB. Expected to hold in SHAPE: continuous dies at the
+// lowest jam power (highest SIR), then 0.1 ms, then 0.01 ms.
+#include <cstdio>
+
+#include "bench/wifi_sweep.h"
+
+using namespace rjf;
+
+int main() {
+  bench::print_header("bench_fig10_bandwidth — iperf UDP bandwidth vs SIR",
+                      "Fig. 10 (60 s UDP tests at 54 Mb/s offered)");
+  const double duration = bench::iperf_duration_s();
+  std::printf("iperf duration per point: %.2f s (paper used 60 s)\n",
+              duration);
+
+  const auto sweeps = bench::full_sweep(duration);
+  for (const auto& sweep : sweeps) {
+    std::printf("\n--- %s ---\n", sweep.label.c_str());
+    std::printf("%14s %18s %16s\n", "SIR at AP (dB)", "UDP bandwidth (kbps)",
+                "mean rate (Mb/s)");
+    for (const auto& p : sweep.points) {
+      if (p.sir_db > 200.0)
+        std::printf("%14s %18.0f %16.1f\n", "(no jam)", p.bandwidth_kbps,
+                    p.mean_rate_mbps);
+      else
+        std::printf("%14.2f %18.0f %16.1f\n", p.sir_db, p.bandwidth_kbps,
+                    p.mean_rate_mbps);
+    }
+  }
+  std::printf(
+      "\nexpected shape (paper): jammer-off ceiling ~29 Mb/s; continuous\n"
+      "jamming collapses the network at the highest SIR (lowest power) via\n"
+      "carrier-sense starvation; reactive jammers need progressively more\n"
+      "instantaneous power as uptime shrinks (0.1 ms, then 0.01 ms).\n");
+  bench::print_footer();
+  return 0;
+}

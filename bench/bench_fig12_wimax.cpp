@@ -1,0 +1,120 @@
+// Fig. 12 / §5 — reactive jamming of mobile WiMAX (802.16e) downlink
+// frames from an Airspan Air4G-style base station (TDD, 10 MHz at
+// 2.608 GHz, FFT 1024, Cell ID 1 / Segment 0).
+//
+// Paper findings: the 64-sample correlator sees only the first 2.56 us of
+// the 25 us preamble code, misdetecting ~2/3 of frames; combining the
+// cross-correlator with the energy differentiator detects 100% of downlink
+// frames, with jam bursts in one-to-one correspondence with frames (scope
+// trace). An ASCII "oscilloscope" rendering of one broadcast stretch is
+// printed alongside the detection table.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/calibration.h"
+#include "core/detection_experiment.h"
+#include "core/presets.h"
+#include "core/templates.h"
+#include "dsp/db.h"
+#include "dsp/noise.h"
+#include "dsp/resampler.h"
+#include "phy80216/frame.h"
+#include "phy80216/preamble.h"
+
+using namespace rjf;
+
+namespace {
+
+double run_mode(const core::JammerConfig& config, const dsp::cvec& dl,
+                std::size_t frames) {
+  core::ReactiveJammer jammer(config);
+  core::DetectionRunConfig run;
+  run.num_frames = frames;
+  run.snr_db = 15.0;
+  run.tx_rate_hz = phy80216::kSampleRateHz;
+  run.max_cfo_hz = 10000.0;  // free-running 2.6 GHz oscillators
+  run.seed = 0xF12;
+  return core::run_detection_experiment(jammer, dl,
+                                        core::DetectorTap::kJamTrigger, run)
+      .probability;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "bench_fig12_wimax — reactive jamming of WiMAX downlink frames",
+      "Fig. 12 / Section 5 (Airspan Air4G downlink, Cell ID 1, Segment 0)");
+
+  phy80216::FrameConfig frame_config;
+  frame_config.num_dl_symbols = 8;
+  const dsp::cvec dl = phy80216::build_downlink(frame_config);
+  const std::size_t frames = bench::frames_per_point(200);
+  std::printf("frames per mode: %zu, SNR 15 dB, CFO +/-10 kHz\n\n", frames);
+
+  // (a) xcorr only, template loaded naively at the native 11.2 MSPS rate
+  // (the paper had no WiMAX receiver to capture-calibrate against).
+  core::JammerConfig naive;
+  naive.detection = core::DetectionMode::kCrossCorrelator;
+  const dsp::cvec ref = phy80216::preamble_useful_part({1, 0});
+  naive.xcorr_template =
+      core::template_from_waveform(ref, phy80216::kSampleRateHz, false);
+  naive.xcorr_threshold =
+      core::XcorrNoiseModel(*naive.xcorr_template).threshold_for_rate(0.1);
+
+  // (b) xcorr only, capture-aligned template (25 MSPS).
+  core::JammerConfig aligned = naive;
+  aligned.xcorr_template = core::wimax_preamble_template(1, 0);
+  aligned.xcorr_threshold =
+      core::XcorrNoiseModel(*aligned.xcorr_template).threshold_for_rate(0.1);
+
+  // (c) the paper's fix: cross-correlator OR energy differentiator.
+  const auto combined = core::wimax_combined_preset(1e-4, 1, 0);
+
+  std::printf("%-44s %10s %16s\n", "detection mode", "P_det", "paper");
+  std::printf("%-44s %10.3f %16s\n", "xcorr only (native-rate template)",
+              run_mode(naive, dl, frames), "~1/3 detected");
+  std::printf("%-44s %10.3f %16s\n", "xcorr only (capture-aligned template)",
+              run_mode(aligned, dl, frames), "(upper bound)");
+  std::printf("%-44s %10.3f %16s\n", "xcorr OR energy differentiator",
+              run_mode(combined, dl, frames), "100%");
+
+  // --- Scope-style trace: BS downlink on top, jam bursts below (Fig. 12).
+  std::printf("\nscope view, 3 TDD frames (top: base station, bottom: jammer)\n");
+  const std::size_t n_frames = 3;
+  const dsp::cvec air = phy80216::broadcast(frame_config, n_frames);
+  const dsp::cvec air25 =
+      dsp::resample(air, phy80216::kSampleRateHz, 25e6);
+
+  // For the scope view, size the jam uptime to cover one DL burst (~1 ms)
+  // so the trace shows the paper's one-to-one frame/jam correspondence.
+  core::ReactiveJammer jammer(core::wimax_combined_preset(1e-3, 1, 0));
+  dsp::cvec rx = air25;
+  dsp::set_mean_power(std::span<dsp::cfloat>(rx),
+                      0.01 * dsp::ratio_from_db(15.0) *
+                          (static_cast<double>(phy80216::dl_active_samples(
+                               frame_config)) /
+                           static_cast<double>(air.size() / n_frames)));
+  dsp::NoiseSource noise(0.01, 99);
+  noise.add_to(rx);
+  const auto result = jammer.observe(rx);
+
+  const std::size_t cols = 96;
+  const std::size_t per_col = rx.size() / cols;
+  std::string bs_row, jam_row;
+  for (std::size_t c = 0; c < cols; ++c) {
+    double bs = 0.0, jam = 0.0;
+    for (std::size_t k = c * per_col; k < (c + 1) * per_col; ++k) {
+      bs += std::norm(air25[k]);
+      jam += std::norm(result.tx[k]);
+    }
+    bs_row += (bs / per_col > 1e-4) ? '#' : '.';
+    jam_row += (jam / per_col > 1e-6) ? '#' : '.';
+  }
+  std::printf("BS : %s\n", bs_row.c_str());
+  std::printf("JAM: %s\n", jam_row.c_str());
+  std::printf("\njam bursts: %zu for %zu downlink frames (paper: one-to-one)\n",
+              result.bursts.size(), n_frames);
+  bench::print_footer();
+  return 0;
+}

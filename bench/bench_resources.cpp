@@ -1,0 +1,35 @@
+// Figs. 3-4 resource boxes — FPGA resource usage of the custom DSP core's
+// blocks and overall utilisation of the N210's Spartan-3A DSP 3400.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "fpga/resource_model.h"
+
+using namespace rjf;
+
+int main() {
+  bench::print_header("bench_resources — FPGA resource report",
+                      "resource boxes in Fig. 3 (correlator) and Fig. 4 "
+                      "(energy differentiator)");
+
+  std::printf("%-24s %8s %8s %8s %8s %8s %8s\n", "block", "slices", "FFs",
+              "BRAMs", "LUTs", "IOBs", "DSP48");
+  for (const auto& r : fpga::block_resources())
+    std::printf("%-24s %8u %8u %8u %8u %8u %8u\n", r.block.c_str(), r.slices,
+                r.ffs, r.brams, r.luts, r.iobs, r.dsp48);
+  const auto total = fpga::total_resources();
+  std::printf("%-24s %8u %8u %8u %8u %8u %8u\n", "TOTAL", total.slices,
+              total.ffs, total.brams, total.luts, total.iobs, total.dsp48);
+
+  const auto u = fpga::utilisation();
+  std::printf("\nXC3SD3400A utilisation: slices %.1f%%, FFs %.1f%%, BRAMs "
+              "%.1f%%, LUTs %.1f%%, DSP48 %.1f%%\n",
+              u.slices_pct, u.ffs_pct, u.brams_pct, u.luts_pct, u.dsp48_pct);
+  std::printf(
+      "paper values: cross-correlator {2613 slices, 2647 FFs, 12 BRAMs,\n"
+      "2818 LUTs, 2 DSP48}; energy differentiator {1262 slices, 1313 FFs,\n"
+      "0 BRAMs, 2513 LUTs, 6 DSP48}. Remaining rows are width-derived\n"
+      "estimates for blocks whose boxes the paper does not print.\n");
+  bench::print_footer();
+  return 0;
+}

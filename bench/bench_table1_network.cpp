@@ -1,0 +1,58 @@
+// Table 1 — insertion losses of the 5-port interconnect network, swept the
+// way a VNA would: inject a unit tone at each port, measure the arriving
+// power at every other port through the channel model, and print the
+// matrix next to the paper's measured values.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "channel/five_port.h"
+#include "dsp/db.h"
+
+using namespace rjf;
+
+int main() {
+  bench::print_header("bench_table1_network — 5-port insertion-loss matrix",
+                      "Table 1 (VNA measurement of the wired test network)");
+
+  channel::FivePortNetwork net;
+  std::printf("measured through the channel model (dB), '-' = isolated:\n\n");
+  std::printf("in\\out ");
+  for (int out = 1; out <= 5; ++out) std::printf("%9d", out);
+  std::printf("\n");
+
+  for (int in = 1; in <= 5; ++in) {
+    std::printf("%5d ", in);
+    for (int out = 1; out <= 5; ++out) {
+      if (in == out) {
+        std::printf("%9s", "-");
+        continue;
+      }
+      // VNA-style: unit tone in, power ratio out.
+      const dsp::cvec tone(256, dsp::cfloat{1.0f, 0.0f});
+      const channel::FivePortNetwork::Contribution sources[] = {{in, tone, 0}};
+      const dsp::cvec rx = net.receive(out, sources, 256, 0.0, 1);
+      const double loss_db = -dsp::mean_power_db(rx);
+      if (!std::isfinite(loss_db))
+        std::printf("%9s", "-");
+      else
+        std::printf("%8.1f ", -loss_db);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npaper Table 1 (dB):\n");
+  std::printf("       1: -, -51.0, -25.2, -38.4, -39.3\n");
+  std::printf("       2: -51.0, -, -31.7, -32.0, -32.8\n");
+  std::printf("       3: -25.2, -31.7, -, -19.1, -19.9\n");
+  std::printf("       4: -38.4, -32.0, -19.1, -, -\n");
+  std::printf("       5: -39.2, -32.8, -19.8, -, -\n");
+
+  net.set_variable_attenuation_db(20.0);
+  std::printf(
+      "\nwith the port-4 variable attenuator at 20 dB, jammer->AP loss: "
+      "%.1f dB (38.4 + 20)\n",
+      net.loss_db(channel::kPortJammerTx, channel::kPortAp));
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Fig. 5 / §3.1 — reactive jamming timelines, measured cycle-accurately on
+// the FPGA core model rather than estimated:
+//   T_en_det    < 1.28 us   (energy detection, <= 32 samples)
+//   T_xcorr_det = 2.56 us   (64-sample correlation)
+//   T_init      ~ 80 ns     (trigger + DUC fill)
+//   T_resp      <= 1.36 us energy / 2.64 us correlation
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/calibration.h"
+#include "core/templates.h"
+#include "dsp/resampler.h"
+#include "fpga/dsp_core.h"
+#include "phy80211/preamble.h"
+
+using namespace rjf;
+
+namespace {
+
+struct Timeline {
+  double t_det_us = 0.0;
+  double t_init_ns = 0.0;
+  double t_resp_us = 0.0;
+};
+
+// Stream `signal` (25 MSPS) into a programmed core; measure the tick of
+// first detection event and first RF-out.
+Timeline measure(fpga::DspCore& core, const dsp::cvec& signal25,
+                 std::size_t signal_start) {
+  Timeline t;
+  std::uint64_t detect_tick = 0, rf_tick = 0;
+  const std::uint64_t start_tick =
+      static_cast<std::uint64_t>(signal_start) * fpga::kClocksPerSample;
+  for (const auto s : signal25) {
+    for (std::uint32_t c = 0; c < fpga::kClocksPerSample; ++c) {
+      const auto out = core.tick(c == 0
+                                     ? std::optional<dsp::IQ16>(dsp::to_iq16(s))
+                                     : std::nullopt);
+      if ((out.xcorr_trigger || out.energy_high) && !detect_tick)
+        detect_tick = out.vita_ticks;
+      if (out.tx.rf_active && !rf_tick) rf_tick = out.vita_ticks;
+    }
+    if (rf_tick) break;
+  }
+  if (detect_tick) t.t_det_us = (detect_tick - start_tick) * 0.01;
+  if (rf_tick && detect_tick) t.t_init_ns = (rf_tick - detect_tick) * 10.0;
+  if (rf_tick) t.t_resp_us = (rf_tick - start_tick) * 0.01;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("bench_timelines — reactive jamming timelines",
+                      "Fig. 5 and the bullet analysis of Section 3.1");
+
+  // --- Cross-correlation path on the WiFi long preamble.
+  const auto tpl = core::wifi_long_preamble_template();
+  const core::XcorrNoiseModel model(tpl);
+  fpga::DspCore xc_core;
+  fpga::program_template(xc_core.registers(), tpl);
+  xc_core.registers().write(fpga::Reg::kXcorrThreshold,
+                            model.threshold_for_rate(0.5));
+  xc_core.registers().set_trigger_stages(fpga::kEventXcorr, 0, 0);
+  xc_core.registers().set_jammer(fpga::JamWaveform::kWhiteNoise, true, 0);
+  xc_core.registers().write(fpga::Reg::kJamDuration, 64);
+  xc_core.apply_registers();
+
+  dsp::cvec lts2 = phy80211::long_training_symbol();
+  {
+    const auto copy = lts2;
+    lts2.insert(lts2.end(), copy.begin(), copy.end());
+  }
+  dsp::cvec sig = dsp::resample(lts2, 20e6, 25e6);
+  sig.resize(sig.size() + 16, dsp::cfloat{});
+  const auto t_xcorr = measure(xc_core, sig, 0);
+
+  // --- Energy path: quiet floor, then a strong carrier.
+  fpga::DspCore en_core;
+  en_core.registers().write(fpga::Reg::kEnergyThreshHigh,
+                            fpga::energy_threshold_q88_from_db(10.0));
+  en_core.registers().write(fpga::Reg::kEnergyThreshLow, ~0u);
+  en_core.registers().write(fpga::Reg::kEnergyFloor, 1);
+  en_core.registers().set_trigger_stages(fpga::kEventEnergyHigh, 0, 0);
+  en_core.registers().set_jammer(fpga::JamWaveform::kWhiteNoise, true, 0);
+  en_core.registers().write(fpga::Reg::kJamDuration, 64);
+  en_core.apply_registers();
+
+  // A 12 dB energy rise (x4 amplitude): the 32-sample moving sum needs
+  // ~20 new samples to cross the 10 dB threshold — the paper's "at most
+  // 32 baseband samples" case rather than an instantaneous huge step.
+  dsp::cvec en_sig(400, dsp::cfloat{0.1f, 0.1f});  // idle floor
+  const std::size_t rise_at = en_sig.size();
+  en_sig.resize(en_sig.size() + 200, dsp::cfloat{0.4f, 0.4f});
+  const auto t_en = measure(en_core, en_sig, rise_at);
+
+  std::printf("%-28s %12s %12s\n", "quantity", "paper", "measured");
+  std::printf("%-28s %12s %9.2f us\n", "T_xcorr_det", "2.56 us",
+              t_xcorr.t_det_us);
+  std::printf("%-28s %12s %9.2f us\n", "T_en_det", "< 1.28 us", t_en.t_det_us);
+  std::printf("%-28s %12s %9.0f ns\n", "T_init (xcorr path)", "~80 ns",
+              t_xcorr.t_init_ns);
+  std::printf("%-28s %12s %9.0f ns\n", "T_init (energy path)", "~80 ns",
+              t_en.t_init_ns);
+  std::printf("%-28s %12s %9.2f us\n", "T_resp (correlation)", "< 2.64 us",
+              t_xcorr.t_resp_us);
+  std::printf("%-28s %12s %9.2f us\n", "T_resp (energy)", "< 1.36 us",
+              t_en.t_resp_us);
+
+  std::printf("\nJam duration range: %d ns .. %.0f s (paper: 40 ns .. ~40 s)\n",
+              40, 0xFFFFFFFFu / 25e6);
+  std::printf(
+      "802.11g context: short+long preamble 16 us, SIGNAL 4 us -> a frame\n"
+      "is jammed before its first OFDM data symbol at T_resp <= 2.64 us.\n");
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Shared helpers for the reproduction benches: consistent table printing
+// and environment-variable knobs so CI can run quick passes while a full
+// reproduction uses paper-scale trial counts.
+//
+//   RJF_BENCH_FRAMES    frames per detection point   (default 400;  paper 10000)
+//   RJF_BENCH_DURATION  seconds per iperf test point (default 0.12; paper 60)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rjf::bench {
+
+inline std::size_t frames_per_point(std::size_t fallback = 400) {
+  if (const char* env = std::getenv("RJF_BENCH_FRAMES"))
+    return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  return fallback;
+}
+
+inline double iperf_duration_s(double fallback = 0.12) {
+  if (const char* env = std::getenv("RJF_BENCH_DURATION"))
+    return std::strtod(env, nullptr);
+  return fallback;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+inline void print_footer() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace rjf::bench

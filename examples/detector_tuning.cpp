@@ -1,0 +1,71 @@
+// Detector tuning walkthrough: how an operator calibrates the
+// cross-correlator threshold to a false-alarm budget and reads the
+// resulting detection-probability curve — the workflow behind the paper's
+// §3.2 characterisation.
+//
+//   $ ./detector_tuning [fa_per_s]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/calibration.h"
+#include "core/detection_experiment.h"
+#include "core/reactive_jammer.h"
+#include "core/templates.h"
+#include "phy80211/transmitter.h"
+
+using namespace rjf;
+
+int main(int argc, char** argv) {
+  const double fa_target = argc > 1 ? std::strtod(argv[1], nullptr) : 0.083;
+
+  std::printf("=== detector tuning: WiFi long-preamble correlator ===\n\n");
+
+  // Step 1: generate the template offline from the standard's preamble.
+  const auto tpl = core::wifi_long_preamble_template();
+  std::printf("template: 64 taps of 3-bit I/Q coefficients\n");
+
+  // Step 2: the exact noise model replaces the paper's 30-minute
+  // terminated-input measurement — the per-sample exceedance distribution
+  // of the sign-bit correlator under noise is computed in closed form.
+  const core::XcorrNoiseModel model(tpl);
+  std::printf("\nfalse-alarm landscape (terminated input, 25 MSPS):\n");
+  std::printf("%12s %16s\n", "threshold", "false alarms/s");
+  for (std::uint32_t t = 6000; t <= 12000; t += 1000)
+    std::printf("%12u %16.4f\n", t, model.false_alarm_rate_per_s(t));
+
+  const std::uint32_t threshold = model.threshold_for_rate(fa_target);
+  std::printf("\ncalibrated threshold for %.3f triggers/s: %u\n", fa_target,
+              threshold);
+
+  // Step 3: empirical cross-check, like terminating the real receiver.
+  const double check_s = 0.5;
+  const auto counted = core::count_noise_triggers(tpl, threshold, check_s, 9);
+  std::printf("empirical check: %llu triggers in %.1f simulated seconds\n",
+              static_cast<unsigned long long>(counted), check_s);
+
+  // Step 4: detection-probability curve at the calibrated threshold.
+  core::JammerConfig config;
+  config.detection = core::DetectionMode::kCrossCorrelator;
+  config.xcorr_template = tpl;
+  config.xcorr_threshold = threshold;
+  core::ReactiveJammer jammer(config);
+
+  std::vector<std::uint8_t> psdu(310, 0xA5);
+  phy80211::Transmitter tx({phy80211::Rate::kMbps54, 0x5D});
+  const dsp::cvec frame = tx.transmit(psdu);
+
+  std::printf("\ndetection probability (full WiFi frames, 200 per point):\n");
+  std::printf("%10s %10s\n", "SNR (dB)", "P_det");
+  for (const double snr : {-6.0, -3.0, 0.0, 3.0, 6.0, 10.0}) {
+    core::DetectionRunConfig run;
+    run.snr_db = snr;
+    run.num_frames = 200;
+    run.seed = 0xD7;
+    const auto r = core::run_detection_experiment(jammer, frame,
+                                                  core::DetectorTap::kXcorr, run);
+    std::printf("%10.1f %10.3f\n", snr, r.probability);
+  }
+  std::printf("\nTune the trade-off by re-running with a different budget,\n"
+              "e.g. ./detector_tuning 0.52\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Malicious packet injection (paper §5: "as well as malicious wireless
+// packet injection to interfere with ongoing communications"): the host
+// streams a forged 802.11 frame into the jammer's TX buffer (waveform
+// preset (iii)) and the reactive trigger launches it with 80 ns latency —
+// here aimed so the forgery lands right after a legitimate frame, where a
+// fake ACK or deauth would sit.
+//
+//   $ ./packet_injection
+#include <cstdio>
+
+#include "core/calibration.h"
+#include "core/reactive_jammer.h"
+#include "core/templates.h"
+#include "dsp/db.h"
+#include "dsp/noise.h"
+#include "dsp/resampler.h"
+#include "net/mac_frame.h"
+#include "phy80211/receiver.h"
+#include "phy80211/transmitter.h"
+
+using namespace rjf;
+
+int main() {
+  std::printf("=== reactive packet injection ===\n\n");
+
+  // Forge a MAC frame and pre-render its waveform into the TX buffer.
+  net::MacFrame forged;
+  forged.type = net::FrameType::kData;
+  forged.src = 1;  // spoofed: pretends to be the AP
+  forged.dst = 2;
+  forged.sequence = 0x7777;
+  forged.payload.assign(46, 0xEE);
+  const net::Bytes forged_psdu = net::serialize(forged);
+  phy80211::Transmitter forger({phy80211::Rate::kMbps6, 0x2A});
+  const dsp::cvec forged20 = forger.transmit(forged_psdu);
+  dsp::cvec forged25 = dsp::resample(forged20, 20e6, 25e6);
+  // Back the level off before the 16-bit TX buffer so OFDM peaks survive
+  // quantisation unclipped (the real host does the same headroom scaling).
+  dsp::set_mean_power(std::span<dsp::cfloat>(forged25), 0.04);
+  std::printf("forged frame: %zu-byte PSDU at 6 Mb/s (%zu samples at the "
+              "jammer's 25 MSPS)\n",
+              forged_psdu.size(), forged25.size());
+
+  // Configure the jammer: detect the victim's short preamble, wait until
+  // the victim frame has passed (surgical delay), then stream the forgery.
+  core::JammerConfig config;
+  config.detection = core::DetectionMode::kCrossCorrelator;
+  config.xcorr_template = core::wifi_short_preamble_template();
+  config.xcorr_threshold =
+      core::XcorrNoiseModel(*config.xcorr_template).threshold_for_rate(0.059);
+  config.waveform = fpga::JamWaveform::kHostStream;
+  config.jam_delay_samples = 3200;  // ~128 us: past a short victim frame
+  config.jam_uptime_samples = static_cast<std::uint32_t>(forged25.size());
+  core::ReactiveJammer jammer(config);
+  jammer.radio().core().jammer().set_host_waveform(dsp::to_iq16(forged25));
+
+  // A legitimate short frame goes by; the jammer reacts.
+  std::vector<std::uint8_t> legit(100, 0x11);
+  phy80211::Transmitter victim({phy80211::Rate::kMbps54, 0x5D});
+  const dsp::cvec legit25 = dsp::resample(victim.transmit(legit), 20e6, 25e6);
+  dsp::cvec rx = dsp::make_wgn(16384, 1e-6, 3);
+  for (std::size_t k = 0; k < legit25.size(); ++k) rx[512 + k] += legit25[k] * 0.1f;
+
+  const auto result = jammer.observe(rx);
+  if (result.bursts.empty()) {
+    std::printf("no injection happened (detection failed)\n");
+    return 1;
+  }
+  const auto& burst = result.bursts.front();
+  std::printf("victim frame detected; injection burst at sample %zu "
+              "(%.1f us after the victim frame began)\n",
+              burst.start_sample, (burst.start_sample - 512) / 25.0);
+
+  // Decode what the jammer put on the air, as a bystander receiver would.
+  const dsp::cvec injected20 = dsp::resample(
+      std::span<const dsp::cfloat>(result.tx.data() + burst.start_sample,
+                                   std::min(burst.length, result.tx.size() -
+                                                              burst.start_sample)),
+      25e6, 20e6);
+  const auto decoded = phy80211::Receiver().receive(injected20);
+  if (decoded.signal_valid) {
+    const auto frame = net::parse(decoded.psdu);
+    if (frame) {
+      std::printf("bystander decode of the injected burst: VALID frame, "
+                  "src=%u dst=%u seq=0x%04X, FCS ok\n",
+                  frame->src, frame->dst, frame->sequence);
+      std::printf("\nThe injected packet is a standard-compliant 802.11 frame\n"
+                  "assembled on the host and launched by the FPGA trigger —\n"
+                  "protocol awareness working in both directions.\n");
+      return 0;
+    }
+  }
+  std::printf("bystander could not decode the injected burst\n");
+  return 1;
+}

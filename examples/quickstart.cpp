@@ -1,0 +1,72 @@
+// Quickstart: build a protocol-aware reactive jammer, show it detecting a
+// WiFi frame and putting jamming energy on the air within microseconds.
+//
+//   $ ./quickstart
+//
+// Walks through the framework's three core steps:
+//   1. pick a jamming personality (here: WiFi short-preamble correlator,
+//      threshold calibrated to 0.059 false alarms/s, 0.1 ms uptime),
+//   2. stream receive baseband through the modelled USRP N210,
+//   3. read back what the FPGA core did (detections, trigger time, burst).
+#include <cstdio>
+
+#include "core/detection_experiment.h"
+#include "core/presets.h"
+#include "core/reactive_jammer.h"
+#include "dsp/noise.h"
+#include "dsp/resampler.h"
+#include "phy80211/transmitter.h"
+
+using namespace rjf;
+
+int main() {
+  std::printf("=== reactive jamming framework quickstart ===\n\n");
+
+  // 1. A jamming personality from the preset library. Everything in it is
+  //    an ordinary register value on the modelled FPGA core — no rebuild
+  //    is needed to change detection type, thresholds, delay or uptime.
+  core::JammerConfig config = core::wifi_reactive_preset(/*uptime_s=*/1e-4,
+                                                         /*fa_per_s=*/0.059);
+  core::ReactiveJammer jammer(config);
+  jammer.tune(2.484e9);  // WiFi channel 14, like the paper's testbed
+  std::printf("personality: WiFi short-preamble correlator\n");
+  std::printf("  threshold %u (0.059 false alarms/s), uptime %u samples\n\n",
+              config.xcorr_threshold, config.jam_uptime_samples);
+
+  // 2. Put a real 802.11g frame on the air. The victim transmits at the
+  //    standard's 20 MSPS; the jammer samples at 25 MSPS — the framework
+  //    resamples, exactly like RF propagation between mismatched clocks.
+  std::vector<std::uint8_t> psdu(500, 0xDA);
+  phy80211::Transmitter victim({phy80211::Rate::kMbps54, 0x5D});
+  const dsp::cvec frame20 = victim.transmit(psdu);
+  const dsp::cvec frame25 = dsp::resample(frame20, 20e6, 25e6);
+
+  dsp::cvec rx = dsp::make_wgn(frame25.size() + 1024, 1e-6, 42);
+  const std::size_t frame_start = 512;
+  for (std::size_t k = 0; k < frame25.size(); ++k)
+    rx[frame_start + k] += frame25[k] * 0.05f;
+  std::printf("victim frame: %zu bytes at 54 Mb/s = %.0f us of airtime\n",
+              psdu.size(), frame20.size() / 20e6 * 1e6);
+
+  // 3. Stream and inspect.
+  const auto result = jammer.observe(rx);
+  std::printf("\nwhat the FPGA core did:\n");
+  std::printf("  cross-correlator detections: %llu\n",
+              static_cast<unsigned long long>(result.xcorr_detections));
+  std::printf("  jam triggers:                %llu\n",
+              static_cast<unsigned long long>(result.jam_triggers));
+  for (const auto& burst : result.bursts) {
+    const double t_after_frame =
+        (static_cast<double>(burst.start_sample) - frame_start) / 25e6 * 1e6;
+    std::printf("  jam burst: starts %.2f us after frame start, %zu samples "
+                "(%.1f us) of white noise\n",
+                t_after_frame, burst.length, burst.length / 25e6 * 1e6);
+  }
+  if (!result.bursts.empty()) {
+    std::printf(
+        "\nThe 802.11g preamble alone lasts 16 us — the jammer was on the\n"
+        "air before the frame's first data symbol, which is the paper's\n"
+        "headline capability.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Secure-communication walkthrough: the two jamming-FOR-good schemes the
+// paper pitches the platform for, demonstrated end to end.
+//
+//   $ ./secure_schemes
+#include <cstdio>
+
+#include "dsp/noise.h"
+#include "dsp/rng.h"
+#include "secure/friendly.h"
+#include "secure/ijam.h"
+
+using namespace rjf;
+
+namespace {
+
+dsp::cvec random_qpsk(std::size_t n, std::uint64_t seed) {
+  dsp::Xoshiro256 rng(seed);
+  dsp::cvec out(n);
+  for (auto& s : out)
+    s = dsp::cfloat{rng.next() & 1u ? 0.707f : -0.707f,
+                    rng.next() & 1u ? 0.707f : -0.707f};
+  return out;
+}
+
+double qpsk_ser(const dsp::cvec& a, const dsp::cvec& b) {
+  std::size_t errors = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t k = 0; k < n; ++k)
+    if ((a[k].real() >= 0) != (b[k].real() >= 0) ||
+        (a[k].imag() >= 0) != (b[k].imag() >= 0))
+      ++errors;
+  return n ? static_cast<double>(errors) / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== jamming as a defence: two schemes on one platform ===\n");
+
+  // ---- iJam: receiver self-jams one copy of every repeated sample.
+  std::printf("\n[1] iJam self-jamming secrecy\n");
+  const std::size_t symbol_len = 64, num_symbols = 100;
+  const dsp::cvec secret = random_qpsk(symbol_len * num_symbols, 0xDA7A);
+  const dsp::cvec tx = secure::ijam_duplicate(secret, symbol_len);
+  const auto mask = secure::ijam_mask(symbol_len, num_symbols, /*key=*/0xFEED);
+  const dsp::cvec jam =
+      secure::ijam_jamming_waveform(mask, symbol_len, /*jam_power=*/8.0, 21);
+  dsp::cvec air(tx.size());
+  for (std::size_t k = 0; k < tx.size(); ++k) air[k] = tx[k] + jam[k];
+
+  const auto bob = secure::ijam_reconstruct(air, mask, symbol_len);
+  const auto eve =
+      secure::ijam_eavesdrop(air, symbol_len, secure::EveStrategy::kMinPower, 5);
+  std::printf("    Bob (knows the mask):   SER %.4f\n", qpsk_ser(bob, secret));
+  std::printf("    Eve (min-power guess):  SER %.4f\n", qpsk_ser(eve, secret));
+
+  // ---- Ally friendly jamming: key holders cancel, intruders drown.
+  std::printf("\n[2] ally-friendly key-controlled jamming\n");
+  const secure::FriendlyJammer ally(/*key=*/0x50FA, /*power=*/6.0);
+  const dsp::cvec message = random_qpsk(4096, 0xBEA7);
+  const dsp::cvec cover = ally.waveform(/*epoch=*/42, message.size());
+  dsp::cvec rx(message.size());
+  dsp::NoiseSource noise(1e-4, 33);
+  for (std::size_t k = 0; k < rx.size(); ++k)
+    rx[k] = message[k] + dsp::cfloat{0.9f, 0.2f} * cover[k] + noise.sample();
+
+  const auto authorized = secure::cancel_friendly_jamming(rx, ally, 42);
+  std::printf("    before cancellation:    SER %.4f\n", qpsk_ser(rx, message));
+  std::printf("    authorized (has key):   SER %.4f\n",
+              qpsk_ser(authorized, message));
+  const secure::FriendlyJammer wrong(/*key=*/0xDEAD, 6.0);
+  const auto intruder = secure::cancel_friendly_jamming(rx, wrong, 42);
+  std::printf("    intruder (wrong key):   SER %.4f\n",
+              qpsk_ser(intruder, message));
+
+  std::printf(
+      "\nBoth schemes ride the same fabric the adversarial jammer uses —\n"
+      "the point of the paper's 'jamming-based secure communication'\n"
+      "agenda: an 80 ns-response platform works for defence too.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// WiFi jamming lab: the paper's §4 experiment in miniature. Runs an iperf
+// UDP test between a client and an AP over the 5-port wired network, with
+// a jammer you choose from the command line:
+//
+//   $ ./wifi_jamming_lab            # jammer off
+//   $ ./wifi_jamming_lab cont 1e-4  # continuous jammer, TX power 1e-4
+//   $ ./wifi_jamming_lab 0.1ms 1e-2 # reactive, 0.1 ms uptime
+//   $ ./wifi_jamming_lab 0.01ms 0.1 # reactive, 0.01 ms uptime
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/presets.h"
+#include "net/wifi_network.h"
+
+using namespace rjf;
+
+int main(int argc, char** argv) {
+  net::WifiNetworkConfig config;
+  config.iperf.duration_s = 0.25;
+  config.seed = 7;
+
+  const char* mode = argc > 1 ? argv[1] : "off";
+  const double power = argc > 2 ? std::strtod(argv[2], nullptr) : 1e-3;
+  if (std::strcmp(mode, "cont") == 0) {
+    config.jammer = core::continuous_preset();
+    config.jammer_tx_power = power;
+  } else if (std::strcmp(mode, "0.1ms") == 0) {
+    config.jammer = core::energy_reactive_preset(1e-4, 10.0);
+    config.jammer_tx_power = power;
+  } else if (std::strcmp(mode, "0.01ms") == 0) {
+    config.jammer = core::energy_reactive_preset(1e-5, 10.0);
+    config.jammer_tx_power = power;
+  } else if (std::strcmp(mode, "off") != 0) {
+    std::fprintf(stderr, "usage: %s [off|cont|0.1ms|0.01ms] [tx_power]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  std::printf("=== WiFi jamming lab (5-port network, channel 14) ===\n");
+  std::printf("jammer: %s", mode);
+  if (config.jammer) std::printf(", TX power %.2e", power);
+  std::printf("\niperf: UDP %.0f Mb/s offered, %.2f s\n\n",
+              config.iperf.offered_mbps, config.iperf.duration_s);
+
+  net::WifiNetworkSim sim(config);
+  const auto r = sim.run();
+
+  std::printf("------------------------------------------------------------\n");
+  std::printf("[iperf] %8.0f kbps   PRR %5.1f%%   (%llu/%llu datagrams)\n",
+              r.report.bandwidth_kbps(config.iperf.datagram_bytes),
+              r.report.prr_percent(),
+              static_cast<unsigned long long>(r.report.datagrams_received),
+              static_cast<unsigned long long>(r.report.datagrams_offered));
+  std::printf("------------------------------------------------------------\n");
+  if (config.jammer) {
+    std::printf("SIR at AP (during bursts): %.1f dB\n", r.measured_sir_db);
+    std::printf("jam triggers: %llu\n",
+                static_cast<unsigned long long>(r.jam_triggers));
+  }
+  std::printf("MAC: %llu frames sent, %llu delivered, %llu retries, "
+              "%llu ACKs lost\n",
+              static_cast<unsigned long long>(r.data_frames_sent),
+              static_cast<unsigned long long>(r.data_frames_delivered),
+              static_cast<unsigned long long>(r.retries),
+              static_cast<unsigned long long>(r.acks_lost));
+  std::printf("carrier sense: %llu busy defers, %llu starved drops\n",
+              static_cast<unsigned long long>(r.cca_busy_defers),
+              static_cast<unsigned long long>(r.cca_starved_drops));
+  std::printf("mean ARF rate: %.1f Mb/s\n", r.mean_tx_rate_mbps);
+  if (config.jammer && r.cca_starved_drops == 0 && r.cca_busy_defers == 0 &&
+      r.jam_triggers > 0)
+    std::printf("\nNote: the client never saw a busy medium — the reactive\n"
+                "jammer stayed invisible to carrier sense while killing "
+                "packets.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// WiMAX downlink jamming demo (paper §5): detect and jam TDD downlink
+// frames from an Airspan Air4G-style 802.16e base station, rendering the
+// oscilloscope view of Fig. 12 as ASCII art.
+//
+//   $ ./wimax_downlink_jam [num_frames] [cell_id] [segment]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/presets.h"
+#include "core/reactive_jammer.h"
+#include "dsp/db.h"
+#include "dsp/noise.h"
+#include "dsp/resampler.h"
+#include "phy80216/frame.h"
+
+using namespace rjf;
+
+int main(int argc, char** argv) {
+  const std::size_t num_frames =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4;
+  const unsigned cell_id = argc > 2 ? std::atoi(argv[2]) : 1;
+  const unsigned segment = argc > 3 ? std::atoi(argv[3]) : 0;
+
+  std::printf("=== WiMAX 802.16e downlink reactive jamming ===\n");
+  std::printf("base station: TDD, 10 MHz @ 2.608 GHz, FFT 1024, "
+              "Cell ID %u, Segment %u\n",
+              cell_id, segment);
+
+  // The Air4G broadcasts continuously; build a stretch of air.
+  phy80216::FrameConfig frame_config;
+  frame_config.preamble = {cell_id, segment};
+  frame_config.num_dl_symbols = 10;
+  const dsp::cvec air = phy80216::broadcast(frame_config, num_frames);
+
+  // Combined detection (cross-correlator OR energy differentiator), jam
+  // uptime sized to blanket one downlink burst.
+  core::ReactiveJammer jammer(
+      core::wimax_combined_preset(1.2e-3, cell_id, segment));
+  jammer.tune(2.608e9);
+
+  // To the jammer's 25 MSPS front end, 15 dB SNR.
+  dsp::cvec rx = dsp::resample(air, phy80216::kSampleRateHz, 25e6);
+  dsp::set_mean_power(std::span<dsp::cfloat>(rx),
+                      0.01 * dsp::ratio_from_db(15.0));
+  dsp::NoiseSource noise(0.01, 5);
+  noise.add_to(rx);
+
+  const auto result = jammer.observe(rx);
+
+  std::printf("\ndetections: %llu xcorr, %llu energy-rise; %zu jam bursts "
+              "for %zu frames\n",
+              static_cast<unsigned long long>(result.xcorr_detections),
+              static_cast<unsigned long long>(result.energy_high_detections),
+              result.bursts.size(), num_frames);
+
+  // Scope rendering (Fig. 12): base station signal above, jammer below.
+  const std::size_t cols = 100;
+  const std::size_t per_col = rx.size() / cols;
+  const dsp::cvec bs25 = dsp::resample(air, phy80216::kSampleRateHz, 25e6);
+  std::string bs_row, jam_row;
+  for (std::size_t c = 0; c < cols; ++c) {
+    double bs = 0.0, jam = 0.0;
+    for (std::size_t k = c * per_col; k < (c + 1) * per_col; ++k) {
+      bs += std::norm(bs25[k]);
+      jam += std::norm(result.tx[k]);
+    }
+    bs_row += (bs / per_col > 1e-4) ? '#' : '.';
+    jam_row += (jam / per_col > 1e-6) ? '#' : '.';
+  }
+  std::printf("\nscope (time ->):\n");
+  std::printf("  BS : %s\n", bs_row.c_str());
+  std::printf("  JAM: %s\n", jam_row.c_str());
+  std::printf("\nEach '#' burst on the JAM trace answers one TDD downlink\n"
+              "frame — the one-to-one correspondence of the paper's Fig. 12.\n");
+  return 0;
+}

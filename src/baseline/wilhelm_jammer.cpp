@@ -1,0 +1,23 @@
+#include "baseline/wilhelm_jammer.h"
+
+#include <algorithm>
+
+namespace rjf::baseline {
+
+double WilhelmJammer::sample_reaction_s() {
+  const double latency =
+      model_.mean_latency_s + model_.jitter_s * rng_.gaussian();
+  return std::max(latency, model_.min_latency_s);
+}
+
+double WilhelmJammer::fraction_jammable(double frame_duration_s) {
+  const double reaction = sample_reaction_s();
+  if (reaction >= frame_duration_s) return 0.0;
+  return 1.0 - reaction / frame_duration_s;
+}
+
+bool WilhelmJammer::hits_before(double deadline_s) {
+  return sample_reaction_s() < deadline_s;
+}
+
+}  // namespace rjf::baseline

@@ -1,0 +1,52 @@
+// Model of the prior-art reactive jammer: Wilhelm, Martinovic, Schmitt &
+// Lenders, "Reactive Jamming in Wireless Networks: How Realistic is the
+// Threat?" (WiSec 2011) — the single earlier study the paper found that
+// performs real-time SDR reactive jamming, on low-rate 802.15.4 networks.
+//
+// Its detection runs in the USRP2's host/driver path, so the reaction time
+// is dominated by sample buffering across the Gigabit-Ethernet transport
+// plus host processing and the TX-side buffer drain: tens of microseconds
+// with jitter, rather than this paper's 8 fabric clocks. The model samples
+// a reaction latency per event from a truncated Gaussian whose defaults
+// follow the WiSec'11 operating regime, then asks the usual question: how
+// much of the victim frame is still in the air when jamming energy lands?
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/rng.h"
+
+namespace rjf::baseline {
+
+struct WilhelmModel {
+  // USRP2 transport buffering + host detection + TX path, seconds.
+  double mean_latency_s = 35e-6;
+  double jitter_s = 10e-6;     // 1-sigma
+  double min_latency_s = 15e-6;  // transport floor
+};
+
+class WilhelmJammer {
+ public:
+  explicit WilhelmJammer(WilhelmModel model = {}, std::uint64_t seed = 0x1514)
+      : model_(model), rng_(seed) {}
+
+  /// Sample one detect-to-RF latency (seconds).
+  [[nodiscard]] double sample_reaction_s();
+
+  /// Fraction of a frame of `frame_duration_s` still on the air when the
+  /// jamming burst starts (0 = missed entirely), for a frame whose
+  /// detectable energy starts at t = 0.
+  [[nodiscard]] double fraction_jammable(double frame_duration_s);
+
+  /// Can the jammer hit the frame before time `deadline_s` (e.g. the end
+  /// of the PHY header, for surgical preamble attacks)?
+  [[nodiscard]] bool hits_before(double deadline_s);
+
+  [[nodiscard]] const WilhelmModel& model() const noexcept { return model_; }
+
+ private:
+  WilhelmModel model_;
+  dsp::Xoshiro256 rng_;
+};
+
+}  // namespace rjf::baseline

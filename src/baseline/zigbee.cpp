@@ -1,0 +1,69 @@
+#include "baseline/zigbee.h"
+
+#include <cmath>
+
+#include "dsp/db.h"
+
+namespace rjf::baseline {
+namespace {
+
+// 802.15.4 symbol-0 chip sequence (clause 10.2.4 table); symbols 1..7 are
+// 4-chip cyclic shifts, symbols 8..15 conjugate the odd-indexed chips.
+constexpr std::array<int, kChipsPerSymbol> kPn0 = {
+    1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1,
+    0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0};
+
+}  // namespace
+
+std::array<int, kChipsPerSymbol> chip_sequence(unsigned symbol) {
+  symbol &= 0xF;
+  const unsigned base = symbol & 0x7;
+  std::array<int, kChipsPerSymbol> chips{};
+  for (std::size_t c = 0; c < kChipsPerSymbol; ++c)
+    chips[c] = kPn0[(c + 4 * base) % kChipsPerSymbol];
+  if (symbol >= 8)
+    for (std::size_t c = 1; c < kChipsPerSymbol; c += 2) chips[c] ^= 1;
+  return chips;
+}
+
+dsp::cvec modulate_symbols(std::span<const std::uint8_t> symbols) {
+  dsp::cvec out;
+  out.reserve(symbols.size() * kChipsPerSymbol / 2);
+  const float a = 1.0f / std::sqrt(2.0f);
+  for (const std::uint8_t symbol : symbols) {
+    const auto chips = chip_sequence(symbol);
+    for (std::size_t c = 0; c + 1 < kChipsPerSymbol; c += 2) {
+      out.emplace_back(chips[c] ? a : -a, chips[c + 1] ? a : -a);
+    }
+  }
+  return out;
+}
+
+dsp::cvec build_frame(std::span<const std::uint8_t> psdu) {
+  std::vector<std::uint8_t> symbols;
+  symbols.reserve(2 * (6 + psdu.size()));
+  // SHR: preamble = 8 symbols of 0, SFD = 0xA7 low nibble first.
+  for (int k = 0; k < 8; ++k) symbols.push_back(0);
+  symbols.push_back(0x7);
+  symbols.push_back(0xA);
+  // PHR: 7-bit frame length, low nibble first.
+  const auto len = static_cast<std::uint8_t>(psdu.size() & 0x7F);
+  symbols.push_back(len & 0xF);
+  symbols.push_back((len >> 4) & 0xF);
+  for (const std::uint8_t byte : psdu) {
+    symbols.push_back(byte & 0xF);
+    symbols.push_back((byte >> 4) & 0xF);
+  }
+  dsp::cvec wave = modulate_symbols(symbols);
+  dsp::set_mean_power(std::span<dsp::cfloat>(wave), 1.0);
+  return wave;
+}
+
+double shr_duration_s() noexcept { return 10.0 / kSymbolRateHz; }  // 160 us
+
+double frame_duration_s(std::size_t psdu_bytes) noexcept {
+  const double symbols = 12.0 + 2.0 * static_cast<double>(psdu_bytes);
+  return symbols / kSymbolRateHz;
+}
+
+}  // namespace rjf::baseline

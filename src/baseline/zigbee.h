@@ -1,0 +1,39 @@
+// Minimal 802.15.4 (Zigbee) 2.4 GHz O-QPSK PHY — the waveform substrate
+// for the prior-art comparison: Wilhelm et al. (WiSec'11) demonstrated the
+// only earlier real-time SDR reactive jammer, "capable of operating in
+// low-rate, Zigbee-based 802.15.4 networks" (paper §1). Reproducing their
+// operating regime requires the 802.15.4 frame timing: 2 Mchip/s DSSS,
+// 32-chip PN per 4-bit symbol, 62.5 ksym/s, SHR = 8 preamble symbols + SFD.
+//
+// Modulation is modelled at one complex sample per two chips (even chips
+// on I, odd on Q), which preserves the spreading structure and timing; the
+// half-sine pulse shaping of true O-QPSK adds nothing to these experiments.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dsp/types.h"
+
+namespace rjf::baseline {
+
+inline constexpr double kChipRateHz = 2e6;
+inline constexpr double kSampleRateHz = 1e6;  // 2 chips per complex sample
+inline constexpr std::size_t kChipsPerSymbol = 32;
+inline constexpr double kSymbolRateHz = 62500.0;
+
+/// The 32-chip PN sequence for data symbol 0..15.
+[[nodiscard]] std::array<int, kChipsPerSymbol> chip_sequence(unsigned symbol);
+
+/// Map 4-bit symbols to the complex baseband stream (16 samples/symbol).
+[[nodiscard]] dsp::cvec modulate_symbols(std::span<const std::uint8_t> symbols);
+
+/// Build a full PPDU: SHR (8 zero-symbols + SFD 0xA7) | PHR (frame length)
+/// | PSDU. Returns the 1 MSPS complex waveform, unit mean power.
+[[nodiscard]] dsp::cvec build_frame(std::span<const std::uint8_t> psdu);
+
+/// Duration helpers.
+[[nodiscard]] double shr_duration_s() noexcept;               // 160 us + SFD
+[[nodiscard]] double frame_duration_s(std::size_t psdu_bytes) noexcept;
+
+}  // namespace rjf::baseline

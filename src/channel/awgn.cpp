@@ -1,0 +1,24 @@
+#include "channel/awgn.h"
+
+#include "dsp/db.h"
+#include "dsp/noise.h"
+
+namespace rjf::channel {
+
+dsp::cvec awgn_link(std::span<const dsp::cfloat> signal, double snr_db,
+                    double noise_power, std::uint64_t seed) {
+  dsp::cvec out(signal.begin(), signal.end());
+  const double target_signal_power =
+      noise_power * dsp::ratio_from_db(snr_db);
+  dsp::set_mean_power(std::span<dsp::cfloat>(out), target_signal_power);
+  dsp::NoiseSource noise(noise_power, seed);
+  noise.add_to(out);
+  return out;
+}
+
+dsp::cvec terminated_input(std::size_t length, double noise_power,
+                           std::uint64_t seed) {
+  return dsp::make_wgn(length, noise_power, seed);
+}
+
+}  // namespace rjf::channel

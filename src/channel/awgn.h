@@ -1,0 +1,23 @@
+// Simple AWGN link used for the detector-characterisation experiments
+// (paper §3.2: wired link with independently measured SNR at the receiver).
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/types.h"
+
+namespace rjf::channel {
+
+/// Scale `signal` so that signal power / noise power == snr_db given a
+/// fixed noise power, add noise, return the received waveform. The signal
+/// power is measured over the non-zero extent of the input.
+[[nodiscard]] dsp::cvec awgn_link(std::span<const dsp::cfloat> signal,
+                                  double snr_db, double noise_power,
+                                  std::uint64_t seed);
+
+/// Noise-only capture of `length` samples (the "50-ohm terminated"
+/// receiver used to calibrate false alarm rates in §3.2).
+[[nodiscard]] dsp::cvec terminated_input(std::size_t length, double noise_power,
+                                         std::uint64_t seed);
+
+}  // namespace rjf::channel

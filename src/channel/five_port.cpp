@@ -1,0 +1,69 @@
+#include "channel/five_port.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "dsp/db.h"
+#include "dsp/noise.h"
+
+namespace rjf::channel {
+namespace {
+
+// Table 1 of the paper: measured insertion loss (dB) at the network ports.
+// Row = input port, column = output port. The 4<->5 entries were not
+// measured (the jammer's own TX->RX coupling is below the VNA floor).
+constexpr double kTable1[5][5] = {
+    //    1      2      3      4      5
+    {0.0, 51.0, 25.2, 38.4, 39.3},  // from 1
+    {51.0, 0.0, 31.7, 32.0, 32.8},  // from 2
+    {25.2, 31.7, 0.0, 19.1, 19.9},  // from 3
+    {38.4, 32.0, 19.1, 0.0, 0.0},   // from 4
+    {39.2, 32.8, 19.8, 0.0, 0.0},   // from 5
+};
+
+}  // namespace
+
+FivePortNetwork::FivePortNetwork() {
+  for (int r = 0; r < 5; ++r)
+    for (int c = 0; c < 5; ++c) loss_[r][c] = kTable1[r][c];
+}
+
+double FivePortNetwork::loss_db(int from, int to) const {
+  if (from < 1 || from > 5 || to < 1 || to > 5)
+    throw std::out_of_range("FivePortNetwork: ports are 1..5");
+  if (from == to) return 0.0;
+  const double base = loss_[from - 1][to - 1];
+  if (base == 0.0) return std::numeric_limits<double>::infinity();  // isolated
+  const bool via_jammer_tx = (from == kPortJammerTx || to == kPortJammerTx);
+  return base + (via_jammer_tx ? var_atten_db_ : 0.0);
+}
+
+float FivePortNetwork::path_gain(int from, int to) const {
+  const double db = loss_db(from, to);
+  if (!std::isfinite(db)) return 0.0f;
+  return static_cast<float>(dsp::amplitude_from_db(-db));
+}
+
+dsp::cvec FivePortNetwork::receive(int dst,
+                                   std::span<const Contribution> sources,
+                                   std::size_t length, double noise_power,
+                                   std::uint64_t noise_seed) const {
+  dsp::cvec out(length, dsp::cfloat{});
+  for (const auto& src : sources) {
+    if (src.port == dst) continue;
+    const float g = path_gain(src.port, dst);
+    if (g == 0.0f) continue;
+    for (std::size_t k = 0; k < src.tx.size(); ++k) {
+      const std::size_t at = src.offset + k;
+      if (at >= length) break;
+      out[at] += src.tx[k] * g;
+    }
+  }
+  if (noise_power > 0.0) {
+    dsp::NoiseSource noise(noise_power, noise_seed);
+    noise.add_to(out);
+  }
+  return out;
+}
+
+}  // namespace rjf::channel

@@ -1,0 +1,65 @@
+// The paper's wired 5-port interconnect test network (Fig. 9 / Table 1).
+//
+// Port 1: Linksys WRT54GL access point (behind a 20 dB attenuator)
+// Port 2: wireless client            (behind a 20 dB attenuator)
+// Port 3: oscilloscope tap
+// Port 4: jammer transmitter (plus a variable attenuator for SIR sweeps)
+// Port 5: jammer receiver
+//
+// The insertion-loss matrix is the paper's VNA-measured Table 1, so every
+// SIR operating point in Figs. 10-11 can be reproduced exactly. The network
+// is linear: the waveform arriving at a port is the loss-weighted
+// superposition of all other ports' transmissions plus receiver noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace rjf::channel {
+
+inline constexpr int kPortAp = 1;
+inline constexpr int kPortClient = 2;
+inline constexpr int kPortScope = 3;
+inline constexpr int kPortJammerTx = 4;
+inline constexpr int kPortJammerRx = 5;
+
+class FivePortNetwork {
+ public:
+  FivePortNetwork();
+
+  /// Insertion loss from `from` to `to` in dB (positive number, e.g. 51.0).
+  /// Includes the variable attenuator when `from` or `to` is port 4.
+  /// Ports are 1-based; the 4<->5 path is isolated (returns +inf dB).
+  [[nodiscard]] double loss_db(int from, int to) const;
+
+  /// Extra attenuation inserted in series with port 4 (the jammer TX path).
+  void set_variable_attenuation_db(double db) noexcept { var_atten_db_ = db; }
+  [[nodiscard]] double variable_attenuation_db() const noexcept {
+    return var_atten_db_;
+  }
+
+  /// Amplitude gain (not dB) of the from->to path.
+  [[nodiscard]] float path_gain(int from, int to) const;
+
+  struct Contribution {
+    int port;                            // injecting port
+    std::span<const dsp::cfloat> tx;     // waveform at that port
+    std::size_t offset = 0;              // sample offset into the rx window
+  };
+
+  /// Superimpose all contributions as seen at `dst` over `length` samples,
+  /// then add complex AWGN of power `noise_power`.
+  [[nodiscard]] dsp::cvec receive(int dst, std::span<const Contribution> sources,
+                                  std::size_t length, double noise_power,
+                                  std::uint64_t noise_seed) const;
+
+ private:
+  // Symmetric loss matrix indexed [from-1][to-1]; 0 on the diagonal and on
+  // the unmeasured 4<->5 path (treated as isolated).
+  double loss_[5][5];
+  double var_atten_db_ = 0.0;
+};
+
+}  // namespace rjf::channel

@@ -1,0 +1,31 @@
+#include "channel/meters.h"
+
+#include "dsp/db.h"
+
+namespace rjf::channel {
+
+double sir_db(double signal_power, double interference_power) {
+  if (interference_power <= 0.0) return 300.0;  // effectively no interference
+  return dsp::db_from_ratio(signal_power / interference_power);
+}
+
+double sir_at_port_db(double signal_tx_power, double signal_path_loss_db,
+                      double jammer_tx_power, double jammer_path_loss_db) {
+  const double s = signal_tx_power * dsp::ratio_from_db(-signal_path_loss_db);
+  const double j = jammer_tx_power * dsp::ratio_from_db(-jammer_path_loss_db);
+  return sir_db(s, j);
+}
+
+double active_power(std::span<const dsp::cfloat> x, std::span<const bool> active) {
+  double acc = 0.0;
+  std::size_t count = 0;
+  const std::size_t n = std::min(x.size(), active.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!active[k]) continue;
+    acc += static_cast<double>(std::norm(x[k]));
+    ++count;
+  }
+  return count == 0 ? 0.0 : acc / static_cast<double>(count);
+}
+
+}  // namespace rjf::channel

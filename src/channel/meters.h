@@ -1,0 +1,24 @@
+// Power / SIR / SNR metering, mirroring the paper's instrumentation: SNR is
+// measured independently at the receiver, and SIR at the AP is computed
+// from the signal and jammer powers during the jammer's active intervals.
+#pragma once
+
+#include "dsp/types.h"
+
+namespace rjf::channel {
+
+/// Signal-to-interference ratio in dB given mean powers.
+[[nodiscard]] double sir_db(double signal_power, double interference_power);
+
+/// SIR at a port given TX powers and path losses (dB) of each arm.
+[[nodiscard]] double sir_at_port_db(double signal_tx_power,
+                                    double signal_path_loss_db,
+                                    double jammer_tx_power,
+                                    double jammer_path_loss_db);
+
+/// Mean power over only the samples where `active` is true (e.g. the
+/// jammer's burst intervals). Returns 0 when no sample is active.
+[[nodiscard]] double active_power(std::span<const dsp::cfloat> x,
+                                  std::span<const bool> active);
+
+}  // namespace rjf::channel

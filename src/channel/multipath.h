@@ -1,0 +1,44 @@
+// Multipath fading channel — a tapped-delay-line with Rayleigh-distributed
+// complex taps and exponential power-delay profile. The paper's testbed is
+// deliberately wired ("to isolate environmental effects"), but its
+// conclusion claims operation "under various channel conditions"; this
+// model lets detection experiments leave the wire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace rjf::channel {
+
+struct MultipathProfile {
+  std::size_t num_taps = 4;
+  double tap_spacing_s = 50e-9;    // ~15 m excess path per tap
+  double decay_db_per_tap = 3.0;   // exponential power-delay profile
+  double sample_rate_hz = 25e6;
+};
+
+/// A static (block-fading) multipath realisation: taps are drawn once per
+/// instance from the profile, so a frame sees one coherent channel — the
+/// regime of the paper's indoor, low-mobility scenarios.
+class MultipathChannel {
+ public:
+  MultipathChannel(const MultipathProfile& profile, std::uint64_t seed);
+
+  /// Convolve the input with the tap line. Output has the input's length;
+  /// total tap power is normalised to 1 so mean power is preserved in
+  /// expectation (a given realisation still fades up or down).
+  [[nodiscard]] dsp::cvec apply(std::span<const dsp::cfloat> in) const;
+
+  [[nodiscard]] const std::vector<dsp::cfloat>& taps() const noexcept {
+    return taps_;
+  }
+  /// |h|^2 summed — the realisation's actual gain (fading depth).
+  [[nodiscard]] double realised_gain() const noexcept;
+
+ private:
+  std::vector<dsp::cfloat> taps_;   // one per delay bin, many zero
+};
+
+}  // namespace rjf::channel

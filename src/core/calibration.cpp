@@ -1,0 +1,108 @@
+#include "core/calibration.h"
+
+#include <algorithm>
+#include <map>
+
+#include "dsp/noise.h"
+#include "fpga/dsp_core.h"
+
+namespace rjf::core {
+namespace {
+
+constexpr int kMaxAcc = 384;  // 64 taps * max |ci|+|cq| = 6
+constexpr int kDim = 2 * kMaxAcc + 1;
+
+}  // namespace
+
+XcorrNoiseModel::XcorrNoiseModel(const fpga::CorrelatorTemplate& tpl) {
+  // Joint DP over (re, im). Each tap contributes one of four equally likely
+  // (dre, dim) pairs depending on the two sign bits.
+  std::vector<double> cur(static_cast<std::size_t>(kDim) * kDim, 0.0);
+  std::vector<double> next(cur.size(), 0.0);
+  const auto at = [](std::vector<double>& v, int re, int im) -> double& {
+    return v[static_cast<std::size_t>(re + kMaxAcc) * kDim + (im + kMaxAcc)];
+  };
+  at(cur, 0, 0) = 1.0;
+
+  for (std::size_t k = 0; k < fpga::kCorrelatorLength; ++k) {
+    const int ci = tpl.coef_i[k];
+    const int cq = tpl.coef_q[k];
+    // (si, sq) in {+1,-1}^2 -> (si*ci + sq*cq, sq*ci - si*cq)
+    const int dre[4] = {ci + cq, ci - cq, -ci + cq, -ci - cq};
+    const int dim[4] = {ci - cq, -ci - cq, ci + cq, -ci + cq};
+    std::fill(next.begin(), next.end(), 0.0);
+    const int reach = static_cast<int>(k + 1) * 6;
+    for (int re = -reach; re <= reach; ++re) {
+      for (int im = -reach; im <= reach; ++im) {
+        const double p = at(cur, re, im);
+        if (p == 0.0) continue;
+        for (int c = 0; c < 4; ++c) {
+          const int nre = std::clamp(re + dre[c], -kMaxAcc, kMaxAcc);
+          const int nim = std::clamp(im + dim[c], -kMaxAcc, kMaxAcc);
+          at(next, nre, nim) += 0.25 * p;
+        }
+      }
+    }
+    cur.swap(next);
+  }
+
+  // Collapse the joint distribution to the metric re^2 + im^2.
+  std::map<std::uint32_t, double> pmf;
+  for (int re = -kMaxAcc; re <= kMaxAcc; ++re)
+    for (int im = -kMaxAcc; im <= kMaxAcc; ++im) {
+      const double p = at(cur, re, im);
+      if (p > 0.0)
+        pmf[static_cast<std::uint32_t>(re * re + im * im)] += p;
+    }
+
+  metric_values_.reserve(pmf.size());
+  survival_.reserve(pmf.size());
+  double tail = 1.0;
+  for (const auto& [metric, p] : pmf) {
+    tail -= p;
+    metric_values_.push_back(metric);
+    survival_.push_back(std::max(tail, 0.0));
+  }
+}
+
+double XcorrNoiseModel::exceedance_probability(std::uint32_t threshold) const {
+  // survival_[k] = P(metric > metric_values_[k]); find the largest value
+  // <= threshold.
+  const auto it = std::upper_bound(metric_values_.begin(), metric_values_.end(),
+                                   threshold);
+  if (it == metric_values_.begin()) return 1.0;
+  return survival_[static_cast<std::size_t>(it - metric_values_.begin()) - 1];
+}
+
+double XcorrNoiseModel::false_alarm_rate_per_s(std::uint32_t threshold,
+                                               double cluster) const {
+  return exceedance_probability(threshold) * fpga::kBasebandRateHz / cluster;
+}
+
+std::uint32_t XcorrNoiseModel::threshold_for_rate(double target_per_s,
+                                                  double cluster) const {
+  for (std::size_t k = 0; k < metric_values_.size(); ++k)
+    if (false_alarm_rate_per_s(metric_values_[k], cluster) <= target_per_s)
+      return metric_values_[k];
+  return metric_values_.empty() ? 0xFFFFFFFFu : metric_values_.back();
+}
+
+std::uint64_t count_noise_triggers(const fpga::CorrelatorTemplate& tpl,
+                                   std::uint32_t threshold, double seconds,
+                                   std::uint64_t seed) {
+  fpga::CrossCorrelator corr;
+  corr.set_coefficients(tpl.coef_i, tpl.coef_q);
+  corr.set_threshold(threshold);
+  const auto n = static_cast<std::uint64_t>(seconds * fpga::kBasebandRateHz);
+  dsp::NoiseSource noise(0.01, seed);
+  std::uint64_t triggers = 0;
+  bool prev = false;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const auto out = corr.step(dsp::to_iq16(noise.sample()));
+    if (out.trigger && !prev) ++triggers;
+    prev = out.trigger;
+  }
+  return triggers;
+}
+
+}  // namespace rjf::core

@@ -1,0 +1,71 @@
+#include "core/detection_experiment.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/db.h"
+#include "dsp/noise.h"
+#include "dsp/resampler.h"
+#include "dsp/rng.h"
+#include "fpga/dsp_core.h"
+
+namespace rjf::core {
+
+DetectionRunResult run_detection_experiment(
+    ReactiveJammer& jammer, std::span<const dsp::cfloat> frame_native,
+    DetectorTap tap, const DetectionRunConfig& config) {
+  DetectionRunResult result;
+  result.frames_sent = config.num_frames;
+
+  // Pre-render the frame at the fabric rate for each fractional timing
+  // phase; trials then pick a phase at random, modelling the free-running
+  // TX/RX sample clocks.
+  const unsigned phases = std::max(config.timing_phases, 1u);
+  const dsp::Resampler to_fabric(config.tx_rate_hz, fpga::kBasebandRateHz);
+  std::vector<dsp::cvec> variants(phases);
+  const double target_power =
+      config.noise_power * dsp::ratio_from_db(config.snr_db);
+  for (unsigned p = 0; p < phases; ++p) {
+    variants[p] = to_fabric.resample(
+        frame_native, static_cast<double>(p) / static_cast<double>(phases));
+    dsp::set_mean_power(std::span<dsp::cfloat>(variants[p]), target_power);
+  }
+
+  dsp::Xoshiro256 rng(config.seed);
+  dsp::NoiseSource noise(config.noise_power, config.seed ^ 0xA5A5A5A5ULL);
+
+  for (std::size_t f = 0; f < config.num_frames; ++f) {
+    const dsp::cvec& frame = variants[rng.uniform_int(phases)];
+    dsp::cvec capture(config.lead_in + frame.size() + config.tail);
+    for (auto& s : capture) s = noise.sample();
+
+    // Per-trial carrier frequency offset.
+    const double cfo =
+        (2.0 * rng.uniform() - 1.0) * config.max_cfo_hz;
+    const double w = 2.0 * std::numbers::pi * cfo / fpga::kBasebandRateHz;
+    for (std::size_t k = 0; k < frame.size(); ++k) {
+      const auto rot = static_cast<float>(w * static_cast<double>(k));
+      capture[config.lead_in + k] +=
+          frame[k] * dsp::cfloat{std::cos(rot), std::sin(rot)};
+    }
+
+    const auto run = jammer.observe(capture);
+    std::uint64_t events = 0;
+    switch (tap) {
+      case DetectorTap::kXcorr: events = run.xcorr_detections; break;
+      case DetectorTap::kEnergyHigh: events = run.energy_high_detections; break;
+      case DetectorTap::kJamTrigger: events = run.jam_triggers; break;
+    }
+    result.total_detections += events;
+    if (events > 0) ++result.frames_detected;
+  }
+
+  result.probability = static_cast<double>(result.frames_detected) /
+                       static_cast<double>(result.frames_sent);
+  result.detections_per_frame =
+      static_cast<double>(result.total_detections) /
+      static_cast<double>(result.frames_sent);
+  return result;
+}
+
+}  // namespace rjf::core

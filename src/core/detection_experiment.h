@@ -1,0 +1,51 @@
+// Detection-probability measurement harness (paper §3.2 methodology).
+//
+// "For probability of detection, we generate and send 10000 WiFi frames
+// (or pseudo frames), at 130 frames per second, and count the number of
+// detections." Frames are far enough apart (7.7 ms) that each one is an
+// independent trial; the harness therefore runs one capture per frame —
+// lead-in noise, the frame at the target SNR, tail noise — and counts
+// detector events inside it, which is statistically identical and tractable.
+//
+// The transmitter runs at its standard's native rate; the harness converts
+// each frame to the jammer's 25 MSPS sampling domain with a per-trial
+// random fractional timing offset (independent TX/RX sample clocks) and a
+// per-trial carrier frequency offset (two free-running N210 oscillators),
+// then sets the SNR where the paper measures it: at the receiver.
+#pragma once
+
+#include <cstdint>
+
+#include "core/reactive_jammer.h"
+
+namespace rjf::core {
+
+struct DetectionRunConfig {
+  double snr_db = 10.0;
+  double noise_power = 0.01;     // receiver noise floor (linear)
+  std::size_t num_frames = 1000;
+  std::size_t lead_in = 256;     // noise-only samples before the frame
+  std::size_t tail = 256;        // and after
+  double tx_rate_hz = 20e6;      // native rate of the supplied frame
+  unsigned timing_phases = 8;    // distinct fractional timing offsets
+  double max_cfo_hz = 3000.0;    // |CFO| bound, uniform per trial
+  std::uint64_t seed = 1;
+};
+
+struct DetectionRunResult {
+  std::size_t frames_sent = 0;
+  std::size_t frames_detected = 0;      // >= 1 event during the frame
+  std::uint64_t total_detections = 0;   // events summed over all frames
+  double probability = 0.0;             // frames_detected / frames_sent
+  double detections_per_frame = 0.0;    // total / frames (Fig. 8 over-trigger)
+};
+
+enum class DetectorTap { kXcorr, kEnergyHigh, kJamTrigger };
+
+/// Run the experiment: `frame_native` is the frame waveform at
+/// `config.tx_rate_hz` with arbitrary scale (re-scaled per-trial).
+[[nodiscard]] DetectionRunResult run_detection_experiment(
+    ReactiveJammer& jammer, std::span<const dsp::cfloat> frame_native,
+    DetectorTap tap, const DetectionRunConfig& config);
+
+}  // namespace rjf::core

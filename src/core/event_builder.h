@@ -1,0 +1,55 @@
+// Fluent "jamming event builder" — the programmatic twin of the paper's
+// GNU Radio Companion GUI (§2.5): "users can specifically control detection
+// types and desired jamming reactions during run time". Produces validated
+// JammerConfig objects and human-readable descriptions for operator logs.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/jammer_config.h"
+
+namespace rjf::core {
+
+class JammingEventBuilder {
+ public:
+  JammingEventBuilder() = default;
+
+  // -- Detection ------------------------------------------------------------
+  JammingEventBuilder& detect_wifi_short_preamble(double false_alarms_per_s);
+  JammingEventBuilder& detect_wifi_long_preamble(double false_alarms_per_s);
+  JammingEventBuilder& detect_wifi_dsss_preamble(double false_alarms_per_s);
+  JammingEventBuilder& detect_wimax_preamble(unsigned cell_id, unsigned segment,
+                                             double false_alarms_per_s);
+  JammingEventBuilder& detect_energy_rise(double threshold_db);
+  JammingEventBuilder& detect_energy_fall(double threshold_db);
+  /// OR the energy detector into an already-selected correlator detection.
+  JammingEventBuilder& or_energy_rise(double threshold_db);
+  JammingEventBuilder& continuous();
+
+  // -- Reaction ---------------------------------------------------------------
+  JammingEventBuilder& white_noise();
+  JammingEventBuilder& replay_last_samples();
+  JammingEventBuilder& host_stream();
+  JammingEventBuilder& uptime(double seconds);
+  /// Surgical delay between trigger and RF (paper §2.4).
+  JammingEventBuilder& delay(double seconds);
+
+  /// Validate and build. Returns nullopt with a populated error() when the
+  /// combination is inconsistent (e.g. correlator mode with no template).
+  [[nodiscard]] std::optional<JammerConfig> build();
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// One-line operator description of the current configuration.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  JammerConfig config_;
+  bool detection_set_ = false;
+  bool uptime_set_ = false;
+  std::string error_;
+  std::string detection_label_ = "unset";
+};
+
+}  // namespace rjf::core

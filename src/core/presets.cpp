@@ -1,0 +1,48 @@
+#include "core/presets.h"
+
+#include "core/calibration.h"
+#include "core/templates.h"
+
+namespace rjf::core {
+
+JammerConfig wifi_reactive_preset(double uptime_s, double false_alarm_per_s) {
+  JammerConfig config;
+  config.detection = DetectionMode::kCrossCorrelator;
+  config.xcorr_template = wifi_short_preamble_template();
+  const XcorrNoiseModel model(*config.xcorr_template);
+  config.xcorr_threshold = model.threshold_for_rate(false_alarm_per_s);
+  config.waveform = fpga::JamWaveform::kWhiteNoise;
+  config.jam_uptime_samples = JammerConfig::samples_from_seconds(uptime_s);
+  return config;
+}
+
+JammerConfig energy_reactive_preset(double uptime_s, double threshold_db) {
+  JammerConfig config;
+  config.detection = DetectionMode::kEnergyRise;
+  config.energy_high_db = threshold_db;
+  config.waveform = fpga::JamWaveform::kWhiteNoise;
+  config.jam_uptime_samples = JammerConfig::samples_from_seconds(uptime_s);
+  return config;
+}
+
+JammerConfig continuous_preset() {
+  JammerConfig config;
+  config.detection = DetectionMode::kContinuous;
+  config.waveform = fpga::JamWaveform::kWhiteNoise;
+  return config;
+}
+
+JammerConfig wimax_combined_preset(double uptime_s, unsigned cell_id,
+                                   unsigned segment) {
+  JammerConfig config;
+  config.detection = DetectionMode::kXcorrOrEnergy;
+  config.xcorr_template = wimax_preamble_template(cell_id, segment);
+  const XcorrNoiseModel model(*config.xcorr_template);
+  config.xcorr_threshold = model.threshold_for_rate(0.1);
+  config.energy_high_db = 10.0;
+  config.waveform = fpga::JamWaveform::kWhiteNoise;
+  config.jam_uptime_samples = JammerConfig::samples_from_seconds(uptime_s);
+  return config;
+}
+
+}  // namespace rjf::core

@@ -1,0 +1,28 @@
+// Ready-made jamming personalities matching the paper's experiments.
+#pragma once
+
+#include "core/jammer_config.h"
+
+namespace rjf::core {
+
+/// WiFi-aware reactive jammer triggering on the short-preamble correlator,
+/// threshold calibrated to the given false-alarm rate (paper Fig. 7 uses
+/// 0.059 triggers/s).
+[[nodiscard]] JammerConfig wifi_reactive_preset(double uptime_s,
+                                                double false_alarm_per_s = 0.059);
+
+/// Energy-rise reactive jammer (protocol-agnostic), 10 dB threshold as in
+/// the paper's Fig. 8 characterisation.
+[[nodiscard]] JammerConfig energy_reactive_preset(double uptime_s,
+                                                  double threshold_db = 10.0);
+
+/// Continuous jammer baseline of §4.3.
+[[nodiscard]] JammerConfig continuous_preset();
+
+/// WiMAX downlink jammer combining cross-correlation with the energy
+/// differentiator (paper §5: detects "100% of all downlink packets").
+[[nodiscard]] JammerConfig wimax_combined_preset(double uptime_s,
+                                                 unsigned cell_id = 1,
+                                                 unsigned segment = 0);
+
+}  // namespace rjf::core

@@ -1,0 +1,94 @@
+#include "core/reactive_jammer.h"
+
+namespace rjf::core {
+namespace {
+
+// Register-level encoding of a detection mode as trigger FSM stage masks.
+struct StageMasks {
+  std::uint32_t m0 = 0;
+  std::uint32_t m1 = 0;
+  std::uint32_t m2 = 0;
+};
+
+StageMasks stage_masks(DetectionMode mode) {
+  switch (mode) {
+    case DetectionMode::kCrossCorrelator:
+      return {fpga::kEventXcorr, 0, 0};
+    case DetectionMode::kEnergyRise:
+      return {fpga::kEventEnergyHigh, 0, 0};
+    case DetectionMode::kEnergyFall:
+      return {fpga::kEventEnergyLow, 0, 0};
+    case DetectionMode::kXcorrOrEnergy:
+      return {fpga::kEventXcorr | fpga::kEventEnergyHigh, 0, 0};
+    case DetectionMode::kXcorrThenEnergy:
+      return {fpga::kEventXcorr, fpga::kEventEnergyHigh, 0};
+    case DetectionMode::kContinuous:
+      return {0, 0, 0};  // handled separately: jam uptime = max, trigger on energy floor
+  }
+  return {};
+}
+
+}  // namespace
+
+template <typename WriteFn>
+void ReactiveJammer::program(const JammerConfig& config, WriteFn&& write) {
+  using fpga::Reg;
+
+  // Correlator template + threshold.
+  if (config.xcorr_template) {
+    fpga::RegisterFile staging;
+    fpga::program_template(staging, *config.xcorr_template);
+    for (std::size_t r = 0; r < 16; ++r)
+      write(static_cast<Reg>(r), staging.read(static_cast<Reg>(r)));
+  }
+  write(Reg::kXcorrThreshold, config.xcorr_threshold);
+
+  // Energy thresholds.
+  write(Reg::kEnergyThreshHigh,
+        fpga::energy_threshold_q88_from_db(config.energy_high_db));
+  write(Reg::kEnergyThreshLow,
+        fpga::energy_threshold_q88_from_db(config.energy_low_db));
+  write(Reg::kEnergyFloor, config.energy_floor);
+
+  // Trigger FSM.
+  const StageMasks masks = stage_masks(config.detection);
+  fpga::RegisterFile staging;
+  staging.set_trigger_stages(masks.m0, masks.m1, masks.m2);
+  write(Reg::kTriggerConfig, staging.read(Reg::kTriggerConfig));
+  write(Reg::kTriggerWindow, config.trigger_window_cycles);
+
+  // Jammer response. Continuous mode: trigger immediately on any energy
+  // (threshold 0 dB, floor 0) and hold the waveform for the maximum uptime.
+  if (config.detection == DetectionMode::kContinuous) {
+    staging.set_trigger_stages(fpga::kEventEnergyHigh | fpga::kEventEnergyLow |
+                                   fpga::kEventXcorr,
+                               0, 0);
+    write(Reg::kTriggerConfig, staging.read(Reg::kTriggerConfig));
+    write(Reg::kEnergyThreshLow, fpga::energy_threshold_q88_from_db(-3.0));
+    write(Reg::kEnergyFloor, 0);
+    staging.set_jammer(config.waveform, true, 0);
+    write(Reg::kJammerControl, staging.read(Reg::kJammerControl));
+    write(Reg::kJamDuration, 0xFFFFFFFFu);
+    return;
+  }
+
+  staging.set_jammer(config.waveform, true,
+                     static_cast<std::uint16_t>(config.jam_delay_samples));
+  write(Reg::kJammerControl, staging.read(Reg::kJammerControl));
+  write(Reg::kJamDuration, config.jam_uptime_samples);
+}
+
+ReactiveJammer::ReactiveJammer(const JammerConfig& config) : config_(config) {
+  program(config, [this](fpga::Reg addr, std::uint32_t value) {
+    radio_.write_register_now(addr, value);
+  });
+}
+
+void ReactiveJammer::reconfigure(const JammerConfig& config) {
+  config_ = config;
+  program(config, [this](fpga::Reg addr, std::uint32_t value) {
+    radio_.write_register(addr, value);
+  });
+}
+
+}  // namespace rjf::core

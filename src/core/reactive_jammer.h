@@ -1,0 +1,50 @@
+// ReactiveJammer — the framework's top-level facade.
+//
+// Owns a modelled USRP N210 (SBX front end + custom FPGA core) and exposes
+// the operations the paper's host application performs: program a jamming
+// personality, retune/regain the front end, stream receive baseband through
+// the detector, and read back detection/jam statistics. Personalities can
+// be switched at runtime without "reprogramming the FPGA": reconfigure()
+// goes through the settings-bus model and costs only its latency.
+#pragma once
+
+#include "core/jammer_config.h"
+#include "radio/usrp_n210.h"
+
+namespace rjf::core {
+
+class ReactiveJammer {
+ public:
+  /// Program the initial personality at start-up (immediate writes).
+  explicit ReactiveJammer(const JammerConfig& config);
+
+  /// Switch personality at runtime through the settings bus; the new
+  /// settings take effect mid-stream after the bus latency.
+  void reconfigure(const JammerConfig& config);
+
+  /// Tune both TX and RX front ends (they start together; paper §2.1).
+  void tune(double freq_hz) { radio_.frontend().tune(freq_hz); }
+  void set_tx_gain(double db) { radio_.frontend().set_tx_gain(db); }
+
+  /// Run the radio over receive baseband at 25 MSPS; returns the emitted
+  /// jamming waveform and per-call statistics.
+  radio::UsrpN210::StreamResult observe(std::span<const dsp::cfloat> rx) {
+    return radio_.stream(rx);
+  }
+
+  [[nodiscard]] radio::UsrpN210& radio() noexcept { return radio_; }
+  [[nodiscard]] const fpga::HostFeedback& feedback() const noexcept {
+    return radio_.feedback();
+  }
+  [[nodiscard]] const JammerConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Translate a JammerConfig to register writes via `write`.
+  template <typename WriteFn>
+  void program(const JammerConfig& config, WriteFn&& write);
+
+  JammerConfig config_;
+  radio::UsrpN210 radio_;
+};
+
+}  // namespace rjf::core

@@ -1,0 +1,50 @@
+#include "core/templates.h"
+
+#include "dsp/resampler.h"
+#include "fpga/dsp_core.h"
+#include "phy80211/ofdm.h"
+#include "phy80211/preamble.h"
+#include "phy80211b/dsss.h"
+#include "phy80216/preamble.h"
+
+namespace rjf::core {
+
+fpga::CorrelatorTemplate template_from_waveform(
+    std::span<const dsp::cfloat> reference, double reference_rate_hz,
+    bool resample_to_fabric_rate) {
+  if (!resample_to_fabric_rate) return fpga::make_template(reference);
+  const dsp::cvec at_fabric_rate =
+      dsp::resample(reference, reference_rate_hz, fpga::kBasebandRateHz);
+  return fpga::make_template(at_fabric_rate);
+}
+
+fpga::CorrelatorTemplate wifi_long_preamble_template() {
+  // Render two LTS copies so the resampler has clean context past the
+  // 64 output samples the template keeps.
+  dsp::cvec ref = phy80211::long_training_symbol();
+  const dsp::cvec second = ref;
+  ref.insert(ref.end(), second.begin(), second.end());
+  return template_from_waveform(ref, phy80211::kSampleRateHz);
+}
+
+fpga::CorrelatorTemplate wifi_short_preamble_template() {
+  // ~4 periods of the STS cover the 64-tap window at the fabric rate.
+  const dsp::cvec period = phy80211::short_training_symbol();
+  dsp::cvec ref;
+  for (int rep = 0; rep < 6; ++rep)
+    ref.insert(ref.end(), period.begin(), period.end());
+  return template_from_waveform(ref, phy80211::kSampleRateHz);
+}
+
+fpga::CorrelatorTemplate wifi_dsss_preamble_template() {
+  const dsp::cvec ref = phy80211b::preamble_head_chips(192);
+  return template_from_waveform(ref, phy80211b::kChipRateHz);
+}
+
+fpga::CorrelatorTemplate wimax_preamble_template(unsigned cell_id,
+                                                 unsigned segment) {
+  const dsp::cvec ref = phy80216::preamble_useful_part({cell_id, segment});
+  return template_from_waveform(ref, phy80216::kSampleRateHz);
+}
+
+}  // namespace rjf::core

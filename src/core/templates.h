@@ -1,0 +1,47 @@
+// Offline correlator-template generation (the host-side role in the paper:
+// "coefficients are generated offline on the host based on knowledge of the
+// wireless standards' preambles or inferred from the low-entropy portions
+// of the samples of incoming signals").
+//
+// Templates are rendered from the standard's preamble definition and
+// converted to the jammer's fixed 25 MSPS sampling grid before 3-bit
+// quantisation — equivalent to deriving coefficients from received-signal
+// captures, which is the only way the hardware's fixed-rate correlator can
+// be fed time-aligned coefficients. The paper's residual impairment
+// remains: the 64-tap window spans just 2.56 us, so a 3.2 us (WiFi LTS) or
+// 25 us (WiMAX) orthogonal code is correlated across only its head,
+// which is what limits Figs. 6 and 12.
+//
+// template_from_waveform() with `resample_to_fabric_rate = false` gives the
+// naive alternative (native-rate code samples loaded verbatim); the
+// ablation bench shows that this mismatch destroys detection outright.
+#pragma once
+
+#include "fpga/cross_correlator.h"
+
+namespace rjf::core {
+
+/// WiFi 802.11a/g long training symbol at the fabric rate: the 64-tap
+/// window covers the first 2.56 us of the 3.2 us code (Fig. 6 condition).
+[[nodiscard]] fpga::CorrelatorTemplate wifi_long_preamble_template();
+
+/// WiFi short training sequence at the fabric rate: the 64-tap window
+/// spans 3.2 periods of the 0.8 us code (Fig. 7 condition).
+[[nodiscard]] fpga::CorrelatorTemplate wifi_short_preamble_template();
+
+/// WiFi 802.11b DSSS long preamble at the fabric rate: the deterministic
+/// scrambled-ones SYNC pattern (Barker-spread at 11 Mchip/s), of which the
+/// 64-tap window covers the first 2.56 us (~2.5 DBPSK symbols).
+[[nodiscard]] fpga::CorrelatorTemplate wifi_dsss_preamble_template();
+
+/// Mobile WiMAX 802.16e downlink preamble for the given cell/segment:
+/// the 25 us code correlated across its first 2.56 us (paper §5).
+[[nodiscard]] fpga::CorrelatorTemplate wimax_preamble_template(
+    unsigned cell_id = 1, unsigned segment = 0);
+
+/// Template from an arbitrary reference waveform at `reference_rate_hz`.
+[[nodiscard]] fpga::CorrelatorTemplate template_from_waveform(
+    std::span<const dsp::cfloat> reference, double reference_rate_hz,
+    bool resample_to_fabric_rate = true);
+
+}  // namespace rjf::core

@@ -1,0 +1,126 @@
+#include "dsp/cic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rjf::dsp {
+namespace {
+
+// CIC arithmetic must be performed in wrapping integer precision: the
+// integrators grow without bound and rely on two's-complement wraparound
+// cancelling exactly in the combs (Hogenauer's trick). Floats break the
+// cancellation, so samples are scaled to fixed point at the boundary.
+constexpr double kInputScale = 1048576.0;  // 2^20
+
+struct WrapAcc {
+  std::uint64_t i = 0;
+  std::uint64_t q = 0;
+};
+
+WrapAcc to_acc(cfloat x) noexcept {
+  return {static_cast<std::uint64_t>(
+              static_cast<std::int64_t>(std::llround(x.real() * kInputScale))),
+          static_cast<std::uint64_t>(
+              static_cast<std::int64_t>(std::llround(x.imag() * kInputScale)))};
+}
+
+cfloat from_acc(const WrapAcc& a, double gain) noexcept {
+  const double scale = 1.0 / (gain * kInputScale);
+  return cfloat{
+      static_cast<float>(static_cast<double>(static_cast<std::int64_t>(a.i)) *
+                         scale),
+      static_cast<float>(static_cast<double>(static_cast<std::int64_t>(a.q)) *
+                         scale)};
+}
+
+}  // namespace
+
+CicDecimator::CicDecimator(std::size_t factor, std::size_t stages)
+    : factor_(factor),
+      stages_(stages),
+      gain_(std::pow(static_cast<double>(factor), static_cast<double>(stages))) {
+  if (factor == 0 || stages == 0)
+    throw std::invalid_argument("CicDecimator: factor and stages must be >= 1");
+  acc_i_.assign(stages * 2, 0);
+  acc_c_.assign(stages * 2, 0);
+}
+
+cvec CicDecimator::process(std::span<const cfloat> in) {
+  cvec out;
+  out.reserve(in.size() / factor_ + 1);
+  for (const cfloat x : in) {
+    WrapAcc acc = to_acc(x);
+    // Integrator cascade at the high rate (wrapping adds).
+    for (std::size_t s = 0; s < stages_; ++s) {
+      acc_i_[2 * s] += acc.i;
+      acc_i_[2 * s + 1] += acc.q;
+      acc.i = acc_i_[2 * s];
+      acc.q = acc_i_[2 * s + 1];
+    }
+    if (++phase_ < factor_) continue;
+    phase_ = 0;
+    // Comb cascade at the low rate (wrapping subtracts).
+    for (std::size_t s = 0; s < stages_; ++s) {
+      const std::uint64_t pi = acc_c_[2 * s];
+      const std::uint64_t pq = acc_c_[2 * s + 1];
+      acc_c_[2 * s] = acc.i;
+      acc_c_[2 * s + 1] = acc.q;
+      acc.i -= pi;
+      acc.q -= pq;
+    }
+    out.push_back(from_acc(acc, gain_));
+  }
+  return out;
+}
+
+void CicDecimator::reset() noexcept {
+  std::fill(acc_i_.begin(), acc_i_.end(), 0);
+  std::fill(acc_c_.begin(), acc_c_.end(), 0);
+  phase_ = 0;
+}
+
+CicInterpolator::CicInterpolator(std::size_t factor, std::size_t stages)
+    : factor_(factor),
+      stages_(stages),
+      gain_(std::pow(static_cast<double>(factor),
+                     static_cast<double>(stages) - 1.0)) {
+  if (factor == 0 || stages == 0)
+    throw std::invalid_argument(
+        "CicInterpolator: factor and stages must be >= 1");
+  acc_i_.assign(stages * 2, 0);
+  acc_c_.assign(stages * 2, 0);
+}
+
+cvec CicInterpolator::process(std::span<const cfloat> in) {
+  cvec out;
+  out.reserve(in.size() * factor_);
+  for (const cfloat x : in) {
+    WrapAcc acc = to_acc(x);
+    for (std::size_t s = 0; s < stages_; ++s) {
+      const std::uint64_t pi = acc_c_[2 * s];
+      const std::uint64_t pq = acc_c_[2 * s + 1];
+      acc_c_[2 * s] = acc.i;
+      acc_c_[2 * s + 1] = acc.q;
+      acc.i -= pi;
+      acc.q -= pq;
+    }
+    for (std::size_t r = 0; r < factor_; ++r) {
+      WrapAcc v = (r == 0) ? acc : WrapAcc{};
+      for (std::size_t s = 0; s < stages_; ++s) {
+        acc_i_[2 * s] += v.i;
+        acc_i_[2 * s + 1] += v.q;
+        v.i = acc_i_[2 * s];
+        v.q = acc_i_[2 * s + 1];
+      }
+      out.push_back(from_acc(v, gain_));
+    }
+  }
+  return out;
+}
+
+void CicInterpolator::reset() noexcept {
+  std::fill(acc_i_.begin(), acc_i_.end(), 0);
+  std::fill(acc_c_.begin(), acc_c_.end(), 0);
+}
+
+}  // namespace rjf::dsp

@@ -1,0 +1,53 @@
+// Cascaded integrator-comb (CIC) decimator and interpolator — the actual
+// first stage of the USRP N210's DDC/DUC chains (Hogenauer structure, no
+// multipliers). N stages, differential delay M = 1, decimation/
+// interpolation factor R. DC gain is (R*M)^N; process() compensates it so
+// chained filters stay at unit scale.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace rjf::dsp {
+
+class CicDecimator {
+ public:
+  /// `stages` (N) >= 1, `factor` (R) >= 1.
+  CicDecimator(std::size_t factor, std::size_t stages = 4);
+
+  [[nodiscard]] cvec process(std::span<const cfloat> in);
+
+  [[nodiscard]] std::size_t factor() const noexcept { return factor_; }
+  [[nodiscard]] std::size_t stages() const noexcept { return stages_; }
+  void reset() noexcept;
+
+ private:
+  std::size_t factor_;
+  std::size_t stages_;
+  double gain_;
+  std::vector<std::uint64_t> acc_i_;  // wrapping integrator registers (I,Q)
+  std::vector<std::uint64_t> acc_c_;  // comb delay registers (I,Q)
+  std::size_t phase_ = 0;
+};
+
+class CicInterpolator {
+ public:
+  CicInterpolator(std::size_t factor, std::size_t stages = 4);
+
+  [[nodiscard]] cvec process(std::span<const cfloat> in);
+
+  [[nodiscard]] std::size_t factor() const noexcept { return factor_; }
+  void reset() noexcept;
+
+ private:
+  std::size_t factor_;
+  std::size_t stages_;
+  double gain_;
+  std::vector<std::uint64_t> acc_i_;
+  std::vector<std::uint64_t> acc_c_;
+};
+
+}  // namespace rjf::dsp

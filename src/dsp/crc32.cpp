@@ -1,0 +1,34 @@
+#include "dsp/crc32.h"
+
+#include <array>
+
+namespace rjf::dsp {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(std::span<const std::uint8_t> data) noexcept {
+  for (const std::uint8_t byte : data)
+    state_ = kTable[(state_ ^ byte) & 0xFFu] ^ (state_ >> 8);
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace rjf::dsp

@@ -1,0 +1,23 @@
+// IEEE 802 CRC-32, as used by the 802.11 MAC FCS.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rjf::dsp {
+
+/// CRC-32 (poly 0x04C11DB7 reflected), init 0xFFFFFFFF, final xor 0xFFFFFFFF.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+/// Incremental interface for streaming MAC frame assembly.
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace rjf::dsp

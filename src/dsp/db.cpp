@@ -1,0 +1,35 @@
+#include "dsp/db.h"
+
+#include <cmath>
+#include <limits>
+
+namespace rjf::dsp {
+
+double db_from_ratio(double power_ratio) noexcept {
+  if (power_ratio <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(power_ratio);
+}
+
+double ratio_from_db(double db) noexcept { return std::pow(10.0, db / 10.0); }
+
+double amplitude_from_db(double db) noexcept { return std::pow(10.0, db / 20.0); }
+
+double mean_power(std::span<const cfloat> x) noexcept {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (const cfloat s : x) acc += static_cast<double>(std::norm(s));
+  return acc / static_cast<double>(x.size());
+}
+
+double mean_power_db(std::span<const cfloat> x) noexcept {
+  return db_from_ratio(mean_power(x));
+}
+
+void set_mean_power(std::span<cfloat> x, double target_power) noexcept {
+  const double p = mean_power(x);
+  if (p <= 0.0) return;
+  const float g = static_cast<float>(std::sqrt(target_power / p));
+  for (cfloat& s : x) s *= g;
+}
+
+}  // namespace rjf::dsp

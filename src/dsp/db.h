@@ -1,0 +1,29 @@
+// Decibel / power helpers used by thresholds, channel losses, and meters.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+
+namespace rjf::dsp {
+
+/// Power ratio -> dB. db_from_ratio(100) == 20.
+[[nodiscard]] double db_from_ratio(double power_ratio) noexcept;
+
+/// dB -> power ratio. ratio_from_db(20) == 100.
+[[nodiscard]] double ratio_from_db(double db) noexcept;
+
+/// dB -> amplitude (voltage) ratio. amplitude_from_db(20) == 10.
+[[nodiscard]] double amplitude_from_db(double db) noexcept;
+
+/// Mean power (|x|^2 averaged) of a complex buffer. Returns 0 for empty input.
+[[nodiscard]] double mean_power(std::span<const cfloat> x) noexcept;
+
+/// Mean power in dB relative to full scale 1.0. Empty/zero input -> -inf.
+[[nodiscard]] double mean_power_db(std::span<const cfloat> x) noexcept;
+
+/// Scale a buffer in place so its mean power equals `target_power`.
+/// Buffers with zero power are left untouched.
+void set_mean_power(std::span<cfloat> x, double target_power) noexcept;
+
+}  // namespace rjf::dsp

@@ -1,0 +1,28 @@
+// Iterative radix-2 complex FFT.
+//
+// Sized for the OFDM work in this repo: 64-point (802.11a/g) and
+// 1024-point (802.16e OFDMA). Any power-of-two length is supported.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/types.h"
+
+namespace rjf::dsp {
+
+/// In-place forward DFT. `x.size()` must be a power of two.
+void fft(std::span<cfloat> x);
+
+/// In-place inverse DFT with 1/N normalisation.
+void ifft(std::span<cfloat> x);
+
+/// Out-of-place helpers.
+[[nodiscard]] cvec fft_copy(std::span<const cfloat> x);
+[[nodiscard]] cvec ifft_copy(std::span<const cfloat> x);
+
+/// True if n is a nonzero power of two.
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace rjf::dsp

@@ -1,0 +1,106 @@
+#include "dsp/fir.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rjf::dsp {
+
+FirFilter::FirFilter(std::vector<float> taps) : taps_(std::move(taps)) {
+  if (taps_.empty()) throw std::invalid_argument("FirFilter: empty taps");
+  history_.assign(taps_.size(), cfloat{});
+}
+
+cfloat FirFilter::process(cfloat in) noexcept {
+  history_[pos_] = in;
+  cfloat acc{};
+  std::size_t idx = pos_;
+  for (const float tap : taps_) {
+    acc += history_[idx] * tap;
+    idx = (idx == 0) ? history_.size() - 1 : idx - 1;
+  }
+  pos_ = (pos_ + 1) % history_.size();
+  return acc;
+}
+
+cvec FirFilter::process_block(std::span<const cfloat> in) {
+  cvec out(in.size());
+  for (std::size_t n = 0; n < in.size(); ++n) out[n] = process(in[n]);
+  return out;
+}
+
+void FirFilter::reset() noexcept {
+  std::fill(history_.begin(), history_.end(), cfloat{});
+  pos_ = 0;
+}
+
+std::vector<float> design_lowpass(double cutoff, std::size_t num_taps) {
+  if (cutoff <= 0.0 || cutoff >= 0.5)
+    throw std::invalid_argument("design_lowpass: cutoff out of (0, 0.5)");
+  if (num_taps % 2 == 0) ++num_taps;
+  std::vector<float> taps(num_taps);
+  const double mid = static_cast<double>(num_taps - 1) / 2.0;
+  double sum = 0.0;
+  for (std::size_t n = 0; n < num_taps; ++n) {
+    const double t = static_cast<double>(n) - mid;
+    const double sinc =
+        (t == 0.0) ? 2.0 * cutoff
+                   : std::sin(2.0 * std::numbers::pi * cutoff * t) /
+                         (std::numbers::pi * t);
+    const double window =
+        0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * static_cast<double>(n) /
+                               static_cast<double>(num_taps - 1));
+    taps[n] = static_cast<float>(sinc * window);
+    sum += taps[n];
+  }
+  // Normalise to unity DC gain.
+  for (float& t : taps) t = static_cast<float>(t / sum);
+  return taps;
+}
+
+Decimator::Decimator(std::size_t factor, std::size_t num_taps)
+    : factor_(factor),
+      filter_(design_lowpass(0.5 / static_cast<double>(factor == 0 ? 1 : factor),
+                             num_taps)) {
+  if (factor_ == 0) throw std::invalid_argument("Decimator: factor must be >= 1");
+}
+
+cvec Decimator::process_block(std::span<const cfloat> in) {
+  cvec out;
+  out.reserve(in.size() / factor_ + 1);
+  for (const cfloat s : in) {
+    const cfloat y = filter_.process(s);
+    if (phase_ == 0) out.push_back(y);
+    phase_ = (phase_ + 1) % factor_;
+  }
+  return out;
+}
+
+void Decimator::reset() noexcept {
+  filter_.reset();
+  phase_ = 0;
+}
+
+Interpolator::Interpolator(std::size_t factor, std::size_t num_taps)
+    : factor_(factor),
+      filter_(design_lowpass(0.5 / static_cast<double>(factor == 0 ? 1 : factor),
+                             num_taps)) {
+  if (factor_ == 0)
+    throw std::invalid_argument("Interpolator: factor must be >= 1");
+}
+
+cvec Interpolator::process_block(std::span<const cfloat> in) {
+  cvec out;
+  out.reserve(in.size() * factor_);
+  const float gain = static_cast<float>(factor_);
+  for (const cfloat s : in) {
+    out.push_back(filter_.process(s * gain));
+    for (std::size_t k = 1; k < factor_; ++k)
+      out.push_back(filter_.process(cfloat{}));
+  }
+  return out;
+}
+
+void Interpolator::reset() noexcept { filter_.reset(); }
+
+}  // namespace rjf::dsp

@@ -1,0 +1,73 @@
+// FIR filtering and classic windowed-sinc design.
+//
+// Used for the DDC/DUC chain models (halfband / anti-alias stages) and
+// for band-limiting jamming waveforms.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace rjf::dsp {
+
+/// Streaming complex-in / real-taps FIR with persistent state.
+class FirFilter {
+ public:
+  explicit FirFilter(std::vector<float> taps);
+
+  /// Push one sample, get one filtered sample.
+  [[nodiscard]] cfloat process(cfloat in) noexcept;
+
+  /// Filter a block (stateful across calls).
+  [[nodiscard]] cvec process_block(std::span<const cfloat> in);
+
+  void reset() noexcept;
+
+  [[nodiscard]] const std::vector<float>& taps() const noexcept { return taps_; }
+  [[nodiscard]] std::size_t group_delay_samples() const noexcept {
+    return taps_.size() / 2;
+  }
+
+ private:
+  std::vector<float> taps_;
+  cvec history_;  // circular delay line
+  std::size_t pos_ = 0;
+};
+
+/// Windowed-sinc (Hamming) lowpass prototype.
+/// `cutoff` is the normalised cutoff in cycles/sample, 0 < cutoff < 0.5.
+/// `num_taps` is forced odd so the filter has integral group delay.
+[[nodiscard]] std::vector<float> design_lowpass(double cutoff,
+                                                std::size_t num_taps);
+
+/// Decimating FIR: lowpass at 0.5/factor then keep every factor-th sample.
+class Decimator {
+ public:
+  Decimator(std::size_t factor, std::size_t num_taps = 63);
+
+  [[nodiscard]] cvec process_block(std::span<const cfloat> in);
+  [[nodiscard]] std::size_t factor() const noexcept { return factor_; }
+  void reset() noexcept;
+
+ private:
+  std::size_t factor_;
+  FirFilter filter_;
+  std::size_t phase_ = 0;
+};
+
+/// Interpolating FIR: zero-stuff by `factor` then lowpass (gain-compensated).
+class Interpolator {
+ public:
+  Interpolator(std::size_t factor, std::size_t num_taps = 63);
+
+  [[nodiscard]] cvec process_block(std::span<const cfloat> in);
+  [[nodiscard]] std::size_t factor() const noexcept { return factor_; }
+  void reset() noexcept;
+
+ private:
+  std::size_t factor_;
+  FirFilter filter_;
+};
+
+}  // namespace rjf::dsp

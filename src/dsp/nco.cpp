@@ -1,0 +1,49 @@
+#include "dsp/nco.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rjf::dsp {
+
+Nco::Nco(double freq_hz, double sample_rate_hz) : sample_rate_(sample_rate_hz) {
+  if (sample_rate_hz <= 0.0)
+    throw std::invalid_argument("Nco: sample rate must be positive");
+  set_frequency(freq_hz);
+}
+
+void Nco::set_frequency(double freq_hz) noexcept {
+  negative_ = freq_hz < 0.0;
+  const double f = std::abs(freq_hz);
+  phase_inc_ = static_cast<std::uint64_t>(
+      (f / sample_rate_) * 18446744073709551616.0 /* 2^64 */);
+}
+
+double Nco::frequency() const noexcept {
+  const double f =
+      static_cast<double>(phase_inc_) / 18446744073709551616.0 * sample_rate_;
+  return negative_ ? -f : f;
+}
+
+cfloat Nco::step() noexcept {
+  const double phase = static_cast<double>(phase_acc_) / 18446744073709551616.0 *
+                       2.0 * std::numbers::pi;
+  phase_acc_ += phase_inc_;
+  const double signed_phase = negative_ ? -phase : phase;
+  return cfloat{static_cast<float>(std::cos(signed_phase)),
+                static_cast<float>(std::sin(signed_phase))};
+}
+
+cvec Nco::mix(std::span<const cfloat> in) {
+  cvec out(in.size());
+  for (std::size_t n = 0; n < in.size(); ++n) out[n] = in[n] * step();
+  return out;
+}
+
+cvec frequency_shift(std::span<const cfloat> in, double freq_hz,
+                     double sample_rate_hz) {
+  Nco nco(freq_hz, sample_rate_hz);
+  return nco.mix(in);
+}
+
+}  // namespace rjf::dsp

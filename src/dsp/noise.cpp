@@ -1,0 +1,25 @@
+#include "dsp/noise.h"
+
+namespace rjf::dsp {
+
+NoiseSource::NoiseSource(double power, std::uint64_t seed) noexcept
+    : power_(power), rng_(seed) {}
+
+cfloat NoiseSource::sample() noexcept { return rng_.complex_gaussian(power_); }
+
+cvec NoiseSource::block(std::size_t n) {
+  cvec out(n);
+  for (cfloat& s : out) s = sample();
+  return out;
+}
+
+void NoiseSource::add_to(std::span<cfloat> x) noexcept {
+  for (cfloat& s : x) s += sample();
+}
+
+cvec make_wgn(std::size_t n, double power, std::uint64_t seed) {
+  NoiseSource src(power, seed);
+  return src.block(n);
+}
+
+}  // namespace rjf::dsp

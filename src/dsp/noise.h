@@ -1,0 +1,38 @@
+// White Gaussian noise sources.
+//
+// Used both as the channel's thermal-noise model and as the jammer's
+// 25 MHz WGN waveform preset (paper §2.4, waveform (i)).
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/rng.h"
+#include "dsp/types.h"
+
+namespace rjf::dsp {
+
+/// Streaming complex WGN source with fixed mean power.
+class NoiseSource {
+ public:
+  /// `power` is E[|x|^2] of generated samples.
+  explicit NoiseSource(double power = 1.0,
+                       std::uint64_t seed = 0x5eedULL) noexcept;
+
+  [[nodiscard]] cfloat sample() noexcept;
+  [[nodiscard]] cvec block(std::size_t n);
+
+  /// Add noise of this source's power onto an existing buffer.
+  void add_to(std::span<cfloat> x) noexcept;
+
+  [[nodiscard]] double power() const noexcept { return power_; }
+  void set_power(double power) noexcept { power_ = power; }
+
+ private:
+  double power_;
+  Xoshiro256 rng_;
+};
+
+/// Convenience: buffer of complex WGN with the requested mean power.
+[[nodiscard]] cvec make_wgn(std::size_t n, double power, std::uint64_t seed);
+
+}  // namespace rjf::dsp

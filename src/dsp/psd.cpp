@@ -1,0 +1,51 @@
+#include "dsp/psd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.h"
+
+namespace rjf::dsp {
+
+std::vector<double> welch_psd(std::span<const cfloat> x,
+                              const PsdConfig& config) {
+  const std::size_t n = config.fft_size;
+  if (x.size() < n || !is_pow2(n)) return {};
+  const std::size_t hop = n - std::min(config.overlap, n - 1);
+
+  const std::vector<float> window = make_window(config.window, n);
+  double window_power = 0.0;
+  for (const float w : window) window_power += w * w;
+
+  std::vector<double> acc(n, 0.0);
+  std::size_t segments = 0;
+  cvec seg(n);
+  for (std::size_t at = 0; at + n <= x.size(); at += hop, ++segments) {
+    for (std::size_t k = 0; k < n; ++k) seg[k] = x[at + k] * window[k];
+    fft(seg);
+    for (std::size_t k = 0; k < n; ++k)
+      acc[k] += static_cast<double>(std::norm(seg[k]));
+  }
+  if (segments == 0) return {};
+
+  // Normalise so the PSD sums to the mean power, and centre DC.
+  const double norm = 1.0 / (static_cast<double>(segments) * window_power *
+                             static_cast<double>(n));
+  std::vector<double> psd(n);
+  for (std::size_t k = 0; k < n; ++k)
+    psd[(k + n / 2) % n] = acc[k] * norm * static_cast<double>(n);
+  return psd;
+}
+
+double band_power(std::span<const double> psd, double f_lo, double f_hi) {
+  if (psd.empty()) return 0.0;
+  const auto n = static_cast<double>(psd.size());
+  double power = 0.0;
+  for (std::size_t k = 0; k < psd.size(); ++k) {
+    const double f = (static_cast<double>(k) - n / 2.0) / n;
+    if (f >= f_lo && f < f_hi) power += psd[k];
+  }
+  return power / n;
+}
+
+}  // namespace rjf::dsp

@@ -1,0 +1,30 @@
+// Welch power-spectral-density estimation — the host-side "signal
+// intelligence" view of the band (what a spectrum display hanging off the
+// GNU Radio backend would show), used by examples and diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/types.h"
+#include "dsp/window.h"
+
+namespace rjf::dsp {
+
+struct PsdConfig {
+  std::size_t fft_size = 256;          // power of two
+  std::size_t overlap = 128;           // samples of overlap between segments
+  WindowType window = WindowType::kHann;
+};
+
+/// Welch PSD estimate. Returns `fft_size` bins of linear power, DC-centred
+/// (bin 0 = -Fs/2, bin N/2 = DC). Empty input -> empty result.
+[[nodiscard]] std::vector<double> welch_psd(std::span<const cfloat> x,
+                                            const PsdConfig& config = {});
+
+/// Total power in a frequency band [f_lo, f_hi) of a DC-centred PSD, where
+/// frequencies are normalised to [-0.5, 0.5) cycles/sample.
+[[nodiscard]] double band_power(std::span<const double> psd, double f_lo,
+                                double f_hi);
+
+}  // namespace rjf::dsp

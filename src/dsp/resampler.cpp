@@ -1,0 +1,59 @@
+#include "dsp/resampler.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rjf::dsp {
+namespace {
+
+// Kernel half-width in input samples. 8 taps per output point is plenty for
+// the ~0.8 ratio conversions used here.
+constexpr int kHalfWidth = 4;
+
+float sinc_kernel(double t, double cutoff) {
+  // Hann-windowed sinc, support [-kHalfWidth, kHalfWidth].
+  if (std::abs(t) >= kHalfWidth) return 0.0f;
+  const double x = std::numbers::pi * t;
+  const double sinc = (t == 0.0) ? 1.0 : std::sin(2.0 * cutoff * x) / (2.0 * cutoff * x);
+  const double window =
+      0.5 * (1.0 + std::cos(std::numbers::pi * t / kHalfWidth));
+  return static_cast<float>(2.0 * cutoff * sinc * window);
+}
+
+}  // namespace
+
+Resampler::Resampler(double in_rate, double out_rate)
+    : ratio_(out_rate / in_rate) {
+  if (in_rate <= 0.0 || out_rate <= 0.0)
+    throw std::invalid_argument("Resampler: rates must be positive");
+}
+
+cvec Resampler::resample(std::span<const cfloat> in,
+                         double fractional_delay) const {
+  if (in.empty()) return {};
+  const auto n_in = static_cast<double>(in.size());
+  const auto n_out = static_cast<std::size_t>(std::floor(n_in * ratio_));
+  cvec out(n_out);
+  // When decimating, lower the kernel cutoff to suppress aliasing.
+  const double cutoff = 0.5 * std::min(1.0, ratio_);
+  for (std::size_t m = 0; m < n_out; ++m) {
+    const double center = static_cast<double>(m) / ratio_ + fractional_delay;
+    const auto lo = static_cast<long>(std::ceil(center)) - kHalfWidth;
+    const auto hi = static_cast<long>(std::floor(center)) + kHalfWidth;
+    cfloat acc{};
+    for (long k = lo; k <= hi; ++k) {
+      if (k < 0 || k >= static_cast<long>(in.size())) continue;
+      acc += in[static_cast<std::size_t>(k)] *
+             sinc_kernel(static_cast<double>(k) - center, cutoff);
+    }
+    out[m] = acc;
+  }
+  return out;
+}
+
+cvec resample(std::span<const cfloat> in, double in_rate, double out_rate) {
+  return Resampler(in_rate, out_rate).resample(in);
+}
+
+}  // namespace rjf::dsp

@@ -1,0 +1,81 @@
+#include "dsp/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace rjf::dsp {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: expands one seed word into the full xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Xoshiro256::uniform_int(std::uint64_t n) noexcept {
+  // Lemire's multiply-shift rejection method.
+  const std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(next()) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::gaussian() noexcept {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  // Box-Muller; 1 - uniform() keeps the log argument strictly positive.
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_ = r * std::sin(theta);
+  has_cached_ = true;
+  return r * std::cos(theta);
+}
+
+cfloat Xoshiro256::complex_gaussian(double variance) noexcept {
+  const double sigma = std::sqrt(variance / 2.0);
+  return cfloat{static_cast<float>(sigma * gaussian()),
+                static_cast<float>(sigma * gaussian())};
+}
+
+}  // namespace rjf::dsp

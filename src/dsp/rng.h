@@ -1,0 +1,39 @@
+// Deterministic, seedable PRNG used throughout the simulation.
+//
+// xoshiro256++ — fast, high quality, and reproducible across platforms,
+// which matters because every experiment in EXPERIMENTS.md must be
+// regenerable bit-for-bit from a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/types.h"
+
+namespace rjf::dsp {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform integer in [0, n). n must be > 0.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n) noexcept;
+
+  /// Standard normal variate (Box-Muller, cached pair).
+  [[nodiscard]] double gaussian() noexcept;
+
+  /// Circularly-symmetric complex Gaussian with E[|x|^2] == variance.
+  [[nodiscard]] cfloat complex_gaussian(double variance = 1.0) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace rjf::dsp

@@ -1,0 +1,32 @@
+#include "dsp/window.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace rjf::dsp {
+
+std::vector<float> make_window(WindowType type, std::size_t n) {
+  std::vector<float> w(n, 1.0f);
+  if (n < 2 || type == WindowType::kRect) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double x = 2.0 * std::numbers::pi * static_cast<double>(k) / denom;
+    switch (type) {
+      case WindowType::kHann:
+        w[k] = static_cast<float>(0.5 - 0.5 * std::cos(x));
+        break;
+      case WindowType::kHamming:
+        w[k] = static_cast<float>(0.54 - 0.46 * std::cos(x));
+        break;
+      case WindowType::kBlackman:
+        w[k] = static_cast<float>(0.42 - 0.5 * std::cos(x) +
+                                  0.08 * std::cos(2.0 * x));
+        break;
+      case WindowType::kRect:
+        break;
+    }
+  }
+  return w;
+}
+
+}  // namespace rjf::dsp

@@ -1,0 +1,14 @@
+// Window functions for spectral shaping and measurement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rjf::dsp {
+
+enum class WindowType { kRect, kHann, kHamming, kBlackman };
+
+/// Generate an N-point window of the requested type.
+[[nodiscard]] std::vector<float> make_window(WindowType type, std::size_t n);
+
+}  // namespace rjf::dsp

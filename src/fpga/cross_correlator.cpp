@@ -1,0 +1,101 @@
+#include "fpga/cross_correlator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rjf::fpga {
+
+CrossCorrelator::CrossCorrelator() noexcept {
+  sign_i_.fill(1);
+  sign_q_.fill(1);
+}
+
+void CrossCorrelator::load_from_registers(const RegisterFile& regs) noexcept {
+  for (std::size_t k = 0; k < kCorrelatorLength; ++k) {
+    coef_i_[k] = static_cast<std::int8_t>(regs.coefficient(false, k));
+    coef_q_[k] = static_cast<std::int8_t>(regs.coefficient(true, k));
+  }
+  threshold_ = regs.read(Reg::kXcorrThreshold);
+}
+
+void CrossCorrelator::set_coefficients(std::span<const int> coef_i,
+                                       std::span<const int> coef_q) noexcept {
+  for (std::size_t k = 0; k < kCorrelatorLength; ++k) {
+    const int ci = k < coef_i.size() ? coef_i[k] : 0;
+    const int cq = k < coef_q.size() ? coef_q[k] : 0;
+    coef_i_[k] = static_cast<std::int8_t>(std::clamp(ci, -4, 3));
+    coef_q_[k] = static_cast<std::int8_t>(std::clamp(cq, -4, 3));
+  }
+}
+
+CrossCorrelator::Output CrossCorrelator::step(dsp::IQ16 sample) noexcept {
+  // MSB slice: 1-bit signed representation of each rail (Fig. 3).
+  sign_i_[pos_] = (sample.i < 0) ? -1 : 1;
+  sign_q_[pos_] = (sample.q < 0) ? -1 : 1;
+  pos_ = (pos_ + 1) % kCorrelatorLength;
+
+  // Correlate the last 64 sign pairs against the template. Coefficient
+  // index 0 corresponds to the oldest sample in the window, matching how
+  // the preamble template streams through the shift register.
+  std::int32_t re = 0;
+  std::int32_t im = 0;
+  std::size_t idx = pos_;  // oldest sample in the circular buffers
+  for (std::size_t k = 0; k < kCorrelatorLength; ++k) {
+    const std::int32_t si = sign_i_[idx];
+    const std::int32_t sq = sign_q_[idx];
+    // s * conj(c): re = si*ci + sq*cq, im = sq*ci - si*cq
+    re += si * coef_i_[k] + sq * coef_q_[k];
+    im += sq * coef_i_[k] - si * coef_q_[k];
+    idx = (idx + 1) % kCorrelatorLength;
+  }
+  Output out;
+  out.metric = static_cast<std::uint32_t>(re * re) +
+               static_cast<std::uint32_t>(im * im);
+  out.trigger = out.metric > threshold_;
+  return out;
+}
+
+void CrossCorrelator::reset() noexcept {
+  sign_i_.fill(1);
+  sign_q_.fill(1);
+  pos_ = 0;
+}
+
+std::uint32_t CrossCorrelator::max_metric() const noexcept {
+  // If every sign pair aligns with the template phase, both rails
+  // contribute their magnitudes fully to the real accumulator.
+  std::int64_t peak = 0;
+  for (std::size_t k = 0; k < kCorrelatorLength; ++k)
+    peak += std::abs(static_cast<int>(coef_i_[k])) +
+            std::abs(static_cast<int>(coef_q_[k]));
+  return static_cast<std::uint32_t>(peak * peak);
+}
+
+CorrelatorTemplate make_template(std::span<const dsp::cfloat> reference) {
+  CorrelatorTemplate tpl;
+  float peak = 0.0f;
+  const std::size_t n = std::min(reference.size(), kCorrelatorLength);
+  for (std::size_t k = 0; k < n; ++k)
+    peak = std::max({peak, std::abs(reference[k].real()),
+                     std::abs(reference[k].imag())});
+  if (peak <= 0.0f) return tpl;
+  for (std::size_t k = 0; k < n; ++k) {
+    // The reference itself is quantised; the correlator datapath applies
+    // the conjugate (s * conj(c)), completing the matched filter.
+    const float scale = 3.0f / peak;
+    tpl.coef_i[k] = std::clamp(
+        static_cast<int>(std::lround(reference[k].real() * scale)), -4, 3);
+    tpl.coef_q[k] = std::clamp(
+        static_cast<int>(std::lround(reference[k].imag() * scale)), -4, 3);
+  }
+  return tpl;
+}
+
+void program_template(RegisterFile& regs, const CorrelatorTemplate& tpl) noexcept {
+  for (std::size_t k = 0; k < kCorrelatorLength; ++k) {
+    regs.set_coefficient(false, k, tpl.coef_i[k]);
+    regs.set_coefficient(true, k, tpl.coef_q[k]);
+  }
+}
+
+}  // namespace rjf::fpga

@@ -1,0 +1,74 @@
+// 64-sample sign-bit weighted phase correlator (paper Fig. 3).
+//
+// Derived from the WARP OFDM Reference Design v15 correlator: incoming
+// 16-bit I/Q samples are sliced to their sign bits (1-bit signed values),
+// correlated against a template of 64 3-bit signed coefficients per rail,
+// combined into a complex correlation, squared, and compared against a
+// host-programmable threshold. The paper extends the WARP core with
+// run-time coefficient loading over the user register bus — modelled here
+// by reading the coefficient banks from the RegisterFile before each run
+// (load_from_registers()).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dsp/types.h"
+#include "fpga/register_file.h"
+
+namespace rjf::fpga {
+
+inline constexpr std::size_t kCorrelatorLength = 64;
+
+class CrossCorrelator {
+ public:
+  CrossCorrelator() noexcept;
+
+  /// Latch the coefficient banks and threshold from the register file,
+  /// mirroring the run-time loading path the paper added to the WARP core.
+  void load_from_registers(const RegisterFile& regs) noexcept;
+
+  /// Directly install a template (used by unit tests and ablations).
+  void set_coefficients(std::span<const int> coef_i,
+                        std::span<const int> coef_q) noexcept;
+  void set_threshold(std::uint32_t threshold) noexcept { threshold_ = threshold; }
+  [[nodiscard]] std::uint32_t threshold() const noexcept { return threshold_; }
+
+  struct Output {
+    std::uint32_t metric = 0;  // |correlation|^2
+    bool trigger = false;      // metric > threshold
+  };
+
+  /// Clock in one baseband sample (one 25 MSPS strobe). The metric reflects
+  /// the most recent kCorrelatorLength samples.
+  Output step(dsp::IQ16 sample) noexcept;
+
+  void reset() noexcept;
+
+  /// Peak achievable metric for the installed template (all signs agree).
+  [[nodiscard]] std::uint32_t max_metric() const noexcept;
+
+ private:
+  std::array<std::int8_t, kCorrelatorLength> coef_i_{};
+  std::array<std::int8_t, kCorrelatorLength> coef_q_{};
+  std::array<std::int8_t, kCorrelatorLength> sign_i_{};  // delay line, +1/-1
+  std::array<std::int8_t, kCorrelatorLength> sign_q_{};
+  std::size_t pos_ = 0;
+  std::uint32_t threshold_ = 0xFFFFFFFFu;
+};
+
+/// Offline coefficient generation (paper §2.3: "generated offline on the
+/// host based on knowledge of the wireless standards' preambles").
+/// Quantises the conjugate of the reference waveform's first 64 samples to
+/// 3-bit signed values per rail, scaled so the largest rail magnitude is 3.
+struct CorrelatorTemplate {
+  std::array<int, kCorrelatorLength> coef_i{};
+  std::array<int, kCorrelatorLength> coef_q{};
+};
+
+[[nodiscard]] CorrelatorTemplate make_template(std::span<const dsp::cfloat> reference);
+
+/// Write a template into the coefficient registers.
+void program_template(RegisterFile& regs, const CorrelatorTemplate& tpl) noexcept;
+
+}  // namespace rjf::fpga

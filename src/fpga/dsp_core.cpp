@@ -1,0 +1,97 @@
+#include "fpga/dsp_core.h"
+
+namespace rjf::fpga {
+
+DspCore::DspCore() = default;
+
+void DspCore::apply_registers() noexcept {
+  correlator_.load_from_registers(regs_);
+  energy_.load_from_registers(regs_);
+  fsm_.load_from_registers(regs_);
+  jammer_.load_from_registers(regs_);
+}
+
+CoreOutput DspCore::tick(std::optional<dsp::IQ16> rx) noexcept {
+  CoreOutput out;
+  out.vita_ticks = vita_ticks_;
+
+  const bool strobe = (strobe_phase_ == 0);
+  strobe_phase_ = (strobe_phase_ + 1) % kClocksPerSample;
+
+  if (strobe) {
+    const dsp::IQ16 sample = rx.value_or(dsp::IQ16{});
+    out.rx_strobe = true;
+
+    const auto xc = correlator_.step(sample);
+    const auto en = energy_.step(sample);
+    jammer_.record_rx(sample);
+
+    // Edge-detect so one packet produces one event per detector, not one
+    // per sample while the metric stays above threshold.
+    held_events_.xcorr = xc.trigger && !prev_xcorr_;
+    held_events_.energy_high = en.trigger_high && !prev_high_;
+    held_events_.energy_low = en.trigger_low && !prev_low_;
+    prev_xcorr_ = xc.trigger;
+    prev_high_ = en.trigger_high;
+    prev_low_ = en.trigger_low;
+
+    if (held_events_.xcorr) ++feedback_.xcorr_detections;
+    if (held_events_.energy_high) ++feedback_.energy_high_detections;
+    if (held_events_.energy_low) ++feedback_.energy_low_detections;
+  }
+
+  out.xcorr_trigger = held_events_.xcorr;
+  out.energy_high = held_events_.energy_high;
+  out.energy_low = held_events_.energy_low;
+
+  out.jam_trigger = fsm_.clock(held_events_);
+  if (out.jam_trigger) {
+    ++feedback_.jam_triggers;
+    feedback_.last_trigger_vita = vita_ticks_;
+  }
+  // Event pulses are single-strobe; clear after the FSM consumed them.
+  held_events_ = DetectorEvents{};
+
+  out.tx = jammer_.clock(out.jam_trigger);
+
+  ++vita_ticks_;
+  feedback_.vita_ticks = vita_ticks_;
+  return out;
+}
+
+std::vector<CoreOutput> DspCore::process(std::span<const dsp::IQ16> rx) {
+  std::vector<CoreOutput> trace;
+  trace.reserve(rx.size() * kClocksPerSample);
+  for (const dsp::IQ16 sample : rx) {
+    trace.push_back(tick(sample));
+    for (std::uint32_t c = 1; c < kClocksPerSample; ++c)
+      trace.push_back(tick(std::nullopt));
+  }
+  return trace;
+}
+
+void DspCore::fast_forward(std::uint64_t samples) noexcept {
+  jammer_.fast_forward(samples);
+  correlator_.reset();
+  energy_.reset();
+  fsm_.reset();
+  held_events_ = DetectorEvents{};
+  prev_xcorr_ = prev_high_ = prev_low_ = false;
+  vita_ticks_ += samples * kClocksPerSample;
+  feedback_.vita_ticks = vita_ticks_;
+  strobe_phase_ = 0;
+}
+
+void DspCore::reset() noexcept {
+  correlator_.reset();
+  energy_.reset();
+  fsm_.reset();
+  jammer_.reset();
+  feedback_ = HostFeedback{};
+  vita_ticks_ = 0;
+  strobe_phase_ = 0;
+  held_events_ = DetectorEvents{};
+  prev_xcorr_ = prev_high_ = prev_low_ = false;
+}
+
+}  // namespace rjf::fpga

@@ -1,0 +1,102 @@
+// The custom DSP core nested inside the USRP N210 DDC chain (paper Figs. 1-2).
+//
+// Composes the four main functional blocks — cross-correlator, energy
+// differentiator, jamming event builder (trigger FSM) and transmit
+// controller — plus the smaller logic for timing (VITA time) and host
+// feedback. The core is cycle-accurate: tick() advances one 100 MHz fabric
+// clock, and a receive sample strobe arrives every 4th tick (25 MSPS),
+// matching the paper's clock/sample-rate relationship that underlies all
+// of its latency arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dsp/types.h"
+#include "fpga/cross_correlator.h"
+#include "fpga/energy_differentiator.h"
+#include "fpga/jammer_controller.h"
+#include "fpga/register_file.h"
+#include "fpga/trigger_fsm.h"
+
+namespace rjf::fpga {
+
+inline constexpr double kFabricClockHz = 100e6;
+inline constexpr double kBasebandRateHz = 25e6;
+
+struct CoreOutput {
+  bool rx_strobe = false;       // this tick consumed a baseband sample
+  bool xcorr_trigger = false;
+  bool energy_high = false;
+  bool energy_low = false;
+  bool jam_trigger = false;     // FSM fired this tick
+  JammerController::TxOut tx;   // TX path output
+  std::uint64_t vita_ticks = 0; // fabric clock count (VITA time, GPS locked)
+};
+
+/// Host-visible feedback flags and counters (the "Host Feedback
+/// (Synchro Flags)" path in Fig. 1).
+struct HostFeedback {
+  std::uint64_t xcorr_detections = 0;
+  std::uint64_t energy_high_detections = 0;
+  std::uint64_t energy_low_detections = 0;
+  std::uint64_t jam_triggers = 0;
+  std::uint64_t last_trigger_vita = 0;
+  std::uint64_t vita_ticks = 0;
+};
+
+class DspCore {
+ public:
+  DspCore();
+
+  /// The host-side register file. Writes take effect at the next
+  /// apply_registers() (the radio layer calls this after each settings-bus
+  /// transaction completes, modelling the propagation latency).
+  [[nodiscard]] RegisterFile& registers() noexcept { return regs_; }
+  [[nodiscard]] const RegisterFile& registers() const noexcept { return regs_; }
+
+  /// Latch all register values into the datapath blocks.
+  void apply_registers() noexcept;
+
+  /// Advance one fabric clock. `rx` must be present exactly on strobe ticks
+  /// (every 4th tick); pass std::nullopt between strobes.
+  CoreOutput tick(std::optional<dsp::IQ16> rx) noexcept;
+
+  /// Convenience: feed a block of baseband samples (4 ticks each) and
+  /// collect the per-tick outputs. Keeps full cycle accuracy.
+  std::vector<CoreOutput> process(std::span<const dsp::IQ16> rx);
+
+  [[nodiscard]] const HostFeedback& feedback() const noexcept { return feedback_; }
+  [[nodiscard]] JammerController& jammer() noexcept { return jammer_; }
+  [[nodiscard]] const CrossCorrelator& correlator() const noexcept {
+    return correlator_;
+  }
+
+  /// Skip `samples` baseband sample periods of idle air (network-sim
+  /// optimisation): VITA time and the jammer's delay/uptime countdowns
+  /// advance exactly; the detector pipelines are flushed, which is
+  /// equivalent to them having refilled with idle-channel samples.
+  void fast_forward(std::uint64_t samples) noexcept;
+
+  /// Full reset (reprogramming the FPGA). Register contents survive.
+  void reset() noexcept;
+
+ private:
+  RegisterFile regs_;
+  CrossCorrelator correlator_;
+  EnergyDifferentiator energy_;
+  TriggerFsm fsm_;
+  JammerController jammer_;
+  HostFeedback feedback_;
+  std::uint64_t vita_ticks_ = 0;
+  std::uint32_t strobe_phase_ = 0;
+  // Latched detector outputs: detectors update on sample strobes, but the
+  // FSM samples them every clock, so levels are held between strobes.
+  DetectorEvents held_events_;
+  bool prev_xcorr_ = false;
+  bool prev_high_ = false;
+  bool prev_low_ = false;
+};
+
+}  // namespace rjf::fpga

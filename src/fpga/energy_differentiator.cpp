@@ -1,0 +1,51 @@
+#include "fpga/energy_differentiator.h"
+
+namespace rjf::fpga {
+
+EnergyDifferentiator::EnergyDifferentiator() = default;
+
+void EnergyDifferentiator::load_from_registers(const RegisterFile& regs) noexcept {
+  thresh_high_q88_ = regs.read(Reg::kEnergyThreshHigh);
+  thresh_low_q88_ = regs.read(Reg::kEnergyThreshLow);
+  floor_ = regs.read(Reg::kEnergyFloor);
+}
+
+void EnergyDifferentiator::set_thresholds(std::uint32_t high_q88,
+                                          std::uint32_t low_q88,
+                                          std::uint32_t floor) noexcept {
+  thresh_high_q88_ = high_q88;
+  thresh_low_q88_ = low_q88;
+  floor_ = floor;
+}
+
+EnergyDifferentiator::Output EnergyDifferentiator::step(dsp::IQ16 sample) noexcept {
+  // x[n] = I^2 + Q^2 on the 16-bit rails; fits in 31 bits.
+  const std::uint64_t xi = static_cast<std::int64_t>(sample.i) * sample.i;
+  const std::uint64_t xq = static_cast<std::int64_t>(sample.q) * sample.q;
+  const std::uint64_t y = sum_.push(xi + xq);
+  const std::uint64_t y_ref = reference_.push(y);
+
+  Output out;
+  out.energy_sum = y;
+  if (warmup_ < kEnergyWindow + kEnergyRefDelay) {
+    ++warmup_;
+    return out;  // pipeline not yet full; comparators disarmed
+  }
+  // Q8.8 scaling: compare 256*y against thresh*y_ref (and vice versa) using
+  // 128-bit intermediates so a 30 dB threshold can't overflow.
+  const auto lhs_high = static_cast<__uint128_t>(y) << 8;
+  const auto rhs_high = static_cast<__uint128_t>(y_ref) * thresh_high_q88_;
+  const auto lhs_low = static_cast<__uint128_t>(y_ref) << 8;
+  const auto rhs_low = static_cast<__uint128_t>(y) * thresh_low_q88_;
+  out.trigger_high = (y > floor_) && (lhs_high > rhs_high);
+  out.trigger_low = (y_ref > floor_) && (lhs_low > rhs_low);
+  return out;
+}
+
+void EnergyDifferentiator::reset() {
+  sum_.reset();
+  reference_.reset();
+  warmup_ = 0;
+}
+
+}  // namespace rjf::fpga

@@ -1,0 +1,55 @@
+// Differential energy detector (paper Fig. 4).
+//
+// Keeps a running 32-sample energy sum y[n] = y[n-1] + x[n] - x[n-N] with
+// x[n] = I^2 + Q^2, and compares it against a 64-sample-delayed copy of
+// itself scaled by host-programmable Q8.8 thresholds:
+//     trigger_high :  y[n]        > thresh_high * y[n-64]
+//     trigger_low  :  y[n-64]     > thresh_low  * y[n]
+// Users can set any energy-change threshold between 3 dB and 30 dB, for
+// both rising and falling energy (paper §2.3).
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/moving_sum.h"
+#include "dsp/types.h"
+#include "fpga/register_file.h"
+
+namespace rjf::fpga {
+
+inline constexpr std::size_t kEnergyWindow = 32;  // moving-sum length N
+inline constexpr std::size_t kEnergyRefDelay = 64;  // Z^-64 reference delay
+
+class EnergyDifferentiator {
+ public:
+  EnergyDifferentiator();
+
+  /// Latch thresholds from the register file.
+  void load_from_registers(const RegisterFile& regs) noexcept;
+
+  /// Direct configuration (tests/ablations). Thresholds are linear power
+  /// ratios in Q8.8; floor is the minimum energy sum to arm the comparators.
+  void set_thresholds(std::uint32_t high_q88, std::uint32_t low_q88,
+                      std::uint32_t floor) noexcept;
+
+  struct Output {
+    std::uint64_t energy_sum = 0;
+    bool trigger_high = false;
+    bool trigger_low = false;
+  };
+
+  /// Clock in one baseband sample (25 MSPS strobe).
+  Output step(dsp::IQ16 sample) noexcept;
+
+  void reset();
+
+ private:
+  dsp::MovingSumU64 sum_{kEnergyWindow};
+  dsp::DelayLine<std::uint64_t> reference_{kEnergyRefDelay};
+  std::uint32_t thresh_high_q88_ = 0xFFFFFFFFu;
+  std::uint32_t thresh_low_q88_ = 0xFFFFFFFFu;
+  std::uint32_t floor_ = 0;
+  std::size_t warmup_ = 0;  // samples seen; comparators arm after the pipe fills
+};
+
+}  // namespace rjf::fpga

@@ -1,0 +1,165 @@
+#include "fpga/jammer_controller.h"
+
+namespace rjf::fpga {
+
+JammerController::JammerController() = default;
+
+void JammerController::load_from_registers(const RegisterFile& regs) noexcept {
+  waveform_ = regs.jam_waveform();
+  enabled_ = regs.jam_enabled();
+  delay_samples_ = regs.jam_delay_samples();
+  uptime_samples_ = regs.read(Reg::kJamDuration);
+}
+
+void JammerController::configure(JamWaveform waveform, bool enable,
+                                 std::uint32_t delay_samples,
+                                 std::uint32_t uptime_samples) noexcept {
+  waveform_ = waveform;
+  enabled_ = enable;
+  delay_samples_ = delay_samples;
+  uptime_samples_ = uptime_samples;
+}
+
+void JammerController::set_host_waveform(std::vector<dsp::IQ16> samples) {
+  host_waveform_ = std::move(samples);
+}
+
+void JammerController::record_rx(dsp::IQ16 sample) noexcept {
+  replay_[replay_write_] = sample;
+  replay_write_ = (replay_write_ + 1) % kReplayDepth;
+}
+
+std::int16_t JammerController::lfsr_gaussian() noexcept {
+  // Sum of four 8-bit uniform variates, centred: a cheap CLT Gaussian
+  // approximation matching what fits in fabric logic.
+  int acc = 0;
+  for (int k = 0; k < 4; ++k) {
+    const bool lsb = lfsr_ & 1u;
+    lfsr_ >>= 1;
+    if (lsb) lfsr_ ^= 0xB4BCD35Cu;  // taps 32,31,29,1
+    acc += static_cast<int>(lfsr_ & 0xFFu);
+  }
+  // acc in [0, 1020]; centre and scale to ~1/4 full scale RMS.
+  return static_cast<std::int16_t>((acc - 510) * 24);
+}
+
+dsp::IQ16 JammerController::next_waveform_sample() noexcept {
+  switch (waveform_) {
+    case JamWaveform::kWhiteNoise:
+      return dsp::IQ16{lfsr_gaussian(), lfsr_gaussian()};
+    case JamWaveform::kReplay: {
+      const dsp::IQ16 s = replay_[playback_pos_];
+      playback_pos_ = (playback_pos_ + 1) % kReplayDepth;
+      return s;
+    }
+    case JamWaveform::kHostStream: {
+      if (host_waveform_.empty()) return dsp::IQ16{};
+      const dsp::IQ16 s = host_waveform_[playback_pos_ % host_waveform_.size()];
+      playback_pos_ = (playback_pos_ + 1) % host_waveform_.size();
+      return s;
+    }
+  }
+  return dsp::IQ16{};
+}
+
+JammerController::TxOut JammerController::clock(bool trigger) noexcept {
+  TxOut out;
+  switch (state_) {
+    case State::kIdle:
+      if (trigger && enabled_) {
+        ++jam_count_;
+        // Replay starts at the oldest recorded sample; the host-stream
+        // buffer always plays from its beginning.
+        playback_pos_ =
+            (waveform_ == JamWaveform::kReplay) ? replay_write_ : 0;
+        // The trigger clock itself is the "1 cycle to initiate"; the
+        // remaining kTxInitCycles-1 clocks fill the DUC, so RF energy is on
+        // the air exactly kTxInitCycles (80 ns) after the trigger.
+        if (delay_samples_ > 0) {
+          state_ = State::kDelay;
+          countdown_cycles_ = delay_samples_ * kClocksPerSample;
+        } else {
+          state_ = State::kInit;
+          countdown_cycles_ = kTxInitCycles - 1;
+        }
+      }
+      break;
+    case State::kDelay:
+      if (--countdown_cycles_ == 0) {
+        state_ = State::kInit;
+        countdown_cycles_ = kTxInitCycles - 1;
+      }
+      break;
+    case State::kInit:
+      if (--countdown_cycles_ == 0) {
+        state_ = State::kJamming;
+        remaining_samples_ = uptime_samples_ == 0 ? 1 : uptime_samples_;
+        strobe_phase_ = 0;
+      }
+      break;
+    case State::kJamming:
+      out.rf_active = true;
+      ++cycles_jamming_;
+      if (strobe_phase_ == 0) {
+        out.sample_strobe = true;
+        out.sample = next_waveform_sample();
+        if (--remaining_samples_ == 0) state_ = State::kIdle;
+      }
+      strobe_phase_ = (strobe_phase_ + 1) % kClocksPerSample;
+      break;
+  }
+  return out;
+}
+
+void JammerController::fast_forward(std::uint64_t samples) noexcept {
+  std::uint64_t cycles = samples * kClocksPerSample;
+  while (cycles > 0 && state_ != State::kIdle) {
+    switch (state_) {
+      case State::kDelay:
+      case State::kInit: {
+        const std::uint64_t used = std::min<std::uint64_t>(cycles, countdown_cycles_);
+        countdown_cycles_ -= static_cast<std::uint32_t>(used);
+        cycles -= used;
+        if (countdown_cycles_ == 0) {
+          if (state_ == State::kDelay) {
+            state_ = State::kInit;
+            countdown_cycles_ = kTxInitCycles - 1;
+          } else {
+            state_ = State::kJamming;
+            remaining_samples_ = uptime_samples_ == 0 ? 1 : uptime_samples_;
+            strobe_phase_ = 0;
+          }
+        }
+        break;
+      }
+      case State::kJamming: {
+        const std::uint64_t avail = cycles / kClocksPerSample;
+        const std::uint64_t used = std::min(avail, remaining_samples_);
+        remaining_samples_ -= used;
+        cycles -= used * kClocksPerSample;
+        cycles_jamming_ += used * kClocksPerSample;
+        if (remaining_samples_ == 0) {
+          state_ = State::kIdle;
+        } else {
+          // Fewer than one full sample period left in the gap.
+          cycles = 0;
+        }
+        break;
+      }
+      case State::kIdle:
+        break;
+    }
+  }
+}
+
+void JammerController::reset() noexcept {
+  state_ = State::kIdle;
+  countdown_cycles_ = 0;
+  remaining_samples_ = 0;
+  strobe_phase_ = 0;
+  playback_pos_ = 0;
+  jam_count_ = 0;
+  cycles_jamming_ = 0;
+}
+
+}  // namespace rjf::fpga

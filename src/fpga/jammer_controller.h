@@ -1,0 +1,99 @@
+// Jamming transmit controller (paper §2.4).
+//
+// On a trigger from the TriggerFsm the controller (optionally after a
+// programmable delay used for "surgical" jamming of specific packet
+// locations) schedules the TX pipeline: 1 cycle to initiate plus ~7 cycles
+// to populate the DUC — 8 clock cycles (~80 ns) before RF energy leaves the
+// antenna. It then emits one of three user-selectable waveforms for the
+// programmed uptime:
+//   (i)  pseudorandom 25 MHz white Gaussian noise,
+//   (ii) repetitive replay of up to the 512 most recently received samples,
+//   (iii) the waveform currently streamed to the TX buffer from the host.
+// Uptime ranges from 1 sample (40 ns) to 2^32 samples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.h"
+#include "fpga/register_file.h"
+
+namespace rjf::fpga {
+
+inline constexpr std::size_t kReplayDepth = 512;
+inline constexpr std::uint32_t kTxInitCycles = 8;  // 1 trigger + 7 DUC fill
+inline constexpr std::uint32_t kClocksPerSample = 4;  // 100 MHz / 25 MSPS
+
+class JammerController {
+ public:
+  JammerController();
+
+  void load_from_registers(const RegisterFile& regs) noexcept;
+
+  /// Direct configuration (tests/ablations).
+  void configure(JamWaveform waveform, bool enable,
+                 std::uint32_t delay_samples, std::uint32_t uptime_samples) noexcept;
+
+  /// Replace the host-streamed TX buffer (waveform (iii)).
+  void set_host_waveform(std::vector<dsp::IQ16> samples);
+
+  /// Record one received sample into the replay ring (runs continuously).
+  void record_rx(dsp::IQ16 sample) noexcept;
+
+  struct TxOut {
+    bool rf_active = false;     // true while jamming energy is on the air
+    dsp::IQ16 sample{};         // valid when rf_active and sample_strobe
+    bool sample_strobe = false; // true on the clock a new TX sample is issued
+  };
+
+  /// Advance one 100 MHz clock. `trigger` is the FSM's jam pulse.
+  TxOut clock(bool trigger) noexcept;
+
+  /// Advance `samples` baseband sample periods without per-clock work,
+  /// resolving delay/init/uptime countdowns arithmetically. Used by the
+  /// network simulation to skip idle air time; exact w.r.t. jam scheduling.
+  void fast_forward(std::uint64_t samples) noexcept;
+
+  /// True while jamming energy is on the air.
+  [[nodiscard]] bool rf_active() const noexcept {
+    return state_ == State::kJamming;
+  }
+
+  [[nodiscard]] bool busy() const noexcept { return state_ != State::kIdle; }
+  [[nodiscard]] std::uint64_t jam_count() const noexcept { return jam_count_; }
+  [[nodiscard]] std::uint64_t cycles_jamming() const noexcept {
+    return cycles_jamming_;
+  }
+
+  void reset() noexcept;
+
+ private:
+  enum class State { kIdle, kDelay, kInit, kJamming };
+
+  [[nodiscard]] dsp::IQ16 next_waveform_sample() noexcept;
+
+  State state_ = State::kIdle;
+  JamWaveform waveform_ = JamWaveform::kWhiteNoise;
+  bool enabled_ = false;
+  std::uint32_t delay_samples_ = 0;
+  std::uint32_t uptime_samples_ = 0;
+
+  std::uint32_t countdown_cycles_ = 0;   // kDelay / kInit phase timer
+  std::uint64_t remaining_samples_ = 0;  // kJamming phase sample counter
+  std::uint32_t strobe_phase_ = 0;
+
+  std::array<dsp::IQ16, kReplayDepth> replay_{};
+  std::size_t replay_write_ = 0;
+  std::size_t playback_pos_ = 0;
+  std::vector<dsp::IQ16> host_waveform_;
+
+  // On-fabric noise generator: 32-bit Galois LFSR feeding a CLT shaper.
+  std::uint32_t lfsr_ = 0xACE1ACE1u;
+  [[nodiscard]] std::int16_t lfsr_gaussian() noexcept;
+
+  std::uint64_t jam_count_ = 0;
+  std::uint64_t cycles_jamming_ = 0;
+};
+
+}  // namespace rjf::fpga

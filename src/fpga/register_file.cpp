@@ -1,0 +1,88 @@
+#include "fpga/register_file.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rjf::fpga {
+namespace {
+
+constexpr std::size_t kCoefsPerReg = 8;  // 4-bit fields in a 32-bit register
+
+std::size_t coef_reg_index(bool q_bank, std::size_t index) noexcept {
+  const auto base = static_cast<std::size_t>(q_bank ? Reg::kXcorrCoefQ0
+                                                    : Reg::kXcorrCoefI0);
+  return base + index / kCoefsPerReg;
+}
+
+}  // namespace
+
+void RegisterFile::set_coefficient(bool q_bank, std::size_t index,
+                                   int value) noexcept {
+  if (index >= 64) return;
+  const int clamped = std::clamp(value, -4, 3);
+  const auto field = static_cast<std::uint32_t>(clamped & 0xF);
+  const std::size_t reg = coef_reg_index(q_bank, index);
+  const unsigned shift = 4u * static_cast<unsigned>(index % kCoefsPerReg);
+  regs_[reg] = (regs_[reg] & ~(0xFu << shift)) | (field << shift);
+}
+
+int RegisterFile::coefficient(bool q_bank, std::size_t index) const noexcept {
+  if (index >= 64) return 0;
+  const std::size_t reg = coef_reg_index(q_bank, index);
+  const unsigned shift = 4u * static_cast<unsigned>(index % kCoefsPerReg);
+  const auto field = (regs_[reg] >> shift) & 0xFu;
+  // Sign-extend the 4-bit field.
+  return (field & 0x8u) ? static_cast<int>(field) - 16 : static_cast<int>(field);
+}
+
+void RegisterFile::set_jammer(JamWaveform waveform, bool enable,
+                              std::uint16_t delay_samples) noexcept {
+  const std::uint32_t value = (static_cast<std::uint32_t>(waveform) & 0x3u) |
+                              (enable ? 0x4u : 0x0u) |
+                              (static_cast<std::uint32_t>(delay_samples) << 16);
+  write(Reg::kJammerControl, value);
+}
+
+JamWaveform RegisterFile::jam_waveform() const noexcept {
+  return static_cast<JamWaveform>(read(Reg::kJammerControl) & 0x3u);
+}
+
+bool RegisterFile::jam_enabled() const noexcept {
+  return (read(Reg::kJammerControl) & 0x4u) != 0;
+}
+
+std::uint16_t RegisterFile::jam_delay_samples() const noexcept {
+  return static_cast<std::uint16_t>(read(Reg::kJammerControl) >> 16);
+}
+
+void RegisterFile::set_trigger_stages(std::uint32_t mask0, std::uint32_t mask1,
+                                      std::uint32_t mask2) noexcept {
+  const std::uint32_t value =
+      (mask0 & 0xFu) | ((mask1 & 0xFu) << 4) | ((mask2 & 0xFu) << 8);
+  write(Reg::kTriggerConfig, value);
+}
+
+std::uint32_t RegisterFile::trigger_stage_mask(int stage) const noexcept {
+  if (stage < 0 || stage > 2) return 0;
+  return (read(Reg::kTriggerConfig) >> (4 * stage)) & 0xFu;
+}
+
+int RegisterFile::num_trigger_stages() const noexcept {
+  int n = 0;
+  for (int stage = 0; stage < 3; ++stage)
+    if (trigger_stage_mask(stage) != 0) n = stage + 1;
+  return n;
+}
+
+std::uint32_t energy_threshold_q88_from_db(double db) noexcept {
+  const double ratio = std::pow(10.0, db / 10.0);
+  const double q88 = std::clamp(ratio * 256.0, 0.0, 4294967295.0);
+  return static_cast<std::uint32_t>(std::lround(q88));
+}
+
+double energy_threshold_db_from_q88(std::uint32_t q88) noexcept {
+  if (q88 == 0) return -300.0;
+  return 10.0 * std::log10(static_cast<double>(q88) / 256.0);
+}
+
+}  // namespace rjf::fpga

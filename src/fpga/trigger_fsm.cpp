@@ -1,0 +1,51 @@
+#include "fpga/trigger_fsm.h"
+
+namespace rjf::fpga {
+
+void TriggerFsm::load_from_registers(const RegisterFile& regs) noexcept {
+  configure(regs.trigger_stage_mask(0), regs.trigger_stage_mask(1),
+            regs.trigger_stage_mask(2), regs.read(Reg::kTriggerWindow));
+}
+
+void TriggerFsm::configure(std::uint32_t mask0, std::uint32_t mask1,
+                           std::uint32_t mask2,
+                           std::uint32_t window_cycles) noexcept {
+  masks_[0] = mask0 & 0xFu;
+  masks_[1] = mask1 & 0xFu;
+  masks_[2] = mask2 & 0xFu;
+  window_cycles_ = window_cycles;
+  num_stages_ = 0;
+  for (int s = 0; s < 3; ++s)
+    if (masks_[s] != 0) num_stages_ = s + 1;
+  reset();
+}
+
+bool TriggerFsm::clock(const DetectorEvents& events) noexcept {
+  if (num_stages_ == 0) return false;
+
+  // Window timeout: abandon a partially-matched sequence and rearm.
+  if (stage_ > 0) {
+    ++elapsed_;
+    if (window_cycles_ != 0 && elapsed_ > window_cycles_) reset();
+  }
+
+  const std::uint32_t asserted = events.as_mask();
+  // A stage whose mask is 0 in the middle of the sequence can never fire;
+  // configure() guarantees contiguous stages by construction of num_stages_.
+  if ((asserted & masks_[stage_]) == 0) return false;
+
+  if (stage_ + 1 >= num_stages_) {
+    reset();
+    return true;  // final stage matched -> jam trigger pulse
+  }
+  ++stage_;
+  if (stage_ == 1) elapsed_ = 0;
+  return false;
+}
+
+void TriggerFsm::reset() noexcept {
+  stage_ = 0;
+  elapsed_ = 0;
+}
+
+}  // namespace rjf::fpga

@@ -1,0 +1,53 @@
+// Three-stage jamming-event trigger state machine (paper §2.4).
+//
+// "A three-stage hardware state machine allows the user to select up to
+// three trigger event combinations, all of which must occur within a
+// user-assigned time interval."
+//
+// Each stage is a 4-bit mask over the detector outputs (xcorr, energy-high,
+// energy-low). A stage fires when any masked event is asserted on the
+// current clock. When the final configured stage fires within the window,
+// the FSM emits a one-cycle jam trigger pulse and rearms.
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/register_file.h"
+
+namespace rjf::fpga {
+
+struct DetectorEvents {
+  bool xcorr = false;
+  bool energy_high = false;
+  bool energy_low = false;
+
+  [[nodiscard]] std::uint32_t as_mask() const noexcept {
+    return (xcorr ? kEventXcorr : 0u) | (energy_high ? kEventEnergyHigh : 0u) |
+           (energy_low ? kEventEnergyLow : 0u);
+  }
+};
+
+class TriggerFsm {
+ public:
+  void load_from_registers(const RegisterFile& regs) noexcept;
+
+  /// Direct configuration. Stages with mask 0 are unused; window is in
+  /// 100 MHz clock cycles and bounds the whole sequence.
+  void configure(std::uint32_t mask0, std::uint32_t mask1, std::uint32_t mask2,
+                 std::uint32_t window_cycles) noexcept;
+
+  /// Advance one fabric clock. Returns true on the cycle the jam trigger fires.
+  bool clock(const DetectorEvents& events) noexcept;
+
+  [[nodiscard]] int stage() const noexcept { return stage_; }
+  void reset() noexcept;
+
+ private:
+  std::uint32_t masks_[3] = {0, 0, 0};
+  std::uint32_t window_cycles_ = 0;
+  int num_stages_ = 0;
+  int stage_ = 0;
+  std::uint32_t elapsed_ = 0;  // cycles since stage 0 fired
+};
+
+}  // namespace rjf::fpga

@@ -1,0 +1,33 @@
+#include "net/arf.h"
+
+#include <algorithm>
+
+namespace rjf::net {
+
+ArfRateControl::ArfRateControl(phy80211::Rate initial, unsigned down_after,
+                               unsigned up_after) noexcept
+    : index_(static_cast<int>(initial)),
+      down_after_(down_after),
+      up_after_(up_after) {}
+
+phy80211::Rate ArfRateControl::rate() const noexcept {
+  return static_cast<phy80211::Rate>(index_);
+}
+
+void ArfRateControl::report_success() noexcept {
+  consecutive_failures_ = 0;
+  if (++consecutive_successes_ >= up_after_) {
+    consecutive_successes_ = 0;
+    index_ = std::min(index_ + 1, 7);
+  }
+}
+
+void ArfRateControl::report_failure() noexcept {
+  consecutive_successes_ = 0;
+  if (++consecutive_failures_ >= down_after_) {
+    consecutive_failures_ = 0;
+    index_ = std::max(index_ - 1, 0);
+  }
+}
+
+}  // namespace rjf::net

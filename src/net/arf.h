@@ -1,0 +1,31 @@
+// Auto Rate Fallback — the rate-adaptation behaviour the paper leaves
+// unconstrained ("rate back-offs are ... considered as inherent parts of
+// ... 802.11 link characteristics"). Classic ARF: drop one rate after two
+// consecutive transmission failures, probe one rate up after ten
+// consecutive successes.
+#pragma once
+
+#include "phy80211/rates.h"
+
+namespace rjf::net {
+
+class ArfRateControl {
+ public:
+  explicit ArfRateControl(phy80211::Rate initial = phy80211::Rate::kMbps54,
+                          unsigned down_after = 2,
+                          unsigned up_after = 10) noexcept;
+
+  [[nodiscard]] phy80211::Rate rate() const noexcept;
+
+  void report_success() noexcept;
+  void report_failure() noexcept;
+
+ private:
+  int index_;
+  unsigned down_after_;
+  unsigned up_after_;
+  unsigned consecutive_failures_ = 0;
+  unsigned consecutive_successes_ = 0;
+};
+
+}  // namespace rjf::net

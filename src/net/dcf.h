@@ -1,0 +1,58 @@
+// 802.11 DCF timing constants and backoff machinery (ERP/802.11g short
+// slot), plus the CCA model.
+//
+// CCA is load-bearing for the paper's headline contrast: a continuous
+// jammer keeps the medium "busy" at the client (energy detect), starving
+// transmission entirely at low jam power, while a reactive jammer is off
+// the air between frames so "the access point had no knowledge of the
+// jammer's presence and always reported an 'excellent' link condition".
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/rng.h"
+#include "phy80211/rates.h"
+
+namespace rjf::net {
+
+struct DcfTiming {
+  double slot_s = 9e-6;    // ERP short slot
+  double sifs_s = 10e-6;
+  unsigned cw_min = 15;
+  unsigned cw_max = 1023;
+  unsigned retry_limit = 7;
+  phy80211::Rate ack_rate = phy80211::Rate::kMbps24;
+
+  [[nodiscard]] double difs_s() const noexcept { return sifs_s + 2.0 * slot_s; }
+
+  /// ACK timeout measured from the end of the data frame.
+  [[nodiscard]] double ack_timeout_s() const noexcept {
+    return sifs_s + slot_s + 60e-6;
+  }
+};
+
+/// Binary exponential backoff state for one station.
+class Backoff {
+ public:
+  Backoff(const DcfTiming& timing, std::uint64_t seed) noexcept
+      : timing_(timing), rng_(seed), cw_(timing.cw_min) {}
+
+  /// Draw the backoff duration (seconds) for the current contention window.
+  [[nodiscard]] double draw() noexcept {
+    return static_cast<double>(rng_.uniform_int(cw_ + 1)) * timing_.slot_s;
+  }
+
+  void on_failure() noexcept {
+    cw_ = std::min(cw_ * 2 + 1, timing_.cw_max);
+  }
+  void on_success_or_drop() noexcept { cw_ = timing_.cw_min; }
+
+  [[nodiscard]] unsigned cw() const noexcept { return cw_; }
+
+ private:
+  DcfTiming timing_;
+  dsp::Xoshiro256 rng_;
+  unsigned cw_;
+};
+
+}  // namespace rjf::net

@@ -1,0 +1,22 @@
+#include "net/iperf.h"
+
+#include <cmath>
+#include <limits>
+
+namespace rjf::net {
+
+IperfSource::IperfSource(const IperfConfig& config) noexcept
+    : config_(config),
+      interval_s_(static_cast<double>(config.datagram_bytes) * 8.0 /
+                  (config.offered_mbps * 1e6)),
+      total_(static_cast<std::uint64_t>(
+          std::floor(config.duration_s / interval_s_))) {}
+
+double IperfSource::next_arrival_s() const noexcept {
+  if (produced_ >= total_) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(produced_) * interval_s_;
+}
+
+void IperfSource::pop() noexcept { ++produced_; }
+
+}  // namespace rjf::net

@@ -1,0 +1,69 @@
+#include "net/jamming_detector.h"
+
+#include "dsp/db.h"
+
+namespace rjf::net {
+
+JammingVerdict diagnose(const LinkObservation& obs) noexcept {
+  constexpr double kPdrFloor = 0.6;
+  constexpr double kBusyCeiling = 0.25;
+  constexpr double kStrongSnrDb = 20.0;
+
+  // Delivery first: interference that doesn't cost packets isn't an
+  // actionable attack, however busy the medium looks.
+  if (obs.pdr >= kPdrFloor && obs.frames_attempted > 0)
+    return JammingVerdict::kHealthy;
+
+  // Continuous interference shows up as a persistently busy medium —
+  // including the degenerate case where the client cannot send at all.
+  if (obs.cca_busy_fraction > 0.8) return JammingVerdict::kContinuousJamming;
+
+  // Losses with a busy medium or a weak link are explainable without an
+  // adversary (congestion, range).
+  if (obs.cca_busy_fraction > kBusyCeiling || obs.snr_db < kStrongSnrDb)
+    return JammingVerdict::kCongestedOrWeak;
+
+  // Strong signal, idle medium, packets dying anyway: the Xu et al.
+  // PDR/RSSI consistency check fails -> reactive jamming.
+  return JammingVerdict::kReactiveJamming;
+}
+
+LinkObservation observe(const WifiRunResult& result,
+                        const WifiNetworkConfig& config) noexcept {
+  LinkObservation obs;
+  obs.frames_attempted = result.data_frames_sent;
+  const std::uint64_t successes = result.report.datagrams_received;
+  const std::uint64_t attempts = result.data_frames_sent;
+  obs.pdr = attempts > 0
+                ? static_cast<double>(successes) / static_cast<double>(attempts)
+                : (result.cca_starved_drops > 0 ? 0.0 : 1.0);
+
+  const std::uint64_t accesses =
+      attempts + result.cca_busy_defers + result.cca_starved_drops;
+  obs.cca_busy_fraction =
+      accesses > 0 ? static_cast<double>(result.cca_busy_defers) /
+                         static_cast<double>(accesses)
+                   : 0.0;
+
+  // Apparent SNR from the victim link budget (preamble RSSI vs noise floor)
+  // — reactive bursts are too brief to move this average, which is the
+  // whole stealth point.
+  const double rx_power =
+      config.client_tx_power *
+      dsp::ratio_from_db(-channel::FivePortNetwork{}.loss_db(
+          channel::kPortClient, channel::kPortAp));
+  obs.snr_db = dsp::db_from_ratio(rx_power / config.ap_noise_power);
+  return obs;
+}
+
+const char* verdict_name(JammingVerdict verdict) noexcept {
+  switch (verdict) {
+    case JammingVerdict::kHealthy: return "healthy";
+    case JammingVerdict::kCongestedOrWeak: return "congested-or-weak";
+    case JammingVerdict::kContinuousJamming: return "continuous-jamming";
+    case JammingVerdict::kReactiveJamming: return "reactive-jamming";
+  }
+  return "unknown";
+}
+
+}  // namespace rjf::net

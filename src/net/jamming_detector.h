@@ -1,0 +1,42 @@
+// Jamming countermeasure: link-layer jamming diagnosis in the spirit of
+// Xu et al. (MobiHoc'05) consistency checks. The paper's conclusion pitches
+// the testbed for "studying and developing countermeasures"; this module is
+// that study's first tool. It classifies a measurement window using the
+// same signals a real AP/client has: delivery ratio, carrier-sense
+// busyness, and the (apparent) link quality.
+//
+// The interesting case is exactly the paper's: a reactive jammer leaves
+// carrier sense clean and RSSI high ("the access point ... always reported
+// an 'excellent' link condition") while PDR collapses — inconsistent, and
+// therefore detectable, but only by correlating the two observations.
+#pragma once
+
+#include "net/wifi_network.h"
+
+namespace rjf::net {
+
+enum class JammingVerdict {
+  kHealthy,            // consistent: good PDR
+  kCongestedOrWeak,    // low PDR, but medium busy or link weak: not jamming
+  kContinuousJamming,  // medium busy nearly always + starvation
+  kReactiveJamming,    // PDR collapse with clean carrier and strong signal
+};
+
+struct LinkObservation {
+  double pdr = 1.0;             // delivered / attempted data frames
+  double cca_busy_fraction = 0.0;  // fraction of access attempts deferred
+  double snr_db = 40.0;         // apparent link SNR (preamble RSSI based)
+  std::uint64_t frames_attempted = 0;
+};
+
+/// Classify one observation window.
+[[nodiscard]] JammingVerdict diagnose(const LinkObservation& obs) noexcept;
+
+/// Build an observation from a finished simulation run (what an AP-side
+/// monitor would have measured during the test).
+[[nodiscard]] LinkObservation observe(const WifiRunResult& result,
+                                      const WifiNetworkConfig& config) noexcept;
+
+[[nodiscard]] const char* verdict_name(JammingVerdict verdict) noexcept;
+
+}  // namespace rjf::net

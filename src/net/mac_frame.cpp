@@ -1,0 +1,77 @@
+#include "net/mac_frame.h"
+
+#include "dsp/crc32.h"
+
+namespace rjf::net {
+namespace {
+
+constexpr std::size_t kDataHeader = 24;
+constexpr std::size_t kAckHeader = 10;
+constexpr std::size_t kFcsLen = 4;
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t get_u16(const Bytes& in, std::size_t at) {
+  return static_cast<std::uint16_t>(in[at] | (in[at + 1] << 8));
+}
+
+}  // namespace
+
+Bytes serialize(const MacFrame& frame) {
+  Bytes out;
+  const bool is_data = frame.type == FrameType::kData;
+  out.reserve((is_data ? kDataHeader : kAckHeader) + frame.payload.size() +
+              kFcsLen);
+  out.push_back(static_cast<std::uint8_t>(frame.type));
+  out.push_back(0);  // flags
+  put_u16(out, 0);   // duration
+  put_u16(out, frame.dst);
+  put_u16(out, frame.src);
+  if (is_data) {
+    // Pad out to the 24-octet header of a real data frame (addr3 + seq ctl
+    // + addr padding kept simple).
+    put_u16(out, frame.sequence);
+    out.resize(kDataHeader, 0);
+    out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  } else {
+    out.resize(kAckHeader, 0);
+  }
+  const std::uint32_t fcs = dsp::crc32(out);
+  for (int b = 0; b < 4; ++b)
+    out.push_back(static_cast<std::uint8_t>((fcs >> (8 * b)) & 0xFF));
+  return out;
+}
+
+std::optional<MacFrame> parse(const Bytes& psdu) {
+  if (psdu.size() < kAckHeader + kFcsLen) return std::nullopt;
+  const std::size_t body = psdu.size() - kFcsLen;
+  std::uint32_t fcs = 0;
+  for (int b = 0; b < 4; ++b)
+    fcs |= static_cast<std::uint32_t>(psdu[body + b]) << (8 * b);
+  if (fcs != dsp::crc32(std::span<const std::uint8_t>(psdu.data(), body)))
+    return std::nullopt;
+
+  MacFrame frame;
+  frame.type = static_cast<FrameType>(psdu[0]);
+  if (frame.type != FrameType::kData && frame.type != FrameType::kAck)
+    return std::nullopt;
+  frame.dst = get_u16(psdu, 4);
+  frame.src = get_u16(psdu, 6);
+  if (frame.type == FrameType::kData) {
+    if (psdu.size() < kDataHeader + kFcsLen) return std::nullopt;
+    frame.sequence = get_u16(psdu, 8);
+    frame.payload.assign(psdu.begin() + kDataHeader, psdu.begin() + body);
+  }
+  return frame;
+}
+
+std::size_t data_psdu_size(std::size_t payload_bytes) noexcept {
+  return kDataHeader + payload_bytes + kFcsLen;
+}
+
+std::size_t ack_psdu_size() noexcept { return kAckHeader + kFcsLen; }
+
+}  // namespace rjf::net

@@ -1,0 +1,37 @@
+// Minimal 802.11 MAC framing: data frames carrying UDP datagrams and ACK
+// control frames, with the real CRC-32 FCS so the PHY's decoded bytes are
+// integrity-checked exactly the way the hardware does it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rjf::net {
+
+using Bytes = std::vector<std::uint8_t>;
+
+enum class FrameType : std::uint8_t { kData = 0x20, kAck = 0xD4 };
+
+struct MacFrame {
+  FrameType type = FrameType::kData;
+  std::uint16_t src = 0;
+  std::uint16_t dst = 0;
+  std::uint16_t sequence = 0;
+  Bytes payload;  // UDP datagram for data frames, empty for ACKs
+};
+
+/// Serialise to a PSDU: header + payload + FCS (CRC-32 over all preceding
+/// octets). Data header is 24 octets like the real thing; ACKs use 10.
+[[nodiscard]] Bytes serialize(const MacFrame& frame);
+
+/// Parse and FCS-check a decoded PSDU; nullopt on CRC failure or truncation.
+[[nodiscard]] std::optional<MacFrame> parse(const Bytes& psdu);
+
+/// PSDU size for a data frame with `payload_bytes` of payload.
+[[nodiscard]] std::size_t data_psdu_size(std::size_t payload_bytes) noexcept;
+
+/// PSDU size of an ACK frame.
+[[nodiscard]] std::size_t ack_psdu_size() noexcept;
+
+}  // namespace rjf::net

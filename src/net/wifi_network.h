@@ -1,0 +1,108 @@
+// The paper's full WiFi validation rig (Figs. 9-11): a Linksys-style AP on
+// port 1 of the 5-port network, a wireless client on port 2, and the
+// reactive jammer's TX/RX on ports 4/5, all on WiFi channel 14 (2.484 GHz).
+//
+// The client runs an iperf UDP upload to the AP through an event-driven
+// 802.11 DCF MAC with ARF rate fallback. Every frame exchange is simulated
+// at the SAMPLE level: the client's 20 MSPS waveform is resampled into the
+// jammer's 25 MSPS receive chain, the actual FPGA-core model detects and
+// reacts, its emitted jamming waveform is resampled back onto the AP's
+// (and client's) reception through the measured insertion losses, and the
+// full 802.11 receiver decodes what survives. Air time between frames is
+// fast-forwarded, which is exact for jam scheduling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "channel/five_port.h"
+#include "core/reactive_jammer.h"
+#include "net/arf.h"
+#include "net/dcf.h"
+#include "net/iperf.h"
+#include "net/mac_frame.h"
+#include "phy80211/receiver.h"
+
+namespace rjf::net {
+
+struct WifiNetworkConfig {
+  IperfConfig iperf;
+  DcfTiming timing;
+
+  /// Jamming personality; nullopt = jammer absent ("Jammer Off" curve).
+  std::optional<core::JammerConfig> jammer;
+
+  /// Mean jamming power injected at port 4 while the jammer transmits
+  /// (set through "jammer TX power as well as stacked attenuators").
+  double jammer_tx_power = 0.0;
+
+  double client_tx_power = 1.0;   // mean power injected at port 2
+  double ap_noise_power = 1e-9;   // receiver noise floors
+  double client_noise_power = 1e-9;
+  double jammer_noise_power = 1e-9;
+
+  /// CCA energy-detect threshold at the client (interference power above
+  /// which the medium reads busy and transmission defers).
+  double cca_threshold = 1.3e-8;
+
+  /// Give up on a datagram after deferring this long to a busy medium.
+  double cca_starvation_s = 20e-3;
+
+  phy80211::Rate initial_rate = phy80211::Rate::kMbps54;
+  std::uint64_t seed = 1;
+};
+
+struct WifiRunResult {
+  IperfReport report;
+  double measured_sir_db = 300.0;  // at the AP, during jam bursts
+  std::uint64_t data_frames_sent = 0;
+  std::uint64_t data_frames_delivered = 0;
+  std::uint64_t acks_lost = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t cca_busy_defers = 0;
+  std::uint64_t cca_starved_drops = 0;
+  std::uint64_t jam_triggers = 0;
+  double mean_tx_rate_mbps = 0.0;  // average ARF operating point
+};
+
+class WifiNetworkSim {
+ public:
+  explicit WifiNetworkSim(const WifiNetworkConfig& config);
+
+  /// Run the full iperf test and report what iperf would print.
+  [[nodiscard]] WifiRunResult run();
+
+  /// Analytic SIR at the AP for this configuration (paper x-axis).
+  [[nodiscard]] double nominal_sir_db() const;
+
+ private:
+  struct ExchangeOutcome {
+    bool data_ok = false;
+    bool ack_ok = false;
+    double airtime_s = 0.0;
+  };
+
+  /// Simulate one data+ACK exchange starting at `now` (seconds).
+  ExchangeOutcome exchange(double now, phy80211::Rate rate,
+                           const Bytes& psdu_payload, std::uint16_t seq);
+
+  /// Move the jammer's sample clock to wall time `now`.
+  void sync_jammer_to(double now);
+
+  [[nodiscard]] bool cca_busy();
+
+  WifiNetworkConfig config_;
+  channel::FivePortNetwork network_;
+  std::optional<core::ReactiveJammer> jammer_;
+  double jammer_time_s_ = 0.0;  // wall time of the jammer's sample clock
+  dsp::Xoshiro256 rng_;
+  phy80211::Receiver rx_;
+
+  // Jam-burst power bookkeeping for the measured-SIR output.
+  double jam_power_at_ap_acc_ = 0.0;
+  std::uint64_t jam_power_samples_ = 0;
+  double signal_power_at_ap_acc_ = 0.0;
+  std::uint64_t signal_power_samples_ = 0;
+};
+
+}  // namespace rjf::net

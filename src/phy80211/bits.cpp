@@ -1,0 +1,33 @@
+#include "phy80211/bits.h"
+
+namespace rjf::phy80211 {
+
+Bits bits_from_bytes(std::span<const std::uint8_t> bytes) {
+  Bits bits;
+  bits.reserve(bytes.size() * 8);
+  for (const std::uint8_t byte : bytes)
+    for (unsigned b = 0; b < 8; ++b) bits.push_back((byte >> b) & 1u);
+  return bits;
+}
+
+std::vector<std::uint8_t> bytes_from_bits(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> bytes(bits.size() / 8, 0);
+  for (std::size_t k = 0; k < bytes.size() * 8; ++k)
+    bytes[k / 8] |= static_cast<std::uint8_t>((bits[k] & 1u) << (k % 8));
+  return bytes;
+}
+
+void append_uint(Bits& bits, std::uint32_t value, unsigned count) {
+  for (unsigned b = 0; b < count; ++b)
+    bits.push_back(static_cast<std::uint8_t>((value >> b) & 1u));
+}
+
+std::uint32_t read_uint(std::span<const std::uint8_t> bits, std::size_t offset,
+                        unsigned count) {
+  std::uint32_t value = 0;
+  for (unsigned b = 0; b < count && offset + b < bits.size(); ++b)
+    value |= static_cast<std::uint32_t>(bits[offset + b] & 1u) << b;
+  return value;
+}
+
+}  // namespace rjf::phy80211

@@ -1,0 +1,28 @@
+// Bit-vector helpers shared by the 802.11 encode/decode pipeline.
+//
+// 802.11 serialises octets LSB-first; all bit vectors in this PHY use one
+// std::uint8_t per bit (value 0 or 1) for clarity over packing tricks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rjf::phy80211 {
+
+using Bits = std::vector<std::uint8_t>;
+
+/// Octets to bits, LSB of each octet first (802.11 transmit order).
+[[nodiscard]] Bits bits_from_bytes(std::span<const std::uint8_t> bytes);
+
+/// Bits back to octets; `bits.size()` must be a multiple of 8.
+[[nodiscard]] std::vector<std::uint8_t> bytes_from_bits(std::span<const std::uint8_t> bits);
+
+/// Append `value`'s lowest `count` bits, LSB first.
+void append_uint(Bits& bits, std::uint32_t value, unsigned count);
+
+/// Read `count` bits LSB-first starting at `offset`.
+[[nodiscard]] std::uint32_t read_uint(std::span<const std::uint8_t> bits,
+                                      std::size_t offset, unsigned count);
+
+}  // namespace rjf::phy80211

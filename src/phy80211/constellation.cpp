@@ -1,0 +1,177 @@
+#include "phy80211/constellation.h"
+
+#include <array>
+#include <cmath>
+
+namespace rjf::phy80211 {
+namespace {
+
+// Gray mapping per axis, as in the standard's tables: input bits select an
+// amplitude level. For 16-QAM: b0b1 -> {-3,-1,+3,+1}? No — the standard
+// maps 00->-3, 01->-1, 11->+1, 10->+3. For 64-QAM the 3-bit Gray pattern
+// is 000->-7, 001->-5, 011->-3, 010->-1, 110->+1, 111->+3, 101->+5, 100->+7.
+constexpr std::array<float, 2> kPam2 = {-1.0f, 1.0f};
+constexpr std::array<float, 4> kPam4 = {-3.0f, -1.0f, 3.0f, 1.0f};
+constexpr std::array<float, 8> kPam8 = {-7.0f, -5.0f, -1.0f, -3.0f,
+                                        7.0f,  5.0f,  1.0f,  3.0f};
+
+float kmod(Modulation mod) {
+  switch (mod) {
+    case Modulation::kBpsk: return 1.0f;
+    case Modulation::kQpsk: return 1.0f / std::sqrt(2.0f);
+    case Modulation::kQam16: return 1.0f / std::sqrt(10.0f);
+    case Modulation::kQam64: return 1.0f / std::sqrt(42.0f);
+  }
+  return 1.0f;
+}
+
+// Nearest-level hard decision, returning the Gray bits for that level.
+template <std::size_t N>
+unsigned slice(const std::array<float, N>& pam, float x) {
+  unsigned best = 0;
+  float best_dist = 1e30f;
+  for (unsigned idx = 0; idx < N; ++idx) {
+    const float d = std::abs(x - pam[idx]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = idx;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+unsigned bits_per_symbol(Modulation mod) noexcept {
+  switch (mod) {
+    case Modulation::kBpsk: return 1;
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 6;
+  }
+  return 1;
+}
+
+dsp::cvec map_bits(std::span<const std::uint8_t> bits, Modulation mod) {
+  const unsigned bps = bits_per_symbol(mod);
+  const float k = kmod(mod);
+  dsp::cvec out;
+  out.reserve(bits.size() / bps);
+  for (std::size_t n = 0; n + bps <= bits.size(); n += bps) {
+    float i = 0.0f;
+    float q = 0.0f;
+    switch (mod) {
+      case Modulation::kBpsk:
+        i = kPam2[bits[n]];
+        q = 0.0f;
+        break;
+      case Modulation::kQpsk:
+        i = kPam2[bits[n]];
+        q = kPam2[bits[n + 1]];
+        break;
+      case Modulation::kQam16:
+        i = kPam4[bits[n] | (bits[n + 1] << 1)];
+        q = kPam4[bits[n + 2] | (bits[n + 3] << 1)];
+        break;
+      case Modulation::kQam64:
+        i = kPam8[bits[n] | (bits[n + 1] << 1) | (bits[n + 2] << 2)];
+        q = kPam8[bits[n + 3] | (bits[n + 4] << 1) | (bits[n + 5] << 2)];
+        break;
+    }
+    out.emplace_back(i * k, q * k);
+  }
+  return out;
+}
+
+Bits demap_symbols(std::span<const dsp::cfloat> symbols, Modulation mod) {
+  const float inv_k = 1.0f / kmod(mod);
+  Bits out;
+  out.reserve(symbols.size() * bits_per_symbol(mod));
+  for (const dsp::cfloat s : symbols) {
+    const float i = s.real() * inv_k;
+    const float q = s.imag() * inv_k;
+    switch (mod) {
+      case Modulation::kBpsk: {
+        out.push_back(i >= 0.0f ? 1 : 0);
+        break;
+      }
+      case Modulation::kQpsk: {
+        out.push_back(i >= 0.0f ? 1 : 0);
+        out.push_back(q >= 0.0f ? 1 : 0);
+        break;
+      }
+      case Modulation::kQam16: {
+        const unsigned gi = slice(kPam4, i);
+        const unsigned gq = slice(kPam4, q);
+        out.push_back(gi & 1u);
+        out.push_back((gi >> 1) & 1u);
+        out.push_back(gq & 1u);
+        out.push_back((gq >> 1) & 1u);
+        break;
+      }
+      case Modulation::kQam64: {
+        const unsigned gi = slice(kPam8, i);
+        const unsigned gq = slice(kPam8, q);
+        out.push_back(gi & 1u);
+        out.push_back((gi >> 1) & 1u);
+        out.push_back((gi >> 2) & 1u);
+        out.push_back(gq & 1u);
+        out.push_back((gq >> 1) & 1u);
+        out.push_back((gq >> 2) & 1u);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> demap_soft(std::span<const dsp::cfloat> symbols,
+                              Modulation mod, float noise_var) {
+  const unsigned bps = bits_per_symbol(mod);
+  const float inv_k = 1.0f / kmod(mod);
+  const float scale = 2.0f / std::max(noise_var, 1e-9f);
+  std::vector<float> llrs;
+  llrs.reserve(symbols.size() * bps);
+
+  // Max-log LLR per axis: for each bit, distance to the nearest level with
+  // bit=1 minus distance to the nearest level with bit=0.
+  const auto axis_llrs = [&](auto& pam, float x, unsigned bits_per_axis,
+                             auto&& push) {
+    for (unsigned b = 0; b < bits_per_axis; ++b) {
+      float best0 = 1e30f, best1 = 1e30f;
+      for (unsigned level = 0; level < pam.size(); ++level) {
+        const float d = (x - pam[level]) * (x - pam[level]);
+        if ((level >> b) & 1u)
+          best1 = std::min(best1, d);
+        else
+          best0 = std::min(best0, d);
+      }
+      push(scale * (best0 - best1));
+    }
+  };
+
+  for (const dsp::cfloat s : symbols) {
+    const float i = s.real() * inv_k;
+    const float q = s.imag() * inv_k;
+    switch (mod) {
+      case Modulation::kBpsk:
+        llrs.push_back(scale * 2.0f * i);
+        break;
+      case Modulation::kQpsk:
+        llrs.push_back(scale * 2.0f * i);
+        llrs.push_back(scale * 2.0f * q);
+        break;
+      case Modulation::kQam16:
+        axis_llrs(kPam4, i, 2, [&](float v) { llrs.push_back(v); });
+        axis_llrs(kPam4, q, 2, [&](float v) { llrs.push_back(v); });
+        break;
+      case Modulation::kQam64:
+        axis_llrs(kPam8, i, 3, [&](float v) { llrs.push_back(v); });
+        axis_llrs(kPam8, q, 3, [&](float v) { llrs.push_back(v); });
+        break;
+    }
+  }
+  return llrs;
+}
+
+}  // namespace rjf::phy80211

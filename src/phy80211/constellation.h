@@ -1,0 +1,29 @@
+// Gray-coded constellation mapping for 802.11a/g: BPSK, QPSK, 16-QAM,
+// 64-QAM, with the standard K_mod normalisation so every constellation has
+// unit mean power.
+#pragma once
+
+#include "dsp/types.h"
+#include "phy80211/bits.h"
+
+namespace rjf::phy80211 {
+
+enum class Modulation { kBpsk, kQpsk, kQam16, kQam64 };
+
+/// Coded bits per subcarrier for the modulation.
+[[nodiscard]] unsigned bits_per_symbol(Modulation mod) noexcept;
+
+/// Map bits (length divisible by bits_per_symbol) to unit-power symbols.
+[[nodiscard]] dsp::cvec map_bits(std::span<const std::uint8_t> bits, Modulation mod);
+
+/// Hard-decision demap back to bits.
+[[nodiscard]] Bits demap_symbols(std::span<const dsp::cfloat> symbols, Modulation mod);
+
+/// Soft demap: max-log LLR per coded bit, positive = bit 1 more likely.
+/// `noise_var` scales the confidence; any positive value yields correct
+/// Viterbi behaviour since only relative magnitudes matter.
+[[nodiscard]] std::vector<float> demap_soft(std::span<const dsp::cfloat> symbols,
+                                            Modulation mod,
+                                            float noise_var = 1.0f);
+
+}  // namespace rjf::phy80211

@@ -1,0 +1,48 @@
+#include "phy80211/interleaver.h"
+
+#include <algorithm>
+
+namespace rjf::phy80211 {
+namespace {
+
+// Destination index of source bit k after both permutations (17-18 in the
+// standard): first spreads adjacent coded bits across subcarriers, second
+// alternates them between significant bit positions in the constellation.
+std::size_t mapped_index(std::size_t k, unsigned n_cbps, unsigned n_bpsc) {
+  const unsigned s = std::max(n_bpsc / 2, 1u);
+  const std::size_t i = (n_cbps / 16) * (k % 16) + (k / 16);
+  const std::size_t j =
+      s * (i / s) + (i + n_cbps - (16 * i) / n_cbps) % s;
+  return j;
+}
+
+}  // namespace
+
+Bits interleave(std::span<const std::uint8_t> bits, unsigned n_cbps,
+                unsigned n_bpsc) {
+  Bits out(bits.size());
+  for (std::size_t block = 0; block + n_cbps <= bits.size(); block += n_cbps)
+    for (std::size_t k = 0; k < n_cbps; ++k)
+      out[block + mapped_index(k, n_cbps, n_bpsc)] = bits[block + k];
+  return out;
+}
+
+Bits deinterleave(std::span<const std::uint8_t> bits, unsigned n_cbps,
+                  unsigned n_bpsc) {
+  Bits out(bits.size());
+  for (std::size_t block = 0; block + n_cbps <= bits.size(); block += n_cbps)
+    for (std::size_t k = 0; k < n_cbps; ++k)
+      out[block + k] = bits[block + mapped_index(k, n_cbps, n_bpsc)];
+  return out;
+}
+
+std::vector<float> deinterleave_soft(std::span<const float> llrs,
+                                     unsigned n_cbps, unsigned n_bpsc) {
+  std::vector<float> out(llrs.size());
+  for (std::size_t block = 0; block + n_cbps <= llrs.size(); block += n_cbps)
+    for (std::size_t k = 0; k < n_cbps; ++k)
+      out[block + k] = llrs[block + mapped_index(k, n_cbps, n_bpsc)];
+  return out;
+}
+
+}  // namespace rjf::phy80211

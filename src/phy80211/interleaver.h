@@ -1,0 +1,22 @@
+// 802.11 per-symbol block interleaver (two-permutation form).
+#pragma once
+
+#include "phy80211/bits.h"
+
+namespace rjf::phy80211 {
+
+/// Interleave one OFDM symbol's worth of coded bits.
+/// `n_cbps`: coded bits per symbol; `n_bpsc`: coded bits per subcarrier.
+[[nodiscard]] Bits interleave(std::span<const std::uint8_t> bits,
+                              unsigned n_cbps, unsigned n_bpsc);
+
+/// Exact inverse of interleave().
+[[nodiscard]] Bits deinterleave(std::span<const std::uint8_t> bits,
+                                unsigned n_cbps, unsigned n_bpsc);
+
+/// Soft-value variant for the LLR receive path.
+[[nodiscard]] std::vector<float> deinterleave_soft(std::span<const float> llrs,
+                                                   unsigned n_cbps,
+                                                   unsigned n_bpsc);
+
+}  // namespace rjf::phy80211

@@ -1,0 +1,95 @@
+#include "phy80211/ofdm.h"
+
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "phy80211/scrambler.h"
+
+namespace rjf::phy80211 {
+namespace {
+
+constexpr std::array<int, 4> kPilotCarriers = {-21, -7, 7, 21};
+// Pilot base values at {-21,-7,7,21}; the last pilot is inverted.
+constexpr std::array<float, 4> kPilotValues = {1.0f, 1.0f, 1.0f, -1.0f};
+
+std::array<int, kNumDataCarriers> make_data_carriers() {
+  std::array<int, kNumDataCarriers> list{};
+  std::size_t n = 0;
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0 || k == -21 || k == -7 || k == 7 || k == 21) continue;
+    list[n++] = k;
+  }
+  return list;
+}
+
+}  // namespace
+
+const std::array<int, kNumDataCarriers>& data_carriers() noexcept {
+  static const auto kList = make_data_carriers();
+  return kList;
+}
+
+float pilot_polarity(std::size_t symbol_index) noexcept {
+  static const Bits kSeq = pilot_polarity_sequence();
+  // p_n = 1 - 2 * seq[n mod 127]
+  return kSeq[symbol_index % kSeq.size()] ? -1.0f : 1.0f;
+}
+
+dsp::cvec modulate_symbol(std::span<const dsp::cfloat> data48,
+                          std::size_t symbol_index) {
+  dsp::cvec freq(kFftSize, dsp::cfloat{});
+  const auto& carriers = data_carriers();
+  for (std::size_t n = 0; n < kNumDataCarriers && n < data48.size(); ++n)
+    freq[fft_bin(carriers[n])] = data48[n];
+  const float polarity = pilot_polarity(symbol_index);
+  for (std::size_t p = 0; p < kPilotCarriers.size(); ++p)
+    freq[fft_bin(kPilotCarriers[p])] = dsp::cfloat{kPilotValues[p] * polarity, 0.0f};
+
+  dsp::cvec time = dsp::ifft_copy(freq);
+  // Scale so the mean power over occupied carriers is ~1 per time sample:
+  // 52 active bins out of 64 with IFFT's 1/N normalisation gives mean power
+  // 52/64^2 per sample; multiply by 64/sqrt(52) to land at unit power.
+  const float gain = static_cast<float>(kFftSize / std::sqrt(52.0));
+  for (auto& s : time) s *= gain;
+
+  dsp::cvec out;
+  out.reserve(kSymbolLen);
+  out.insert(out.end(), time.end() - kCpLen, time.end());  // cyclic prefix
+  out.insert(out.end(), time.begin(), time.end());
+  return out;
+}
+
+dsp::cvec demodulate_symbol(std::span<const dsp::cfloat> symbol80,
+                            std::span<const dsp::cfloat> channel,
+                            std::size_t symbol_index) {
+  dsp::cvec time(symbol80.begin() + kCpLen, symbol80.end());
+  const float gain = static_cast<float>(kFftSize / std::sqrt(52.0));
+  for (auto& s : time) s /= gain;
+  dsp::fft(time);
+
+  // Zero-forcing equalisation.
+  dsp::cvec eq(kFftSize, dsp::cfloat{});
+  for (std::size_t bin = 0; bin < kFftSize; ++bin) {
+    const dsp::cfloat h = bin < channel.size() ? channel[bin] : dsp::cfloat{1, 0};
+    eq[bin] = (std::norm(h) > 1e-12f) ? time[bin] / h : dsp::cfloat{};
+  }
+
+  // Common phase error from the pilots.
+  const float polarity = pilot_polarity(symbol_index);
+  dsp::cfloat pilot_acc{};
+  for (std::size_t p = 0; p < kPilotCarriers.size(); ++p) {
+    const dsp::cfloat expected{kPilotValues[p] * polarity, 0.0f};
+    pilot_acc += eq[fft_bin(kPilotCarriers[p])] * std::conj(expected);
+  }
+  const float mag = std::abs(pilot_acc);
+  const dsp::cfloat phase_corr =
+      mag > 1e-9f ? std::conj(pilot_acc) / mag : dsp::cfloat{1, 0};
+
+  dsp::cvec data(kNumDataCarriers);
+  const auto& carriers = data_carriers();
+  for (std::size_t n = 0; n < kNumDataCarriers; ++n)
+    data[n] = eq[fft_bin(carriers[n])] * phase_corr;
+  return data;
+}
+
+}  // namespace rjf::phy80211

@@ -1,0 +1,44 @@
+// OFDM symbol construction/deconstruction for 802.11a/g: 64-point FFT,
+// 48 data subcarriers, 4 pilots (±7, ±21) with the 127-period polarity
+// sequence, and a 16-sample (0.8 µs) cyclic prefix at 20 MSPS.
+#pragma once
+
+#include <array>
+
+#include "dsp/types.h"
+#include "phy80211/bits.h"
+
+namespace rjf::phy80211 {
+
+inline constexpr std::size_t kFftSize = 64;
+inline constexpr std::size_t kCpLen = 16;
+inline constexpr std::size_t kSymbolLen = kFftSize + kCpLen;  // 80 samples
+inline constexpr std::size_t kNumDataCarriers = 48;
+inline constexpr double kSampleRateHz = 20e6;  // 802.11g native rate
+
+/// Logical subcarrier indices (-26..26, excluding 0 and pilots) of the 48
+/// data carriers, in increasing order.
+[[nodiscard]] const std::array<int, kNumDataCarriers>& data_carriers() noexcept;
+
+/// Pilot polarity p_n for OFDM symbol index n (0 = SIGNAL symbol).
+[[nodiscard]] float pilot_polarity(std::size_t symbol_index) noexcept;
+
+/// Map a logical subcarrier index (-32..31) to its FFT bin (0..63).
+[[nodiscard]] constexpr std::size_t fft_bin(int carrier) noexcept {
+  return carrier >= 0 ? static_cast<std::size_t>(carrier)
+                      : static_cast<std::size_t>(64 + carrier);
+}
+
+/// Build one time-domain OFDM symbol (80 samples incl. CP) from 48 data
+/// symbols. `symbol_index` selects the pilot polarity.
+[[nodiscard]] dsp::cvec modulate_symbol(std::span<const dsp::cfloat> data48,
+                                        std::size_t symbol_index);
+
+/// Inverse: strip CP, FFT, equalise with `channel` (per-bin complex gains),
+/// correct residual common phase from the pilots, return the 48 data bins.
+[[nodiscard]] dsp::cvec demodulate_symbol(
+    std::span<const dsp::cfloat> symbol80,
+    std::span<const dsp::cfloat> channel /* 64 bins */,
+    std::size_t symbol_index);
+
+}  // namespace rjf::phy80211

@@ -1,0 +1,96 @@
+#include "phy80211/preamble.h"
+
+#include <array>
+#include <cmath>
+
+#include "dsp/db.h"
+#include "dsp/fft.h"
+#include "phy80211/ofdm.h"
+
+namespace rjf::phy80211 {
+namespace {
+
+// Non-zero short-training subcarriers (k, value/(1+j)); the standard's
+// S_k sequence has magnitude sqrt(13/6)*(1+j) entries every 4th carrier.
+struct StsEntry {
+  int carrier;
+  float sign;  // multiplies (1+j)
+};
+constexpr std::array<StsEntry, 12> kSts = {{{-24, 1.0f},
+                                            {-20, -1.0f},
+                                            {-16, 1.0f},
+                                            {-12, -1.0f},
+                                            {-8, -1.0f},
+                                            {-4, 1.0f},
+                                            {4, -1.0f},
+                                            {8, -1.0f},
+                                            {12, 1.0f},
+                                            {16, 1.0f},
+                                            {20, 1.0f},
+                                            {24, 1.0f}}};
+
+// LTS: +1/-1 values on carriers -26..26 (0 excluded -> value 0).
+constexpr std::array<int, 53> kLts = {
+    1, 1, -1, -1, 1,  1,  -1, 1,  -1, 1,  1,  1,  1,  1,  1, -1, -1, 1,
+    1, -1, 1, -1, 1,  1,  1,  1,  0,  1,  -1, -1, 1,  1,  -1, 1,  -1, 1,
+    -1, -1, -1, -1, -1, 1,  1,  -1, -1, 1,  -1, 1,  -1, 1,  1,  1,  1};
+
+dsp::cvec normalise(dsp::cvec x) {
+  dsp::set_mean_power(std::span<dsp::cfloat>(x), 1.0);
+  return x;
+}
+
+}  // namespace
+
+dsp::cvec short_training_symbol() {
+  dsp::cvec freq(kFftSize, dsp::cfloat{});
+  const float amp = std::sqrt(13.0f / 6.0f);
+  for (const auto& e : kSts)
+    freq[fft_bin(e.carrier)] = dsp::cfloat{e.sign * amp, e.sign * amp};
+  dsp::cvec time = dsp::ifft_copy(freq);
+  // The 64-sample IFFT of the 4-spaced STS grid is periodic with period 16.
+  dsp::cvec period(time.begin(), time.begin() + kShortSymbolLen);
+  return normalise(std::move(period));
+}
+
+dsp::cvec short_preamble() {
+  const dsp::cvec sym = short_training_symbol();
+  dsp::cvec out;
+  out.reserve(kShortPreambleLen);
+  for (int rep = 0; rep < 10; ++rep) out.insert(out.end(), sym.begin(), sym.end());
+  return out;
+}
+
+dsp::cvec long_training_symbol() {
+  dsp::cvec freq = lts_frequency_domain();
+  dsp::cvec time = dsp::ifft_copy(freq);
+  return normalise(std::move(time));
+}
+
+dsp::cvec long_preamble() {
+  const dsp::cvec sym = long_training_symbol();
+  dsp::cvec out;
+  out.reserve(kLongPreambleLen);
+  // GI2: double-length guard = last 32 samples of the LTS.
+  out.insert(out.end(), sym.end() - 32, sym.end());
+  out.insert(out.end(), sym.begin(), sym.end());
+  out.insert(out.end(), sym.begin(), sym.end());
+  return out;
+}
+
+dsp::cvec lts_frequency_domain() {
+  dsp::cvec freq(kFftSize, dsp::cfloat{});
+  for (int k = -26; k <= 26; ++k)
+    freq[fft_bin(k)] =
+        dsp::cfloat{static_cast<float>(kLts[static_cast<std::size_t>(k + 26)]), 0.0f};
+  return freq;
+}
+
+dsp::cvec plcp_preamble() {
+  dsp::cvec out = short_preamble();
+  const dsp::cvec lp = long_preamble();
+  out.insert(out.end(), lp.begin(), lp.end());
+  return out;
+}
+
+}  // namespace rjf::phy80211

@@ -1,0 +1,39 @@
+// 802.11a/g PLCP preamble: 10 short training symbols (8 µs) followed by two
+// long training symbols behind a double-length guard interval (8 µs).
+//
+// These are the waveforms the paper's cross-correlator templates are built
+// from: the short preamble is a 16-sample code repeated 10 times; the long
+// preamble is a 64-sample code repeated twice. All waveforms are generated
+// at the standard 20 MSPS — the 20 vs 25 MSPS mismatch at the jammer is
+// then produced by the resampling stage, exactly as in the paper.
+#pragma once
+
+#include "dsp/types.h"
+
+namespace rjf::phy80211 {
+
+inline constexpr std::size_t kShortSymbolLen = 16;   // 0.8 us at 20 MSPS
+inline constexpr std::size_t kShortPreambleLen = 160; // 10 repetitions
+inline constexpr std::size_t kLongSymbolLen = 64;    // 3.2 us
+inline constexpr std::size_t kLongPreambleLen = 160; // 32 GI + 2 x 64
+
+/// One period (16 samples) of the short training sequence, unit mean power.
+[[nodiscard]] dsp::cvec short_training_symbol();
+
+/// Full 160-sample short preamble.
+[[nodiscard]] dsp::cvec short_preamble();
+
+/// One period (64 samples) of the long training sequence, unit mean power.
+[[nodiscard]] dsp::cvec long_training_symbol();
+
+/// Full 160-sample long preamble (GI2 + LTS + LTS).
+[[nodiscard]] dsp::cvec long_preamble();
+
+/// Frequency-domain LTS values per FFT bin (+1/-1 on the 52 active bins),
+/// used by the receiver for channel estimation.
+[[nodiscard]] dsp::cvec lts_frequency_domain();
+
+/// Complete 320-sample PLCP preamble (short + long).
+[[nodiscard]] dsp::cvec plcp_preamble();
+
+}  // namespace rjf::phy80211

@@ -1,0 +1,49 @@
+// 802.11a/g rate-dependent parameters (standard Table 17-3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "phy80211/constellation.h"
+#include "phy80211/convolutional.h"
+
+namespace rjf::phy80211 {
+
+enum class Rate : std::uint8_t {
+  kMbps6,
+  kMbps9,
+  kMbps12,
+  kMbps18,
+  kMbps24,
+  kMbps36,
+  kMbps48,
+  kMbps54,
+};
+
+struct RateParams {
+  Rate rate;
+  double mbps;            // nominal data rate
+  Modulation modulation;
+  CodeRate code_rate;
+  unsigned n_bpsc;        // coded bits per subcarrier
+  unsigned n_cbps;        // coded bits per OFDM symbol
+  unsigned n_dbps;        // data bits per OFDM symbol
+  std::uint8_t signal_rate_bits;  // 4-bit RATE field value
+};
+
+[[nodiscard]] const RateParams& rate_params(Rate rate) noexcept;
+
+/// Look up a rate from the 4-bit SIGNAL RATE field; nullopt if invalid.
+[[nodiscard]] std::optional<Rate> rate_from_signal_bits(std::uint8_t bits) noexcept;
+
+/// All eight rates in ascending order (for ARF and sweeps).
+[[nodiscard]] std::span<const Rate> all_rates() noexcept;
+
+/// Number of DATA OFDM symbols for a PSDU of `psdu_bytes` at `rate`
+/// (16 SERVICE bits + 8*bytes + 6 tail bits, padded to a symbol boundary).
+[[nodiscard]] std::size_t num_data_symbols(Rate rate, std::size_t psdu_bytes) noexcept;
+
+/// Total frame airtime in seconds at 20 MSPS (preamble + SIGNAL + DATA).
+[[nodiscard]] double frame_duration_s(Rate rate, std::size_t psdu_bytes) noexcept;
+
+}  // namespace rjf::phy80211

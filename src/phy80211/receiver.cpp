@@ -1,0 +1,140 @@
+#include "phy80211/receiver.h"
+
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "phy80211/interleaver.h"
+#include "phy80211/ofdm.h"
+#include "phy80211/preamble.h"
+#include "phy80211/scrambler.h"
+
+namespace rjf::phy80211 {
+namespace {
+
+constexpr std::size_t kNominalLtsStart = 192;  // short(160) + GI2(32)
+constexpr std::size_t kNominalDataStart = 320;
+
+// Correlation magnitude of `x[offset..offset+64)` against the LTS.
+double lts_metric(std::span<const dsp::cfloat> x, std::size_t offset,
+                  const dsp::cvec& lts) {
+  dsp::cfloat acc{};
+  for (std::size_t k = 0; k < kLongSymbolLen; ++k)
+    acc += x[offset + k] * std::conj(lts[k]);
+  return std::abs(acc);
+}
+
+}  // namespace
+
+RxResult Receiver::receive(std::span<const dsp::cfloat> capture) const {
+  RxResult result;
+  if (capture.size() < kNominalDataStart + kSymbolLen + sync_search_)
+    return result;
+
+  // -- Fine timing: search for the first LTS copy around its nominal spot.
+  static const dsp::cvec kLtsTime = long_training_symbol();
+  const auto start_lo =
+      static_cast<long>(kNominalLtsStart) - static_cast<long>(sync_search_);
+  long best_offset = static_cast<long>(kNominalLtsStart);
+  double best_metric = -1.0;
+  for (long o = start_lo;
+       o <= static_cast<long>(kNominalLtsStart + sync_search_); ++o) {
+    if (o < 0) continue;
+    const double m = lts_metric(capture, static_cast<std::size_t>(o), kLtsTime);
+    if (m > best_metric) {
+      best_metric = m;
+      best_offset = o;
+    }
+  }
+  // Require the correlation to clearly beat the average signal level.
+  double capture_power = 0.0;
+  for (std::size_t k = 0; k < kNominalDataStart; ++k)
+    capture_power += std::norm(capture[k]);
+  capture_power /= static_cast<double>(kNominalDataStart);
+  if (capture_power <= 0.0 ||
+      best_metric < 0.3 * kLongSymbolLen * std::sqrt(capture_power))
+    return result;
+  result.synchronized = true;
+
+  const auto lts0 = static_cast<std::size_t>(best_offset);
+  const std::size_t data_start = lts0 + 2 * kLongSymbolLen;
+  const float gain = static_cast<float>(kFftSize / std::sqrt(52.0));
+
+  // -- Channel estimate: average the two LTS copies, compare against L_k.
+  dsp::cvec lts_avg(kFftSize);
+  for (std::size_t k = 0; k < kFftSize; ++k)
+    lts_avg[k] =
+        (capture[lts0 + k] + capture[lts0 + kLongSymbolLen + k]) * 0.5f / gain;
+  dsp::fft(lts_avg);
+  const dsp::cvec lts_ref = lts_frequency_domain();
+  dsp::cvec channel(kFftSize, dsp::cfloat{1.0f, 0.0f});
+  for (std::size_t bin = 0; bin < kFftSize; ++bin)
+    if (std::norm(lts_ref[bin]) > 0.5f) channel[bin] = lts_avg[bin] / lts_ref[bin];
+
+  // -- SIGNAL symbol.
+  if (capture.size() < data_start + kSymbolLen) return result;
+  const dsp::cvec sig_data = demodulate_symbol(
+      capture.subspan(data_start, kSymbolLen), channel, 0);
+  const Bits sig_bits_raw = demap_symbols(sig_data, Modulation::kBpsk);
+  const Bits sig_deinter = deinterleave(sig_bits_raw, 48, 1);
+  const Bits sig_decoded = decode_at_rate(sig_deinter, CodeRate::kHalf, 24);
+  const auto signal = decode_signal(sig_decoded);
+  if (!signal) return result;
+  result.signal_valid = true;
+  result.signal = signal;
+
+  // -- DATA symbols.
+  const auto& p = rate_params(signal->rate);
+  const std::size_t n_sym = num_data_symbols(signal->rate, signal->length);
+  const std::size_t needed = data_start + kSymbolLen * (1 + n_sym);
+  if (capture.size() < needed) {
+    result.signal_valid = false;  // truncated capture
+    return result;
+  }
+
+  const std::size_t n_data_bits = n_sym * p.n_dbps;
+  Bits scrambled;
+  if (soft_) {
+    std::vector<float> coded;
+    coded.reserve(n_sym * p.n_cbps);
+    for (std::size_t s = 0; s < n_sym; ++s) {
+      const std::size_t at = data_start + kSymbolLen * (1 + s);
+      const dsp::cvec data48 =
+          demodulate_symbol(capture.subspan(at, kSymbolLen), channel, s + 1);
+      const std::vector<float> raw = demap_soft(data48, p.modulation);
+      const std::vector<float> deinter =
+          deinterleave_soft(raw, p.n_cbps, p.n_bpsc);
+      coded.insert(coded.end(), deinter.begin(), deinter.end());
+    }
+    scrambled = decode_at_rate_soft(coded, p.code_rate, n_data_bits);
+  } else {
+    Bits coded;
+    coded.reserve(n_sym * p.n_cbps);
+    for (std::size_t s = 0; s < n_sym; ++s) {
+      const std::size_t at = data_start + kSymbolLen * (1 + s);
+      const dsp::cvec data48 =
+          demodulate_symbol(capture.subspan(at, kSymbolLen), channel, s + 1);
+      const Bits raw = demap_symbols(data48, p.modulation);
+      const Bits deinter = deinterleave(raw, p.n_cbps, p.n_bpsc);
+      coded.insert(coded.end(), deinter.begin(), deinter.end());
+    }
+    scrambled = decode_at_rate(coded, p.code_rate, n_data_bits);
+  }
+
+  // -- Descramble: the 7 scrambler-init SERVICE bits were transmitted as
+  // zeros, so the received values are the scrambler sequence itself.
+  Scrambler descrambler(recover_scrambler_state(
+      std::span<const std::uint8_t>(scrambled.data(), 7)));
+  Bits descrambled(scrambled.size());
+  for (std::size_t k = 0; k < 7; ++k) descrambled[k] = 0;
+  for (std::size_t k = 7; k < scrambled.size(); ++k)
+    descrambled[k] =
+        static_cast<std::uint8_t>((scrambled[k] ^ descrambler.next_bit()) & 1u);
+
+  const std::size_t psdu_bits = static_cast<std::size_t>(signal->length) * 8;
+  if (descrambled.size() < 16 + psdu_bits) return result;
+  result.psdu = bytes_from_bits(
+      std::span<const std::uint8_t>(descrambled.data() + 16, psdu_bits));
+  return result;
+}
+
+}  // namespace rjf::phy80211

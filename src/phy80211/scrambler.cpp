@@ -1,0 +1,36 @@
+#include "phy80211/scrambler.h"
+
+namespace rjf::phy80211 {
+
+std::uint8_t Scrambler::next_bit() noexcept {
+  // Feedback = x^7 xor x^4 (bits 6 and 3 of the state register).
+  const std::uint8_t fb =
+      static_cast<std::uint8_t>(((state_ >> 6) ^ (state_ >> 3)) & 1u);
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | fb) & 0x7F);
+  return fb;
+}
+
+Bits Scrambler::process(std::span<const std::uint8_t> bits) {
+  Bits out(bits.size());
+  for (std::size_t k = 0; k < bits.size(); ++k)
+    out[k] = static_cast<std::uint8_t>((bits[k] ^ next_bit()) & 1u);
+  return out;
+}
+
+std::uint8_t recover_scrambler_state(std::span<const std::uint8_t> first7) {
+  // The descrambler state after shifting in 7 sequence bits equals those
+  // bits in order: bit k lands at register position 6-k.
+  std::uint8_t state = 0;
+  for (std::size_t k = 0; k < 7 && k < first7.size(); ++k)
+    state = static_cast<std::uint8_t>((state << 1) | (first7[k] & 1u));
+  return state;
+}
+
+Bits pilot_polarity_sequence() {
+  Scrambler s(0x7F);
+  Bits seq(127);
+  for (auto& bit : seq) bit = s.next_bit();
+  return seq;
+}
+
+}  // namespace rjf::phy80211

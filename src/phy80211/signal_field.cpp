@@ -1,0 +1,41 @@
+#include "phy80211/signal_field.h"
+
+namespace rjf::phy80211 {
+
+Bits encode_signal(const SignalField& field) {
+  Bits bits;
+  bits.reserve(24);
+  const auto& params = rate_params(field.rate);
+  // RATE is transmitted MSB first (bit R1 first in the standard's ordering).
+  for (int b = 3; b >= 0; --b)
+    bits.push_back((params.signal_rate_bits >> b) & 1u);
+  bits.push_back(0);  // reserved
+  append_uint(bits, field.length & 0xFFF, 12);  // LENGTH, LSB first
+  std::uint8_t parity = 0;
+  for (const std::uint8_t bit : bits) parity ^= bit;
+  bits.push_back(parity);
+  for (int t = 0; t < 6; ++t) bits.push_back(0);  // tail
+  return bits;
+}
+
+std::optional<SignalField> decode_signal(std::span<const std::uint8_t> bits24) {
+  if (bits24.size() < 24) return std::nullopt;
+  std::uint8_t parity = 0;
+  for (std::size_t k = 0; k < 18; ++k) parity ^= bits24[k] & 1u;
+  if (parity != 0) return std::nullopt;
+  if (bits24[4] != 0) return std::nullopt;  // reserved must be 0
+
+  std::uint8_t rate_bits = 0;
+  for (int b = 0; b < 4; ++b)
+    rate_bits = static_cast<std::uint8_t>((rate_bits << 1) | (bits24[b] & 1u));
+  const auto rate = rate_from_signal_bits(rate_bits);
+  if (!rate) return std::nullopt;
+
+  SignalField field;
+  field.rate = *rate;
+  field.length = static_cast<std::uint16_t>(read_uint(bits24, 5, 12));
+  if (field.length == 0) return std::nullopt;
+  return field;
+}
+
+}  // namespace rjf::phy80211

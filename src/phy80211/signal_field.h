@@ -1,0 +1,26 @@
+// PLCP SIGNAL field: 24 bits (RATE[4], reserved, LENGTH[12], even parity,
+// 6 tail zeros), always transmitted as one BPSK rate-1/2 OFDM symbol.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "phy80211/bits.h"
+#include "phy80211/rates.h"
+
+namespace rjf::phy80211 {
+
+struct SignalField {
+  Rate rate = Rate::kMbps6;
+  std::uint16_t length = 0;  // PSDU length in octets (1..4095)
+};
+
+/// Encode to the 24 unscrambled SIGNAL bits.
+[[nodiscard]] Bits encode_signal(const SignalField& field);
+
+/// Decode 24 bits; nullopt if the parity fails, the rate is invalid, or the
+/// reserved bit is set.
+[[nodiscard]] std::optional<SignalField> decode_signal(
+    std::span<const std::uint8_t> bits24);
+
+}  // namespace rjf::phy80211

@@ -1,0 +1,70 @@
+#include "phy80211/transmitter.h"
+
+#include "phy80211/interleaver.h"
+#include "phy80211/ofdm.h"
+#include "phy80211/preamble.h"
+#include "phy80211/scrambler.h"
+#include "phy80211/signal_field.h"
+
+namespace rjf::phy80211 {
+namespace {
+
+// SIGNAL symbol: BPSK rate-1/2, never scrambled, pilot index 0.
+dsp::cvec build_signal_symbol(Rate rate, std::size_t psdu_bytes) {
+  const Bits bits = encode_signal(
+      SignalField{rate, static_cast<std::uint16_t>(psdu_bytes)});
+  const Bits coded = encode_at_rate(bits, CodeRate::kHalf);
+  const Bits inter = interleave(coded, 48, 1);
+  const dsp::cvec mapped = map_bits(inter, Modulation::kBpsk);
+  return modulate_symbol(mapped, 0);
+}
+
+}  // namespace
+
+dsp::cvec Transmitter::transmit(std::span<const std::uint8_t> psdu) const {
+  const auto& p = rate_params(config_.rate);
+
+  // DATA bit assembly: 16 SERVICE zeros (7 of which sync the descrambler),
+  // the PSDU LSB-first, 6 tail zeros, zero-pad to a symbol boundary.
+  Bits data;
+  data.reserve(16 + psdu.size() * 8 + 6 + p.n_dbps);
+  for (int k = 0; k < 16; ++k) data.push_back(0);
+  const Bits payload = bits_from_bytes(psdu);
+  data.insert(data.end(), payload.begin(), payload.end());
+  for (int k = 0; k < 6; ++k) data.push_back(0);
+  const std::size_t n_sym = num_data_symbols(config_.rate, psdu.size());
+  data.resize(n_sym * p.n_dbps, 0);
+
+  // Scramble everything, then force the 6 tail bits back to zero so the
+  // convolutional code terminates (standard 17.3.5.3).
+  Scrambler scrambler(config_.scrambler_seed);
+  Bits scrambled = scrambler.process(data);
+  const std::size_t tail_at = 16 + psdu.size() * 8;
+  for (std::size_t k = 0; k < 6; ++k) scrambled[tail_at + k] = 0;
+
+  const Bits coded = encode_at_rate(scrambled, p.code_rate);
+
+  dsp::cvec waveform = plcp_preamble();
+  const dsp::cvec signal = build_signal_symbol(config_.rate, psdu.size());
+  waveform.insert(waveform.end(), signal.begin(), signal.end());
+
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const std::span<const std::uint8_t> chunk(coded.data() + s * p.n_cbps,
+                                              p.n_cbps);
+    const Bits inter = interleave(chunk, p.n_cbps, p.n_bpsc);
+    const dsp::cvec mapped = map_bits(inter, p.modulation);
+    const dsp::cvec sym = modulate_symbol(mapped, s + 1);
+    waveform.insert(waveform.end(), sym.begin(), sym.end());
+  }
+  return waveform;
+}
+
+dsp::cvec Transmitter::single_short_preamble_frame() {
+  return short_training_symbol();
+}
+
+dsp::cvec Transmitter::single_long_preamble_frame() {
+  return long_training_symbol();
+}
+
+}  // namespace rjf::phy80211

@@ -1,0 +1,39 @@
+// Full 802.11a/g PPDU transmitter: PSDU bytes in, 20 MSPS baseband out.
+//
+// Pipeline (standard clause 17): PLCP preamble | SIGNAL symbol | DATA
+// symbols, where DATA = scramble(SERVICE + PSDU + tail + pad) -> convolve ->
+// puncture -> interleave -> map -> OFDM modulate.
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/types.h"
+#include "phy80211/rates.h"
+
+namespace rjf::phy80211 {
+
+struct TxConfig {
+  Rate rate = Rate::kMbps54;
+  std::uint8_t scrambler_seed = 0x5D;  // nonzero 7-bit initial state
+};
+
+class Transmitter {
+ public:
+  explicit Transmitter(TxConfig config = {}) noexcept : config_(config) {}
+
+  /// Build the complete PPDU waveform for a PSDU (MAC frame incl. FCS).
+  [[nodiscard]] dsp::cvec transmit(std::span<const std::uint8_t> psdu) const;
+
+  /// Generate only the pseudo-frames of paper §3.2 ("pseudo-frames with
+  /// only a single short or long preamble") for detector characterisation.
+  [[nodiscard]] static dsp::cvec single_short_preamble_frame();
+  [[nodiscard]] static dsp::cvec single_long_preamble_frame();
+
+  [[nodiscard]] const TxConfig& config() const noexcept { return config_; }
+  void set_rate(Rate rate) noexcept { config_.rate = rate; }
+
+ private:
+  TxConfig config_;
+};
+
+}  // namespace rjf::phy80211

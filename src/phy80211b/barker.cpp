@@ -1,0 +1,54 @@
+#include "phy80211b/barker.h"
+
+namespace rjf::phy80211b {
+
+const std::array<float, kBarkerLength>& barker_sequence() noexcept {
+  static constexpr std::array<float, kBarkerLength> kBarker = {
+      +1, -1, +1, +1, -1, +1, +1, +1, -1, -1, -1};
+  return kBarker;
+}
+
+void spread_symbol(dsp::cfloat symbol, std::span<dsp::cfloat> out11) noexcept {
+  const auto& code = barker_sequence();
+  for (std::size_t c = 0; c < kBarkerLength && c < out11.size(); ++c)
+    out11[c] = symbol * code[c];
+}
+
+dsp::cfloat barker_correlate(std::span<const dsp::cfloat> chips11) noexcept {
+  const auto& code = barker_sequence();
+  dsp::cfloat acc{};
+  for (std::size_t c = 0; c < kBarkerLength && c < chips11.size(); ++c)
+    acc += chips11[c] * code[c];
+  return acc;
+}
+
+std::uint8_t DsssScrambler::scramble_bit(std::uint8_t bit) noexcept {
+  const std::uint8_t fb =
+      static_cast<std::uint8_t>(((state_ >> 6) ^ (state_ >> 3)) & 1u);
+  const std::uint8_t out = static_cast<std::uint8_t>((bit ^ fb) & 1u);
+  // Self-synchronising: the transmitted (scrambled) bit enters the register.
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | out) & 0x7F);
+  return out;
+}
+
+std::uint8_t DsssScrambler::descramble_bit(std::uint8_t bit) noexcept {
+  const std::uint8_t fb =
+      static_cast<std::uint8_t>(((state_ >> 6) ^ (state_ >> 3)) & 1u);
+  const std::uint8_t out = static_cast<std::uint8_t>((bit ^ fb) & 1u);
+  // The received (scrambled) bit enters the register -> self-sync.
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | bit) & 0x7F);
+  return out;
+}
+
+std::uint16_t plcp_crc16(std::span<const std::uint8_t> bits) noexcept {
+  // CRC-16 CCITT over bits LSB-first, preset ones, ones-complement result.
+  std::uint16_t crc = 0xFFFF;
+  for (const std::uint8_t bit : bits) {
+    const std::uint16_t fb = ((crc >> 15) ^ bit) & 1u;
+    crc = static_cast<std::uint16_t>(crc << 1);
+    if (fb) crc ^= 0x1021;
+  }
+  return static_cast<std::uint16_t>(~crc);
+}
+
+}  // namespace rjf::phy80211b

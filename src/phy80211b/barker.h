@@ -1,0 +1,47 @@
+// 802.11b DSSS building blocks: the 11-chip Barker sequence and the
+// self-synchronising scrambler of clause 16.
+//
+// The paper's platform is multi-standard across "WiFi (802.11 a/b/g)";
+// 802.11b is the DSSS leg: 1 and 2 Mb/s spread every symbol with the
+// Barker code at 11 Mchip/s, and 5.5/11 Mb/s use CCK (cck.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dsp/types.h"
+
+namespace rjf::phy80211b {
+
+inline constexpr double kChipRateHz = 11e6;
+inline constexpr std::size_t kBarkerLength = 11;
+
+/// The 11-chip Barker sequence, +1/-1, transmit order.
+[[nodiscard]] const std::array<float, kBarkerLength>& barker_sequence() noexcept;
+
+/// Spread one symbol value (+1/-1 complex phasor) over the Barker code.
+void spread_symbol(dsp::cfloat symbol, std::span<dsp::cfloat> out11) noexcept;
+
+/// Correlate 11 chips against the Barker code (unnormalised).
+[[nodiscard]] dsp::cfloat barker_correlate(std::span<const dsp::cfloat> chips11) noexcept;
+
+/// Self-synchronising 802.11b scrambler/descrambler, polynomial
+/// G(z) = z^-7 + z^-4 + 1 (clause 16.2.4). Unlike the 802.11a frame-sync
+/// scrambler, this one feeds back the *output* (TX) / *input* (RX) bits,
+/// so the receiver synchronises automatically after 7 bits.
+class DsssScrambler {
+ public:
+  /// `state`: 7-bit seed; the standard uses 0x6C for the long preamble.
+  explicit DsssScrambler(std::uint8_t state = 0x6C) noexcept : state_(state & 0x7F) {}
+
+  [[nodiscard]] std::uint8_t scramble_bit(std::uint8_t bit) noexcept;
+  [[nodiscard]] std::uint8_t descramble_bit(std::uint8_t bit) noexcept;
+
+ private:
+  std::uint8_t state_;
+};
+
+/// CRC-16 for the PLCP header (CCITT, preset to ones, inverted output).
+[[nodiscard]] std::uint16_t plcp_crc16(std::span<const std::uint8_t> bits) noexcept;
+
+}  // namespace rjf::phy80211b

@@ -1,0 +1,147 @@
+#include "phy80211b/cck.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace rjf::phy80211b {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+dsp::cfloat phasor(double phase) noexcept {
+  return dsp::cfloat{static_cast<float>(std::cos(phase)),
+                     static_cast<float>(std::sin(phase))};
+}
+
+double wrap(double phase) noexcept {
+  while (phase >= 2.0 * kPi) phase -= 2.0 * kPi;
+  while (phase < 0.0) phase += 2.0 * kPi;
+  return phase;
+}
+
+// Slice a phase difference to the nearest QPSK point; returns index 0..3
+// for phases {0, pi/2, pi, 3pi/2}.
+unsigned slice_qpsk(double phase) noexcept {
+  const double p = wrap(phase + kPi / 4.0);
+  return static_cast<unsigned>(p / (kPi / 2.0)) % 4;
+}
+
+// Bit pair for QPSK index (inverse of qpsk_phase's mapping).
+void bits_for_index(unsigned index, std::uint8_t& d0, std::uint8_t& d1) noexcept {
+  d0 = static_cast<std::uint8_t>(index & 1u);
+  d1 = static_cast<std::uint8_t>((index >> 1) & 1u);
+}
+
+}  // namespace
+
+double qpsk_phase(unsigned d0, unsigned d1) noexcept {
+  return (kPi / 2.0) * static_cast<double>((d1 << 1) | d0);
+}
+
+std::array<dsp::cfloat, kCckChips> cck_codeword(double p1, double p2,
+                                                double p3, double p4) noexcept {
+  return {phasor(p1 + p2 + p3 + p4), phasor(p1 + p3 + p4),
+          phasor(p1 + p2 + p4),      -phasor(p1 + p4),
+          phasor(p1 + p2 + p3),      phasor(p1 + p3),
+          -phasor(p1 + p2),          phasor(p1)};
+}
+
+std::array<dsp::cfloat, kCckChips> cck_encode_11mbps(
+    std::span<const std::uint8_t> bits8, double& phase_ref,
+    bool odd_symbol) noexcept {
+  const double dphi = qpsk_phase(bits8[0], bits8[1]) + (odd_symbol ? kPi : 0.0);
+  const double p1 = wrap(phase_ref + dphi);
+  phase_ref = p1;
+  const double p2 = qpsk_phase(bits8[2], bits8[3]);
+  const double p3 = qpsk_phase(bits8[4], bits8[5]);
+  const double p4 = qpsk_phase(bits8[6], bits8[7]);
+  return cck_codeword(p1, p2, p3, p4);
+}
+
+std::array<dsp::cfloat, kCckChips> cck_encode_5_5mbps(
+    std::span<const std::uint8_t> bits4, double& phase_ref,
+    bool odd_symbol) noexcept {
+  const double dphi = qpsk_phase(bits4[0], bits4[1]) + (odd_symbol ? kPi : 0.0);
+  const double p1 = wrap(phase_ref + dphi);
+  phase_ref = p1;
+  // Clause 16.4.6.5.3: p2 = d2*pi + pi/2, p3 = 0, p4 = d3*pi.
+  const double p2 = bits4[2] * kPi + kPi / 2.0;
+  const double p3 = 0.0;
+  const double p4 = bits4[3] * kPi;
+  return cck_codeword(p1, p2, p3, p4);
+}
+
+std::array<std::uint8_t, 8> cck_decode_11mbps(
+    std::span<const dsp::cfloat> chips8, double& phase_ref,
+    bool odd_symbol) noexcept {
+  double best = -1.0;
+  unsigned best_combo[3] = {0, 0, 0};
+  dsp::cfloat best_corr{};
+  for (unsigned i2 = 0; i2 < 4; ++i2) {
+    for (unsigned i3 = 0; i3 < 4; ++i3) {
+      for (unsigned i4 = 0; i4 < 4; ++i4) {
+        const auto ref = cck_codeword(0.0, i2 * kPi / 2.0, i3 * kPi / 2.0,
+                                      i4 * kPi / 2.0);
+        dsp::cfloat corr{};
+        for (std::size_t c = 0; c < kCckChips && c < chips8.size(); ++c)
+          corr += chips8[c] * std::conj(ref[c]);
+        const double mag = std::abs(corr);
+        if (mag > best) {
+          best = mag;
+          best_combo[0] = i2;
+          best_combo[1] = i3;
+          best_combo[2] = i4;
+          best_corr = corr;
+        }
+      }
+    }
+  }
+  // p1 from the winning correlation's phase; d0d1 differentially.
+  const double p1 = wrap(std::arg(best_corr));
+  const double dphi = p1 - phase_ref - (odd_symbol ? kPi : 0.0);
+  const unsigned i1 = slice_qpsk(dphi);
+  phase_ref = wrap(phase_ref + i1 * kPi / 2.0 + (odd_symbol ? kPi : 0.0));
+
+  std::array<std::uint8_t, 8> bits{};
+  bits_for_index(i1, bits[0], bits[1]);
+  bits_for_index(best_combo[0], bits[2], bits[3]);
+  bits_for_index(best_combo[1], bits[4], bits[5]);
+  bits_for_index(best_combo[2], bits[6], bits[7]);
+  return bits;
+}
+
+std::array<std::uint8_t, 4> cck_decode_5_5mbps(
+    std::span<const dsp::cfloat> chips8, double& phase_ref,
+    bool odd_symbol) noexcept {
+  double best = -1.0;
+  unsigned best_combo[2] = {0, 0};
+  dsp::cfloat best_corr{};
+  for (unsigned d2 = 0; d2 < 2; ++d2) {
+    for (unsigned d3 = 0; d3 < 2; ++d3) {
+      const auto ref =
+          cck_codeword(0.0, d2 * kPi + kPi / 2.0, 0.0, d3 * kPi);
+      dsp::cfloat corr{};
+      for (std::size_t c = 0; c < kCckChips && c < chips8.size(); ++c)
+        corr += chips8[c] * std::conj(ref[c]);
+      const double mag = std::abs(corr);
+      if (mag > best) {
+        best = mag;
+        best_combo[0] = d2;
+        best_combo[1] = d3;
+        best_corr = corr;
+      }
+    }
+  }
+  const double p1 = wrap(std::arg(best_corr));
+  const double dphi = p1 - phase_ref - (odd_symbol ? kPi : 0.0);
+  const unsigned i1 = slice_qpsk(dphi);
+  phase_ref = wrap(phase_ref + i1 * kPi / 2.0 + (odd_symbol ? kPi : 0.0));
+
+  std::array<std::uint8_t, 4> bits{};
+  bits_for_index(i1, bits[0], bits[1]);
+  bits[2] = static_cast<std::uint8_t>(best_combo[0]);
+  bits[3] = static_cast<std::uint8_t>(best_combo[1]);
+  return bits;
+}
+
+}  // namespace rjf::phy80211b

@@ -1,0 +1,47 @@
+// Complementary Code Keying for 802.11b 5.5 and 11 Mb/s (clause 16.4.6.5).
+//
+// Each 8-chip CCK codeword is derived from four phases:
+//   c = (e^{j(p1+p2+p3+p4)}, e^{j(p1+p3+p4)}, e^{j(p1+p2+p4)}, -e^{j(p1+p4)},
+//        e^{j(p1+p2+p3)},    e^{j(p1+p3)},    -e^{j(p1+p2)},   e^{j(p1)})
+// At 11 Mb/s, 8 data bits pick (p1..p4): p1 is DQPSK (differential), the
+// rest are QPSK from bit pairs. At 5.5 Mb/s, 4 bits pick p1 (DQPSK) and a
+// constrained (p2,p3,p4) set.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dsp/types.h"
+
+namespace rjf::phy80211b {
+
+inline constexpr std::size_t kCckChips = 8;
+
+/// Build one CCK codeword from the four phases (radians).
+[[nodiscard]] std::array<dsp::cfloat, kCckChips> cck_codeword(
+    double p1, double p2, double p3, double p4) noexcept;
+
+/// QPSK phase for a bit pair (d0 = LSB): 00->0, 01->pi/2, 10->pi, 11->3pi/2.
+[[nodiscard]] double qpsk_phase(unsigned d0, unsigned d1) noexcept;
+
+/// Encode 8 bits (11 Mb/s) into a codeword. `phase_ref` carries the DQPSK
+/// reference for p1 and is updated; `odd_symbol` adds the extra pi rotation
+/// the standard applies to odd-numbered symbols.
+[[nodiscard]] std::array<dsp::cfloat, kCckChips> cck_encode_11mbps(
+    std::span<const std::uint8_t> bits8, double& phase_ref, bool odd_symbol) noexcept;
+
+/// Encode 4 bits (5.5 Mb/s).
+[[nodiscard]] std::array<dsp::cfloat, kCckChips> cck_encode_5_5mbps(
+    std::span<const std::uint8_t> bits4, double& phase_ref, bool odd_symbol) noexcept;
+
+/// Maximum-likelihood decode of one received codeword (11 Mb/s): search
+/// the 64 (p2,p3,p4) combinations and recover p1 differentially.
+/// Returns the 8 decoded bits; updates `phase_ref`.
+[[nodiscard]] std::array<std::uint8_t, 8> cck_decode_11mbps(
+    std::span<const dsp::cfloat> chips8, double& phase_ref, bool odd_symbol) noexcept;
+
+/// Decode one 5.5 Mb/s codeword (4 bits).
+[[nodiscard]] std::array<std::uint8_t, 4> cck_decode_5_5mbps(
+    std::span<const dsp::cfloat> chips8, double& phase_ref, bool odd_symbol) noexcept;
+
+}  // namespace rjf::phy80211b

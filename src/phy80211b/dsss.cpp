@@ -1,0 +1,274 @@
+#include "phy80211b/dsss.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "phy80211b/cck.h"
+
+namespace rjf::phy80211b {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+dsp::cfloat phasor(double phase) noexcept {
+  return dsp::cfloat{static_cast<float>(std::cos(phase)),
+                     static_cast<float>(std::sin(phase))};
+}
+
+// DBPSK/DQPSK differential modulator state.
+struct DiffMod {
+  double phase = 0.0;
+
+  dsp::cfloat bpsk(std::uint8_t bit) noexcept {
+    phase += bit ? kPi : 0.0;
+    return phasor(phase);
+  }
+  dsp::cfloat qpsk(std::uint8_t d0, std::uint8_t d1) noexcept {
+    phase += qpsk_phase(d0, d1);
+    return phasor(phase);
+  }
+};
+
+void append_barker_symbol(dsp::cvec& out, dsp::cfloat symbol) {
+  const std::size_t at = out.size();
+  out.resize(at + kBarkerLength);
+  spread_symbol(symbol, std::span<dsp::cfloat>(out.data() + at, kBarkerLength));
+}
+
+std::vector<std::uint8_t> header_bits(DsssRate rate, std::size_t psdu_bytes) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(48);
+  const auto push_byte = [&bits](std::uint8_t byte) {
+    for (unsigned b = 0; b < 8; ++b) bits.push_back((byte >> b) & 1u);
+  };
+  push_byte(static_cast<std::uint8_t>(rate));        // SIGNAL
+  push_byte(0x00);                                    // SERVICE
+  push_byte(static_cast<std::uint8_t>(psdu_bytes & 0xFF));        // LENGTH lo
+  push_byte(static_cast<std::uint8_t>((psdu_bytes >> 8) & 0xFF)); // LENGTH hi
+  const std::uint16_t crc = plcp_crc16(bits);
+  for (unsigned b = 0; b < 16; ++b)
+    bits.push_back(static_cast<std::uint8_t>((crc >> b) & 1u));
+  return bits;
+}
+
+std::optional<DsssRate> rate_from_signal(std::uint8_t value) noexcept {
+  switch (value) {
+    case 0x0A: return DsssRate::kMbps1;
+    case 0x14: return DsssRate::kMbps2;
+    case 0x37: return DsssRate::kMbps5_5;
+    case 0x6E: return DsssRate::kMbps11;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace
+
+double dsss_rate_mbps(DsssRate rate) noexcept {
+  return static_cast<double>(static_cast<std::uint8_t>(rate)) / 10.0;
+}
+
+dsp::cvec DsssTransmitter::transmit(std::span<const std::uint8_t> psdu) const {
+  DsssScrambler scrambler;
+  DiffMod mod;
+  dsp::cvec out;
+  out.reserve(kPlcpChips + psdu.size() * 11);
+
+  // SYNC: 128 scrambled ones at 1 Mb/s DBPSK.
+  for (std::size_t k = 0; k < kSyncBits; ++k)
+    append_barker_symbol(out, mod.bpsk(scrambler.scramble_bit(1)));
+  // SFD, LSB first.
+  for (unsigned b = 0; b < 16; ++b)
+    append_barker_symbol(
+        out, mod.bpsk(scrambler.scramble_bit((kSfd >> b) & 1u)));
+  // PLCP header.
+  for (const std::uint8_t bit : header_bits(rate_, psdu.size()))
+    append_barker_symbol(out, mod.bpsk(scrambler.scramble_bit(bit)));
+
+  // PSDU bits, LSB first per octet, scrambled.
+  std::vector<std::uint8_t> bits;
+  bits.reserve(psdu.size() * 8);
+  for (const std::uint8_t byte : psdu)
+    for (unsigned b = 0; b < 8; ++b)
+      bits.push_back(scrambler.scramble_bit((byte >> b) & 1u));
+
+  switch (rate_) {
+    case DsssRate::kMbps1:
+      for (const std::uint8_t bit : bits) append_barker_symbol(out, mod.bpsk(bit));
+      break;
+    case DsssRate::kMbps2:
+      for (std::size_t k = 0; k + 1 < bits.size() || k < bits.size(); k += 2) {
+        const std::uint8_t d1 = (k + 1 < bits.size()) ? bits[k + 1] : 0;
+        append_barker_symbol(out, mod.qpsk(bits[k], d1));
+      }
+      break;
+    case DsssRate::kMbps5_5: {
+      double ref = mod.phase;
+      std::size_t sym = 0;
+      for (std::size_t k = 0; k + 4 <= bits.size(); k += 4, ++sym) {
+        const auto chips = cck_encode_5_5mbps(
+            std::span<const std::uint8_t>(bits.data() + k, 4), ref, sym % 2 == 1);
+        out.insert(out.end(), chips.begin(), chips.end());
+      }
+      break;
+    }
+    case DsssRate::kMbps11: {
+      double ref = mod.phase;
+      std::size_t sym = 0;
+      for (std::size_t k = 0; k + 8 <= bits.size(); k += 8, ++sym) {
+        const auto chips = cck_encode_11mbps(
+            std::span<const std::uint8_t>(bits.data() + k, 8), ref, sym % 2 == 1);
+        out.insert(out.end(), chips.begin(), chips.end());
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+DsssRxResult DsssReceiver::receive(std::span<const dsp::cfloat> capture) const {
+  DsssRxResult result;
+  if (capture.size() < kPlcpChips) return result;
+
+  // Demodulate the 1 Mb/s portion: Barker-correlate each symbol, take the
+  // differential phase against the previous symbol.
+  const std::size_t plcp_symbols = kSyncBits + 16 + 48;
+  std::vector<std::uint8_t> raw_bits;
+  raw_bits.reserve(plcp_symbols);
+  dsp::cfloat prev = barker_correlate(capture.subspan(0, kBarkerLength));
+  for (std::size_t s = 1; s < plcp_symbols; ++s) {
+    const dsp::cfloat cur =
+        barker_correlate(capture.subspan(s * kBarkerLength, kBarkerLength));
+    const dsp::cfloat d = cur * std::conj(prev);
+    raw_bits.push_back(d.real() < 0.0f ? 1 : 0);
+    prev = cur;
+  }
+
+  // Descramble (self-synchronising: state fills from received bits).
+  DsssScrambler descrambler(0);
+  std::vector<std::uint8_t> bits(raw_bits.size());
+  for (std::size_t k = 0; k < raw_bits.size(); ++k)
+    bits[k] = descrambler.descramble_bit(raw_bits[k]);
+
+  // Locate the SFD: it should sit at symbols [127+1 .. 143+1) of the
+  // differential stream (the first SYNC bit is consumed as the reference).
+  // Search a small window to tolerate capture offsets.
+  std::size_t sfd_end = 0;
+  for (std::size_t start = kSyncBits - 8; start + 16 <= kSyncBits + 24;
+       ++start) {
+    std::uint16_t candidate = 0;
+    for (unsigned b = 0; b < 16; ++b)
+      candidate |= static_cast<std::uint16_t>(bits[start + b] & 1u) << b;
+    if (candidate == kSfd) {
+      sfd_end = start + 16;
+      break;
+    }
+  }
+  if (sfd_end == 0) return result;
+  result.sfd_found = true;
+
+  // PLCP header.
+  if (bits.size() < sfd_end + 48) return result;
+  const std::span<const std::uint8_t> hdr(bits.data() + sfd_end, 48);
+  const std::uint16_t crc = plcp_crc16(hdr.subspan(0, 32));
+  std::uint16_t rx_crc = 0;
+  for (unsigned b = 0; b < 16; ++b)
+    rx_crc |= static_cast<std::uint16_t>(hdr[32 + b] & 1u) << b;
+  if (crc != rx_crc) return result;
+
+  std::uint8_t signal = 0;
+  for (unsigned b = 0; b < 8; ++b)
+    signal |= static_cast<std::uint8_t>((hdr[b] & 1u) << b);
+  const auto rate = rate_from_signal(signal);
+  if (!rate) return result;
+  result.header_valid = true;
+  result.rate = rate;
+
+  std::size_t psdu_bytes = 0;
+  for (unsigned b = 0; b < 16; ++b)
+    psdu_bytes |= static_cast<std::size_t>(hdr[16 + b] & 1u) << b;
+
+  // PSDU decode from the chip stream after the PLCP.
+  const std::size_t data_at = plcp_symbols * kBarkerLength;
+  std::vector<std::uint8_t> scrambled;
+  scrambled.reserve(psdu_bytes * 8);
+  const std::size_t n_bits = psdu_bytes * 8;
+
+  switch (*rate) {
+    case DsssRate::kMbps1: {
+      dsp::cfloat ref = prev;  // last PLCP symbol correlation
+      for (std::size_t s = 0; s < n_bits; ++s) {
+        const std::size_t at = data_at + s * kBarkerLength;
+        if (at + kBarkerLength > capture.size()) return result;
+        const dsp::cfloat cur =
+            barker_correlate(capture.subspan(at, kBarkerLength));
+        scrambled.push_back((cur * std::conj(ref)).real() < 0.0f ? 1 : 0);
+        ref = cur;
+      }
+      break;
+    }
+    case DsssRate::kMbps2: {
+      dsp::cfloat ref = prev;
+      for (std::size_t s = 0; s < n_bits / 2; ++s) {
+        const std::size_t at = data_at + s * kBarkerLength;
+        if (at + kBarkerLength > capture.size()) return result;
+        const dsp::cfloat cur =
+            barker_correlate(capture.subspan(at, kBarkerLength));
+        const double dphi = std::arg(cur * std::conj(ref));
+        const double wrapped = dphi < -kPi / 4.0 ? dphi + 2.0 * kPi : dphi;
+        const auto index =
+            static_cast<unsigned>(std::lround(wrapped / (kPi / 2.0))) % 4;
+        scrambled.push_back(static_cast<std::uint8_t>(index & 1u));
+        scrambled.push_back(static_cast<std::uint8_t>((index >> 1) & 1u));
+        ref = cur;
+      }
+      break;
+    }
+    case DsssRate::kMbps5_5: {
+      double ref = std::arg(prev);
+      std::size_t sym = 0;
+      for (std::size_t s = 0; s < n_bits / 4; ++s, ++sym) {
+        const std::size_t at = data_at + s * kCckChips;
+        if (at + kCckChips > capture.size()) return result;
+        const auto decoded = cck_decode_5_5mbps(capture.subspan(at, kCckChips),
+                                                ref, sym % 2 == 1);
+        scrambled.insert(scrambled.end(), decoded.begin(), decoded.end());
+      }
+      break;
+    }
+    case DsssRate::kMbps11: {
+      double ref = std::arg(prev);
+      std::size_t sym = 0;
+      for (std::size_t s = 0; s < n_bits / 8; ++s, ++sym) {
+        const std::size_t at = data_at + s * kCckChips;
+        if (at + kCckChips > capture.size()) return result;
+        const auto decoded = cck_decode_11mbps(capture.subspan(at, kCckChips),
+                                               ref, sym % 2 == 1);
+        scrambled.insert(scrambled.end(), decoded.begin(), decoded.end());
+      }
+      break;
+    }
+  }
+
+  // Continue the self-synchronising descrambler across the PSDU.
+  std::vector<std::uint8_t> psdu_bits(scrambled.size());
+  for (std::size_t k = 0; k < scrambled.size(); ++k)
+    psdu_bits[k] = descrambler.descramble_bit(scrambled[k]);
+
+  result.psdu.assign(psdu_bytes, 0);
+  for (std::size_t k = 0; k < psdu_bits.size() && k / 8 < psdu_bytes; ++k)
+    result.psdu[k / 8] |= static_cast<std::uint8_t>((psdu_bits[k] & 1u) << (k % 8));
+  return result;
+}
+
+dsp::cvec preamble_head_chips(std::size_t num_chips) {
+  DsssScrambler scrambler;
+  DiffMod mod;
+  dsp::cvec out;
+  out.reserve(num_chips + kBarkerLength);
+  while (out.size() < num_chips)
+    append_barker_symbol(out, mod.bpsk(scrambler.scramble_bit(1)));
+  out.resize(num_chips);
+  return out;
+}
+
+}  // namespace rjf::phy80211b

@@ -1,0 +1,70 @@
+#include "phy80216/frame.h"
+
+#include <cmath>
+
+#include "dsp/db.h"
+#include "dsp/fft.h"
+#include "dsp/rng.h"
+
+namespace rjf::phy80216 {
+namespace {
+
+// One OFDMA data symbol: QPSK on all used subcarriers (PUSC detail omitted;
+// the jammer experiment only needs the occupied-spectrum envelope).
+dsp::cvec data_symbol(dsp::Xoshiro256& rng) {
+  dsp::cvec freq(kFftSize, dsp::cfloat{});
+  const float a = 1.0f / std::sqrt(2.0f);
+  for (std::size_t u = 0; u < 852; ++u) {
+    const long carrier = static_cast<long>(u) - 426;
+    if (carrier == 0) continue;
+    const std::size_t bin = carrier >= 0
+                                ? static_cast<std::size_t>(carrier)
+                                : static_cast<std::size_t>(kFftSize + carrier);
+    const auto bits = static_cast<unsigned>(rng.next() & 3u);
+    freq[bin] = dsp::cfloat{(bits & 1u) ? a : -a, (bits & 2u) ? a : -a};
+  }
+  dsp::cvec time = dsp::ifft_copy(freq);
+  dsp::set_mean_power(std::span<dsp::cfloat>(time), 1.0);
+  dsp::cvec out;
+  out.reserve(kPreambleSymbolLen);
+  out.insert(out.end(), time.end() - kCpLen, time.end());
+  out.insert(out.end(), time.begin(), time.end());
+  return out;
+}
+
+}  // namespace
+
+std::size_t dl_active_samples(const FrameConfig& config) noexcept {
+  return kPreambleSymbolLen * (1 + config.num_dl_symbols);
+}
+
+std::size_t frame_period_samples(const FrameConfig& config) noexcept {
+  return static_cast<std::size_t>(
+      std::llround(config.frame_duration_s * kSampleRateHz));
+}
+
+dsp::cvec build_downlink(const FrameConfig& config) {
+  dsp::cvec out = preamble_symbol(config.preamble);
+  dsp::Xoshiro256 rng(config.payload_seed);
+  for (std::size_t s = 0; s < config.num_dl_symbols; ++s) {
+    const dsp::cvec sym = data_symbol(rng);
+    out.insert(out.end(), sym.begin(), sym.end());
+  }
+  return out;
+}
+
+dsp::cvec broadcast(const FrameConfig& config, std::size_t num_frames) {
+  const std::size_t period = frame_period_samples(config);
+  dsp::cvec out(period * num_frames, dsp::cfloat{});
+  for (std::size_t f = 0; f < num_frames; ++f) {
+    FrameConfig per_frame = config;
+    per_frame.payload_seed = config.payload_seed + f;
+    const dsp::cvec dl = build_downlink(per_frame);
+    const std::size_t at = f * period;
+    for (std::size_t k = 0; k < dl.size() && at + k < out.size(); ++k)
+      out[at + k] = dl[k];
+  }
+  return out;
+}
+
+}  // namespace rjf::phy80216

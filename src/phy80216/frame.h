@@ -1,0 +1,38 @@
+// 802.16e TDD downlink frame builder (Airspan Air4G base-station model).
+//
+// The paper drives its WiMAX experiment with a macro-cell base station
+// continuously broadcasting TDD downlink frames: a preamble symbol followed
+// by FCH/DL-MAP and data bursts, then the TTG/uplink gap. The paper had no
+// WiMAX receiver, so downstream processing is observation-only (Fig. 12);
+// the data bursts here are therefore QPSK OFDMA symbols carrying seeded
+// random payload — spectrally correct without a full DL-MAP parser.
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/types.h"
+#include "phy80216/preamble.h"
+
+namespace rjf::phy80216 {
+
+struct FrameConfig {
+  PreambleConfig preamble;
+  std::size_t num_dl_symbols = 26;   // DL data symbols after the preamble
+  double frame_duration_s = 5e-3;    // TDD frame period
+  std::uint64_t payload_seed = 1;
+};
+
+/// Samples of downlink airtime inside one frame (preamble + DL symbols).
+[[nodiscard]] std::size_t dl_active_samples(const FrameConfig& config) noexcept;
+
+/// Samples in one full TDD frame period at kSampleRateHz.
+[[nodiscard]] std::size_t frame_period_samples(const FrameConfig& config) noexcept;
+
+/// Build the downlink portion of one frame (unit mean power).
+[[nodiscard]] dsp::cvec build_downlink(const FrameConfig& config);
+
+/// Continuous broadcast: `num_frames` frames, silence in the TDD gaps —
+/// what the jammer's receive antenna sees from the base station.
+[[nodiscard]] dsp::cvec broadcast(const FrameConfig& config, std::size_t num_frames);
+
+}  // namespace rjf::phy80216

@@ -1,0 +1,36 @@
+#include "phy80216/pn_sequence.h"
+
+#include <cmath>
+
+namespace rjf::phy80216 {
+
+std::vector<int> preamble_pn(unsigned cell_id, unsigned segment) {
+  // 15-bit Fibonacci LFSR (x^15 + x^14 + 1, m-sequence of period 32767)
+  // seeded from (cell_id, segment) so each carrier set gets a distinct
+  // phase of the sequence plus a segment-dependent scramble tap.
+  std::uint16_t lfsr = static_cast<std::uint16_t>(
+      0x3A5Du ^ (cell_id * 2749u + segment * 131u + 1u));
+  if ((lfsr & 0x7FFF) == 0) lfsr = 1;
+  std::vector<int> seq(kPnLength);
+  for (auto& v : seq) {
+    const unsigned bit = ((lfsr >> 14) ^ (lfsr >> 13)) & 1u;
+    lfsr = static_cast<std::uint16_t>(((lfsr << 1) | bit) & 0x7FFF);
+    v = bit ? 1 : -1;
+  }
+  return seq;
+}
+
+double max_cross_correlation(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  const std::size_t n = a.size();
+  double peak = 0.0;
+  for (std::size_t shift = 0; shift < n; ++shift) {
+    long acc = 0;
+    for (std::size_t k = 0; k < n; ++k) acc += a[k] * b[(k + shift) % n];
+    peak = std::max(peak, std::abs(static_cast<double>(acc)));
+  }
+  return peak / static_cast<double>(n);
+}
+
+}  // namespace rjf::phy80216

@@ -1,0 +1,28 @@
+// Preamble PN sequences for the 802.16e OFDMA downlink.
+//
+// The standard defines one 284-value binary sequence per preamble carrier
+// set, indexed by (IDcell, segment). Those tables are reproduced here by a
+// deterministic LFSR generator parameterised by the same pair — a
+// documented substitution (DESIGN.md §1): the jamming experiments only
+// exercise the sequences' length and low cross/auto-correlation, which any
+// full-period LFSR sequence provides, not the exact standard table values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rjf::phy80216 {
+
+inline constexpr std::size_t kPnLength = 284;
+
+/// 284 values in {-1, +1} for the given cell/segment. Deterministic:
+/// the same (cell, segment) always produces the same sequence.
+[[nodiscard]] std::vector<int> preamble_pn(unsigned cell_id, unsigned segment);
+
+/// Normalised periodic cross-correlation peak between two sequences
+/// (1.0 = identical alignment exists). Used by tests to check that
+/// different carrier sets stay distinguishable.
+[[nodiscard]] double max_cross_correlation(const std::vector<int>& a,
+                                           const std::vector<int>& b);
+
+}  // namespace rjf::phy80216

@@ -1,0 +1,44 @@
+#include "phy80216/preamble.h"
+
+#include "dsp/db.h"
+#include "dsp/fft.h"
+#include "phy80216/pn_sequence.h"
+
+namespace rjf::phy80216 {
+namespace {
+
+std::size_t bin_for_used_index(std::size_t used_index) {
+  // Used subcarriers run -426..+425 around DC (852 total incl. DC slot);
+  // logical used_index 0 maps to -426. DC itself is nulled.
+  const long carrier = static_cast<long>(used_index) - 426;
+  return carrier >= 0 ? static_cast<std::size_t>(carrier)
+                      : static_cast<std::size_t>(kFftSize + carrier);
+}
+
+}  // namespace
+
+dsp::cvec preamble_useful_part(const PreambleConfig& config) {
+  const std::vector<int> pn = preamble_pn(config.cell_id, config.segment);
+  dsp::cvec freq(kFftSize, dsp::cfloat{});
+  std::size_t pn_idx = 0;
+  // Every 3rd used subcarrier starting at the segment offset.
+  for (std::size_t u = config.segment; u < 852 && pn_idx < pn.size(); u += 3) {
+    const std::size_t bin = bin_for_used_index(u);
+    if (bin == 0) continue;  // never modulate DC
+    freq[bin] = dsp::cfloat{static_cast<float>(pn[pn_idx++]), 0.0f};
+  }
+  dsp::cvec time = dsp::ifft_copy(freq);
+  dsp::set_mean_power(std::span<dsp::cfloat>(time), 1.0);
+  return time;
+}
+
+dsp::cvec preamble_symbol(const PreambleConfig& config) {
+  const dsp::cvec useful = preamble_useful_part(config);
+  dsp::cvec out;
+  out.reserve(kPreambleSymbolLen);
+  out.insert(out.end(), useful.end() - kCpLen, useful.end());
+  out.insert(out.end(), useful.begin(), useful.end());
+  return out;
+}
+
+}  // namespace rjf::phy80216

@@ -1,0 +1,33 @@
+// 802.16e OFDMA downlink preamble symbol.
+//
+// 1024-point FFT, 86 guard subcarriers on each side of the spectrum, and
+// three preamble carrier sets: segment s modulates every 3rd used
+// subcarrier (offset s) with a BPSK PN sequence of 284 values. Occupying
+// only every 3rd bin makes the time waveform 3-fold quasi-periodic — the
+// "orthogonal code ... repeats itself 3 times within the preamble time"
+// that the paper's 64-sample correlator can only see the first 2.56 us of.
+#pragma once
+
+#include "dsp/types.h"
+
+namespace rjf::phy80216 {
+
+inline constexpr std::size_t kFftSize = 1024;
+inline constexpr std::size_t kGuardEachSide = 86;
+inline constexpr std::size_t kCpLen = kFftSize / 8;  // CP ratio 1/8
+inline constexpr std::size_t kPreambleSymbolLen = kFftSize + kCpLen;  // 1152
+inline constexpr double kSampleRateHz = 11.2e6;  // 10 MHz BW, n = 28/25
+
+struct PreambleConfig {
+  unsigned cell_id = 1;   // paper experiment: Cell ID 1
+  unsigned segment = 0;   // paper experiment: Segment 0
+};
+
+/// Time-domain preamble symbol (CP + useful part), unit mean power over the
+/// useful part.
+[[nodiscard]] dsp::cvec preamble_symbol(const PreambleConfig& config = {});
+
+/// The useful (post-CP) part only — the correlator template source.
+[[nodiscard]] dsp::cvec preamble_useful_part(const PreambleConfig& config = {});
+
+}  // namespace rjf::phy80216

@@ -1,0 +1,43 @@
+#include "radio/adc_dac.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rjf::radio {
+
+Adc::Adc(unsigned bits) noexcept : bits_(std::clamp(bits, 2u, 16u)) {}
+
+dsp::IQ16 Adc::sample(dsp::cfloat in) const noexcept {
+  const int levels = 1 << (bits_ - 1);
+  const auto quantise = [&](float x) -> std::int16_t {
+    const float scaled = x * static_cast<float>(levels);
+    if (scaled >= static_cast<float>(levels - 1) ||
+        scaled < -static_cast<float>(levels))
+      clipped_ = true;
+    const long code = std::clamp<long>(std::lrintf(scaled), -levels, levels - 1);
+    // Left-justify into the 16-bit fabric word.
+    return static_cast<std::int16_t>(code << (16 - bits_));
+  };
+  return dsp::IQ16{quantise(in.real()), quantise(in.imag())};
+}
+
+dsp::iqvec Adc::convert(std::span<const dsp::cfloat> in) const {
+  clipped_ = false;
+  dsp::iqvec out(in.size());
+  std::transform(in.begin(), in.end(), out.begin(),
+                 [&](dsp::cfloat s) { return sample(s); });
+  return out;
+}
+
+dsp::cfloat Dac::sample(dsp::IQ16 in) const noexcept {
+  return dsp::from_iq16(in);
+}
+
+dsp::cvec Dac::convert(std::span<const dsp::IQ16> in) const {
+  dsp::cvec out(in.size());
+  std::transform(in.begin(), in.end(), out.begin(),
+                 [&](dsp::IQ16 s) { return sample(s); });
+  return out;
+}
+
+}  // namespace rjf::radio

@@ -1,0 +1,37 @@
+// Converter models for the USRP N210: 14-bit ADC (ADS62P44) and 16-bit DAC
+// (AD9777). Quantisation and clipping here bound the dynamic range the
+// detection datapath sees, which matters for correlator behaviour at high
+// input levels (receiver saturation is why the paper pads its test network
+// with 20 dB attenuators).
+#pragma once
+
+#include "dsp/types.h"
+
+namespace rjf::radio {
+
+/// Quantise a float baseband stream to `bits`-bit two's-complement samples,
+/// returned left-justified in the 16-bit fabric representation.
+class Adc {
+ public:
+  explicit Adc(unsigned bits = 14) noexcept;
+
+  [[nodiscard]] dsp::IQ16 sample(dsp::cfloat in) const noexcept;
+  [[nodiscard]] dsp::iqvec convert(std::span<const dsp::cfloat> in) const;
+
+  /// True if the most recent convert() clipped any sample.
+  [[nodiscard]] bool clipped() const noexcept { return clipped_; }
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+
+ private:
+  unsigned bits_;
+  mutable bool clipped_ = false;
+};
+
+/// 16-bit DAC: fabric samples back to float baseband.
+class Dac {
+ public:
+  [[nodiscard]] dsp::cfloat sample(dsp::IQ16 in) const noexcept;
+  [[nodiscard]] dsp::cvec convert(std::span<const dsp::IQ16> in) const;
+};
+
+}  // namespace rjf::radio

@@ -1,0 +1,36 @@
+#include "radio/ddc_duc.h"
+
+namespace rjf::radio {
+
+DdcChain::DdcChain(std::size_t decimation, double offset_hz, double adc_rate_hz)
+    : decimation_(decimation),
+      nco_(-offset_hz, adc_rate_hz),
+      decimator_(decimation) {}
+
+dsp::cvec DdcChain::process(std::span<const dsp::cfloat> in) {
+  const dsp::cvec mixed = nco_.mix(in);
+  return decimator_.process_block(mixed);
+}
+
+void DdcChain::reset() {
+  nco_.reset_phase();
+  decimator_.reset();
+}
+
+DucChain::DucChain(std::size_t interpolation, double offset_hz,
+                   double dac_rate_hz)
+    : interpolation_(interpolation),
+      interpolator_(interpolation),
+      nco_(offset_hz, dac_rate_hz) {}
+
+dsp::cvec DucChain::process(std::span<const dsp::cfloat> in) {
+  const dsp::cvec up = interpolator_.process_block(in);
+  return nco_.mix(up);
+}
+
+void DucChain::reset() {
+  interpolator_.reset();
+  nco_.reset_phase();
+}
+
+}  // namespace rjf::radio

@@ -1,0 +1,54 @@
+// Digital down-conversion and up-conversion chain models.
+//
+// The N210's DDC takes the 100 MSPS ADC stream, mixes it to baseband with a
+// CORDIC (modelled by an NCO), and decimates to the host rate; the custom
+// DSP core sits at the 25 MSPS point of this chain (decimation 4). The DUC
+// mirrors the path upward. The ~7-cycle DUC fill latency the paper counts
+// into T_init comes from the pipeline depth modelled here.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/fir.h"
+#include "dsp/nco.h"
+#include "dsp/types.h"
+
+namespace rjf::radio {
+
+class DdcChain {
+ public:
+  /// `decimation` >= 1; `offset_hz` is the CORDIC fine-tune frequency
+  /// relative to the ADC rate `adc_rate_hz`.
+  DdcChain(std::size_t decimation, double offset_hz, double adc_rate_hz);
+
+  /// Process a block of ADC-rate samples into host-rate samples.
+  [[nodiscard]] dsp::cvec process(std::span<const dsp::cfloat> in);
+
+  [[nodiscard]] std::size_t decimation() const noexcept { return decimation_; }
+  void reset();
+
+ private:
+  std::size_t decimation_;
+  dsp::Nco nco_;
+  dsp::Decimator decimator_;
+};
+
+class DucChain {
+ public:
+  DucChain(std::size_t interpolation, double offset_hz, double dac_rate_hz);
+
+  [[nodiscard]] dsp::cvec process(std::span<const dsp::cfloat> in);
+
+  /// Pipeline depth in fabric clocks — the "approximately seven more
+  /// cycles required to populate the DUC" of paper §2.4.
+  [[nodiscard]] static constexpr std::size_t fill_latency_cycles() { return 7; }
+
+  void reset();
+
+ private:
+  std::size_t interpolation_;
+  dsp::Interpolator interpolator_;
+  dsp::Nco nco_;
+};
+
+}  // namespace rjf::radio

@@ -1,0 +1,43 @@
+#include "radio/frontend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/db.h"
+
+namespace rjf::radio {
+namespace {
+
+dsp::cvec scale(std::span<const dsp::cfloat> in, double gain_db) {
+  const auto g = static_cast<float>(dsp::amplitude_from_db(gain_db));
+  dsp::cvec out(in.size());
+  std::transform(in.begin(), in.end(), out.begin(),
+                 [g](dsp::cfloat s) { return s * g; });
+  return out;
+}
+
+}  // namespace
+
+void SbxFrontend::tune(double freq_hz) {
+  if (freq_hz < kMinFreqHz || freq_hz > kMaxFreqHz)
+    throw std::out_of_range("SbxFrontend::tune: frequency outside SBX range");
+  freq_hz_ = freq_hz;
+}
+
+void SbxFrontend::set_tx_gain(double db) noexcept {
+  tx_gain_db_ = std::clamp(db, 0.0, kMaxGainDb);
+}
+
+void SbxFrontend::set_rx_gain(double db) noexcept {
+  rx_gain_db_ = std::clamp(db, 0.0, kMaxGainDb);
+}
+
+dsp::cvec SbxFrontend::apply_tx(std::span<const dsp::cfloat> in) const {
+  return scale(in, tx_gain_db_);
+}
+
+dsp::cvec SbxFrontend::apply_rx(std::span<const dsp::cfloat> in) const {
+  return scale(in, rx_gain_db_);
+}
+
+}  // namespace rjf::radio

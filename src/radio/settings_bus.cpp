@@ -1,0 +1,29 @@
+#include "radio/settings_bus.h"
+
+namespace rjf::radio {
+
+void SettingsBus::write(fpga::Reg addr, std::uint32_t value,
+                        std::uint64_t now_ticks) {
+  // Writes serialise on the bus: each one starts after the previous
+  // completes, so a burst of N writes costs N * latency.
+  const std::uint64_t start =
+      pending_.empty() ? now_ticks : pending_.back().completes_at;
+  pending_.push_back(Pending{addr, value, start + latency_cycles_});
+}
+
+std::size_t SettingsBus::service(fpga::RegisterFile& regs,
+                                 std::uint64_t now_ticks) {
+  std::size_t applied = 0;
+  while (!pending_.empty() && pending_.front().completes_at <= now_ticks) {
+    regs.write(pending_.front().addr, pending_.front().value);
+    pending_.pop_front();
+    ++applied;
+  }
+  return applied;
+}
+
+std::uint64_t SettingsBus::last_completion() const noexcept {
+  return pending_.empty() ? 0 : pending_.back().completes_at;
+}
+
+}  // namespace rjf::radio

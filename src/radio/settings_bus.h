@@ -1,0 +1,52 @@
+// UHD settings-bus latency model.
+//
+// Register writes from the host cross the gigabit-Ethernet + settings-bus
+// path before they land in the fabric register file. The paper leans on
+// this for its reconfigurability claim: "on-the-fly jamming personalities
+// can be changed with a small latency equivalent to the latency of the UHD
+// user setting bus (hundreds of ns)". This model queues writes with a
+// per-transaction latency and applies them when fabric time passes the
+// completion timestamp.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "fpga/register_file.h"
+
+namespace rjf::radio {
+
+class SettingsBus {
+ public:
+  /// `latency_cycles`: fabric clocks (10 ns each) per register write.
+  /// Default 40 cycles = 400 ns, inside the paper's "hundreds of ns".
+  explicit SettingsBus(std::uint32_t latency_cycles = 40) noexcept
+      : latency_cycles_(latency_cycles) {}
+
+  /// Enqueue a write issued at fabric time `now_ticks`.
+  void write(fpga::Reg addr, std::uint32_t value,
+             std::uint64_t now_ticks);
+
+  /// Apply every write whose completion time has passed. Returns the number
+  /// of writes applied (callers re-latch the datapath when > 0).
+  std::size_t service(fpga::RegisterFile& regs, std::uint64_t now_ticks);
+
+  [[nodiscard]] bool idle() const noexcept { return pending_.empty(); }
+  [[nodiscard]] std::uint32_t latency_cycles() const noexcept {
+    return latency_cycles_;
+  }
+
+  /// Completion time of the last enqueued write (0 when none pending).
+  [[nodiscard]] std::uint64_t last_completion() const noexcept;
+
+ private:
+  struct Pending {
+    fpga::Reg addr;
+    std::uint32_t value;
+    std::uint64_t completes_at;
+  };
+  std::uint32_t latency_cycles_;
+  std::deque<Pending> pending_;
+};
+
+}  // namespace rjf::radio

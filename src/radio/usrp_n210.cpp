@@ -1,0 +1,57 @@
+#include "radio/usrp_n210.h"
+
+namespace rjf::radio {
+
+UsrpN210::UsrpN210() = default;
+
+void UsrpN210::write_register(fpga::Reg addr, std::uint32_t value) {
+  bus_.write(addr, value, now_ticks());
+}
+
+void UsrpN210::write_register_now(fpga::Reg addr, std::uint32_t value) {
+  core_.registers().write(addr, value);
+  core_.apply_registers();
+}
+
+UsrpN210::StreamResult UsrpN210::stream(std::span<const dsp::cfloat> rx) {
+  StreamResult result;
+  result.tx.assign(rx.size(), dsp::cfloat{});
+
+  const auto before = core_.feedback();
+  const dsp::cvec rx_gained = frontend_.apply_rx(rx);
+
+  bool burst_open = false;
+  for (std::size_t n = 0; n < rx_gained.size(); ++n) {
+    // Service any in-flight settings-bus writes; re-latch on application.
+    if (!bus_.idle() && bus_.service(core_.registers(), now_ticks()) > 0)
+      core_.apply_registers();
+
+    const dsp::IQ16 sample = adc_.sample(rx_gained[n]);
+    bool rf_active = false;
+    for (std::uint32_t c = 0; c < fpga::kClocksPerSample; ++c) {
+      const auto out = core_.tick(c == 0 ? std::optional<dsp::IQ16>(sample)
+                                         : std::nullopt);
+      rf_active = rf_active || out.tx.rf_active;
+      if (out.tx.sample_strobe) result.tx[n] = dac_.sample(out.tx.sample);
+    }
+    if (rf_active && !burst_open) {
+      result.bursts.push_back(JamBurst{n, 0});
+      burst_open = true;
+    } else if (!rf_active && burst_open) {
+      burst_open = false;
+    }
+    if (burst_open) ++result.bursts.back().length;
+  }
+
+  result.tx = frontend_.apply_tx(result.tx);
+  const auto after = core_.feedback();
+  result.jam_triggers = after.jam_triggers - before.jam_triggers;
+  result.xcorr_detections = after.xcorr_detections - before.xcorr_detections;
+  result.energy_high_detections =
+      after.energy_high_detections - before.energy_high_detections;
+  result.energy_low_detections =
+      after.energy_low_detections - before.energy_low_detections;
+  return result;
+}
+
+}  // namespace rjf::radio

@@ -1,0 +1,73 @@
+// Full USRP N210 jammer radio: SBX front-end, 14-bit ADC, the custom FPGA
+// DSP core at the 25 MSPS point of the DDC chain, 16-bit DAC, and the UHD
+// settings bus for host control (paper Fig. 1).
+//
+// Both TX and RX chains are initialised together at start-up (paper §2.1)
+// so there is no RX->TX switching cost; stream() is therefore full-duplex:
+// it consumes receive baseband and produces the transmit baseband emitted
+// over the same time span, sample-aligned, which is exactly what the
+// channel model needs to superimpose jamming onto ongoing traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.h"
+#include "fpga/dsp_core.h"
+#include "radio/adc_dac.h"
+#include "radio/frontend.h"
+#include "radio/settings_bus.h"
+
+namespace rjf::radio {
+
+/// One contiguous interval of RF jamming energy, in 25 MSPS sample units
+/// relative to the start of the stream() call.
+struct JamBurst {
+  std::size_t start_sample = 0;
+  std::size_t length = 0;
+};
+
+class UsrpN210 {
+ public:
+  UsrpN210();
+
+  [[nodiscard]] SbxFrontend& frontend() noexcept { return frontend_; }
+  [[nodiscard]] fpga::DspCore& core() noexcept { return core_; }
+  [[nodiscard]] const fpga::DspCore& core() const noexcept { return core_; }
+
+  /// Host register write through the settings bus (applies after latency).
+  void write_register(fpga::Reg addr, std::uint32_t value);
+
+  /// Setup-time write: applies immediately and re-latches the datapath.
+  /// Use before streaming starts, like programming the device at start-up.
+  void write_register_now(fpga::Reg addr, std::uint32_t value);
+
+  struct StreamResult {
+    dsp::cvec tx;                  // emitted jamming baseband, rx-aligned
+    std::vector<JamBurst> bursts;  // where the jammer was on the air
+    std::uint64_t jam_triggers = 0;
+    std::uint64_t xcorr_detections = 0;
+    std::uint64_t energy_high_detections = 0;
+    std::uint64_t energy_low_detections = 0;
+  };
+
+  /// Run the radio over a block of receive baseband at 25 MSPS.
+  StreamResult stream(std::span<const dsp::cfloat> rx);
+
+  [[nodiscard]] const fpga::HostFeedback& feedback() const noexcept {
+    return core_.feedback();
+  }
+  [[nodiscard]] std::uint64_t now_ticks() const noexcept {
+    return feedback().vita_ticks;
+  }
+  [[nodiscard]] const SettingsBus& settings_bus() const noexcept { return bus_; }
+
+ private:
+  SbxFrontend frontend_;
+  Adc adc_;
+  Dac dac_;
+  fpga::DspCore core_;
+  SettingsBus bus_;
+};
+
+}  // namespace rjf::radio

@@ -1,0 +1,54 @@
+#include "secure/friendly.h"
+
+#include <algorithm>
+
+#include "dsp/db.h"
+#include "dsp/noise.h"
+
+namespace rjf::secure {
+
+dsp::cvec FriendlyJammer::waveform(std::uint64_t epoch,
+                                   std::size_t length) const {
+  // splitmix-style epoch whitening keeps epochs statistically independent.
+  std::uint64_t seed = key_ ^ (epoch * 0x9E3779B97F4A7C15ULL + 0x1234567ULL);
+  dsp::NoiseSource source(power_, seed);
+  return source.block(length);
+}
+
+dsp::cvec cancel_friendly_jamming(std::span<const dsp::cfloat> rx,
+                                  const FriendlyJammer& jammer,
+                                  std::uint64_t epoch) {
+  const dsp::cvec reference = jammer.waveform(epoch, rx.size());
+
+  // Estimate the jammer->receiver complex gain by correlating the received
+  // stream with the known reference (the signal and thermal noise are
+  // uncorrelated with it, so the estimate converges with length).
+  dsp::cfloat num{};
+  double den = 0.0;
+  for (std::size_t k = 0; k < rx.size(); ++k) {
+    num += rx[k] * std::conj(reference[k]);
+    den += std::norm(reference[k]);
+  }
+  const dsp::cfloat gain = den > 0.0 ? num / static_cast<float>(den)
+                                     : dsp::cfloat{};
+
+  dsp::cvec cleaned(rx.size());
+  for (std::size_t k = 0; k < rx.size(); ++k)
+    cleaned[k] = rx[k] - gain * reference[k];
+  return cleaned;
+}
+
+double cancellation_residual(std::span<const dsp::cfloat> rx,
+                             std::span<const dsp::cfloat> cleaned,
+                             std::span<const dsp::cfloat> signal) {
+  // Interference+noise power before and after, with the signal removed.
+  double before = 0.0, after = 0.0;
+  const std::size_t n = std::min({rx.size(), cleaned.size(), signal.size()});
+  for (std::size_t k = 0; k < n; ++k) {
+    before += std::norm(rx[k] - signal[k]);
+    after += std::norm(cleaned[k] - signal[k]);
+  }
+  return before > 0.0 ? after / before : 0.0;
+}
+
+}  // namespace rjf::secure

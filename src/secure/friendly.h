@@ -1,0 +1,44 @@
+// Ally-friendly jamming (Shen et al., IEEE S&P 2013), the second class of
+// jamming-based secure communication the paper targets: a jammer transmits
+// continuously, but its waveform is generated from a secret key so that
+// authorized receivers can regenerate and cancel it while unauthorized
+// devices see broadband interference.
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/types.h"
+
+namespace rjf::secure {
+
+/// Key-controlled jamming source: the waveform is a deterministic function
+/// of (key, epoch), so any holder of the key can reproduce it exactly.
+class FriendlyJammer {
+ public:
+  FriendlyJammer(std::uint64_t key, double power) noexcept
+      : key_(key), power_(power) {}
+
+  /// Jamming waveform for an epoch (epochs keep long runs re-synchronisable).
+  [[nodiscard]] dsp::cvec waveform(std::uint64_t epoch, std::size_t length) const;
+
+  [[nodiscard]] double power() const noexcept { return power_; }
+
+ private:
+  std::uint64_t key_;
+  double power_;
+};
+
+/// Authorized receiver: regenerates the jamming (same key), estimates the
+/// jammer->receiver complex gain from a pilot correlation, and subtracts.
+/// Returns the cleaned waveform.
+[[nodiscard]] dsp::cvec cancel_friendly_jamming(
+    std::span<const dsp::cfloat> rx, const FriendlyJammer& jammer,
+    std::uint64_t epoch);
+
+/// Residual jamming power after cancellation relative to before (linear
+/// ratio; smaller is better). Diagnostic used by tests and benches.
+[[nodiscard]] double cancellation_residual(std::span<const dsp::cfloat> rx,
+                                           std::span<const dsp::cfloat> cleaned,
+                                           std::span<const dsp::cfloat> signal);
+
+}  // namespace rjf::secure

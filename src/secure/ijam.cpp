@@ -1,0 +1,88 @@
+#include "secure/ijam.h"
+
+#include "dsp/noise.h"
+#include "dsp/rng.h"
+
+namespace rjf::secure {
+
+dsp::cvec ijam_duplicate(std::span<const dsp::cfloat> waveform,
+                         std::size_t symbol_len) {
+  dsp::cvec out;
+  out.reserve(waveform.size() * 2);
+  for (std::size_t at = 0; at < waveform.size(); at += symbol_len) {
+    const std::size_t len = std::min(symbol_len, waveform.size() - at);
+    for (int copy = 0; copy < 2; ++copy)
+      out.insert(out.end(), waveform.begin() + static_cast<long>(at),
+                 waveform.begin() + static_cast<long>(at + len));
+  }
+  return out;
+}
+
+std::vector<bool> ijam_mask(std::size_t symbol_len, std::size_t num_symbols,
+                            std::uint64_t key) {
+  dsp::Xoshiro256 rng(key);
+  std::vector<bool> mask(symbol_len * num_symbols);
+  for (std::size_t k = 0; k < mask.size(); ++k) mask[k] = rng.next() & 1u;
+  return mask;
+}
+
+dsp::cvec ijam_jamming_waveform(const std::vector<bool>& mask,
+                                std::size_t symbol_len, double jam_power,
+                                std::uint64_t noise_seed) {
+  dsp::NoiseSource noise(jam_power, noise_seed);
+  dsp::cvec out(mask.size() * 2, dsp::cfloat{});
+  for (std::size_t k = 0; k < mask.size(); ++k) {
+    const std::size_t symbol = k / symbol_len;
+    const std::size_t offset = k % symbol_len;
+    const std::size_t first = symbol * 2 * symbol_len + offset;
+    const std::size_t second = first + symbol_len;
+    out[mask[k] ? first : second] = noise.sample();
+  }
+  return out;
+}
+
+dsp::cvec ijam_reconstruct(std::span<const dsp::cfloat> rx,
+                           const std::vector<bool>& mask,
+                           std::size_t symbol_len) {
+  dsp::cvec out(mask.size());
+  for (std::size_t k = 0; k < mask.size(); ++k) {
+    const std::size_t symbol = k / symbol_len;
+    const std::size_t offset = k % symbol_len;
+    const std::size_t first = symbol * 2 * symbol_len + offset;
+    const std::size_t second = first + symbol_len;
+    if (second >= rx.size()) break;
+    // The mask says which copy the receiver jammed; take the other.
+    out[k] = mask[k] ? rx[second] : rx[first];
+  }
+  return out;
+}
+
+dsp::cvec ijam_eavesdrop(std::span<const dsp::cfloat> rx,
+                         std::size_t symbol_len, EveStrategy strategy,
+                         std::uint64_t seed) {
+  dsp::Xoshiro256 rng(seed);
+  const std::size_t num_samples = rx.size() / 2;
+  dsp::cvec out(num_samples);
+  for (std::size_t k = 0; k < num_samples; ++k) {
+    const std::size_t symbol = k / symbol_len;
+    const std::size_t offset = k % symbol_len;
+    const std::size_t first = symbol * 2 * symbol_len + offset;
+    const std::size_t second = first + symbol_len;
+    if (second >= rx.size()) break;
+    switch (strategy) {
+      case EveStrategy::kFirstCopy:
+        out[k] = rx[first];
+        break;
+      case EveStrategy::kRandom:
+        out[k] = (rng.next() & 1u) ? rx[first] : rx[second];
+        break;
+      case EveStrategy::kMinPower:
+        out[k] = std::norm(rx[first]) <= std::norm(rx[second]) ? rx[first]
+                                                               : rx[second];
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rjf::secure

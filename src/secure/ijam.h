@@ -1,0 +1,59 @@
+// iJam-style self-jamming secrecy scheme (Gollakota & Katabi), one of the
+// "jamming-based secure communication schemes" the paper names as a target
+// application of the platform (§1).
+//
+// The transmitter sends every OFDM symbol TWICE. The intended receiver,
+// running full duplex, jams exactly one copy of each sample pair according
+// to a secret mask, then reconstructs the clean stream from the copies it
+// did not jam. An eavesdropper cannot tell which copy of a sample is clean
+// and so decodes through the jamming about half the time.
+//
+// The original prototype had to pad the PHY header with dummy samples to
+// cover the USRP's detect-to-jam turnaround; this implementation rides the
+// framework's 80 ns fabric response instead, which is the paper's point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace rjf::secure {
+
+/// Duplicate a waveform symbol-pair-wise: out = s0 s0' s1 s1' ... where
+/// each block of `symbol_len` samples is repeated immediately.
+[[nodiscard]] dsp::cvec ijam_duplicate(std::span<const dsp::cfloat> waveform,
+                                       std::size_t symbol_len);
+
+/// The receiver's secret per-sample mask: true = jam the FIRST copy of the
+/// sample (the clean one is the second), false = jam the second.
+[[nodiscard]] std::vector<bool> ijam_mask(std::size_t symbol_len,
+                                          std::size_t num_symbols,
+                                          std::uint64_t key);
+
+/// Build the receiver's self-jamming waveform, aligned with the duplicated
+/// transmission: jamming energy of power `jam_power` lands on whichever
+/// copy the mask selects for each sample.
+[[nodiscard]] dsp::cvec ijam_jamming_waveform(const std::vector<bool>& mask,
+                                              std::size_t symbol_len,
+                                              double jam_power,
+                                              std::uint64_t noise_seed);
+
+/// Intended receiver: knows the mask, picks the clean copy of each sample.
+[[nodiscard]] dsp::cvec ijam_reconstruct(std::span<const dsp::cfloat> rx,
+                                         const std::vector<bool>& mask,
+                                         std::size_t symbol_len);
+
+/// Eavesdropper strategies for picking copies without the mask.
+enum class EveStrategy {
+  kFirstCopy,   // always take the first copy
+  kRandom,      // guess per sample
+  kMinPower,    // pick the lower-power copy (energy heuristic)
+};
+
+[[nodiscard]] dsp::cvec ijam_eavesdrop(std::span<const dsp::cfloat> rx,
+                                       std::size_t symbol_len,
+                                       EveStrategy strategy,
+                                       std::uint64_t seed);
+
+}  // namespace rjf::secure

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/awgn.h"
+#include "channel/five_port.h"
+#include "channel/meters.h"
+#include "dsp/db.h"
+
+namespace rjf::channel {
+namespace {
+
+TEST(FivePort, Table1ValuesExact) {
+  const FivePortNetwork net;
+  // Spot-check against the paper's Table 1.
+  EXPECT_DOUBLE_EQ(net.loss_db(1, 2), 51.0);
+  EXPECT_DOUBLE_EQ(net.loss_db(1, 3), 25.2);
+  EXPECT_DOUBLE_EQ(net.loss_db(1, 4), 38.4);
+  EXPECT_DOUBLE_EQ(net.loss_db(1, 5), 39.3);
+  EXPECT_DOUBLE_EQ(net.loss_db(2, 3), 31.7);
+  EXPECT_DOUBLE_EQ(net.loss_db(2, 4), 32.0);
+  EXPECT_DOUBLE_EQ(net.loss_db(2, 5), 32.8);
+  EXPECT_DOUBLE_EQ(net.loss_db(3, 4), 19.1);
+  EXPECT_DOUBLE_EQ(net.loss_db(5, 1), 39.2);  // the table's one asymmetry
+  EXPECT_DOUBLE_EQ(net.loss_db(5, 3), 19.8);
+}
+
+TEST(FivePort, JammerTxRxIsolated) {
+  const FivePortNetwork net;
+  EXPECT_TRUE(std::isinf(net.loss_db(4, 5)));
+  EXPECT_EQ(net.path_gain(4, 5), 0.0f);
+}
+
+TEST(FivePort, SamePortIsZeroLoss) {
+  const FivePortNetwork net;
+  EXPECT_DOUBLE_EQ(net.loss_db(3, 3), 0.0);
+}
+
+TEST(FivePort, PortRangeValidated) {
+  const FivePortNetwork net;
+  EXPECT_THROW((void)net.loss_db(0, 1), std::out_of_range);
+  EXPECT_THROW((void)net.loss_db(1, 6), std::out_of_range);
+}
+
+TEST(FivePort, VariableAttenuatorOnJammerPath) {
+  FivePortNetwork net;
+  net.set_variable_attenuation_db(20.0);
+  EXPECT_DOUBLE_EQ(net.loss_db(4, 1), 58.4);  // 38.4 + 20
+  EXPECT_DOUBLE_EQ(net.loss_db(2, 4), 52.0);  // also on the way in
+  // Paths not involving port 4 are unaffected.
+  EXPECT_DOUBLE_EQ(net.loss_db(1, 2), 51.0);
+}
+
+TEST(FivePort, PathGainMatchesLoss) {
+  const FivePortNetwork net;
+  const float g = net.path_gain(1, 2);
+  EXPECT_NEAR(20.0 * std::log10(g), -51.0, 1e-6);
+}
+
+TEST(FivePort, ReceiveSuperimposesWithLosses) {
+  FivePortNetwork net;
+  const dsp::cvec a(100, dsp::cfloat{1.0f, 0.0f});
+  const dsp::cvec b(100, dsp::cfloat{0.0f, 1.0f});
+  const FivePortNetwork::Contribution sources[] = {
+      {1, a, 0},
+      {2, b, 50},
+  };
+  const dsp::cvec rx = net.receive(3, sources, 200, 0.0, 1);
+  ASSERT_EQ(rx.size(), 200u);
+  const float g13 = net.path_gain(1, 3);
+  const float g23 = net.path_gain(2, 3);
+  EXPECT_NEAR(rx[10].real(), g13, 1e-6f);
+  EXPECT_NEAR(rx[10].imag(), 0.0f, 1e-6f);
+  EXPECT_NEAR(rx[60].imag(), g23, 1e-6f);   // b offset by 50
+  EXPECT_NEAR(rx[60].real(), g13, 1e-6f);   // a still present
+  EXPECT_EQ(rx[150], (dsp::cfloat{}));      // past both contributions
+}
+
+TEST(FivePort, ReceiveSkipsOwnPort) {
+  FivePortNetwork net;
+  const dsp::cvec a(10, dsp::cfloat{1.0f, 0.0f});
+  const FivePortNetwork::Contribution sources[] = {{3, a, 0}};
+  const dsp::cvec rx = net.receive(3, sources, 10, 0.0, 1);
+  for (const auto s : rx) EXPECT_EQ(s, (dsp::cfloat{}));
+}
+
+TEST(FivePort, ReceiveAddsCalibratedNoise) {
+  FivePortNetwork net;
+  const dsp::cvec rx = net.receive(1, {}, 100000, 0.04, 7);
+  EXPECT_NEAR(dsp::mean_power(rx), 0.04, 0.002);
+}
+
+TEST(Awgn, LinkHitsRequestedSnr) {
+  dsp::cvec signal(20000, dsp::cfloat{0.5f, -0.5f});
+  for (const double snr : {0.0, 10.0, 20.0}) {
+    const dsp::cvec rx = awgn_link(signal, snr, 0.01, 3);
+    // Received power = signal power + noise power.
+    const double expected = 0.01 * dsp::ratio_from_db(snr) + 0.01;
+    EXPECT_NEAR(dsp::mean_power(rx), expected, expected * 0.05) << snr;
+  }
+}
+
+TEST(Awgn, TerminatedInputIsPureNoise) {
+  const dsp::cvec rx = terminated_input(50000, 0.02, 9);
+  EXPECT_NEAR(dsp::mean_power(rx), 0.02, 0.001);
+}
+
+TEST(Meters, SirDb) {
+  EXPECT_NEAR(sir_db(1.0, 0.01), 20.0, 1e-9);
+  EXPECT_EQ(sir_db(1.0, 0.0), 300.0);
+}
+
+TEST(Meters, SirAtPort) {
+  // Client at unit power through 51 dB loss vs jammer at 1e-3 through
+  // 38.4 dB: SIR = -51 - (-30 - 38.4) = 17.4 dB.
+  EXPECT_NEAR(sir_at_port_db(1.0, 51.0, 1e-3, 38.4), 17.4, 1e-9);
+}
+
+TEST(Meters, ActivePower) {
+  dsp::cvec x(10, dsp::cfloat{});
+  bool active[10] = {};
+  x[3] = dsp::cfloat{2.0f, 0.0f};
+  active[3] = true;
+  x[7] = dsp::cfloat{0.0f, 2.0f};
+  active[7] = true;
+  EXPECT_NEAR(active_power(x, active), 4.0, 1e-6);
+  const bool none[10] = {};
+  EXPECT_EQ(active_power(x, none), 0.0);
+}
+
+}  // namespace
+}  // namespace rjf::channel

@@ -1,0 +1,92 @@
+#include "dsp/cic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/db.h"
+
+namespace rjf::dsp {
+namespace {
+
+cvec tone(double cycles_per_sample, std::size_t n) {
+  cvec x(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double p = 2.0 * std::numbers::pi * cycles_per_sample * k;
+    x[k] = cfloat{static_cast<float>(std::cos(p)), static_cast<float>(std::sin(p))};
+  }
+  return x;
+}
+
+TEST(CicDecimator, RejectsBadParameters) {
+  EXPECT_THROW(CicDecimator(0, 4), std::invalid_argument);
+  EXPECT_THROW(CicDecimator(4, 0), std::invalid_argument);
+}
+
+TEST(CicDecimator, OutputLength) {
+  CicDecimator cic(4, 4);
+  EXPECT_EQ(cic.process(cvec(1000)).size(), 250u);
+}
+
+TEST(CicDecimator, UnityDcGainAfterCompensation) {
+  CicDecimator cic(4, 4);
+  const cvec out = cic.process(cvec(2000, cfloat{1.0f, 0.0f}));
+  // After the transient the compensated output sits at 1.0.
+  EXPECT_NEAR(out.back().real(), 1.0f, 1e-4f);
+  EXPECT_NEAR(out.back().imag(), 0.0f, 1e-4f);
+}
+
+TEST(CicDecimator, PassbandTonePreserved) {
+  CicDecimator cic(4, 4);
+  const cvec out = cic.process(tone(0.01, 8000));
+  const std::span<const cfloat> steady(out.data() + 500, out.size() - 500);
+  EXPECT_NEAR(mean_power(steady), 1.0, 0.05);
+}
+
+TEST(CicDecimator, AliasBandAttenuated) {
+  // CIC nulls sit at multiples of the output rate: a tone right at the
+  // first null frequency (1/R cycles/sample) must be strongly suppressed.
+  CicDecimator cic(4, 4);
+  const cvec out = cic.process(tone(0.25, 8000));
+  const std::span<const cfloat> steady(out.data() + 500, out.size() - 500);
+  EXPECT_LT(mean_power_db(steady), -40.0);
+}
+
+TEST(CicDecimator, MoreStagesMoreAttenuation) {
+  const auto stopband_power = [](std::size_t stages) {
+    CicDecimator cic(4, stages);
+    const cvec out = cic.process(tone(0.21, 8000));
+    const std::span<const cfloat> steady(out.data() + 500, out.size() - 500);
+    return mean_power_db(steady);
+  };
+  EXPECT_LT(stopband_power(4), stopband_power(2) - 10.0);
+}
+
+TEST(CicDecimator, ResetClearsState) {
+  CicDecimator cic(4, 3);
+  (void)cic.process(cvec(100, cfloat{1.0f, 0.0f}));
+  cic.reset();
+  const cvec out = cic.process(cvec(100, cfloat{}));
+  for (const auto s : out) EXPECT_EQ(s, (cfloat{}));
+}
+
+TEST(CicInterpolator, OutputLengthAndDc) {
+  CicInterpolator cic(4, 4);
+  const cvec out = cic.process(cvec(500, cfloat{1.0f, 0.0f}));
+  EXPECT_EQ(out.size(), 2000u);
+  EXPECT_NEAR(out.back().real(), 1.0f, 1e-3f);
+}
+
+TEST(CicChain, DecimateInterpolateRoundTrip) {
+  CicInterpolator up(4, 4);
+  CicDecimator down(4, 4);
+  const cvec in = tone(0.005, 2000);
+  const cvec out = down.process(up.process(in));
+  ASSERT_EQ(out.size(), in.size());
+  const std::span<const cfloat> steady(out.data() + 400, out.size() - 400);
+  EXPECT_NEAR(mean_power(steady), 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace rjf::dsp

@@ -1,0 +1,56 @@
+#include "dsp/db.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rjf::dsp {
+namespace {
+
+TEST(Db, RatioConversionsInvertEachOther) {
+  for (const double db : {-30.0, -10.0, 0.0, 3.0, 10.0, 20.0, 50.0}) {
+    EXPECT_NEAR(db_from_ratio(ratio_from_db(db)), db, 1e-9);
+  }
+}
+
+TEST(Db, KnownValues) {
+  EXPECT_NEAR(ratio_from_db(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(ratio_from_db(3.0), 1.9953, 1e-3);
+  EXPECT_NEAR(amplitude_from_db(20.0), 10.0, 1e-12);
+  EXPECT_NEAR(amplitude_from_db(6.0), 1.9953, 1e-3);
+}
+
+TEST(Db, ZeroPowerIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(db_from_ratio(0.0)));
+  EXPECT_LT(db_from_ratio(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(db_from_ratio(-1.0)));
+}
+
+TEST(MeanPower, ConstantBuffer) {
+  const cvec x(64, cfloat{1.0f, 0.0f});
+  EXPECT_NEAR(mean_power(x), 1.0, 1e-9);
+  const cvec y(64, cfloat{1.0f, 1.0f});
+  EXPECT_NEAR(mean_power(y), 2.0, 1e-6);
+}
+
+TEST(MeanPower, EmptyIsZero) {
+  EXPECT_EQ(mean_power({}), 0.0);
+  EXPECT_TRUE(std::isinf(mean_power_db({})));
+}
+
+TEST(SetMeanPower, ScalesToTarget) {
+  cvec x(128);
+  for (std::size_t k = 0; k < x.size(); ++k)
+    x[k] = cfloat{static_cast<float>(k % 7) - 3.0f, 1.0f};
+  set_mean_power(std::span<cfloat>(x), 2.5);
+  EXPECT_NEAR(mean_power(x), 2.5, 1e-5);
+}
+
+TEST(SetMeanPower, ZeroBufferUntouched) {
+  cvec x(16, cfloat{});
+  set_mean_power(std::span<cfloat>(x), 1.0);
+  EXPECT_EQ(mean_power(x), 0.0);
+}
+
+}  // namespace
+}  // namespace rjf::dsp

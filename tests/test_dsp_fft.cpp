@@ -1,0 +1,92 @@
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/rng.h"
+
+namespace rjf::dsp {
+namespace {
+
+TEST(Fft, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  cvec x(64, cfloat{});
+  x[0] = cfloat{1.0f, 0.0f};
+  fft(x);
+  for (const cfloat bin : x) {
+    EXPECT_NEAR(bin.real(), 1.0f, 1e-5f);
+    EXPECT_NEAR(bin.imag(), 0.0f, 1e-5f);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const int tone = 5;
+  cvec x(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double p = 2.0 * std::numbers::pi * tone * static_cast<double>(k) / n;
+    x[k] = cfloat{static_cast<float>(std::cos(p)), static_cast<float>(std::sin(p))};
+  }
+  fft(x);
+  for (std::size_t bin = 0; bin < n; ++bin) {
+    if (bin == static_cast<std::size_t>(tone))
+      EXPECT_NEAR(std::abs(x[bin]), 64.0f, 1e-3f);
+    else
+      EXPECT_NEAR(std::abs(x[bin]), 0.0f, 1e-3f) << "bin " << bin;
+  }
+}
+
+TEST(Fft, RoundTripIdentity) {
+  Xoshiro256 rng(3);
+  for (const std::size_t n : {8u, 64u, 256u, 1024u}) {
+    cvec x(n);
+    for (auto& s : x) s = rng.complex_gaussian();
+    const cvec orig = x;
+    fft(x);
+    ifft(x);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(x[k].real(), orig[k].real(), 1e-3f);
+      EXPECT_NEAR(x[k].imag(), orig[k].imag(), 1e-3f);
+    }
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Xoshiro256 rng(5);
+  cvec x(128);
+  for (auto& s : x) s = rng.complex_gaussian();
+  double time_energy = 0.0;
+  for (const cfloat s : x) time_energy += std::norm(s);
+  const cvec spectrum = fft_copy(x);
+  double freq_energy = 0.0;
+  for (const cfloat s : spectrum) freq_energy += std::norm(s);
+  EXPECT_NEAR(freq_energy / 128.0, time_energy, time_energy * 1e-4);
+}
+
+TEST(Fft, Linearity) {
+  Xoshiro256 rng(9);
+  cvec a(64), b(64), sum(64);
+  for (std::size_t k = 0; k < 64; ++k) {
+    a[k] = rng.complex_gaussian();
+    b[k] = rng.complex_gaussian();
+    sum[k] = a[k] + 2.0f * b[k];
+  }
+  const cvec fa = fft_copy(a), fb = fft_copy(b), fsum = fft_copy(sum);
+  for (std::size_t k = 0; k < 64; ++k) {
+    EXPECT_NEAR(fsum[k].real(), fa[k].real() + 2.0f * fb[k].real(), 1e-2f);
+    EXPECT_NEAR(fsum[k].imag(), fa[k].imag() + 2.0f * fb[k].imag(), 1e-2f);
+  }
+}
+
+}  // namespace
+}  // namespace rjf::dsp

@@ -1,0 +1,109 @@
+#include "dsp/fir.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/db.h"
+
+namespace rjf::dsp {
+namespace {
+
+cvec tone(double freq_cycles_per_sample, std::size_t n) {
+  cvec x(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double p = 2.0 * std::numbers::pi * freq_cycles_per_sample * k;
+    x[k] = cfloat{static_cast<float>(std::cos(p)), static_cast<float>(std::sin(p))};
+  }
+  return x;
+}
+
+TEST(LowpassDesign, UnityDcGain) {
+  const auto taps = design_lowpass(0.2, 63);
+  double sum = 0.0;
+  for (const float t : taps) sum += t;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(LowpassDesign, OddTapCountForced) {
+  EXPECT_EQ(design_lowpass(0.1, 64).size(), 65u);
+  EXPECT_EQ(design_lowpass(0.1, 63).size(), 63u);
+}
+
+TEST(LowpassDesign, RejectsBadCutoff) {
+  EXPECT_THROW(design_lowpass(0.0, 31), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(0.5, 31), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(-0.1, 31), std::invalid_argument);
+}
+
+TEST(FirFilter, EmptyTapsRejected) {
+  EXPECT_THROW(FirFilter({}), std::invalid_argument);
+}
+
+TEST(FirFilter, PassbandToneSurvives) {
+  FirFilter filter(design_lowpass(0.25, 63));
+  const cvec in = tone(0.05, 2000);
+  const cvec out = filter.process_block(in);
+  // Skip the transient, then compare power.
+  const std::span<const cfloat> steady(out.data() + 200, out.size() - 200);
+  EXPECT_NEAR(mean_power(steady), 1.0, 0.02);
+}
+
+TEST(FirFilter, StopbandToneAttenuated) {
+  FirFilter filter(design_lowpass(0.1, 63));
+  const cvec in = tone(0.35, 2000);
+  const cvec out = filter.process_block(in);
+  const std::span<const cfloat> steady(out.data() + 200, out.size() - 200);
+  EXPECT_LT(mean_power_db(steady), -40.0);
+}
+
+TEST(FirFilter, ResetClearsState) {
+  FirFilter filter(design_lowpass(0.2, 31));
+  (void)filter.process(cfloat{1.0f, 0.0f});
+  filter.reset();
+  // After reset, an all-zero input yields all-zero output.
+  for (int k = 0; k < 40; ++k)
+    EXPECT_EQ(filter.process(cfloat{}), (cfloat{}));
+}
+
+TEST(Decimator, OutputLength) {
+  Decimator dec(5);
+  const cvec out = dec.process_block(cvec(1000, cfloat{1.0f, 0.0f}));
+  EXPECT_EQ(out.size(), 200u);
+}
+
+TEST(Decimator, DcPreserved) {
+  Decimator dec(4);
+  const cvec out = dec.process_block(cvec(2000, cfloat{1.0f, 0.0f}));
+  EXPECT_NEAR(out.back().real(), 1.0f, 0.01f);
+}
+
+TEST(Decimator, RejectsZeroFactor) {
+  EXPECT_THROW(Decimator(0), std::invalid_argument);
+}
+
+TEST(Interpolator, OutputLengthAndDc) {
+  Interpolator interp(4);
+  const cvec out = interp.process_block(cvec(500, cfloat{1.0f, 0.0f}));
+  EXPECT_EQ(out.size(), 2000u);
+  EXPECT_NEAR(out.back().real(), 1.0f, 0.02f);
+}
+
+TEST(Interpolator, RejectsZeroFactor) {
+  EXPECT_THROW(Interpolator(0), std::invalid_argument);
+}
+
+TEST(DecimatorInterpolator, RoundTripToneAtLowFrequency) {
+  Interpolator up(4);
+  Decimator down(4);
+  const cvec in = tone(0.02, 1000);
+  const cvec recovered = down.process_block(up.process_block(in));
+  ASSERT_EQ(recovered.size(), in.size());
+  const std::span<const cfloat> steady(recovered.data() + 100,
+                                       recovered.size() - 100);
+  EXPECT_NEAR(mean_power(steady), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace rjf::dsp

@@ -1,0 +1,71 @@
+#include "dsp/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rjf::dsp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int k = 0; k < 100; ++k)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  for (int k = 0; k < 100000; ++k) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  Xoshiro256 rng(11);
+  for (const std::uint64_t n : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int k = 0; k < 1000; ++k) ASSERT_LT(rng.uniform_int(n), n);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Xoshiro256 rng(13);
+  bool seen[8] = {};
+  for (int k = 0; k < 1000; ++k) seen[rng.uniform_int(8)] = true;
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, GaussianMoments) {
+  Xoshiro256 rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int k = 0; k < n; ++k) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, ComplexGaussianPower) {
+  Xoshiro256 rng(19);
+  double power = 0.0;
+  const int n = 100000;
+  for (int k = 0; k < n; ++k) power += std::norm(rng.complex_gaussian(4.0));
+  EXPECT_NEAR(power / n, 4.0, 0.1);
+}
+
+}  // namespace
+}  // namespace rjf::dsp

@@ -1,0 +1,60 @@
+#include "dsp/types.h"
+
+#include <gtest/gtest.h>
+
+namespace rjf::dsp {
+namespace {
+
+TEST(Q15, ZeroMapsToZero) {
+  EXPECT_EQ(to_q15(0.0f), 0);
+  EXPECT_FLOAT_EQ(from_q15(0), 0.0f);
+}
+
+TEST(Q15, FullScalePositiveSaturates) {
+  EXPECT_EQ(to_q15(1.0f), 32767);
+  EXPECT_EQ(to_q15(2.0f), 32767);
+  EXPECT_EQ(to_q15(1000.0f), 32767);
+}
+
+TEST(Q15, FullScaleNegativeSaturates) {
+  EXPECT_EQ(to_q15(-1.0f), -32768);
+  EXPECT_EQ(to_q15(-5.0f), -32768);
+}
+
+TEST(Q15, RoundTripSmallValues) {
+  for (const float x : {0.5f, -0.5f, 0.25f, -0.125f, 0.9f}) {
+    EXPECT_NEAR(from_q15(to_q15(x)), x, 1.0f / 32768.0f) << "x=" << x;
+  }
+}
+
+TEST(Q15, HalfScaleExact) {
+  EXPECT_EQ(to_q15(0.5f), 16384);
+  EXPECT_FLOAT_EQ(from_q15(16384), 0.5f);
+}
+
+TEST(IQ16, ComplexRoundTrip) {
+  const cfloat x{0.25f, -0.75f};
+  const cfloat back = from_iq16(to_iq16(x));
+  EXPECT_NEAR(back.real(), x.real(), 1e-4f);
+  EXPECT_NEAR(back.imag(), x.imag(), 1e-4f);
+}
+
+TEST(IQ16, BulkConversionPreservesSize) {
+  const cvec in(100, cfloat{0.1f, 0.2f});
+  const iqvec mid = to_iq16(in);
+  const cvec out = from_iq16(mid);
+  ASSERT_EQ(mid.size(), in.size());
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    EXPECT_NEAR(out[k].real(), in[k].real(), 1e-4f);
+    EXPECT_NEAR(out[k].imag(), in[k].imag(), 1e-4f);
+  }
+}
+
+TEST(IQ16, Equality) {
+  EXPECT_EQ((IQ16{1, 2}), (IQ16{1, 2}));
+  EXPECT_FALSE((IQ16{1, 2}) == (IQ16{2, 1}));
+}
+
+}  // namespace
+}  // namespace rjf::dsp

@@ -1,0 +1,106 @@
+#include "core/event_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reactive_jammer.h"
+#include "dsp/noise.h"
+#include "dsp/resampler.h"
+#include "phy80211/preamble.h"
+
+namespace rjf::core {
+namespace {
+
+TEST(EventBuilder, BuildsWifiPersonality) {
+  JammingEventBuilder builder;
+  const auto config = builder.detect_wifi_short_preamble(0.059)
+                          .white_noise()
+                          .uptime(1e-4)
+                          .build();
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->detection, DetectionMode::kCrossCorrelator);
+  EXPECT_TRUE(config->xcorr_template.has_value());
+  EXPECT_EQ(config->jam_uptime_samples, 2500u);
+}
+
+TEST(EventBuilder, CombinedDetectionViaOr) {
+  JammingEventBuilder builder;
+  const auto config = builder.detect_wimax_preamble(1, 0, 0.1)
+                          .or_energy_rise(10.0)
+                          .white_noise()
+                          .uptime(1e-3)
+                          .build();
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->detection, DetectionMode::kXcorrOrEnergy);
+  EXPECT_DOUBLE_EQ(config->energy_high_db, 10.0);
+}
+
+TEST(EventBuilder, RequiresDetection) {
+  JammingEventBuilder builder;
+  const auto config = builder.white_noise().uptime(1e-4).build();
+  EXPECT_FALSE(config.has_value());
+  EXPECT_NE(builder.error().find("detection"), std::string::npos);
+}
+
+TEST(EventBuilder, RequiresUptime) {
+  JammingEventBuilder builder;
+  const auto config = builder.detect_energy_rise(10.0).build();
+  EXPECT_FALSE(config.has_value());
+  EXPECT_NE(builder.error().find("uptime"), std::string::npos);
+}
+
+TEST(EventBuilder, ContinuousNeedsNoUptime) {
+  JammingEventBuilder builder;
+  EXPECT_TRUE(builder.continuous().white_noise().build().has_value());
+}
+
+TEST(EventBuilder, OrEnergyRequiresCorrelatorFirst) {
+  JammingEventBuilder builder;
+  const auto config =
+      builder.detect_energy_rise(10.0).or_energy_rise(10.0).uptime(1e-4).build();
+  EXPECT_FALSE(config.has_value());
+}
+
+TEST(EventBuilder, DelayRangeValidated) {
+  JammingEventBuilder builder;
+  const auto config = builder.detect_energy_rise(10.0)
+                          .delay(1.0)  // 1 s >> 16-bit register range
+                          .uptime(1e-4)
+                          .build();
+  EXPECT_FALSE(config.has_value());
+}
+
+TEST(EventBuilder, DescribeIsHumanReadable) {
+  JammingEventBuilder builder;
+  (void)builder.detect_wifi_long_preamble(0.083)
+      .replay_last_samples()
+      .uptime(4e-5)
+      .delay(2e-6);
+  const std::string line = builder.describe();
+  EXPECT_NE(line.find("WiFi LTS"), std::string::npos);
+  EXPECT_NE(line.find("replay"), std::string::npos);
+  EXPECT_NE(line.find("40.00 us"), std::string::npos);
+  EXPECT_NE(line.find("2.00 us"), std::string::npos);
+}
+
+TEST(EventBuilder, BuiltConfigDrivesARealJammer) {
+  JammingEventBuilder builder;
+  const auto config = builder.detect_wifi_short_preamble(0.5)
+                          .white_noise()
+                          .uptime(4e-6)
+                          .build();
+  ASSERT_TRUE(config.has_value());
+  ReactiveJammer jammer(*config);
+
+  dsp::cvec sp;
+  const auto period = phy80211::short_training_symbol();
+  for (int rep = 0; rep < 10; ++rep)
+    sp.insert(sp.end(), period.begin(), period.end());
+  const dsp::cvec sp25 = dsp::resample(sp, 20e6, 25e6);
+  dsp::cvec rx = dsp::make_wgn(2048, 1e-4, 31);
+  for (std::size_t k = 0; k < sp25.size(); ++k) rx[256 + k] += sp25[k] * 0.5f;
+
+  EXPECT_GE(jammer.observe(rx).jam_triggers, 1u);
+}
+
+}  // namespace
+}  // namespace rjf::core

@@ -1,0 +1,186 @@
+#include "fpga/cross_correlator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/noise.h"
+
+namespace rjf::fpga {
+namespace {
+
+// A 64-sample complex test code with 4-phase structure.
+dsp::cvec test_code() {
+  dsp::cvec code(kCorrelatorLength);
+  for (std::size_t k = 0; k < code.size(); ++k) {
+    const double phase =
+        2.0 * std::numbers::pi * static_cast<double>((k * 7) % 13) / 13.0;
+    code[k] = dsp::cfloat{static_cast<float>(std::cos(phase)),
+                          static_cast<float>(std::sin(phase))};
+  }
+  return code;
+}
+
+dsp::iqvec to_fabric(const dsp::cvec& x, float scale = 0.5f) {
+  dsp::iqvec out(x.size());
+  for (std::size_t k = 0; k < x.size(); ++k) out[k] = dsp::to_iq16(x[k] * scale);
+  return out;
+}
+
+TEST(MakeTemplate, CoefficientsWithinThreeBits) {
+  const auto tpl = make_template(test_code());
+  for (std::size_t k = 0; k < kCorrelatorLength; ++k) {
+    EXPECT_GE(tpl.coef_i[k], -4);
+    EXPECT_LE(tpl.coef_i[k], 3);
+    EXPECT_GE(tpl.coef_q[k], -4);
+    EXPECT_LE(tpl.coef_q[k], 3);
+  }
+}
+
+TEST(MakeTemplate, ZeroReferenceGivesZeroTemplate) {
+  const auto tpl = make_template(dsp::cvec(64, dsp::cfloat{}));
+  for (std::size_t k = 0; k < kCorrelatorLength; ++k) {
+    EXPECT_EQ(tpl.coef_i[k], 0);
+    EXPECT_EQ(tpl.coef_q[k], 0);
+  }
+}
+
+TEST(MakeTemplate, ShortReferencePadsWithZeros) {
+  const dsp::cvec code = test_code();
+  const auto tpl = make_template(
+      std::span<const dsp::cfloat>(code.data(), 16));
+  bool any_nonzero_head = false;
+  for (std::size_t k = 0; k < 16; ++k)
+    any_nonzero_head |= tpl.coef_i[k] != 0 || tpl.coef_q[k] != 0;
+  EXPECT_TRUE(any_nonzero_head);
+  for (std::size_t k = 16; k < kCorrelatorLength; ++k) {
+    EXPECT_EQ(tpl.coef_i[k], 0);
+    EXPECT_EQ(tpl.coef_q[k], 0);
+  }
+}
+
+TEST(CrossCorrelator, PeaksWhenCodeFullyEntered) {
+  const dsp::cvec code = test_code();
+  const auto tpl = make_template(code);
+  CrossCorrelator corr;
+  corr.set_coefficients(tpl.coef_i, tpl.coef_q);
+
+  std::uint32_t peak = 0;
+  std::size_t peak_at = 0;
+  const auto samples = to_fabric(code);
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    const auto out = corr.step(samples[k]);
+    if (out.metric > peak) {
+      peak = out.metric;
+      peak_at = k;
+    }
+  }
+  // The metric must peak exactly when the last code sample enters (sample
+  // 63), which is what makes T_xcorr_det = 64 samples = 2.56 us.
+  EXPECT_EQ(peak_at, kCorrelatorLength - 1);
+  // And the peak must be a large fraction of the theoretical maximum.
+  EXPECT_GT(peak, corr.max_metric() / 3);
+}
+
+TEST(CrossCorrelator, TriggerRespectsThreshold) {
+  const dsp::cvec code = test_code();
+  const auto tpl = make_template(code);
+  CrossCorrelator corr;
+  corr.set_coefficients(tpl.coef_i, tpl.coef_q);
+
+  // First find the peak, then re-run with thresholds around it.
+  std::uint32_t peak = 0;
+  for (const auto s : to_fabric(code))
+    peak = std::max(peak, corr.step(s).metric);
+
+  corr.reset();
+  corr.set_threshold(peak - 1);
+  bool triggered = false;
+  for (const auto s : to_fabric(code)) triggered |= corr.step(s).trigger;
+  EXPECT_TRUE(triggered);
+
+  corr.reset();
+  corr.set_threshold(peak);
+  triggered = false;
+  for (const auto s : to_fabric(code)) triggered |= corr.step(s).trigger;
+  EXPECT_FALSE(triggered);  // strict comparison: metric > threshold
+}
+
+TEST(CrossCorrelator, LoadFromRegistersMatchesDirect) {
+  const auto tpl = make_template(test_code());
+  RegisterFile regs;
+  program_template(regs, tpl);
+  regs.write(Reg::kXcorrThreshold, 500);
+
+  CrossCorrelator via_regs;
+  via_regs.load_from_registers(regs);
+  CrossCorrelator direct;
+  direct.set_coefficients(tpl.coef_i, tpl.coef_q);
+  direct.set_threshold(500);
+
+  for (const auto s : to_fabric(test_code())) {
+    const auto a = via_regs.step(s);
+    const auto b = direct.step(s);
+    ASSERT_EQ(a.metric, b.metric);
+    ASSERT_EQ(a.trigger, b.trigger);
+  }
+}
+
+TEST(CrossCorrelator, SignSlicingIgnoresAmplitude) {
+  // The datapath slices sign bits, so scaling the input by 100x must not
+  // change the metric (as long as signs survive quantisation).
+  const dsp::cvec code = test_code();
+  const auto tpl = make_template(code);
+  CrossCorrelator small, large;
+  small.set_coefficients(tpl.coef_i, tpl.coef_q);
+  large.set_coefficients(tpl.coef_i, tpl.coef_q);
+  for (std::size_t k = 0; k < code.size(); ++k) {
+    const auto a = small.step(dsp::to_iq16(code[k] * 0.01f));
+    const auto b = large.step(dsp::to_iq16(code[k] * 0.9f));
+    ASSERT_EQ(a.metric, b.metric) << "k=" << k;
+  }
+}
+
+TEST(CrossCorrelator, NoiseStaysWellBelowSignalPeak) {
+  const dsp::cvec code = test_code();
+  const auto tpl = make_template(code);
+  CrossCorrelator corr;
+  corr.set_coefficients(tpl.coef_i, tpl.coef_q);
+
+  std::uint32_t signal_peak = 0;
+  for (const auto s : to_fabric(code))
+    signal_peak = std::max(signal_peak, corr.step(s).metric);
+
+  corr.reset();
+  dsp::NoiseSource noise(0.01, 42);
+  std::uint32_t noise_peak = 0;
+  for (int k = 0; k < 20000; ++k)
+    noise_peak =
+        std::max(noise_peak, corr.step(dsp::to_iq16(noise.sample())).metric);
+  EXPECT_GT(signal_peak, noise_peak * 2);
+}
+
+TEST(CrossCorrelator, ResetClearsHistory) {
+  const auto tpl = make_template(test_code());
+  CrossCorrelator corr;
+  corr.set_coefficients(tpl.coef_i, tpl.coef_q);
+  for (const auto s : to_fabric(test_code())) (void)corr.step(s);
+  corr.reset();
+  CrossCorrelator fresh;
+  fresh.set_coefficients(tpl.coef_i, tpl.coef_q);
+  const dsp::IQ16 probe{1000, -1000};
+  EXPECT_EQ(corr.step(probe).metric, fresh.step(probe).metric);
+}
+
+TEST(CrossCorrelator, MaxMetricBound) {
+  const auto tpl = make_template(test_code());
+  CrossCorrelator corr;
+  corr.set_coefficients(tpl.coef_i, tpl.coef_q);
+  // max_metric is (sum |ci|+|cq|)^2 <= (64*6)^2.
+  EXPECT_LE(corr.max_metric(), 384u * 384u);
+  EXPECT_GT(corr.max_metric(), 0u);
+}
+
+}  // namespace
+}  // namespace rjf::fpga

@@ -1,0 +1,166 @@
+#include "fpga/energy_differentiator.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/noise.h"
+
+namespace rjf::fpga {
+namespace {
+
+constexpr std::size_t kWarmup = kEnergyWindow + kEnergyRefDelay;
+
+// Feed `n` samples of constant amplitude; returns the last output.
+EnergyDifferentiator::Output feed(EnergyDifferentiator& det, std::int16_t amp,
+                                  std::size_t n) {
+  EnergyDifferentiator::Output out;
+  for (std::size_t k = 0; k < n; ++k) out = det.step(dsp::IQ16{amp, amp});
+  return out;
+}
+
+TEST(EnergyDifferentiator, SilentInputNeverTriggers) {
+  EnergyDifferentiator det;
+  det.set_thresholds(energy_threshold_q88_from_db(3.0),
+                     energy_threshold_q88_from_db(3.0), 0);
+  for (std::size_t k = 0; k < 1000; ++k) {
+    const auto out = det.step(dsp::IQ16{0, 0});
+    ASSERT_FALSE(out.trigger_high);
+    ASSERT_FALSE(out.trigger_low);
+  }
+}
+
+TEST(EnergyDifferentiator, WarmupSuppressesTriggers) {
+  EnergyDifferentiator det;
+  det.set_thresholds(energy_threshold_q88_from_db(3.0),
+                     energy_threshold_q88_from_db(3.0), 0);
+  // A strong signal from the very first sample: no trigger until the
+  // 96-sample pipeline (32 sum + 64 reference delay) is full.
+  for (std::size_t k = 0; k < kWarmup; ++k) {
+    const auto out = det.step(dsp::IQ16{8000, 8000});
+    ASSERT_FALSE(out.trigger_high) << "k=" << k;
+  }
+}
+
+TEST(EnergyDifferentiator, StepUpTriggersHigh) {
+  EnergyDifferentiator det;
+  det.set_thresholds(energy_threshold_q88_from_db(10.0),
+                     energy_threshold_q88_from_db(10.0), 1);
+  feed(det, 100, 400);  // quiet baseline, fully warmed up
+  // A 40x amplitude step is a 32 dB energy rise: must trigger within the
+  // 32-sample window plus the 64-sample reference delay.
+  bool high = false;
+  for (std::size_t k = 0; k < kEnergyWindow + kEnergyRefDelay && !high; ++k)
+    high = det.step(dsp::IQ16{4000, 4000}).trigger_high;
+  EXPECT_TRUE(high);
+}
+
+TEST(EnergyDifferentiator, StepDownTriggersLow) {
+  EnergyDifferentiator det;
+  det.set_thresholds(energy_threshold_q88_from_db(10.0),
+                     energy_threshold_q88_from_db(10.0), 1);
+  feed(det, 4000, 400);
+  bool low = false;
+  for (std::size_t k = 0; k < kEnergyWindow + kEnergyRefDelay && !low; ++k)
+    low = det.step(dsp::IQ16{100, 100}).trigger_low;
+  EXPECT_TRUE(low);
+}
+
+TEST(EnergyDifferentiator, SmallRiseBelowThresholdIgnored) {
+  EnergyDifferentiator det;
+  det.set_thresholds(energy_threshold_q88_from_db(10.0),
+                     energy_threshold_q88_from_db(10.0), 1);
+  feed(det, 1000, 400);
+  // +3 dB rise (amplitude x1.41) must NOT trip a 10 dB threshold.
+  bool high = false;
+  for (std::size_t k = 0; k < 300; ++k)
+    high |= det.step(dsp::IQ16{1414, 1414}).trigger_high;
+  EXPECT_FALSE(high);
+}
+
+TEST(EnergyDifferentiator, ThresholdBoundaryIsSharp) {
+  // A rise of exactly 12 dB: triggers at a 10 dB setting, not at 14 dB.
+  for (const auto& [setting_db, expect] :
+       std::vector<std::pair<double, bool>>{{10.0, true}, {14.0, false}}) {
+    EnergyDifferentiator det;
+    det.set_thresholds(energy_threshold_q88_from_db(setting_db),
+                       energy_threshold_q88_from_db(setting_db), 1);
+    feed(det, 500, 400);
+    bool high = false;
+    for (std::size_t k = 0; k < 300; ++k)
+      high |= det.step(dsp::IQ16{1990, 1990}).trigger_high;  // ~12 dB up
+    EXPECT_EQ(high, expect) << "setting " << setting_db;
+  }
+}
+
+TEST(EnergyDifferentiator, FloorArmsDetector) {
+  EnergyDifferentiator det;
+  // Enormous floor: even a big relative rise must not trigger.
+  det.set_thresholds(energy_threshold_q88_from_db(3.0),
+                     energy_threshold_q88_from_db(3.0), ~0u);
+  feed(det, 100, 400);
+  bool high = false;
+  for (std::size_t k = 0; k < 300; ++k)
+    high |= det.step(dsp::IQ16{4000, 4000}).trigger_high;
+  EXPECT_FALSE(high);
+}
+
+TEST(EnergyDifferentiator, EnergySumMatchesWindowSum) {
+  EnergyDifferentiator det;
+  det.set_thresholds(~0u, ~0u, 0);
+  const std::int16_t amp = 1000;
+  const auto out = feed(det, amp, 200);
+  const std::uint64_t per_sample =
+      2ull * static_cast<std::uint64_t>(amp) * amp;
+  EXPECT_EQ(out.energy_sum, per_sample * kEnergyWindow);
+}
+
+TEST(EnergyDifferentiator, LoadFromRegisters) {
+  RegisterFile regs;
+  regs.write(Reg::kEnergyThreshHigh, energy_threshold_q88_from_db(10.0));
+  regs.write(Reg::kEnergyThreshLow, energy_threshold_q88_from_db(10.0));
+  regs.write(Reg::kEnergyFloor, 1);
+  EnergyDifferentiator det;
+  det.load_from_registers(regs);
+  feed(det, 100, 400);
+  bool high = false;
+  for (std::size_t k = 0; k < 300; ++k)
+    high |= det.step(dsp::IQ16{4000, 4000}).trigger_high;
+  EXPECT_TRUE(high);
+}
+
+TEST(EnergyDifferentiator, ResetRequiresRewarming) {
+  EnergyDifferentiator det;
+  det.set_thresholds(energy_threshold_q88_from_db(3.0),
+                     energy_threshold_q88_from_db(3.0), 1);
+  feed(det, 100, 400);
+  det.reset();
+  for (std::size_t k = 0; k < kWarmup; ++k) {
+    const auto out = det.step(dsp::IQ16{4000, 4000});
+    ASSERT_FALSE(out.trigger_high);
+  }
+}
+
+// Property sweep: the detector must fire for any configured threshold when
+// the actual rise exceeds it by 3 dB, across the paper's 3-30 dB range.
+class EnergyThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EnergyThresholdSweep, FiresAboveConfiguredThreshold) {
+  const double threshold_db = GetParam();
+  EnergyDifferentiator det;
+  det.set_thresholds(energy_threshold_q88_from_db(threshold_db),
+                     energy_threshold_q88_from_db(threshold_db), 1);
+  feed(det, 200, 400);
+  const double rise_db = threshold_db + 3.0;
+  const auto amp = static_cast<std::int16_t>(
+      200.0 * std::pow(10.0, rise_db / 20.0));
+  bool high = false;
+  for (std::size_t k = 0; k < 300; ++k)
+    high |= det.step(dsp::IQ16{amp, amp}).trigger_high;
+  EXPECT_TRUE(high) << "threshold " << threshold_db << " dB";
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, EnergyThresholdSweep,
+                         ::testing::Values(3.0, 6.0, 10.0, 15.0, 20.0, 25.0,
+                                           30.0));
+
+}  // namespace
+}  // namespace rjf::fpga

@@ -1,0 +1,194 @@
+#include "fpga/jammer_controller.h"
+
+#include <gtest/gtest.h>
+
+namespace rjf::fpga {
+namespace {
+
+TEST(JammerController, IdleUntilTriggered) {
+  JammerController ctl;
+  ctl.configure(JamWaveform::kWhiteNoise, true, 0, 10);
+  for (int k = 0; k < 100; ++k) {
+    const auto out = ctl.clock(false);
+    ASSERT_FALSE(out.rf_active);
+  }
+  EXPECT_EQ(ctl.jam_count(), 0u);
+}
+
+TEST(JammerController, DisabledIgnoresTriggers) {
+  JammerController ctl;
+  ctl.configure(JamWaveform::kWhiteNoise, false, 0, 10);
+  const auto out = ctl.clock(true);
+  EXPECT_FALSE(out.rf_active);
+  for (int k = 0; k < 100; ++k) ASSERT_FALSE(ctl.clock(false).rf_active);
+  EXPECT_EQ(ctl.jam_count(), 0u);
+}
+
+TEST(JammerController, RfWithinEightCyclesOfTrigger) {
+  // Paper §2.4: 1 cycle to initiate + ~7 cycles to fill the DUC = 80 ns.
+  JammerController ctl;
+  ctl.configure(JamWaveform::kWhiteNoise, true, 0, 4);
+  (void)ctl.clock(true);  // trigger cycle
+  int cycles_to_rf = 1;
+  bool active = false;
+  for (; cycles_to_rf <= 16; ++cycles_to_rf) {
+    if (ctl.clock(false).rf_active) {
+      active = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(active);
+  EXPECT_EQ(cycles_to_rf, static_cast<int>(kTxInitCycles));
+}
+
+TEST(JammerController, UptimeCountsExactSamples) {
+  JammerController ctl;
+  const std::uint32_t uptime = 25;
+  ctl.configure(JamWaveform::kWhiteNoise, true, 0, uptime);
+  (void)ctl.clock(true);
+  std::uint32_t strobes = 0;
+  for (int k = 0; k < 4000; ++k)
+    if (ctl.clock(false).sample_strobe) ++strobes;
+  EXPECT_EQ(strobes, uptime);
+  EXPECT_FALSE(ctl.busy());
+}
+
+TEST(JammerController, MinimumUptimeIsOneSample) {
+  // Paper: jamming duration from 1 sample time (40 ns).
+  JammerController ctl;
+  ctl.configure(JamWaveform::kWhiteNoise, true, 0, 0);  // clamped to 1
+  (void)ctl.clock(true);
+  std::uint32_t strobes = 0;
+  for (int k = 0; k < 100; ++k)
+    if (ctl.clock(false).sample_strobe) ++strobes;
+  EXPECT_EQ(strobes, 1u);
+}
+
+TEST(JammerController, DelayPostponesJamming) {
+  JammerController ctl;
+  const std::uint32_t delay_samples = 10;
+  ctl.configure(JamWaveform::kWhiteNoise, true, delay_samples, 4);
+  (void)ctl.clock(true);
+  int cycles = 1;
+  while (!ctl.clock(false).rf_active && cycles < 1000) ++cycles;
+  // Delay (in sample periods) plus the 8-cycle TX init.
+  EXPECT_EQ(cycles,
+            static_cast<int>(delay_samples * kClocksPerSample + kTxInitCycles));
+}
+
+TEST(JammerController, TriggersIgnoredWhileBusy) {
+  JammerController ctl;
+  ctl.configure(JamWaveform::kWhiteNoise, true, 0, 100);
+  (void)ctl.clock(true);
+  for (int k = 0; k < 50; ++k) (void)ctl.clock(true);  // re-trigger attempts
+  EXPECT_EQ(ctl.jam_count(), 1u);
+}
+
+TEST(JammerController, ReplayPlaysBackRecordedSamples) {
+  JammerController ctl;
+  ctl.configure(JamWaveform::kReplay, true, 0, 8);
+  // Record a recognisable ramp.
+  for (std::int16_t k = 0; k < 512; ++k)
+    ctl.record_rx(dsp::IQ16{k, static_cast<std::int16_t>(-k)});
+  (void)ctl.clock(true);
+  std::vector<dsp::IQ16> played;
+  for (int k = 0; k < 200 && played.size() < 8; ++k) {
+    const auto out = ctl.clock(false);
+    if (out.sample_strobe) played.push_back(out.sample);
+  }
+  ASSERT_EQ(played.size(), 8u);
+  // Playback starts at the oldest recorded sample (write cursor position).
+  for (std::size_t k = 0; k < played.size(); ++k) {
+    EXPECT_EQ(played[k].i, static_cast<std::int16_t>(k));
+    EXPECT_EQ(played[k].q, static_cast<std::int16_t>(-static_cast<int>(k)));
+  }
+}
+
+TEST(JammerController, HostStreamWaveformCycles) {
+  JammerController ctl;
+  ctl.configure(JamWaveform::kHostStream, true, 0, 6);
+  ctl.set_host_waveform({dsp::IQ16{100, 0}, dsp::IQ16{0, 100}, dsp::IQ16{-100, 0}});
+  (void)ctl.clock(true);
+  std::vector<dsp::IQ16> played;
+  for (int k = 0; k < 200 && played.size() < 6; ++k) {
+    const auto out = ctl.clock(false);
+    if (out.sample_strobe) played.push_back(out.sample);
+  }
+  ASSERT_EQ(played.size(), 6u);
+  EXPECT_EQ(played[0], (dsp::IQ16{100, 0}));
+  EXPECT_EQ(played[3], (dsp::IQ16{100, 0}));  // wrapped around
+}
+
+TEST(JammerController, EmptyHostStreamEmitsSilence) {
+  JammerController ctl;
+  ctl.configure(JamWaveform::kHostStream, true, 0, 3);
+  (void)ctl.clock(true);
+  for (int k = 0; k < 100; ++k) {
+    const auto out = ctl.clock(false);
+    if (out.sample_strobe) {
+      EXPECT_EQ(out.sample, (dsp::IQ16{0, 0}));
+    }
+  }
+}
+
+TEST(JammerController, WhiteNoiseIsNonConstantAndBounded) {
+  JammerController ctl;
+  ctl.configure(JamWaveform::kWhiteNoise, true, 0, 256);
+  (void)ctl.clock(true);
+  std::vector<dsp::IQ16> samples;
+  for (int k = 0; k < 4000 && samples.size() < 256; ++k) {
+    const auto out = ctl.clock(false);
+    if (out.sample_strobe) samples.push_back(out.sample);
+  }
+  ASSERT_EQ(samples.size(), 256u);
+  bool varies = false;
+  for (std::size_t k = 1; k < samples.size(); ++k)
+    varies |= !(samples[k] == samples[0]);
+  EXPECT_TRUE(varies);
+  for (const auto s : samples) {
+    EXPECT_LT(std::abs(static_cast<int>(s.i)), 32768);
+    EXPECT_LT(std::abs(static_cast<int>(s.q)), 32768);
+  }
+}
+
+TEST(JammerController, FastForwardMatchesClockedUptime) {
+  // fast_forward must land in the same state as explicit clocking.
+  JammerController a, b;
+  for (auto* ctl : {&a, &b})
+    ctl->configure(JamWaveform::kWhiteNoise, true, 5, 50);
+  (void)a.clock(true);
+  (void)b.clock(true);
+
+  // a: clocked for 30 sample periods; b: fast-forwarded the same span.
+  for (std::uint32_t k = 0; k < 30 * kClocksPerSample; ++k) (void)a.clock(false);
+  b.fast_forward(30);
+  EXPECT_EQ(a.busy(), b.busy());
+
+  // Continue both to completion and compare total jam extent.
+  for (std::uint32_t k = 0; k < 200 * kClocksPerSample; ++k) (void)a.clock(false);
+  b.fast_forward(200);
+  EXPECT_FALSE(a.busy());
+  EXPECT_FALSE(b.busy());
+}
+
+TEST(JammerController, FastForwardThroughIdleIsNoop) {
+  JammerController ctl;
+  ctl.configure(JamWaveform::kWhiteNoise, true, 0, 10);
+  ctl.fast_forward(100000);
+  EXPECT_FALSE(ctl.busy());
+  EXPECT_EQ(ctl.jam_count(), 0u);
+}
+
+TEST(JammerController, LoadFromRegisters) {
+  RegisterFile regs;
+  regs.set_jammer(JamWaveform::kReplay, true, 7);
+  regs.write(Reg::kJamDuration, 123);
+  JammerController ctl;
+  ctl.load_from_registers(regs);
+  (void)ctl.clock(true);
+  EXPECT_TRUE(ctl.busy());
+  EXPECT_EQ(ctl.jam_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rjf::fpga

@@ -1,0 +1,103 @@
+#include "fpga/register_file.h"
+
+#include <gtest/gtest.h>
+
+namespace rjf::fpga {
+namespace {
+
+TEST(RegisterFile, StartsZeroed) {
+  const RegisterFile regs;
+  for (std::size_t r = 0; r < kNumUserRegisters; ++r)
+    EXPECT_EQ(regs.read(static_cast<Reg>(r)), 0u);
+}
+
+TEST(RegisterFile, ReadBackAfterWrite) {
+  RegisterFile regs;
+  regs.write(Reg::kXcorrThreshold, 0xDEADBEEFu);
+  EXPECT_EQ(regs.read(Reg::kXcorrThreshold), 0xDEADBEEFu);
+}
+
+TEST(RegisterFile, RegisterBudgetMatchesPaper) {
+  // Paper §2.2: "Our current design makes use of 24 of these user registers."
+  EXPECT_EQ(kNumUserRegisters, 24u);
+  EXPECT_EQ(static_cast<std::size_t>(Reg::kJamDuration), 23u);
+}
+
+TEST(Coefficients, RoundTripAllPositions) {
+  RegisterFile regs;
+  for (std::size_t k = 0; k < 64; ++k) {
+    const int v = static_cast<int>(k % 7) - 3;  // -3..3
+    regs.set_coefficient(false, k, v);
+    regs.set_coefficient(true, k, -v);
+  }
+  for (std::size_t k = 0; k < 64; ++k) {
+    const int v = static_cast<int>(k % 7) - 3;
+    EXPECT_EQ(regs.coefficient(false, k), v) << "I coef " << k;
+    EXPECT_EQ(regs.coefficient(true, k), -v) << "Q coef " << k;
+  }
+}
+
+TEST(Coefficients, ClampToThreeBitSigned) {
+  RegisterFile regs;
+  regs.set_coefficient(false, 0, 100);
+  EXPECT_EQ(regs.coefficient(false, 0), 3);
+  regs.set_coefficient(false, 1, -100);
+  EXPECT_EQ(regs.coefficient(false, 1), -4);
+}
+
+TEST(Coefficients, OutOfRangeIndexIgnored) {
+  RegisterFile regs;
+  regs.set_coefficient(false, 64, 3);  // silently ignored
+  EXPECT_EQ(regs.coefficient(false, 64), 0);
+}
+
+TEST(Coefficients, PackingDoesNotDisturbNeighbours) {
+  RegisterFile regs;
+  for (std::size_t k = 0; k < 8; ++k) regs.set_coefficient(false, k, 2);
+  regs.set_coefficient(false, 3, -1);
+  for (std::size_t k = 0; k < 8; ++k)
+    EXPECT_EQ(regs.coefficient(false, k), k == 3 ? -1 : 2);
+}
+
+TEST(JammerField, EncodeDecode) {
+  RegisterFile regs;
+  regs.set_jammer(JamWaveform::kReplay, true, 1234);
+  EXPECT_EQ(regs.jam_waveform(), JamWaveform::kReplay);
+  EXPECT_TRUE(regs.jam_enabled());
+  EXPECT_EQ(regs.jam_delay_samples(), 1234);
+
+  regs.set_jammer(JamWaveform::kHostStream, false, 0);
+  EXPECT_EQ(regs.jam_waveform(), JamWaveform::kHostStream);
+  EXPECT_FALSE(regs.jam_enabled());
+}
+
+TEST(TriggerStages, CountAndMasks) {
+  RegisterFile regs;
+  regs.set_trigger_stages(kEventXcorr, kEventEnergyHigh, 0);
+  EXPECT_EQ(regs.num_trigger_stages(), 2);
+  EXPECT_EQ(regs.trigger_stage_mask(0), kEventXcorr);
+  EXPECT_EQ(regs.trigger_stage_mask(1), kEventEnergyHigh);
+  EXPECT_EQ(regs.trigger_stage_mask(2), 0u);
+  EXPECT_EQ(regs.trigger_stage_mask(3), 0u);  // out of range
+}
+
+TEST(TriggerStages, ThreeStagesMax) {
+  RegisterFile regs;
+  regs.set_trigger_stages(1, 2, 4);
+  EXPECT_EQ(regs.num_trigger_stages(), 3);
+}
+
+TEST(EnergyThreshold, Q88ConversionRoundTrips) {
+  // Paper: "any energy level change between 3dB and 30dB".
+  for (const double db : {3.0, 6.0, 10.0, 20.0, 30.0}) {
+    const auto q88 = energy_threshold_q88_from_db(db);
+    EXPECT_NEAR(energy_threshold_db_from_q88(q88), db, 0.05) << db;
+  }
+}
+
+TEST(EnergyThreshold, TenDbIsFactorTenQ88) {
+  EXPECT_EQ(energy_threshold_q88_from_db(10.0), 2560u);  // 10.0 * 256
+}
+
+}  // namespace
+}  // namespace rjf::fpga

@@ -1,0 +1,58 @@
+#include "fpga/resource_model.h"
+
+#include <gtest/gtest.h>
+
+namespace rjf::fpga {
+namespace {
+
+TEST(ResourceModel, PaperFig3CorrelatorNumbers) {
+  for (const auto& r : block_resources()) {
+    if (r.block != "cross_correlator") continue;
+    EXPECT_EQ(r.slices, 2613u);
+    EXPECT_EQ(r.ffs, 2647u);
+    EXPECT_EQ(r.brams, 12u);
+    EXPECT_EQ(r.luts, 2818u);
+    EXPECT_EQ(r.iobs, 0u);
+    EXPECT_EQ(r.dsp48, 2u);
+    return;
+  }
+  FAIL() << "cross_correlator row missing";
+}
+
+TEST(ResourceModel, PaperFig4EnergyNumbers) {
+  for (const auto& r : block_resources()) {
+    if (r.block != "energy_differentiator") continue;
+    EXPECT_EQ(r.slices, 1262u);
+    EXPECT_EQ(r.ffs, 1313u);
+    EXPECT_EQ(r.brams, 0u);
+    EXPECT_EQ(r.luts, 2513u);
+    EXPECT_EQ(r.dsp48, 6u);
+    return;
+  }
+  FAIL() << "energy_differentiator row missing";
+}
+
+TEST(ResourceModel, TotalsAreSums) {
+  const auto total = total_resources();
+  std::uint32_t slices = 0;
+  for (const auto& r : block_resources()) slices += r.slices;
+  EXPECT_EQ(total.slices, slices);
+  EXPECT_GT(total.luts, 0u);
+}
+
+TEST(ResourceModel, FitsTheSpartan3ADsp3400) {
+  const auto u = utilisation();
+  EXPECT_LT(u.slices_pct, 100.0);
+  EXPECT_LT(u.ffs_pct, 100.0);
+  EXPECT_LT(u.brams_pct, 100.0);
+  EXPECT_LT(u.luts_pct, 100.0);
+  EXPECT_LT(u.dsp48_pct, 100.0);
+  EXPECT_GT(u.slices_pct, 0.0);
+}
+
+TEST(ResourceModel, AllSixBlocksPresent) {
+  EXPECT_EQ(block_resources().size(), 6u);
+}
+
+}  // namespace
+}  // namespace rjf::fpga

@@ -1,0 +1,105 @@
+#include "fpga/trigger_fsm.h"
+
+#include <gtest/gtest.h>
+
+namespace rjf::fpga {
+namespace {
+
+TEST(TriggerFsm, UnconfiguredNeverFires) {
+  TriggerFsm fsm;
+  fsm.configure(0, 0, 0, 100);
+  DetectorEvents all{true, true, true};
+  for (int k = 0; k < 100; ++k) EXPECT_FALSE(fsm.clock(all));
+}
+
+TEST(TriggerFsm, SingleStageFiresImmediately) {
+  TriggerFsm fsm;
+  fsm.configure(kEventXcorr, 0, 0, 100);
+  EXPECT_FALSE(fsm.clock({}));
+  EXPECT_TRUE(fsm.clock({.xcorr = true}));
+  // Rearmed: fires again on the next matching event.
+  EXPECT_TRUE(fsm.clock({.xcorr = true}));
+}
+
+TEST(TriggerFsm, MaskIsSelective) {
+  TriggerFsm fsm;
+  fsm.configure(kEventEnergyHigh, 0, 0, 100);
+  EXPECT_FALSE(fsm.clock({.xcorr = true}));
+  EXPECT_FALSE(fsm.clock({.energy_low = true}));
+  EXPECT_TRUE(fsm.clock({.energy_high = true}));
+}
+
+TEST(TriggerFsm, OrWithinStage) {
+  TriggerFsm fsm;
+  fsm.configure(kEventXcorr | kEventEnergyHigh, 0, 0, 100);
+  EXPECT_TRUE(fsm.clock({.xcorr = true}));
+  EXPECT_TRUE(fsm.clock({.energy_high = true}));
+}
+
+TEST(TriggerFsm, TwoStageSequence) {
+  TriggerFsm fsm;
+  fsm.configure(kEventXcorr, kEventEnergyHigh, 0, 1000);
+  EXPECT_FALSE(fsm.clock({.xcorr = true}));      // stage 0
+  EXPECT_FALSE(fsm.clock({}));                   // waiting
+  EXPECT_FALSE(fsm.clock({.xcorr = true}));      // wrong event for stage 1
+  EXPECT_TRUE(fsm.clock({.energy_high = true})); // completes
+}
+
+TEST(TriggerFsm, ThreeStageSequence) {
+  TriggerFsm fsm;
+  fsm.configure(kEventXcorr, kEventEnergyHigh, kEventEnergyLow, 1000);
+  EXPECT_FALSE(fsm.clock({.xcorr = true}));
+  EXPECT_FALSE(fsm.clock({.energy_high = true}));
+  EXPECT_FALSE(fsm.clock({.energy_high = true}));
+  EXPECT_TRUE(fsm.clock({.energy_low = true}));
+}
+
+TEST(TriggerFsm, WindowExpiryRearms) {
+  TriggerFsm fsm;
+  fsm.configure(kEventXcorr, kEventEnergyHigh, 0, 10);
+  EXPECT_FALSE(fsm.clock({.xcorr = true}));
+  for (int k = 0; k < 20; ++k) EXPECT_FALSE(fsm.clock({}));
+  // The sequence expired; an energy event alone must not complete it.
+  EXPECT_FALSE(fsm.clock({.energy_high = true}));
+  // But a fresh full sequence within the window fires.
+  EXPECT_FALSE(fsm.clock({.xcorr = true}));
+  EXPECT_TRUE(fsm.clock({.energy_high = true}));
+}
+
+TEST(TriggerFsm, ZeroWindowMeansUnbounded) {
+  TriggerFsm fsm;
+  fsm.configure(kEventXcorr, kEventEnergyHigh, 0, 0);
+  EXPECT_FALSE(fsm.clock({.xcorr = true}));
+  for (int k = 0; k < 100000; ++k) ASSERT_FALSE(fsm.clock({}));
+  EXPECT_TRUE(fsm.clock({.energy_high = true}));
+}
+
+TEST(TriggerFsm, SimultaneousEventsAdvanceOneStagePerClock) {
+  TriggerFsm fsm;
+  fsm.configure(kEventXcorr, kEventEnergyHigh, 0, 100);
+  // Both events in one clock: only stage 0 consumes; the FSM needs another
+  // clock with energy_high for stage 1.
+  EXPECT_FALSE(fsm.clock({.xcorr = true, .energy_high = true}));
+  EXPECT_TRUE(fsm.clock({.energy_high = true}));
+}
+
+TEST(TriggerFsm, LoadFromRegisters) {
+  RegisterFile regs;
+  regs.set_trigger_stages(kEventXcorr, kEventEnergyHigh, 0);
+  regs.write(Reg::kTriggerWindow, 50);
+  TriggerFsm fsm;
+  fsm.load_from_registers(regs);
+  EXPECT_FALSE(fsm.clock({.xcorr = true}));
+  EXPECT_TRUE(fsm.clock({.energy_high = true}));
+}
+
+TEST(DetectorEvents, MaskEncoding) {
+  EXPECT_EQ((DetectorEvents{true, false, false}).as_mask(), kEventXcorr);
+  EXPECT_EQ((DetectorEvents{false, true, false}).as_mask(), kEventEnergyHigh);
+  EXPECT_EQ((DetectorEvents{false, false, true}).as_mask(), kEventEnergyLow);
+  EXPECT_EQ((DetectorEvents{true, true, true}).as_mask(),
+            kEventXcorr | kEventEnergyHigh | kEventEnergyLow);
+}
+
+}  // namespace
+}  // namespace rjf::fpga

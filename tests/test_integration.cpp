@@ -1,0 +1,140 @@
+// Cross-module end-to-end scenarios, including the paper's WiMAX §5 result:
+// cross-correlation alone misses most downlink frames (the 25 us code is
+// correlated across only its first 2.56 us), while combining it with the
+// energy differentiator detects every frame.
+#include <gtest/gtest.h>
+
+#include "core/calibration.h"
+#include "core/detection_experiment.h"
+#include "core/presets.h"
+#include "dsp/db.h"
+#include "dsp/noise.h"
+#include "core/reactive_jammer.h"
+#include "core/templates.h"
+#include "dsp/resampler.h"
+#include "phy80211/receiver.h"
+#include "phy80211/transmitter.h"
+#include "phy80216/frame.h"
+#include "phy80216/preamble.h"
+
+namespace rjf {
+namespace {
+
+TEST(Integration, WimaxCombinedDetectionBeatsXcorrAlone) {
+  phy80216::FrameConfig frame_config;
+  frame_config.num_dl_symbols = 4;
+  const dsp::cvec dl = phy80216::build_downlink(frame_config);
+
+  core::DetectionRunConfig run;
+  run.num_frames = 60;
+  run.snr_db = 15.0;
+  run.tx_rate_hz = phy80216::kSampleRateHz;
+  run.seed = 23;
+
+  // Cross-correlator alone, with the template loaded the way the paper had
+  // to (no WiMAX receiver to capture-calibrate against: native-rate code
+  // samples in a 25 MSPS correlator). The paper measured ~2/3 misdetection
+  // in this mode; our naive-template condition is the harsher end of it.
+  core::JammerConfig xcorr_only;
+  xcorr_only.detection = core::DetectionMode::kCrossCorrelator;
+  const dsp::cvec ref = phy80216::preamble_useful_part({1, 0});
+  xcorr_only.xcorr_template = core::template_from_waveform(
+      ref, phy80216::kSampleRateHz, /*resample_to_fabric_rate=*/false);
+  const core::XcorrNoiseModel model(*xcorr_only.xcorr_template);
+  xcorr_only.xcorr_threshold = model.threshold_for_rate(0.1);
+  core::ReactiveJammer a(xcorr_only);
+  const auto r_xcorr = core::run_detection_experiment(
+      a, dl, core::DetectorTap::kJamTrigger, run);
+
+  // Combined with the energy differentiator (the paper's fix).
+  core::ReactiveJammer b(core::wimax_combined_preset(1e-4, 1, 0));
+  const auto r_combined = core::run_detection_experiment(
+      b, dl, core::DetectorTap::kJamTrigger, run);
+
+  EXPECT_EQ(r_combined.probability, 1.0);  // "100% of all downlink packets"
+  EXPECT_LT(r_xcorr.probability, 0.5);     // xcorr alone misses most frames
+}
+
+TEST(Integration, JamBurstCorruptsWifiFrameEndToEnd) {
+  // Full loop at sample level: WiFi TX -> jammer detect -> jam waveform
+  // superimposed -> receiver fails the decode.
+  std::vector<std::uint8_t> psdu(400, 0x6B);
+  phy80211::Transmitter tx({phy80211::Rate::kMbps54, 0x5D});
+  const dsp::cvec w20 = tx.transmit(psdu);
+  const dsp::cvec w25 = dsp::resample(w20, 20e6, 25e6);
+
+  auto config = core::wifi_reactive_preset(1e-4, 0.059);
+  core::ReactiveJammer jammer(config);
+
+  dsp::cvec jam_rx = dsp::make_wgn(w25.size() + 256, 1e-6, 3);
+  for (std::size_t k = 0; k < w25.size(); ++k) jam_rx[128 + k] += w25[k] * 0.1f;
+  const auto result = jammer.observe(jam_rx);
+  ASSERT_GE(result.jam_triggers, 1u);
+  ASSERT_FALSE(result.bursts.empty());
+
+  // Superimpose the jam waveform onto the victim's 20 MSPS reception at
+  // power comparable to the signal.
+  dsp::cvec victim = w20;
+  dsp::cvec jam20 = dsp::resample(result.tx, 25e6, 20e6);
+  dsp::set_mean_power(std::span<dsp::cfloat>(jam20),
+                      dsp::mean_power(w20) * 4.0);
+  const std::size_t offset = 128 * 20 / 25;
+  for (std::size_t k = 0; k + offset < jam20.size() && k < victim.size(); ++k)
+    victim[k] += jam20[k + offset];
+
+  const auto decoded = phy80211::Receiver().receive(victim);
+  EXPECT_TRUE(!decoded.signal_valid || decoded.psdu != psdu);
+
+  // Control: without the jam the same frame decodes fine.
+  const auto clean = phy80211::Receiver().receive(w20);
+  ASSERT_TRUE(clean.signal_valid);
+  EXPECT_EQ(clean.psdu, psdu);
+}
+
+TEST(Integration, ReplayWaveformEchoesVictimSignal) {
+  // Waveform (ii): replay of the last 512 received samples. After a
+  // trigger, the emitted burst must correlate with the recorded input.
+  core::JammerConfig config;
+  config.detection = core::DetectionMode::kEnergyRise;
+  config.energy_high_db = 10.0;
+  config.waveform = fpga::JamWaveform::kReplay;
+  config.jam_uptime_samples = 256;
+  core::ReactiveJammer jammer(config);
+
+  // A recognisable tone burst in noise.
+  dsp::cvec rx = dsp::make_wgn(4096, 1e-8, 7);
+  for (std::size_t k = 512; k < 2048; ++k) {
+    const float phase = 0.4f * static_cast<float>(k);
+    rx[k] += dsp::cfloat{0.4f * std::cos(phase), 0.4f * std::sin(phase)};
+  }
+  const auto result = jammer.observe(rx);
+  ASSERT_FALSE(result.bursts.empty());
+  const auto& burst = result.bursts.front();
+  double power = 0.0;
+  for (std::size_t k = burst.start_sample;
+       k < burst.start_sample + burst.length && k < result.tx.size(); ++k)
+    power += std::norm(result.tx[k]);
+  EXPECT_GT(power / burst.length, 0.01);  // replaying the strong tone
+}
+
+TEST(Integration, EnergyFallDetectionSeesEndOfFrame) {
+  core::JammerConfig config;
+  config.detection = core::DetectionMode::kEnergyFall;
+  config.energy_low_db = 10.0;
+  config.jam_uptime_samples = 64;
+  core::ReactiveJammer jammer(config);
+
+  dsp::cvec rx = dsp::make_wgn(4096, 1e-6, 9);
+  for (std::size_t k = 256; k < 2048; ++k)
+    rx[k] += dsp::cfloat{0.3f, -0.3f};
+
+  const auto result = jammer.observe(rx);
+  ASSERT_EQ(result.energy_low_detections, 1u);
+  ASSERT_FALSE(result.bursts.empty());
+  // The burst must start shortly after the frame END (sample 2048).
+  EXPECT_GT(result.bursts.front().start_sample, 2048u);
+  EXPECT_LT(result.bursts.front().start_sample, 2048u + 128u);
+}
+
+}  // namespace
+}  // namespace rjf

@@ -1,0 +1,164 @@
+// MAC framing, ARF, DCF backoff, and iperf accounting.
+#include <gtest/gtest.h>
+
+#include "net/arf.h"
+#include "net/dcf.h"
+#include "net/iperf.h"
+#include "net/mac_frame.h"
+
+namespace rjf::net {
+namespace {
+
+TEST(MacFrame, DataRoundTrip) {
+  MacFrame frame;
+  frame.type = FrameType::kData;
+  frame.src = 2;
+  frame.dst = 1;
+  frame.sequence = 777;
+  frame.payload.assign(100, 0xAB);
+  const auto parsed = parse(serialize(frame));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, FrameType::kData);
+  EXPECT_EQ(parsed->src, 2);
+  EXPECT_EQ(parsed->dst, 1);
+  EXPECT_EQ(parsed->sequence, 777);
+  EXPECT_EQ(parsed->payload, frame.payload);
+}
+
+TEST(MacFrame, AckRoundTrip) {
+  MacFrame ack;
+  ack.type = FrameType::kAck;
+  ack.src = 1;
+  ack.dst = 2;
+  const auto parsed = parse(serialize(ack));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, FrameType::kAck);
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(MacFrame, FcsCatchesCorruption) {
+  MacFrame frame;
+  frame.payload.assign(64, 0x11);
+  Bytes psdu = serialize(frame);
+  for (const std::size_t pos : {0ul, 10ul, psdu.size() - 1}) {
+    Bytes bad = psdu;
+    bad[pos] ^= 0x40;
+    EXPECT_FALSE(parse(bad).has_value()) << "pos " << pos;
+  }
+}
+
+TEST(MacFrame, TruncationRejected) {
+  MacFrame frame;
+  frame.payload.assign(64, 0x22);
+  Bytes psdu = serialize(frame);
+  psdu.resize(psdu.size() - 10);
+  EXPECT_FALSE(parse(psdu).has_value());
+  EXPECT_FALSE(parse(Bytes{}).has_value());
+}
+
+TEST(MacFrame, SizesMatchHelpers) {
+  MacFrame data;
+  data.payload.assign(1470, 0);
+  EXPECT_EQ(serialize(data).size(), data_psdu_size(1470));
+  MacFrame ack;
+  ack.type = FrameType::kAck;
+  EXPECT_EQ(serialize(ack).size(), ack_psdu_size());
+}
+
+TEST(Arf, DropsAfterTwoFailures) {
+  ArfRateControl arf(phy80211::Rate::kMbps54);
+  arf.report_failure();
+  EXPECT_EQ(arf.rate(), phy80211::Rate::kMbps54);
+  arf.report_failure();
+  EXPECT_EQ(arf.rate(), phy80211::Rate::kMbps48);
+}
+
+TEST(Arf, ClimbsAfterTenSuccesses) {
+  ArfRateControl arf(phy80211::Rate::kMbps6);
+  for (int k = 0; k < 9; ++k) arf.report_success();
+  EXPECT_EQ(arf.rate(), phy80211::Rate::kMbps6);
+  arf.report_success();
+  EXPECT_EQ(arf.rate(), phy80211::Rate::kMbps9);
+}
+
+TEST(Arf, BoundedAtExtremes) {
+  ArfRateControl arf(phy80211::Rate::kMbps6);
+  for (int k = 0; k < 10; ++k) arf.report_failure();
+  EXPECT_EQ(arf.rate(), phy80211::Rate::kMbps6);
+  ArfRateControl top(phy80211::Rate::kMbps54);
+  for (int k = 0; k < 100; ++k) top.report_success();
+  EXPECT_EQ(top.rate(), phy80211::Rate::kMbps54);
+}
+
+TEST(Arf, SuccessResetsFailureStreak) {
+  ArfRateControl arf(phy80211::Rate::kMbps54);
+  arf.report_failure();
+  arf.report_success();
+  arf.report_failure();
+  EXPECT_EQ(arf.rate(), phy80211::Rate::kMbps54);
+}
+
+TEST(Dcf, TimingConstants) {
+  const DcfTiming timing;
+  EXPECT_DOUBLE_EQ(timing.difs_s(), 28e-6);
+  EXPECT_GT(timing.ack_timeout_s(), timing.sifs_s);
+}
+
+TEST(Dcf, BackoffWithinWindow) {
+  const DcfTiming timing;
+  Backoff backoff(timing, 5);
+  for (int k = 0; k < 200; ++k) {
+    const double b = backoff.draw();
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, timing.cw_min * timing.slot_s + 1e-12);
+  }
+}
+
+TEST(Dcf, WindowDoublesAndResets) {
+  const DcfTiming timing;
+  Backoff backoff(timing, 5);
+  EXPECT_EQ(backoff.cw(), 15u);
+  backoff.on_failure();
+  EXPECT_EQ(backoff.cw(), 31u);
+  backoff.on_failure();
+  EXPECT_EQ(backoff.cw(), 63u);
+  for (int k = 0; k < 20; ++k) backoff.on_failure();
+  EXPECT_EQ(backoff.cw(), 1023u);  // capped at CWmax
+  backoff.on_success_or_drop();
+  EXPECT_EQ(backoff.cw(), 15u);
+}
+
+TEST(Iperf, SourcePacesAtOfferedRate) {
+  IperfConfig config;
+  config.offered_mbps = 54.0;
+  config.datagram_bytes = 1470;
+  config.duration_s = 1.0;
+  IperfSource source(config);
+  // 54e6 / (1470*8) = 4591.8 datagrams per second.
+  std::size_t count = 0;
+  while (source.next_arrival_s() <= 1.0) {
+    source.pop();
+    ++count;
+  }
+  EXPECT_NEAR(static_cast<double>(count), 4591.8, 2.0);
+  EXPECT_TRUE(std::isinf(source.next_arrival_s()));
+}
+
+TEST(Iperf, ReportMath) {
+  IperfReport report;
+  report.datagrams_offered = 1000;
+  report.datagrams_sent = 900;
+  report.datagrams_received = 750;
+  report.duration_s = 2.0;
+  EXPECT_NEAR(report.bandwidth_kbps(1470), 750 * 1470 * 8 / 2.0 / 1e3, 1e-6);
+  EXPECT_NEAR(report.prr_percent(), 75.0, 1e-9);
+}
+
+TEST(Iperf, EmptyReportIsZeroNotNan) {
+  const IperfReport report;
+  EXPECT_EQ(report.bandwidth_kbps(1470), 0.0);
+  EXPECT_EQ(report.prr_percent(), 0.0);
+}
+
+}  // namespace
+}  // namespace rjf::net

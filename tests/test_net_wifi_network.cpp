@@ -1,0 +1,120 @@
+// Integration tests of the full jammed-network simulation (the Figs. 10-11
+// rig). Durations are kept short; the bench binaries run the full sweeps.
+#include "net/wifi_network.h"
+
+#include <gtest/gtest.h>
+
+#include "core/presets.h"
+
+namespace rjf::net {
+namespace {
+
+WifiNetworkConfig base_config(double duration_s = 0.05) {
+  WifiNetworkConfig config;
+  config.iperf.duration_s = duration_s;
+  config.seed = 42;
+  return config;
+}
+
+TEST(WifiNetwork, BaselineThroughputNearPaperCeiling) {
+  // Paper: "the maximum achieved UDP bandwidth ... was around 29 Mbps".
+  WifiNetworkSim sim(base_config(0.1));
+  const auto r = sim.run();
+  const double mbps = r.report.bandwidth_kbps(1470) / 1e3;
+  EXPECT_GT(mbps, 26.0);
+  EXPECT_LT(mbps, 36.0);
+  EXPECT_NEAR(r.report.prr_percent(), 100.0, 0.5);
+  EXPECT_EQ(r.retries, 0u);
+}
+
+TEST(WifiNetwork, NominalSirMatchesLossBudget) {
+  auto config = base_config();
+  config.jammer = core::continuous_preset();
+  config.jammer_tx_power = 1e-4;
+  WifiNetworkSim sim(config);
+  // SIR = (P_c / 10^5.1) / (P_j / 10^3.84) = -12.6 dB - 10log10(P_j).
+  EXPECT_NEAR(sim.nominal_sir_db(), -12.6 + 40.0, 0.01);
+}
+
+TEST(WifiNetwork, ContinuousJammerStarvesViaCarrierSense) {
+  auto config = base_config();
+  config.jammer = core::continuous_preset();
+  config.jammer_tx_power = 1e-3;  // far above the CCA threshold at port 2
+  WifiNetworkSim sim(config);
+  const auto r = sim.run();
+  EXPECT_GT(r.cca_busy_defers, 0u);
+  EXPECT_LT(r.report.bandwidth_kbps(1470), 1000.0);
+}
+
+TEST(WifiNetwork, ContinuousJammerHarmlessAtVeryLowPower) {
+  auto config = base_config();
+  config.jammer = core::continuous_preset();
+  config.jammer_tx_power = 1e-7;  // ~57 dB SIR
+  WifiNetworkSim sim(config);
+  const auto r = sim.run();
+  EXPECT_GT(r.report.bandwidth_kbps(1470) / 1e3, 25.0);
+  EXPECT_NEAR(r.report.prr_percent(), 100.0, 1.0);
+}
+
+TEST(WifiNetwork, ReactiveJammerInvisibleToCarrierSense) {
+  // The paper's stealth point: reactive bursts don't hold the medium busy.
+  auto config = base_config();
+  config.jammer = core::energy_reactive_preset(1e-4, 10.0);
+  config.jammer_tx_power = 1e-3;
+  WifiNetworkSim sim(config);
+  const auto r = sim.run();
+  EXPECT_EQ(r.cca_starved_drops, 0u);
+  EXPECT_GT(r.jam_triggers, 0u);
+}
+
+TEST(WifiNetwork, ReactiveJammerKillsLinkAtHighPower) {
+  auto config = base_config();
+  config.jammer = core::energy_reactive_preset(1e-4, 10.0);
+  config.jammer_tx_power = 0.2;  // SIR ~ -19.6 dB
+  WifiNetworkSim sim(config);
+  const auto r = sim.run();
+  EXPECT_EQ(r.report.datagrams_received, 0u);
+  EXPECT_EQ(r.report.prr_percent(), 0.0);
+}
+
+TEST(WifiNetwork, ShorterUptimeNeedsMorePower) {
+  // At equal, moderate jam power the 0.1 ms jammer must do at least as
+  // much damage as the 0.01 ms jammer (Fig. 10's central ordering).
+  const double power = 3e-3;
+  double bw_long = 0.0, bw_short = 0.0;
+  {
+    auto config = base_config();
+    config.jammer = core::energy_reactive_preset(1e-4, 10.0);
+    config.jammer_tx_power = power;
+    bw_long = WifiNetworkSim(config).run().report.bandwidth_kbps(1470);
+  }
+  {
+    auto config = base_config();
+    config.jammer = core::energy_reactive_preset(1e-5, 10.0);
+    config.jammer_tx_power = power;
+    bw_short = WifiNetworkSim(config).run().report.bandwidth_kbps(1470);
+  }
+  EXPECT_LE(bw_long, bw_short + 2000.0);
+}
+
+TEST(WifiNetwork, MeasuredSirTracksNominal) {
+  auto config = base_config();
+  config.jammer = core::energy_reactive_preset(1e-4, 10.0);
+  config.jammer_tx_power = 1e-3;
+  WifiNetworkSim sim(config);
+  const auto r = sim.run();
+  EXPECT_NEAR(r.measured_sir_db, sim.nominal_sir_db(), 2.0);
+}
+
+TEST(WifiNetwork, ArfFallsBackUnderJamming) {
+  auto config = base_config(0.08);
+  config.jammer = core::energy_reactive_preset(1e-4, 10.0);
+  config.jammer_tx_power = 1e-2;
+  WifiNetworkSim sim(config);
+  const auto r = sim.run();
+  EXPECT_LT(r.mean_tx_rate_mbps, 54.0);
+  EXPECT_GT(r.retries, 0u);
+}
+
+}  // namespace
+}  // namespace rjf::net

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "phy80211/bits.h"
+#include "phy80211/scrambler.h"
+
+namespace rjf::phy80211 {
+namespace {
+
+TEST(Bits, BytesRoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x01, 0xFF, 0xA5, 0x00, 0x7E};
+  EXPECT_EQ(bytes_from_bits(bits_from_bytes(bytes)), bytes);
+}
+
+TEST(Bits, LsbFirstOrder) {
+  const std::vector<std::uint8_t> one = {0x01};
+  const Bits bits = bits_from_bytes(one);
+  EXPECT_EQ(bits[0], 1);
+  for (int k = 1; k < 8; ++k) EXPECT_EQ(bits[k], 0);
+}
+
+TEST(Bits, AppendAndReadUint) {
+  Bits bits;
+  append_uint(bits, 0xABC, 12);
+  EXPECT_EQ(bits.size(), 12u);
+  EXPECT_EQ(read_uint(bits, 0, 12), 0xABCu);
+  append_uint(bits, 0x3, 2);
+  EXPECT_EQ(read_uint(bits, 12, 2), 0x3u);
+}
+
+TEST(Bits, ReadUintBeyondEndIsZeroPadded) {
+  Bits bits = {1, 0, 1};
+  EXPECT_EQ(read_uint(bits, 0, 8), 0b101u);
+}
+
+TEST(Scrambler, ScrambleIsItsOwnInverse) {
+  Bits data(200);
+  for (std::size_t k = 0; k < data.size(); ++k) data[k] = (k * 3) % 2;
+  Scrambler a(0x45), b(0x45);
+  EXPECT_EQ(b.process(a.process(data)), data);
+}
+
+TEST(Scrambler, PeriodIs127) {
+  Scrambler s(0x7F);
+  Bits first(127), second(127);
+  for (auto& bit : first) bit = s.next_bit();
+  for (auto& bit : second) bit = s.next_bit();
+  EXPECT_EQ(first, second);
+  // And it is not shorter: the first 64 bits differ from bits 64..127.
+  EXPECT_NE(Bits(first.begin(), first.begin() + 63),
+            Bits(first.begin() + 64, first.begin() + 127));
+}
+
+TEST(Scrambler, PilotPolaritySequenceStartsPerStandard) {
+  // 802.11 p_n starts +1 +1 +1 +1 -1 -1 -1 +1; as scrambler bits that is
+  // 0 0 0 0 1 1 1 0.
+  const Bits seq = pilot_polarity_sequence();
+  ASSERT_EQ(seq.size(), 127u);
+  const Bits head(seq.begin(), seq.begin() + 8);
+  EXPECT_EQ(head, (Bits{0, 0, 0, 0, 1, 1, 1, 0}));
+}
+
+TEST(Scrambler, StateRecoveryContinuesSequence) {
+  // Feed 7 sequence bits to the recovery function; the reconstructed
+  // scrambler must continue the original stream exactly.
+  Scrambler original(0x2F);
+  Bits stream(50);
+  for (auto& bit : stream) bit = original.next_bit();
+
+  Scrambler recovered(recover_scrambler_state(
+      std::span<const std::uint8_t>(stream.data(), 7)));
+  for (std::size_t k = 7; k < stream.size(); ++k)
+    ASSERT_EQ(recovered.next_bit(), stream[k]) << "k=" << k;
+}
+
+TEST(Scrambler, AllSeedsRecoverable) {
+  for (std::uint8_t seed = 1; seed < 0x7F; ++seed) {
+    Scrambler original(seed);
+    Bits stream(20);
+    for (auto& bit : stream) bit = original.next_bit();
+    Scrambler recovered(recover_scrambler_state(
+        std::span<const std::uint8_t>(stream.data(), 7)));
+    for (std::size_t k = 7; k < stream.size(); ++k)
+      ASSERT_EQ(recovered.next_bit(), stream[k]) << "seed=" << int(seed);
+  }
+}
+
+}  // namespace
+}  // namespace rjf::phy80211

@@ -1,0 +1,126 @@
+#include "phy80211/convolutional.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.h"
+
+namespace rjf::phy80211 {
+namespace {
+
+Bits random_bits(std::size_t n, std::uint64_t seed) {
+  Bits bits(n);
+  dsp::Xoshiro256 rng(seed);
+  for (auto& b : bits) b = rng.uniform() < 0.5 ? 0 : 1;
+  return bits;
+}
+
+Bits with_tail(Bits data) {
+  for (int k = 0; k < 6; ++k) data.push_back(0);
+  return data;
+}
+
+TEST(Convolutional, RateOutputSizes) {
+  const Bits data = with_tail(random_bits(96, 1));
+  EXPECT_EQ(convolutional_encode(data).size(), data.size() * 2);
+  EXPECT_EQ(encode_at_rate(data, CodeRate::kHalf).size(), data.size() * 2);
+  EXPECT_EQ(encode_at_rate(data, CodeRate::kTwoThirds).size(),
+            data.size() * 3 / 2);
+  EXPECT_EQ(encode_at_rate(data, CodeRate::kThreeQuarters).size(),
+            data.size() * 4 / 3);
+}
+
+TEST(Convolutional, RateFractions) {
+  EXPECT_EQ(rate_fraction(CodeRate::kHalf).num, 1u);
+  EXPECT_EQ(rate_fraction(CodeRate::kHalf).den, 2u);
+  EXPECT_EQ(rate_fraction(CodeRate::kTwoThirds).num, 2u);
+  EXPECT_EQ(rate_fraction(CodeRate::kThreeQuarters).den, 4u);
+}
+
+TEST(Convolutional, KnownEncoderOutput) {
+  // A single 1 followed by zeros reads out the generator polynomials.
+  const Bits impulse = {1, 0, 0, 0, 0, 0, 0};
+  const Bits coded = convolutional_encode(impulse);
+  // g0 = 133 octal = 1011011, g1 = 171 octal = 1111001 (MSB = oldest tap).
+  // With the impulse sliding through, output pairs read the taps in order.
+  const Bits expected_a = {1, 1, 0, 1, 1, 0, 1};  // g0 taps, newest first
+  const Bits expected_b = {1, 0, 0, 1, 1, 1, 1};  // g1 taps, newest first
+  for (std::size_t k = 0; k < 7; ++k) {
+    EXPECT_EQ(coded[2 * k], expected_a[k]) << "a" << k;
+    EXPECT_EQ(coded[2 * k + 1], expected_b[k]) << "b" << k;
+  }
+}
+
+class ViterbiRoundTrip : public ::testing::TestWithParam<CodeRate> {};
+
+TEST_P(ViterbiRoundTrip, CleanChannel) {
+  const CodeRate rate = GetParam();
+  const Bits data = with_tail(random_bits(240, 7));
+  const Bits coded = encode_at_rate(data, rate);
+  const Bits decoded = decode_at_rate(coded, rate, data.size());
+  EXPECT_EQ(decoded, data);
+}
+
+TEST_P(ViterbiRoundTrip, CorrectsScatteredBitErrors) {
+  const CodeRate rate = GetParam();
+  const Bits data = with_tail(random_bits(240, 11));
+  Bits coded = encode_at_rate(data, rate);
+  // Flip well-separated bits — within the code's correction ability.
+  for (std::size_t k = 20; k < coded.size(); k += 97) coded[k] ^= 1;
+  const Bits decoded = decode_at_rate(coded, rate, data.size());
+  EXPECT_EQ(decoded, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, ViterbiRoundTrip,
+                         ::testing::Values(CodeRate::kHalf,
+                                           CodeRate::kTwoThirds,
+                                           CodeRate::kThreeQuarters));
+
+TEST(Viterbi, BurstErrorBreaksDecoding) {
+  // A long enough corrupted burst must defeat the decoder — this is
+  // exactly why short jamming bursts kill whole frames.
+  const Bits data = with_tail(random_bits(240, 13));
+  Bits coded = encode_at_rate(data, CodeRate::kHalf);
+  for (std::size_t k = 100; k < 260; ++k) coded[k] ^= (k % 2);
+  const Bits decoded = decode_at_rate(coded, CodeRate::kHalf, data.size());
+  EXPECT_NE(decoded, data);
+}
+
+TEST(Viterbi, ErasuresAloneRecoverable) {
+  // Depuncturing inserts erasures; rate 3/4 drops 1/3 of the mother bits
+  // and the decoder must still recover error-free input.
+  const Bits data = with_tail(random_bits(120, 17));
+  const Bits punctured = encode_at_rate(data, CodeRate::kThreeQuarters);
+  const Bits mother = depuncture(punctured, CodeRate::kThreeQuarters,
+                                 data.size() * 2);
+  std::size_t erasures = 0;
+  for (const auto b : mother) erasures += (b == 2);
+  EXPECT_EQ(erasures, mother.size() / 3);
+  EXPECT_EQ(viterbi_decode(mother), data);
+}
+
+TEST(Puncture, DepunctureRestoresPositions) {
+  const Bits data = with_tail(random_bits(48, 19));
+  const Bits mother = convolutional_encode(data);
+  for (const CodeRate rate :
+       {CodeRate::kHalf, CodeRate::kTwoThirds, CodeRate::kThreeQuarters}) {
+    const Bits punctured = puncture(mother, rate);
+    const Bits restored = depuncture(punctured, rate, mother.size());
+    ASSERT_EQ(restored.size(), mother.size());
+    for (std::size_t k = 0; k < mother.size(); ++k) {
+      if (restored[k] != 2) {
+        ASSERT_EQ(restored[k], mother[k]) << "k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Viterbi, AllZeroInput) {
+  const Bits data(100, 0);
+  const Bits decoded =
+      decode_at_rate(encode_at_rate(data, CodeRate::kHalf), CodeRate::kHalf,
+                     data.size());
+  EXPECT_EQ(decoded, data);
+}
+
+}  // namespace
+}  // namespace rjf::phy80211

@@ -1,0 +1,134 @@
+// Interleaver and constellation tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/rng.h"
+#include "phy80211/constellation.h"
+#include "phy80211/interleaver.h"
+#include "phy80211/rates.h"
+
+namespace rjf::phy80211 {
+namespace {
+
+struct RateDims {
+  unsigned n_cbps;
+  unsigned n_bpsc;
+};
+
+class InterleaverDims : public ::testing::TestWithParam<RateDims> {};
+
+TEST_P(InterleaverDims, DeinterleaveInvertsInterleave) {
+  const auto [n_cbps, n_bpsc] = GetParam();
+  dsp::Xoshiro256 rng(n_cbps);
+  Bits data(n_cbps * 3);  // three symbols
+  for (auto& b : data) b = rng.uniform() < 0.5 ? 0 : 1;
+  EXPECT_EQ(deinterleave(interleave(data, n_cbps, n_bpsc), n_cbps, n_bpsc),
+            data);
+}
+
+TEST_P(InterleaverDims, InterleaveIsAPermutation) {
+  const auto [n_cbps, n_bpsc] = GetParam();
+  // Interleave a one-hot vector for every position; outputs must cover
+  // every position exactly once.
+  std::vector<bool> hit(n_cbps, false);
+  for (unsigned k = 0; k < n_cbps; ++k) {
+    Bits data(n_cbps, 0);
+    data[k] = 1;
+    const Bits out = interleave(data, n_cbps, n_bpsc);
+    const auto it = std::find(out.begin(), out.end(), 1);
+    ASSERT_NE(it, out.end());
+    const auto pos = static_cast<std::size_t>(it - out.begin());
+    ASSERT_FALSE(hit[pos]);
+    hit[pos] = true;
+  }
+  EXPECT_TRUE(std::all_of(hit.begin(), hit.end(), [](bool h) { return h; }));
+}
+
+TEST_P(InterleaverDims, AdjacentBitsSpreadAcrossSubcarriers) {
+  const auto [n_cbps, n_bpsc] = GetParam();
+  // The first permutation guarantees adjacent coded bits map to
+  // non-adjacent subcarriers: positions of bit k and k+1 differ by at
+  // least n_cbps/16 bit positions.
+  Bits a(n_cbps, 0), b(n_cbps, 0);
+  a[0] = 1;
+  b[1] = 1;
+  const Bits ia = interleave(a, n_cbps, n_bpsc);
+  const Bits ib = interleave(b, n_cbps, n_bpsc);
+  const auto pa = std::find(ia.begin(), ia.end(), 1) - ia.begin();
+  const auto pb = std::find(ib.begin(), ib.end(), 1) - ib.begin();
+  EXPECT_GE(std::abs(pa - pb), static_cast<long>(n_cbps / 16));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, InterleaverDims,
+                         ::testing::Values(RateDims{48, 1}, RateDims{96, 2},
+                                           RateDims{192, 4}, RateDims{288, 6}));
+
+class ConstellationRoundTrip : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(ConstellationRoundTrip, DemapInvertsMap) {
+  const Modulation mod = GetParam();
+  dsp::Xoshiro256 rng(static_cast<std::uint64_t>(mod) + 1);
+  Bits bits(bits_per_symbol(mod) * 100);
+  for (auto& b : bits) b = rng.uniform() < 0.5 ? 0 : 1;
+  EXPECT_EQ(demap_symbols(map_bits(bits, mod), mod), bits);
+}
+
+TEST_P(ConstellationRoundTrip, UnitMeanPower) {
+  const Modulation mod = GetParam();
+  // Exhaustive constellation sweep: K_mod must normalise mean power to 1.
+  const unsigned bps = bits_per_symbol(mod);
+  Bits all;
+  for (unsigned v = 0; v < (1u << bps); ++v)
+    for (unsigned b = 0; b < bps; ++b) all.push_back((v >> b) & 1u);
+  const dsp::cvec symbols = map_bits(all, mod);
+  double power = 0.0;
+  for (const auto s : symbols) power += std::norm(s);
+  EXPECT_NEAR(power / static_cast<double>(symbols.size()), 1.0, 1e-5);
+}
+
+TEST_P(ConstellationRoundTrip, SurvivesSmallNoise) {
+  const Modulation mod = GetParam();
+  dsp::Xoshiro256 rng(99);
+  Bits bits(bits_per_symbol(mod) * 64);
+  for (auto& b : bits) b = rng.uniform() < 0.5 ? 0 : 1;
+  dsp::cvec symbols = map_bits(bits, mod);
+  for (auto& s : symbols) s += rng.complex_gaussian(1e-4);
+  EXPECT_EQ(demap_symbols(symbols, mod), bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModulations, ConstellationRoundTrip,
+                         ::testing::Values(Modulation::kBpsk, Modulation::kQpsk,
+                                           Modulation::kQam16,
+                                           Modulation::kQam64));
+
+TEST(Constellation, GrayPropertyNeighbourLevelsDifferByOneBit) {
+  // For 16-QAM, the four I-axis levels sorted by amplitude must form a
+  // Gray sequence (adjacent levels differ in exactly one bit).
+  Bits bits;
+  for (unsigned v = 0; v < 4; ++v) {
+    bits.push_back(v & 1u);
+    bits.push_back((v >> 1) & 1u);
+    bits.push_back(0);
+    bits.push_back(0);
+  }
+  const dsp::cvec symbols = map_bits(bits, Modulation::kQam16);
+  std::vector<std::pair<float, unsigned>> by_level;
+  for (unsigned v = 0; v < 4; ++v) by_level.emplace_back(symbols[v].real(), v);
+  std::sort(by_level.begin(), by_level.end());
+  for (std::size_t k = 0; k + 1 < by_level.size(); ++k) {
+    const unsigned diff = by_level[k].second ^ by_level[k + 1].second;
+    EXPECT_EQ(__builtin_popcount(diff), 1) << "levels " << k;
+  }
+}
+
+TEST(Constellation, BitsPerSymbolTable) {
+  EXPECT_EQ(bits_per_symbol(Modulation::kBpsk), 1u);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQpsk), 2u);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam16), 4u);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam64), 6u);
+}
+
+}  // namespace
+}  // namespace rjf::phy80211

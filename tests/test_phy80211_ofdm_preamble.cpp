@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/db.h"
+#include "dsp/fft.h"
+#include "dsp/rng.h"
+#include "phy80211/constellation.h"
+#include "phy80211/ofdm.h"
+#include "phy80211/preamble.h"
+
+namespace rjf::phy80211 {
+namespace {
+
+TEST(Ofdm, DataCarrierLayout) {
+  const auto& carriers = data_carriers();
+  EXPECT_EQ(carriers.size(), kNumDataCarriers);
+  for (const int k : carriers) {
+    EXPECT_NE(k, 0);
+    EXPECT_NE(std::abs(k), 7);
+    EXPECT_NE(std::abs(k), 21);
+    EXPECT_LE(std::abs(k), 26);
+  }
+  // Strictly increasing.
+  for (std::size_t n = 1; n < carriers.size(); ++n)
+    EXPECT_GT(carriers[n], carriers[n - 1]);
+}
+
+TEST(Ofdm, FftBinMapping) {
+  EXPECT_EQ(fft_bin(1), 1u);
+  EXPECT_EQ(fft_bin(26), 26u);
+  EXPECT_EQ(fft_bin(-1), 63u);
+  EXPECT_EQ(fft_bin(-26), 38u);
+}
+
+TEST(Ofdm, SymbolLengthAndCp) {
+  dsp::Xoshiro256 rng(1);
+  dsp::cvec data(48);
+  for (auto& s : data) s = rng.complex_gaussian();
+  const dsp::cvec sym = modulate_symbol(data, 0);
+  ASSERT_EQ(sym.size(), kSymbolLen);
+  // The cyclic prefix equals the tail of the useful part.
+  for (std::size_t k = 0; k < kCpLen; ++k) {
+    EXPECT_NEAR(sym[k].real(), sym[kFftSize + k].real(), 1e-5f);
+    EXPECT_NEAR(sym[k].imag(), sym[kFftSize + k].imag(), 1e-5f);
+  }
+}
+
+TEST(Ofdm, ModulateDemodulateRoundTrip) {
+  dsp::Xoshiro256 rng(2);
+  for (std::size_t symbol_index : {0u, 1u, 5u, 126u, 127u}) {
+    dsp::cvec data(48);
+    for (auto& s : data) s = rng.complex_gaussian();
+    const dsp::cvec sym = modulate_symbol(data, symbol_index);
+    const dsp::cvec flat(kFftSize, dsp::cfloat{1.0f, 0.0f});
+    const dsp::cvec back = demodulate_symbol(sym, flat, symbol_index);
+    ASSERT_EQ(back.size(), 48u);
+    for (std::size_t k = 0; k < 48; ++k) {
+      EXPECT_NEAR(back[k].real(), data[k].real(), 1e-3f) << k;
+      EXPECT_NEAR(back[k].imag(), data[k].imag(), 1e-3f) << k;
+    }
+  }
+}
+
+TEST(Ofdm, PilotPolarityFollowsSequence) {
+  // p0..p3 are +1, p4..p6 are -1 per the 802.11 sequence.
+  EXPECT_FLOAT_EQ(pilot_polarity(0), 1.0f);
+  EXPECT_FLOAT_EQ(pilot_polarity(3), 1.0f);
+  EXPECT_FLOAT_EQ(pilot_polarity(4), -1.0f);
+  EXPECT_FLOAT_EQ(pilot_polarity(6), -1.0f);
+  // Periodic with 127.
+  EXPECT_EQ(pilot_polarity(5), pilot_polarity(5 + 127));
+}
+
+TEST(Ofdm, PhaseErrorCorrectedByPilots) {
+  dsp::Xoshiro256 rng(3);
+  dsp::cvec data(48);
+  for (auto& s : data) s = rng.complex_gaussian();
+  dsp::cvec sym = modulate_symbol(data, 1);
+  // A common phase rotation (e.g. residual CFO) must be removed.
+  const dsp::cfloat rot{std::cos(0.3f), std::sin(0.3f)};
+  for (auto& s : sym) s *= rot;
+  const dsp::cvec flat(kFftSize, dsp::cfloat{1.0f, 0.0f});
+  const dsp::cvec back = demodulate_symbol(sym, flat, 1);
+  for (std::size_t k = 0; k < 48; ++k) {
+    EXPECT_NEAR(back[k].real(), data[k].real(), 5e-3f);
+    EXPECT_NEAR(back[k].imag(), data[k].imag(), 5e-3f);
+  }
+}
+
+TEST(Preamble, ShortSymbolPeriodicity) {
+  // The STS has period 16 at 20 MSPS; the full short preamble is 10 copies.
+  const dsp::cvec sp = short_preamble();
+  ASSERT_EQ(sp.size(), kShortPreambleLen);
+  for (std::size_t k = 0; k + 16 < sp.size(); ++k) {
+    EXPECT_NEAR(sp[k].real(), sp[k + 16].real(), 1e-4f);
+    EXPECT_NEAR(sp[k].imag(), sp[k + 16].imag(), 1e-4f);
+  }
+}
+
+TEST(Preamble, LongPreambleStructure) {
+  const dsp::cvec lp = long_preamble();
+  const dsp::cvec lts = long_training_symbol();
+  ASSERT_EQ(lp.size(), kLongPreambleLen);
+  // GI2 is the last 32 samples of the LTS.
+  for (std::size_t k = 0; k < 32; ++k)
+    EXPECT_NEAR(lp[k].real(), lts[32 + k].real(), 1e-5f);
+  // Two identical LTS copies follow.
+  for (std::size_t k = 0; k < kLongSymbolLen; ++k) {
+    EXPECT_NEAR(lp[32 + k].real(), lts[k].real(), 1e-5f);
+    EXPECT_NEAR(lp[32 + 64 + k].real(), lts[k].real(), 1e-5f);
+  }
+}
+
+TEST(Preamble, UnitMeanPower) {
+  EXPECT_NEAR(dsp::mean_power(short_training_symbol()), 1.0, 1e-3);
+  EXPECT_NEAR(dsp::mean_power(long_training_symbol()), 1.0, 1e-3);
+}
+
+TEST(Preamble, PlcpPreambleIs16Microseconds) {
+  // 320 samples at 20 MSPS = 16 us (8 us short + 8 us long).
+  EXPECT_EQ(plcp_preamble().size(), 320u);
+}
+
+TEST(Preamble, LtsSpectrumIsPlusMinusOne) {
+  const dsp::cvec freq = lts_frequency_domain();
+  ASSERT_EQ(freq.size(), kFftSize);
+  int active = 0;
+  for (std::size_t bin = 0; bin < kFftSize; ++bin) {
+    const float re = freq[bin].real();
+    EXPECT_FLOAT_EQ(freq[bin].imag(), 0.0f);
+    if (re != 0.0f) {
+      EXPECT_NEAR(std::abs(re), 1.0f, 1e-6f);
+      ++active;
+    }
+  }
+  EXPECT_EQ(active, 52);
+  EXPECT_FLOAT_EQ(freq[0].real(), 0.0f);  // DC null
+}
+
+TEST(Preamble, StsOccupiesEveryFourthCarrier) {
+  const dsp::cvec sts = short_training_symbol();
+  // Period-16 waveform at 64-FFT granularity -> energy only in bins that
+  // are multiples of 4.
+  dsp::cvec four_periods;
+  for (int rep = 0; rep < 4; ++rep)
+    four_periods.insert(four_periods.end(), sts.begin(), sts.end());
+  dsp::fft(four_periods);
+  for (std::size_t bin = 0; bin < 64; ++bin) {
+    if (bin % 4 != 0) {
+      EXPECT_NEAR(std::abs(four_periods[bin]), 0.0f, 1e-3f) << bin;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rjf::phy80211

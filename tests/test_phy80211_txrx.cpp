@@ -1,0 +1,189 @@
+// SIGNAL field, rate table, and full transmitter/receiver round trips.
+#include <gtest/gtest.h>
+
+#include "dsp/noise.h"
+#include "dsp/rng.h"
+#include "phy80211/receiver.h"
+#include "phy80211/signal_field.h"
+#include "phy80211/transmitter.h"
+
+namespace rjf::phy80211 {
+namespace {
+
+TEST(SignalField, EncodeDecodeAllRates) {
+  for (const Rate rate : all_rates()) {
+    const SignalField field{rate, 1534};
+    const auto decoded = decode_signal(encode_signal(field));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->rate, rate);
+    EXPECT_EQ(decoded->length, 1534);
+  }
+}
+
+TEST(SignalField, ParityErrorDetected) {
+  Bits bits = encode_signal({Rate::kMbps24, 100});
+  bits[6] ^= 1;
+  EXPECT_FALSE(decode_signal(bits).has_value());
+}
+
+TEST(SignalField, ReservedBitMustBeZero) {
+  Bits bits = encode_signal({Rate::kMbps6, 10});
+  bits[4] = 1;
+  bits[17] ^= 1;  // fix parity so only the reserved bit is wrong
+  EXPECT_FALSE(decode_signal(bits).has_value());
+}
+
+TEST(SignalField, ZeroLengthRejected) {
+  const Bits bits = encode_signal({Rate::kMbps6, 0});
+  EXPECT_FALSE(decode_signal(bits).has_value());
+}
+
+TEST(SignalField, InvalidRateRejected) {
+  Bits bits = encode_signal({Rate::kMbps6, 10});
+  // RATE 1101 -> corrupt to 0000 (invalid) and repair parity.
+  bits[0] = 0;
+  bits[1] = 0;
+  bits[3] = 0;
+  std::uint8_t parity = 0;
+  for (std::size_t k = 0; k < 17; ++k) parity ^= bits[k];
+  bits[17] = parity;
+  EXPECT_FALSE(decode_signal(bits).has_value());
+}
+
+TEST(Rates, TableMatchesStandard) {
+  EXPECT_EQ(rate_params(Rate::kMbps6).n_dbps, 24u);
+  EXPECT_EQ(rate_params(Rate::kMbps9).n_dbps, 36u);
+  EXPECT_EQ(rate_params(Rate::kMbps12).n_dbps, 48u);
+  EXPECT_EQ(rate_params(Rate::kMbps18).n_dbps, 72u);
+  EXPECT_EQ(rate_params(Rate::kMbps24).n_dbps, 96u);
+  EXPECT_EQ(rate_params(Rate::kMbps36).n_dbps, 144u);
+  EXPECT_EQ(rate_params(Rate::kMbps48).n_dbps, 192u);
+  EXPECT_EQ(rate_params(Rate::kMbps54).n_dbps, 216u);
+  EXPECT_EQ(rate_params(Rate::kMbps54).n_cbps, 288u);
+  EXPECT_EQ(rate_params(Rate::kMbps54).signal_rate_bits, 0b0011);
+}
+
+TEST(Rates, SignalBitsRoundTrip) {
+  for (const Rate rate : all_rates()) {
+    const auto back = rate_from_signal_bits(rate_params(rate).signal_rate_bits);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, rate);
+  }
+  EXPECT_FALSE(rate_from_signal_bits(0b0000).has_value());
+}
+
+TEST(Rates, FrameDurations) {
+  // 1470+64-byte class PSDU at 54 Mbps: 20 us preamble+SIGNAL plus
+  // ceil((16+8*1534+6)/216) = 57 symbols x 4 us = 248 us total.
+  EXPECT_EQ(num_data_symbols(Rate::kMbps54, 1534), 57u);
+  EXPECT_NEAR(frame_duration_s(Rate::kMbps54, 1534), 248e-6, 1e-9);
+  // An ACK (14 bytes) at 24 Mbps: 2 symbols -> 28 us.
+  EXPECT_EQ(num_data_symbols(Rate::kMbps24, 14), 2u);
+  EXPECT_NEAR(frame_duration_s(Rate::kMbps24, 14), 28e-6, 1e-9);
+}
+
+class TxRxRoundTrip : public ::testing::TestWithParam<Rate> {};
+
+TEST_P(TxRxRoundTrip, HighSnr) {
+  const Rate rate = GetParam();
+  std::vector<std::uint8_t> psdu(317);
+  dsp::Xoshiro256 rng(static_cast<std::uint64_t>(rate) * 31 + 1);
+  for (auto& b : psdu) b = static_cast<std::uint8_t>(rng.next());
+
+  Transmitter tx({rate, 0x6E});
+  dsp::cvec wave = tx.transmit(psdu);
+  dsp::NoiseSource noise(1e-4, 55);  // 40 dB SNR
+  noise.add_to(wave);
+
+  const auto result = Receiver().receive(wave);
+  EXPECT_TRUE(result.synchronized);
+  ASSERT_TRUE(result.signal_valid);
+  EXPECT_EQ(result.signal->rate, rate);
+  EXPECT_EQ(result.signal->length, psdu.size());
+  EXPECT_EQ(result.psdu, psdu);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, TxRxRoundTrip,
+                         ::testing::ValuesIn(std::vector<Rate>(
+                             all_rates().begin(), all_rates().end())));
+
+TEST(TxRx, RobustRateSurvivesLowSnr) {
+  std::vector<std::uint8_t> psdu(100, 0x3C);
+  Transmitter tx({Rate::kMbps6, 0x11});
+  dsp::cvec wave = tx.transmit(psdu);
+  dsp::NoiseSource noise(0.05, 77);  // ~13 dB SNR
+  noise.add_to(wave);
+  const auto result = Receiver().receive(wave);
+  ASSERT_TRUE(result.signal_valid);
+  EXPECT_EQ(result.psdu, psdu);
+}
+
+TEST(TxRx, FragileRateDiesAtLowSnr) {
+  std::vector<std::uint8_t> psdu(600, 0x3C);
+  Transmitter tx({Rate::kMbps54, 0x11});
+  dsp::cvec wave = tx.transmit(psdu);
+  dsp::NoiseSource noise(0.4, 78);  // ~4 dB SNR: 64-QAM 3/4 cannot live here
+  noise.add_to(wave);
+  const auto result = Receiver().receive(wave);
+  EXPECT_TRUE(!result.signal_valid || result.psdu != psdu);
+}
+
+TEST(TxRx, TimingOffsetWithinSearchWindowTolerated) {
+  std::vector<std::uint8_t> psdu(64, 0xA7);
+  Transmitter tx({Rate::kMbps12, 0x19});
+  const dsp::cvec wave = tx.transmit(psdu);
+  // Prepend 5 noise samples: frame starts "late" within the +/-8 window.
+  dsp::cvec shifted(5, dsp::cfloat{});
+  shifted.insert(shifted.end(), wave.begin(), wave.end());
+  dsp::NoiseSource noise(1e-4, 5);
+  noise.add_to(shifted);
+  const auto result = Receiver().receive(shifted);
+  ASSERT_TRUE(result.signal_valid);
+  EXPECT_EQ(result.psdu, psdu);
+}
+
+TEST(TxRx, TruncatedCaptureFailsCleanly) {
+  std::vector<std::uint8_t> psdu(500, 0x55);
+  Transmitter tx({Rate::kMbps54, 0x21});
+  dsp::cvec wave = tx.transmit(psdu);
+  wave.resize(wave.size() / 2);
+  const auto result = Receiver().receive(wave);
+  EXPECT_FALSE(result.signal_valid);
+  EXPECT_TRUE(result.psdu.empty());
+}
+
+TEST(TxRx, NoiseOnlyCaptureDoesNotSync) {
+  const dsp::cvec noise = dsp::make_wgn(4000, 0.01, 1234);
+  const auto result = Receiver().receive(noise);
+  EXPECT_FALSE(result.signal_valid);
+}
+
+TEST(TxRx, JammedPreambleKillsFrame) {
+  // Burst interference over the LTS destroys the channel estimate — the
+  // paper's "surgical jamming" rationale.
+  std::vector<std::uint8_t> psdu(400, 0x13);
+  Transmitter tx({Rate::kMbps54, 0x2D});
+  dsp::cvec wave = tx.transmit(psdu);
+  dsp::NoiseSource jam(4.0, 91);  // strong burst
+  for (std::size_t k = 160; k < 320; ++k) wave[k] += jam.sample();
+  dsp::NoiseSource noise(1e-4, 92);
+  noise.add_to(wave);
+  const auto result = Receiver().receive(wave);
+  EXPECT_TRUE(!result.signal_valid || result.psdu != psdu);
+}
+
+TEST(TxRx, ScramblerSeedDoesNotMatterToReceiver) {
+  std::vector<std::uint8_t> psdu(128, 0x88);
+  for (const std::uint8_t seed : {0x01, 0x3B, 0x7F}) {
+    Transmitter tx({Rate::kMbps24, seed});
+    dsp::cvec wave = tx.transmit(psdu);
+    dsp::NoiseSource noise(1e-4, seed);
+    noise.add_to(wave);
+    const auto result = Receiver().receive(wave);
+    ASSERT_TRUE(result.signal_valid) << int(seed);
+    EXPECT_EQ(result.psdu, psdu) << int(seed);
+  }
+}
+
+}  // namespace
+}  // namespace rjf::phy80211

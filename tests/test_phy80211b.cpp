@@ -1,0 +1,198 @@
+// 802.11b DSSS/CCK PHY tests: Barker properties, scrambler self-sync, CCK
+// codeword algebra, PLCP CRC, and full TX/RX round trips at all four rates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/noise.h"
+#include "dsp/rng.h"
+#include "phy80211b/barker.h"
+#include "phy80211b/cck.h"
+#include "phy80211b/dsss.h"
+
+namespace rjf::phy80211b {
+namespace {
+
+TEST(Barker, SequenceValuesAndAutocorrelation) {
+  const auto& code = barker_sequence();
+  // The defining Barker property: off-peak aperiodic autocorrelation
+  // magnitudes are at most 1 (peak is 11).
+  for (std::size_t shift = 1; shift < kBarkerLength; ++shift) {
+    float acc = 0.0f;
+    for (std::size_t k = 0; k + shift < kBarkerLength; ++k)
+      acc += code[k] * code[k + shift];
+    EXPECT_LE(std::abs(acc), 1.0f) << "shift " << shift;
+  }
+  float peak = 0.0f;
+  for (const float c : code) peak += c * c;
+  EXPECT_FLOAT_EQ(peak, 11.0f);
+}
+
+TEST(Barker, SpreadAndCorrelateRecoverSymbol) {
+  const dsp::cfloat symbol{0.6f, -0.8f};
+  dsp::cvec chips(kBarkerLength);
+  spread_symbol(symbol, chips);
+  const dsp::cfloat corr = barker_correlate(chips);
+  EXPECT_NEAR(corr.real(), 11.0f * symbol.real(), 1e-4f);
+  EXPECT_NEAR(corr.imag(), 11.0f * symbol.imag(), 1e-4f);
+}
+
+TEST(DsssScrambler, ScrambleDescrambleRoundTrip) {
+  DsssScrambler tx(0x6C);
+  DsssScrambler rx(0x6C);
+  dsp::Xoshiro256 rng(1);
+  for (int k = 0; k < 500; ++k) {
+    const auto bit = static_cast<std::uint8_t>(rng.next() & 1u);
+    ASSERT_EQ(rx.descramble_bit(tx.scramble_bit(bit)), bit);
+  }
+}
+
+TEST(DsssScrambler, SelfSynchronisesFromWrongSeed) {
+  // The receiver's descrambler starts from an arbitrary state and must be
+  // correct after 7 received bits — the property that makes the DSSS
+  // scrambler "self-synchronising".
+  DsssScrambler tx(0x6C);
+  DsssScrambler rx(0x00);  // deliberately wrong
+  dsp::Xoshiro256 rng(2);
+  std::vector<std::uint8_t> sent, got;
+  for (int k = 0; k < 100; ++k) {
+    const auto bit = static_cast<std::uint8_t>(rng.next() & 1u);
+    sent.push_back(bit);
+    got.push_back(rx.descramble_bit(tx.scramble_bit(bit)));
+  }
+  for (std::size_t k = 7; k < sent.size(); ++k)
+    ASSERT_EQ(got[k], sent[k]) << "k=" << k;
+}
+
+TEST(PlcpCrc, DetectsHeaderCorruption) {
+  std::vector<std::uint8_t> bits(32, 0);
+  bits[3] = 1;
+  bits[17] = 1;
+  const std::uint16_t good = plcp_crc16(bits);
+  bits[9] ^= 1;
+  EXPECT_NE(plcp_crc16(bits), good);
+}
+
+TEST(Cck, CodewordChipsAreUnitMagnitude) {
+  const auto cw = cck_codeword(0.3, 1.1, 2.2, 0.7);
+  for (const auto chip : cw) EXPECT_NEAR(std::abs(chip), 1.0f, 1e-5f);
+}
+
+TEST(Cck, CodewordsForDistinctPhasesAreDistinct) {
+  const auto a = cck_codeword(0, 0, 0, 0);
+  const auto b = cck_codeword(0, std::numbers::pi / 2, 0, 0);
+  float diff = 0.0f;
+  for (std::size_t c = 0; c < kCckChips; ++c) diff += std::abs(a[c] - b[c]);
+  EXPECT_GT(diff, 1.0f);
+}
+
+TEST(Cck, EncodeDecode11MbpsAllInputs) {
+  // Exhaustive: all 256 bit patterns decode correctly in sequence.
+  double tx_ref = 0.0, rx_ref = 0.0;
+  for (unsigned v = 0; v < 256; ++v) {
+    std::array<std::uint8_t, 8> bits{};
+    for (unsigned b = 0; b < 8; ++b) bits[b] = (v >> b) & 1u;
+    const bool odd = (v % 2) == 1;
+    const auto chips = cck_encode_11mbps(bits, tx_ref, odd);
+    const auto decoded = cck_decode_11mbps(chips, rx_ref, odd);
+    for (unsigned b = 0; b < 8; ++b)
+      ASSERT_EQ(decoded[b], bits[b]) << "v=" << v << " b=" << b;
+  }
+}
+
+TEST(Cck, EncodeDecode5_5MbpsAllInputs) {
+  double tx_ref = 0.0, rx_ref = 0.0;
+  for (unsigned v = 0; v < 16; ++v) {
+    for (int rep = 0; rep < 4; ++rep) {
+      std::array<std::uint8_t, 4> bits{};
+      for (unsigned b = 0; b < 4; ++b) bits[b] = (v >> b) & 1u;
+      const bool odd = (rep % 2) == 1;
+      const auto chips = cck_encode_5_5mbps(bits, tx_ref, odd);
+      const auto decoded = cck_decode_5_5mbps(chips, rx_ref, odd);
+      for (unsigned b = 0; b < 4; ++b)
+        ASSERT_EQ(decoded[b], bits[b]) << "v=" << v;
+    }
+  }
+}
+
+TEST(Dsss, PreambleHeadIsDeterministic) {
+  const auto a = preamble_head_chips(128);
+  const auto b = preamble_head_chips(128);
+  ASSERT_EQ(a.size(), 128u);
+  for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+}
+
+TEST(Dsss, PlcpLengthIs192Symbols) {
+  EXPECT_EQ(kPlcpChips, 192u * 11u);
+  // At 11 Mchip/s the PLCP lasts 192 us, as in the long-preamble standard.
+  EXPECT_NEAR(kPlcpChips / kChipRateHz, 192e-6, 1e-9);
+}
+
+class DsssRoundTrip : public ::testing::TestWithParam<DsssRate> {};
+
+TEST_P(DsssRoundTrip, CleanAndNoisyChannel) {
+  const DsssRate rate = GetParam();
+  std::vector<std::uint8_t> psdu(173);
+  dsp::Xoshiro256 rng(static_cast<std::uint64_t>(rate));
+  for (auto& byte : psdu) byte = static_cast<std::uint8_t>(rng.next());
+
+  const DsssTransmitter tx(rate);
+  dsp::cvec wave = tx.transmit(psdu);
+  // Expected airtime: PLCP 192 us + PSDU at the data rate.
+  const double expected_chips =
+      kPlcpChips + psdu.size() * 8.0 / dsss_rate_mbps(rate) * 11.0;
+  EXPECT_NEAR(static_cast<double>(wave.size()), expected_chips, 16.0);
+
+  // Clean decode.
+  auto clean = DsssReceiver().receive(wave);
+  ASSERT_TRUE(clean.header_valid);
+  EXPECT_EQ(clean.rate, rate);
+  EXPECT_EQ(clean.psdu, psdu);
+
+  // 15 dB chip SNR.
+  dsp::NoiseSource noise(std::pow(10.0, -15.0 / 10.0), 7);
+  noise.add_to(wave);
+  auto noisy = DsssReceiver().receive(wave);
+  ASSERT_TRUE(noisy.header_valid);
+  EXPECT_EQ(noisy.psdu, psdu);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, DsssRoundTrip,
+                         ::testing::Values(DsssRate::kMbps1, DsssRate::kMbps2,
+                                           DsssRate::kMbps5_5,
+                                           DsssRate::kMbps11));
+
+TEST(Dsss, StrongNoiseBreaksCck) {
+  std::vector<std::uint8_t> psdu(120, 0x7E);
+  const DsssTransmitter tx(DsssRate::kMbps11);
+  dsp::cvec wave = tx.transmit(psdu);
+  dsp::NoiseSource noise(4.0, 9);  // -6 dB chip SNR
+  noise.add_to(wave);
+  const auto r = DsssReceiver().receive(wave);
+  EXPECT_TRUE(!r.header_valid || r.psdu != psdu);
+}
+
+TEST(Dsss, TruncatedCaptureFailsCleanly) {
+  std::vector<std::uint8_t> psdu(200, 0x33);
+  const DsssTransmitter tx(DsssRate::kMbps2);
+  dsp::cvec wave = tx.transmit(psdu);
+  wave.resize(kPlcpChips + 40 * 11);  // cut mid-PSDU
+  const auto r = DsssReceiver().receive(wave);
+  EXPECT_TRUE(r.header_valid);
+  EXPECT_TRUE(r.psdu.empty());  // decode aborted, no garbage returned
+}
+
+TEST(Dsss, JammedPlcpHeaderRejected) {
+  std::vector<std::uint8_t> psdu(60, 0x41);
+  const DsssTransmitter tx(DsssRate::kMbps11);
+  dsp::cvec wave = tx.transmit(psdu);
+  // Burst over the PLCP header region (symbols 144..191).
+  dsp::NoiseSource jam(9.0, 11);
+  for (std::size_t k = 150 * 11; k < 190 * 11; ++k) wave[k] += jam.sample();
+  const auto r = DsssReceiver().receive(wave);
+  EXPECT_FALSE(r.header_valid);
+}
+
+}  // namespace
+}  // namespace rjf::phy80211b

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/db.h"
+#include "dsp/fft.h"
+#include "phy80216/frame.h"
+#include "phy80216/pn_sequence.h"
+#include "phy80216/preamble.h"
+
+namespace rjf::phy80216 {
+namespace {
+
+TEST(PnSequence, LengthAndAlphabet) {
+  const auto pn = preamble_pn(1, 0);
+  ASSERT_EQ(pn.size(), kPnLength);
+  for (const int v : pn) EXPECT_TRUE(v == 1 || v == -1);
+}
+
+TEST(PnSequence, Deterministic) {
+  EXPECT_EQ(preamble_pn(1, 0), preamble_pn(1, 0));
+  EXPECT_EQ(preamble_pn(5, 2), preamble_pn(5, 2));
+}
+
+TEST(PnSequence, DistinctAcrossSegmentsAndCells) {
+  const auto a = preamble_pn(1, 0);
+  EXPECT_NE(a, preamble_pn(1, 1));
+  EXPECT_NE(a, preamble_pn(1, 2));
+  EXPECT_NE(a, preamble_pn(2, 0));
+}
+
+TEST(PnSequence, Balanced) {
+  // An m-sequence segment is nearly balanced between +1 and -1.
+  const auto pn = preamble_pn(1, 0);
+  int sum = 0;
+  for (const int v : pn) sum += v;
+  EXPECT_LT(std::abs(sum), 40);
+}
+
+TEST(PnSequence, LowCrossCorrelation) {
+  // Different carrier sets must stay distinguishable to a correlator.
+  const auto a = preamble_pn(1, 0);
+  const auto b = preamble_pn(1, 1);
+  EXPECT_LT(max_cross_correlation(a, b), 0.35);
+  // Self-correlation peaks at 1 by definition.
+  EXPECT_NEAR(max_cross_correlation(a, a), 1.0, 1e-12);
+}
+
+TEST(Preamble, SymbolDimensions) {
+  const auto sym = preamble_symbol({1, 0});
+  EXPECT_EQ(sym.size(), kPreambleSymbolLen);
+  EXPECT_EQ(kPreambleSymbolLen, kFftSize + kCpLen);
+  const auto useful = preamble_useful_part({1, 0});
+  EXPECT_EQ(useful.size(), kFftSize);
+  EXPECT_NEAR(dsp::mean_power(useful), 1.0, 1e-3);
+}
+
+TEST(Preamble, CyclicPrefixMatchesTail) {
+  const auto sym = preamble_symbol({1, 0});
+  for (std::size_t k = 0; k < kCpLen; ++k) {
+    EXPECT_NEAR(sym[k].real(), sym[kFftSize + k].real(), 1e-5f);
+    EXPECT_NEAR(sym[k].imag(), sym[kFftSize + k].imag(), 1e-5f);
+  }
+}
+
+TEST(Preamble, GuardBandsEmpty) {
+  // 86 guard subcarriers on each side must carry no energy.
+  auto useful = preamble_useful_part({1, 0});
+  dsp::fft(useful);
+  for (std::size_t offset = 0; offset < kGuardEachSide; ++offset) {
+    // Positive guard: carriers +426..+511; negative guard: -427..-512.
+    EXPECT_NEAR(std::abs(useful[426 + offset]), 0.0f, 1e-3f);
+    EXPECT_NEAR(std::abs(useful[kFftSize - 427 - offset]), 0.0f, 1e-3f);
+  }
+  EXPECT_NEAR(std::abs(useful[0]), 0.0f, 1e-3f);  // DC null
+}
+
+TEST(Preamble, EveryThirdSubcarrierOnly) {
+  auto useful = preamble_useful_part({1, 0});
+  dsp::fft(useful);
+  // Segment 0 occupies used indices 0, 3, 6, ... (i.e. carriers -426+3k);
+  // the other two of every three used carriers stay empty.
+  std::size_t occupied = 0;
+  for (std::size_t u = 0; u < 852; ++u) {
+    const long carrier = static_cast<long>(u) - 426;
+    if (carrier == 0) continue;
+    const std::size_t bin = carrier >= 0
+                                ? static_cast<std::size_t>(carrier)
+                                : static_cast<std::size_t>(kFftSize + carrier);
+    const bool has_energy = std::abs(useful[bin]) > 0.01f;
+    if (u % 3 == 0) {
+      occupied += has_energy;
+    } else {
+      EXPECT_FALSE(has_energy) << "used index " << u;
+    }
+  }
+  EXPECT_GE(occupied, 280u);  // ~284 modulated carriers
+}
+
+TEST(Preamble, ThreeFoldQuasiPeriodicity) {
+  // Every-3rd-subcarrier occupation makes the useful part repeat ~3 times —
+  // the paper's "orthogonal code ... repeats itself 3 times". Since 1024/3
+  // is fractional, test via circular autocorrelation: a strong peak at lag
+  // ~N/3 and nothing at an unrelated lag.
+  const auto useful = preamble_useful_part({1, 0});
+  const auto autocorr = [&](std::size_t lag) {
+    dsp::cfloat acc{};
+    for (std::size_t k = 0; k < kFftSize; ++k)
+      acc += useful[k] * std::conj(useful[(k + lag) % kFftSize]);
+    return std::abs(acc) / static_cast<float>(kFftSize);
+  };
+  const double r0 = autocorr(0);
+  EXPECT_GT(autocorr(341), 0.7 * r0);
+  EXPECT_GT(autocorr(683), 0.7 * r0);  // ~2N/3
+  EXPECT_LT(autocorr(171), 0.3 * r0);
+}
+
+TEST(Frame, TimingMatchesAirspanSetup) {
+  const FrameConfig config;
+  // 5 ms frames at 11.2 MSPS.
+  EXPECT_EQ(frame_period_samples(config), 56000u);
+  const std::size_t active = dl_active_samples(config);
+  EXPECT_EQ(active, kPreambleSymbolLen * 27);
+  EXPECT_LT(active, frame_period_samples(config));  // TDD gap exists
+}
+
+TEST(Frame, DownlinkStartsWithPreamble) {
+  const FrameConfig config;
+  const auto dl = build_downlink(config);
+  const auto pre = preamble_symbol(config.preamble);
+  ASSERT_GE(dl.size(), pre.size());
+  for (std::size_t k = 0; k < pre.size(); ++k) {
+    EXPECT_NEAR(dl[k].real(), pre[k].real(), 1e-6f);
+    EXPECT_NEAR(dl[k].imag(), pre[k].imag(), 1e-6f);
+  }
+}
+
+TEST(Frame, BroadcastLayout) {
+  FrameConfig config;
+  config.num_dl_symbols = 4;
+  const auto air = broadcast(config, 3);
+  const std::size_t period = frame_period_samples(config);
+  ASSERT_EQ(air.size(), period * 3);
+  const std::size_t active = dl_active_samples(config);
+  // Energy during DL portions, silence in the TDD gaps.
+  for (std::size_t f = 0; f < 3; ++f) {
+    const std::span<const dsp::cfloat> dl(air.data() + f * period, active);
+    EXPECT_GT(dsp::mean_power(dl), 0.5);
+    const std::span<const dsp::cfloat> gap(air.data() + f * period + active,
+                                           period - active);
+    EXPECT_EQ(dsp::mean_power(gap), 0.0);
+  }
+}
+
+TEST(Frame, PayloadVariesPerFrame) {
+  FrameConfig config;
+  config.num_dl_symbols = 2;
+  const auto air = broadcast(config, 2);
+  const std::size_t period = frame_period_samples(config);
+  // Data symbols differ between frames (different payload seeds)...
+  bool differs = false;
+  for (std::size_t k = kPreambleSymbolLen; k < dl_active_samples(config); ++k)
+    differs |= std::abs(air[k] - air[period + k]) > 1e-4f;
+  EXPECT_TRUE(differs);
+  // ...but the preamble repeats identically.
+  for (std::size_t k = 0; k < kPreambleSymbolLen; ++k)
+    EXPECT_NEAR(std::abs(air[k] - air[period + k]), 0.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace rjf::phy80216

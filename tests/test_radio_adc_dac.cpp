@@ -1,0 +1,62 @@
+#include "radio/adc_dac.h"
+
+#include <gtest/gtest.h>
+
+namespace rjf::radio {
+namespace {
+
+TEST(Adc, ZeroInZeroOut) {
+  const Adc adc;
+  EXPECT_EQ(adc.sample(dsp::cfloat{}), (dsp::IQ16{0, 0}));
+}
+
+TEST(Adc, FourteenBitQuantisationStep) {
+  const Adc adc(14);
+  // One 14-bit LSB is 1/8192 of full scale, left-justified by 2 bits.
+  const auto s = adc.sample(dsp::cfloat{1.0f / 8192.0f, 0.0f});
+  EXPECT_EQ(s.i, 1 << 2);
+}
+
+TEST(Adc, ClipsAndFlags) {
+  const Adc adc(14);
+  const dsp::cvec hot(10, dsp::cfloat{2.0f, -2.0f});
+  const auto out = adc.convert(hot);
+  EXPECT_TRUE(adc.clipped());
+  EXPECT_EQ(out[0].i, static_cast<std::int16_t>(8191 << 2));
+  EXPECT_EQ(out[0].q, static_cast<std::int16_t>(-8192 << 2));
+}
+
+TEST(Adc, CleanSignalDoesNotFlag) {
+  const Adc adc(14);
+  (void)adc.convert(dsp::cvec(10, dsp::cfloat{0.5f, -0.5f}));
+  EXPECT_FALSE(adc.clipped());
+}
+
+TEST(Adc, BitsClamped) {
+  EXPECT_EQ(Adc(1).bits(), 2u);
+  EXPECT_EQ(Adc(20).bits(), 16u);
+  EXPECT_EQ(Adc(14).bits(), 14u);
+}
+
+TEST(AdcDac, RoundTripWithinLsb) {
+  const Adc adc(14);
+  const Dac dac;
+  for (const float x : {0.3f, -0.7f, 0.001f, 0.999f}) {
+    const dsp::cfloat in{x, -x};
+    const dsp::cfloat out = dac.sample(adc.sample(in));
+    EXPECT_NEAR(out.real(), in.real(), 1.0f / 8192.0f) << x;
+    EXPECT_NEAR(out.imag(), in.imag(), 1.0f / 8192.0f) << x;
+  }
+}
+
+TEST(Dac, BulkConversion) {
+  const Dac dac;
+  const dsp::iqvec in(5, dsp::IQ16{16384, -16384});
+  const auto out = dac.convert(in);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_FLOAT_EQ(out[0].real(), 0.5f);
+  EXPECT_FLOAT_EQ(out[0].imag(), -0.5f);
+}
+
+}  // namespace
+}  // namespace rjf::radio

@@ -1,0 +1,171 @@
+// Secure-communication schemes built on the jamming platform: iJam
+// self-jamming secrecy and ally-friendly key-controlled jamming.
+#include <gtest/gtest.h>
+
+#include "dsp/db.h"
+#include "dsp/noise.h"
+#include "phy80211/constellation.h"
+#include "secure/friendly.h"
+#include "secure/ijam.h"
+
+namespace rjf::secure {
+namespace {
+
+// Count symbol errors between two QPSK streams after hard slicing.
+std::size_t qpsk_errors(const dsp::cvec& a, const dsp::cvec& b) {
+  std::size_t errors = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    const bool ia = a[k].real() >= 0, qa = a[k].imag() >= 0;
+    const bool ib = b[k].real() >= 0, qb = b[k].imag() >= 0;
+    if (ia != ib || qa != qb) ++errors;
+  }
+  return errors;
+}
+
+dsp::cvec random_qpsk(std::size_t n, std::uint64_t seed) {
+  dsp::Xoshiro256 rng(seed);
+  dsp::cvec out(n);
+  for (auto& s : out)
+    s = dsp::cfloat{rng.next() & 1u ? 0.707f : -0.707f,
+                    rng.next() & 1u ? 0.707f : -0.707f};
+  return out;
+}
+
+TEST(Ijam, DuplicationLayout) {
+  const dsp::cvec wave = random_qpsk(64, 1);
+  const dsp::cvec dup = ijam_duplicate(wave, 16);
+  ASSERT_EQ(dup.size(), 128u);
+  // Block k appears twice back to back.
+  for (std::size_t k = 0; k < 16; ++k) {
+    EXPECT_EQ(dup[k], wave[k]);
+    EXPECT_EQ(dup[16 + k], wave[k]);
+    EXPECT_EQ(dup[32 + k], wave[16 + k]);
+  }
+}
+
+TEST(Ijam, MaskDeterministicPerKey) {
+  const auto a = ijam_mask(16, 4, 0x0E1A);
+  const auto b = ijam_mask(16, 4, 0x0E1A);
+  EXPECT_EQ(a, b);
+  const auto c = ijam_mask(16, 4, 0x0E1B);
+  EXPECT_NE(a, c);
+}
+
+TEST(Ijam, LegitimateReceiverReconstructsPerfectly) {
+  const std::size_t symbol_len = 64;
+  const std::size_t num_symbols = 20;
+  const dsp::cvec signal = random_qpsk(symbol_len * num_symbols, 3);
+
+  const dsp::cvec tx = ijam_duplicate(signal, symbol_len);
+  const auto mask = ijam_mask(symbol_len, num_symbols, 0x5EC7);
+  const dsp::cvec jam = ijam_jamming_waveform(mask, symbol_len, 25.0, 7);
+
+  dsp::cvec rx(tx.size());
+  for (std::size_t k = 0; k < tx.size(); ++k) rx[k] = tx[k] + jam[k];
+
+  const dsp::cvec recovered = ijam_reconstruct(rx, mask, symbol_len);
+  EXPECT_EQ(qpsk_errors(recovered, signal), 0u);
+}
+
+TEST(Ijam, EavesdropperSuffersHighErrorRate) {
+  const std::size_t symbol_len = 64;
+  const std::size_t num_symbols = 50;
+  const dsp::cvec signal = random_qpsk(symbol_len * num_symbols, 5);
+  const dsp::cvec tx = ijam_duplicate(signal, symbol_len);
+  const auto mask = ijam_mask(symbol_len, num_symbols, 0xBEEF);
+  const dsp::cvec jam = ijam_jamming_waveform(mask, symbol_len, 25.0, 9);
+  dsp::cvec rx(tx.size());
+  for (std::size_t k = 0; k < tx.size(); ++k) rx[k] = tx[k] + jam[k];
+
+  for (const auto strategy :
+       {EveStrategy::kFirstCopy, EveStrategy::kRandom}) {
+    const dsp::cvec eve = ijam_eavesdrop(rx, symbol_len, strategy, 11);
+    const double ser = static_cast<double>(qpsk_errors(eve, signal)) /
+                       static_cast<double>(signal.size());
+    // Half the picked samples are jammed at -14 dB SIR: SER near 0.35-0.5.
+    EXPECT_GT(ser, 0.25) << static_cast<int>(strategy);
+  }
+}
+
+TEST(Ijam, MinPowerEavesdropperBeatenByPowerControl) {
+  // The min-power heuristic only helps when jamming is much stronger than
+  // the signal; iJam counters with jamming near signal level. At 3 dB
+  // jam-to-signal the heuristic still mispicks heavily.
+  const std::size_t symbol_len = 64;
+  const std::size_t num_symbols = 50;
+  const dsp::cvec signal = random_qpsk(symbol_len * num_symbols, 13);
+  const dsp::cvec tx = ijam_duplicate(signal, symbol_len);
+  const auto mask = ijam_mask(symbol_len, num_symbols, 0xCAFE);
+  const dsp::cvec jam = ijam_jamming_waveform(mask, symbol_len, 2.0, 15);
+  dsp::cvec rx(tx.size());
+  for (std::size_t k = 0; k < tx.size(); ++k) rx[k] = tx[k] + jam[k];
+
+  const dsp::cvec eve =
+      ijam_eavesdrop(rx, symbol_len, EveStrategy::kMinPower, 17);
+  const double ser = static_cast<double>(qpsk_errors(eve, signal)) /
+                     static_cast<double>(signal.size());
+  EXPECT_GT(ser, 0.1);
+  // While the legitimate receiver is still clean.
+  const dsp::cvec recovered = ijam_reconstruct(rx, mask, symbol_len);
+  EXPECT_EQ(qpsk_errors(recovered, signal), 0u);
+}
+
+TEST(Friendly, WaveformDeterministicPerKeyAndEpoch) {
+  const FriendlyJammer jammer(0x1234, 1.0);
+  const auto a = jammer.waveform(5, 256);
+  const auto b = jammer.waveform(5, 256);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  const auto c = jammer.waveform(6, 256);
+  bool differs = false;
+  for (std::size_t k = 0; k < c.size(); ++k) differs |= !(a[k] == c[k]);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Friendly, AuthorizedReceiverCancelsJamming) {
+  const FriendlyJammer jammer(0xA117, 4.0);
+  const dsp::cvec signal = random_qpsk(4096, 19);
+  const dsp::cvec jam = jammer.waveform(1, signal.size());
+
+  dsp::cvec rx(signal.size());
+  const dsp::cfloat channel_gain{0.8f, -0.3f};  // unknown to the receiver
+  dsp::NoiseSource noise(1e-4, 21);
+  for (std::size_t k = 0; k < rx.size(); ++k)
+    rx[k] = signal[k] + channel_gain * jam[k] + noise.sample();
+
+  const dsp::cvec cleaned = cancel_friendly_jamming(rx, jammer, 1);
+  const double residual = cancellation_residual(rx, cleaned, signal);
+  EXPECT_LT(residual, 0.05);  // >13 dB of jamming removed
+  EXPECT_EQ(qpsk_errors(cleaned, signal), 0u);
+}
+
+TEST(Friendly, UnauthorizedReceiverCannotCancel) {
+  const FriendlyJammer real(0xA117, 4.0);
+  const FriendlyJammer wrong_key(0xBAD, 4.0);
+  const dsp::cvec signal = random_qpsk(4096, 23);
+  const dsp::cvec jam = real.waveform(2, signal.size());
+  dsp::cvec rx(signal.size());
+  for (std::size_t k = 0; k < rx.size(); ++k)
+    rx[k] = signal[k] + 0.9f * jam[k];
+
+  const dsp::cvec attempt = cancel_friendly_jamming(rx, wrong_key, 2);
+  const double residual = cancellation_residual(rx, attempt, signal);
+  EXPECT_GT(residual, 0.8);  // essentially nothing cancelled
+  const double ser = static_cast<double>(qpsk_errors(attempt, signal)) /
+                     static_cast<double>(signal.size());
+  EXPECT_GT(ser, 0.1);
+}
+
+TEST(Friendly, WrongEpochAlsoFails) {
+  const FriendlyJammer jammer(0xA117, 4.0);
+  const dsp::cvec signal = random_qpsk(2048, 29);
+  const dsp::cvec jam = jammer.waveform(3, signal.size());
+  dsp::cvec rx(signal.size());
+  for (std::size_t k = 0; k < rx.size(); ++k) rx[k] = signal[k] + jam[k];
+  const dsp::cvec attempt = cancel_friendly_jamming(rx, jammer, 4);
+  EXPECT_GT(cancellation_residual(rx, attempt, signal), 0.8);
+}
+
+}  // namespace
+}  // namespace rjf::secure

@@ -1,0 +1,89 @@
+// Parameterised property sweeps over the secure-communication schemes:
+// the invariants must hold across symbol lengths, keys, and jam powers,
+// not just at the single operating points of test_secure.cpp.
+#include <gtest/gtest.h>
+
+#include "dsp/rng.h"
+#include "secure/friendly.h"
+#include "secure/ijam.h"
+
+namespace rjf::secure {
+namespace {
+
+dsp::cvec random_qpsk(std::size_t n, std::uint64_t seed) {
+  dsp::Xoshiro256 rng(seed);
+  dsp::cvec out(n);
+  for (auto& s : out)
+    s = dsp::cfloat{rng.next() & 1u ? 0.707f : -0.707f,
+                    rng.next() & 1u ? 0.707f : -0.707f};
+  return out;
+}
+
+std::size_t qpsk_errors(const dsp::cvec& a, const dsp::cvec& b) {
+  std::size_t errors = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t k = 0; k < n; ++k)
+    if ((a[k].real() >= 0) != (b[k].real() >= 0) ||
+        (a[k].imag() >= 0) != (b[k].imag() >= 0))
+      ++errors;
+  return errors;
+}
+
+struct IjamCase {
+  std::size_t symbol_len;
+  double jam_power;
+  std::uint64_t key;
+};
+
+class IjamSweep : public ::testing::TestWithParam<IjamCase> {};
+
+TEST_P(IjamSweep, LegitPerfectEveDegraded) {
+  const auto [symbol_len, jam_power, key] = GetParam();
+  const std::size_t num_symbols = 2048 / symbol_len;
+  const dsp::cvec signal = random_qpsk(symbol_len * num_symbols, key);
+  const dsp::cvec tx = ijam_duplicate(signal, symbol_len);
+  const auto mask = ijam_mask(symbol_len, num_symbols, key);
+  const dsp::cvec jam = ijam_jamming_waveform(mask, symbol_len, jam_power, key);
+  dsp::cvec rx(tx.size());
+  for (std::size_t k = 0; k < tx.size(); ++k) rx[k] = tx[k] + jam[k];
+
+  // Invariant 1: the mask holder always reconstructs exactly.
+  EXPECT_EQ(qpsk_errors(ijam_reconstruct(rx, mask, symbol_len), signal), 0u);
+
+  // Invariant 2: a mask-blind eavesdropper is measurably degraded whenever
+  // the jamming is at least signal-level.
+  if (jam_power >= 1.0) {
+    const auto eve = ijam_eavesdrop(rx, symbol_len, EveStrategy::kRandom, key);
+    EXPECT_GT(qpsk_errors(eve, signal), signal.size() / 20);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IjamSweep,
+    ::testing::Values(IjamCase{16, 1.0, 0x11}, IjamCase{16, 16.0, 0x22},
+                      IjamCase{64, 1.0, 0x33}, IjamCase{64, 16.0, 0x44},
+                      IjamCase{128, 4.0, 0x55}, IjamCase{256, 0.5, 0x66}));
+
+class FriendlySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FriendlySweep, CancellationHoldsAcrossJamPowers) {
+  const double jam_power = GetParam();
+  const FriendlyJammer ally(0xF00D, jam_power);
+  const dsp::cvec signal = random_qpsk(4096, 0x77);
+  const dsp::cvec jam = ally.waveform(9, signal.size());
+  dsp::cvec rx(signal.size());
+  for (std::size_t k = 0; k < rx.size(); ++k)
+    rx[k] = signal[k] + dsp::cfloat{0.6f, 0.5f} * jam[k];
+
+  const auto cleaned = cancel_friendly_jamming(rx, ally, 9);
+  // Stronger jamming is actually EASIER to estimate and cancel; the
+  // residual must stay small across the whole range.
+  EXPECT_LT(cancellation_residual(rx, cleaned, signal), 0.12) << jam_power;
+  EXPECT_EQ(qpsk_errors(cleaned, signal), 0u) << jam_power;
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, FriendlySweep,
+                         ::testing::Values(0.5, 1.0, 4.0, 16.0, 64.0));
+
+}  // namespace
+}  // namespace rjf::secure
