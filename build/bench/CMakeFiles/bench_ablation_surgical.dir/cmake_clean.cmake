@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_surgical.dir/bench_ablation_surgical.cpp.o"
+  "CMakeFiles/bench_ablation_surgical.dir/bench_ablation_surgical.cpp.o.d"
+  "bench_ablation_surgical"
+  "bench_ablation_surgical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_surgical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_wilhelm.dir/bench_baseline_wilhelm.cpp.o"
+  "CMakeFiles/bench_baseline_wilhelm.dir/bench_baseline_wilhelm.cpp.o.d"
+  "bench_baseline_wilhelm"
+  "bench_baseline_wilhelm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_wilhelm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

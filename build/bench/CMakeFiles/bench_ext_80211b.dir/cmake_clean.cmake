@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_80211b.dir/bench_ext_80211b.cpp.o"
+  "CMakeFiles/bench_ext_80211b.dir/bench_ext_80211b.cpp.o.d"
+  "bench_ext_80211b"
+  "bench_ext_80211b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_80211b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ext_80211b.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_countermeasure.dir/bench_ext_countermeasure.cpp.o"
+  "CMakeFiles/bench_ext_countermeasure.dir/bench_ext_countermeasure.cpp.o.d"
+  "bench_ext_countermeasure"
+  "bench_ext_countermeasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_countermeasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_secure.dir/bench_ext_secure.cpp.o"
+  "CMakeFiles/bench_ext_secure.dir/bench_ext_secure.cpp.o.d"
+  "bench_ext_secure"
+  "bench_ext_secure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_secure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fabric_throughput.dir/bench_fabric_throughput.cpp.o"
+  "CMakeFiles/bench_fabric_throughput.dir/bench_fabric_throughput.cpp.o.d"
+  "bench_fabric_throughput"
+  "bench_fabric_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fabric_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

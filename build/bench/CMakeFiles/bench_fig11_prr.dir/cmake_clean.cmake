@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_prr.dir/bench_fig11_prr.cpp.o"
+  "CMakeFiles/bench_fig11_prr.dir/bench_fig11_prr.cpp.o.d"
+  "bench_fig11_prr"
+  "bench_fig11_prr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_prr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

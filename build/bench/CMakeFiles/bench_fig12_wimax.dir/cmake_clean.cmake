@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_wimax.dir/bench_fig12_wimax.cpp.o"
+  "CMakeFiles/bench_fig12_wimax.dir/bench_fig12_wimax.cpp.o.d"
+  "bench_fig12_wimax"
+  "bench_fig12_wimax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_wimax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_long_preamble.dir/bench_fig6_long_preamble.cpp.o"
+  "CMakeFiles/bench_fig6_long_preamble.dir/bench_fig6_long_preamble.cpp.o.d"
+  "bench_fig6_long_preamble"
+  "bench_fig6_long_preamble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_long_preamble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

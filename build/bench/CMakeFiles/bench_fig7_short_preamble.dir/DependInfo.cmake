@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_short_preamble.cpp" "bench/CMakeFiles/bench_fig7_short_preamble.dir/bench_fig7_short_preamble.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_short_preamble.dir/bench_fig7_short_preamble.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rjf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rjf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/secure/CMakeFiles/rjf_secure.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rjf_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/rjf_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy80211/CMakeFiles/rjf_phy80211.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy80211b/CMakeFiles/rjf_phy80211b.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy80216/CMakeFiles/rjf_phy80216.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/rjf_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/rjf_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/rjf_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_short_preamble.dir/bench_fig7_short_preamble.cpp.o"
+  "CMakeFiles/bench_fig7_short_preamble.dir/bench_fig7_short_preamble.cpp.o.d"
+  "bench_fig7_short_preamble"
+  "bench_fig7_short_preamble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_short_preamble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

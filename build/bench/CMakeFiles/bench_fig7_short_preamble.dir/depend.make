@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_short_preamble.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timelines.dir/bench_timelines.cpp.o"
+  "CMakeFiles/bench_timelines.dir/bench_timelines.cpp.o.d"
+  "bench_timelines"
+  "bench_timelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_tuning.dir/detector_tuning.cpp.o"
+  "CMakeFiles/detector_tuning.dir/detector_tuning.cpp.o.d"
+  "detector_tuning"
+  "detector_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_injection.dir/packet_injection.cpp.o"
+  "CMakeFiles/packet_injection.dir/packet_injection.cpp.o.d"
+  "packet_injection"
+  "packet_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_schemes.dir/secure_schemes.cpp.o"
+  "CMakeFiles/secure_schemes.dir/secure_schemes.cpp.o.d"
+  "secure_schemes"
+  "secure_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_jamming_lab.dir/wifi_jamming_lab.cpp.o"
+  "CMakeFiles/wifi_jamming_lab.dir/wifi_jamming_lab.cpp.o.d"
+  "wifi_jamming_lab"
+  "wifi_jamming_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_jamming_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wimax_downlink_jam.dir/wimax_downlink_jam.cpp.o"
+  "CMakeFiles/wimax_downlink_jam.dir/wimax_downlink_jam.cpp.o.d"
+  "wimax_downlink_jam"
+  "wimax_downlink_jam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wimax_downlink_jam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

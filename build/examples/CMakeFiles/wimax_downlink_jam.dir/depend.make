@@ -1,0 +1,2 @@
+# Empty dependencies file for wimax_downlink_jam.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("dsp")
+subdirs("fpga")
+subdirs("radio")
+subdirs("phy80211")
+subdirs("phy80211b")
+subdirs("phy80216")
+subdirs("channel")
+subdirs("net")
+subdirs("core")
+subdirs("secure")
+subdirs("baseline")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rjf_baseline.dir/wilhelm_jammer.cpp.o"
+  "CMakeFiles/rjf_baseline.dir/wilhelm_jammer.cpp.o.d"
+  "CMakeFiles/rjf_baseline.dir/zigbee.cpp.o"
+  "CMakeFiles/rjf_baseline.dir/zigbee.cpp.o.d"
+  "librjf_baseline.a"
+  "librjf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rjf_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rjf_channel.dir/awgn.cpp.o"
+  "CMakeFiles/rjf_channel.dir/awgn.cpp.o.d"
+  "CMakeFiles/rjf_channel.dir/five_port.cpp.o"
+  "CMakeFiles/rjf_channel.dir/five_port.cpp.o.d"
+  "CMakeFiles/rjf_channel.dir/meters.cpp.o"
+  "CMakeFiles/rjf_channel.dir/meters.cpp.o.d"
+  "CMakeFiles/rjf_channel.dir/multipath.cpp.o"
+  "CMakeFiles/rjf_channel.dir/multipath.cpp.o.d"
+  "librjf_channel.a"
+  "librjf_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rjf_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

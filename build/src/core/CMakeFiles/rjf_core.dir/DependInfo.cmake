@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/rjf_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/rjf_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/detection_experiment.cpp" "src/core/CMakeFiles/rjf_core.dir/detection_experiment.cpp.o" "gcc" "src/core/CMakeFiles/rjf_core.dir/detection_experiment.cpp.o.d"
+  "/root/repo/src/core/event_builder.cpp" "src/core/CMakeFiles/rjf_core.dir/event_builder.cpp.o" "gcc" "src/core/CMakeFiles/rjf_core.dir/event_builder.cpp.o.d"
+  "/root/repo/src/core/presets.cpp" "src/core/CMakeFiles/rjf_core.dir/presets.cpp.o" "gcc" "src/core/CMakeFiles/rjf_core.dir/presets.cpp.o.d"
+  "/root/repo/src/core/reactive_jammer.cpp" "src/core/CMakeFiles/rjf_core.dir/reactive_jammer.cpp.o" "gcc" "src/core/CMakeFiles/rjf_core.dir/reactive_jammer.cpp.o.d"
+  "/root/repo/src/core/templates.cpp" "src/core/CMakeFiles/rjf_core.dir/templates.cpp.o" "gcc" "src/core/CMakeFiles/rjf_core.dir/templates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/rjf_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/rjf_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/rjf_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy80211/CMakeFiles/rjf_phy80211.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy80211b/CMakeFiles/rjf_phy80211b.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy80216/CMakeFiles/rjf_phy80216.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/rjf_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rjf_core.dir/calibration.cpp.o"
+  "CMakeFiles/rjf_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/rjf_core.dir/detection_experiment.cpp.o"
+  "CMakeFiles/rjf_core.dir/detection_experiment.cpp.o.d"
+  "CMakeFiles/rjf_core.dir/event_builder.cpp.o"
+  "CMakeFiles/rjf_core.dir/event_builder.cpp.o.d"
+  "CMakeFiles/rjf_core.dir/presets.cpp.o"
+  "CMakeFiles/rjf_core.dir/presets.cpp.o.d"
+  "CMakeFiles/rjf_core.dir/reactive_jammer.cpp.o"
+  "CMakeFiles/rjf_core.dir/reactive_jammer.cpp.o.d"
+  "CMakeFiles/rjf_core.dir/templates.cpp.o"
+  "CMakeFiles/rjf_core.dir/templates.cpp.o.d"
+  "librjf_core.a"
+  "librjf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rjf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/cic.cpp" "src/dsp/CMakeFiles/rjf_dsp.dir/cic.cpp.o" "gcc" "src/dsp/CMakeFiles/rjf_dsp.dir/cic.cpp.o.d"
+  "/root/repo/src/dsp/crc32.cpp" "src/dsp/CMakeFiles/rjf_dsp.dir/crc32.cpp.o" "gcc" "src/dsp/CMakeFiles/rjf_dsp.dir/crc32.cpp.o.d"
+  "/root/repo/src/dsp/db.cpp" "src/dsp/CMakeFiles/rjf_dsp.dir/db.cpp.o" "gcc" "src/dsp/CMakeFiles/rjf_dsp.dir/db.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/rjf_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/rjf_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/dsp/CMakeFiles/rjf_dsp.dir/fir.cpp.o" "gcc" "src/dsp/CMakeFiles/rjf_dsp.dir/fir.cpp.o.d"
+  "/root/repo/src/dsp/nco.cpp" "src/dsp/CMakeFiles/rjf_dsp.dir/nco.cpp.o" "gcc" "src/dsp/CMakeFiles/rjf_dsp.dir/nco.cpp.o.d"
+  "/root/repo/src/dsp/noise.cpp" "src/dsp/CMakeFiles/rjf_dsp.dir/noise.cpp.o" "gcc" "src/dsp/CMakeFiles/rjf_dsp.dir/noise.cpp.o.d"
+  "/root/repo/src/dsp/psd.cpp" "src/dsp/CMakeFiles/rjf_dsp.dir/psd.cpp.o" "gcc" "src/dsp/CMakeFiles/rjf_dsp.dir/psd.cpp.o.d"
+  "/root/repo/src/dsp/resampler.cpp" "src/dsp/CMakeFiles/rjf_dsp.dir/resampler.cpp.o" "gcc" "src/dsp/CMakeFiles/rjf_dsp.dir/resampler.cpp.o.d"
+  "/root/repo/src/dsp/rng.cpp" "src/dsp/CMakeFiles/rjf_dsp.dir/rng.cpp.o" "gcc" "src/dsp/CMakeFiles/rjf_dsp.dir/rng.cpp.o.d"
+  "/root/repo/src/dsp/types.cpp" "src/dsp/CMakeFiles/rjf_dsp.dir/types.cpp.o" "gcc" "src/dsp/CMakeFiles/rjf_dsp.dir/types.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/rjf_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/rjf_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rjf_dsp.dir/cic.cpp.o"
+  "CMakeFiles/rjf_dsp.dir/cic.cpp.o.d"
+  "CMakeFiles/rjf_dsp.dir/crc32.cpp.o"
+  "CMakeFiles/rjf_dsp.dir/crc32.cpp.o.d"
+  "CMakeFiles/rjf_dsp.dir/db.cpp.o"
+  "CMakeFiles/rjf_dsp.dir/db.cpp.o.d"
+  "CMakeFiles/rjf_dsp.dir/fft.cpp.o"
+  "CMakeFiles/rjf_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/rjf_dsp.dir/fir.cpp.o"
+  "CMakeFiles/rjf_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/rjf_dsp.dir/nco.cpp.o"
+  "CMakeFiles/rjf_dsp.dir/nco.cpp.o.d"
+  "CMakeFiles/rjf_dsp.dir/noise.cpp.o"
+  "CMakeFiles/rjf_dsp.dir/noise.cpp.o.d"
+  "CMakeFiles/rjf_dsp.dir/psd.cpp.o"
+  "CMakeFiles/rjf_dsp.dir/psd.cpp.o.d"
+  "CMakeFiles/rjf_dsp.dir/resampler.cpp.o"
+  "CMakeFiles/rjf_dsp.dir/resampler.cpp.o.d"
+  "CMakeFiles/rjf_dsp.dir/rng.cpp.o"
+  "CMakeFiles/rjf_dsp.dir/rng.cpp.o.d"
+  "CMakeFiles/rjf_dsp.dir/types.cpp.o"
+  "CMakeFiles/rjf_dsp.dir/types.cpp.o.d"
+  "CMakeFiles/rjf_dsp.dir/window.cpp.o"
+  "CMakeFiles/rjf_dsp.dir/window.cpp.o.d"
+  "librjf_dsp.a"
+  "librjf_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rjf_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

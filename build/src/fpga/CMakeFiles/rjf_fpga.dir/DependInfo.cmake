@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/cross_correlator.cpp" "src/fpga/CMakeFiles/rjf_fpga.dir/cross_correlator.cpp.o" "gcc" "src/fpga/CMakeFiles/rjf_fpga.dir/cross_correlator.cpp.o.d"
+  "/root/repo/src/fpga/dsp_core.cpp" "src/fpga/CMakeFiles/rjf_fpga.dir/dsp_core.cpp.o" "gcc" "src/fpga/CMakeFiles/rjf_fpga.dir/dsp_core.cpp.o.d"
+  "/root/repo/src/fpga/energy_differentiator.cpp" "src/fpga/CMakeFiles/rjf_fpga.dir/energy_differentiator.cpp.o" "gcc" "src/fpga/CMakeFiles/rjf_fpga.dir/energy_differentiator.cpp.o.d"
+  "/root/repo/src/fpga/jammer_controller.cpp" "src/fpga/CMakeFiles/rjf_fpga.dir/jammer_controller.cpp.o" "gcc" "src/fpga/CMakeFiles/rjf_fpga.dir/jammer_controller.cpp.o.d"
+  "/root/repo/src/fpga/register_file.cpp" "src/fpga/CMakeFiles/rjf_fpga.dir/register_file.cpp.o" "gcc" "src/fpga/CMakeFiles/rjf_fpga.dir/register_file.cpp.o.d"
+  "/root/repo/src/fpga/resource_model.cpp" "src/fpga/CMakeFiles/rjf_fpga.dir/resource_model.cpp.o" "gcc" "src/fpga/CMakeFiles/rjf_fpga.dir/resource_model.cpp.o.d"
+  "/root/repo/src/fpga/trigger_fsm.cpp" "src/fpga/CMakeFiles/rjf_fpga.dir/trigger_fsm.cpp.o" "gcc" "src/fpga/CMakeFiles/rjf_fpga.dir/trigger_fsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/rjf_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rjf_fpga.dir/cross_correlator.cpp.o"
+  "CMakeFiles/rjf_fpga.dir/cross_correlator.cpp.o.d"
+  "CMakeFiles/rjf_fpga.dir/dsp_core.cpp.o"
+  "CMakeFiles/rjf_fpga.dir/dsp_core.cpp.o.d"
+  "CMakeFiles/rjf_fpga.dir/energy_differentiator.cpp.o"
+  "CMakeFiles/rjf_fpga.dir/energy_differentiator.cpp.o.d"
+  "CMakeFiles/rjf_fpga.dir/jammer_controller.cpp.o"
+  "CMakeFiles/rjf_fpga.dir/jammer_controller.cpp.o.d"
+  "CMakeFiles/rjf_fpga.dir/register_file.cpp.o"
+  "CMakeFiles/rjf_fpga.dir/register_file.cpp.o.d"
+  "CMakeFiles/rjf_fpga.dir/resource_model.cpp.o"
+  "CMakeFiles/rjf_fpga.dir/resource_model.cpp.o.d"
+  "CMakeFiles/rjf_fpga.dir/trigger_fsm.cpp.o"
+  "CMakeFiles/rjf_fpga.dir/trigger_fsm.cpp.o.d"
+  "librjf_fpga.a"
+  "librjf_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rjf_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

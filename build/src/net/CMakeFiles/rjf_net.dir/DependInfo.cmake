@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/arf.cpp" "src/net/CMakeFiles/rjf_net.dir/arf.cpp.o" "gcc" "src/net/CMakeFiles/rjf_net.dir/arf.cpp.o.d"
+  "/root/repo/src/net/iperf.cpp" "src/net/CMakeFiles/rjf_net.dir/iperf.cpp.o" "gcc" "src/net/CMakeFiles/rjf_net.dir/iperf.cpp.o.d"
+  "/root/repo/src/net/jamming_detector.cpp" "src/net/CMakeFiles/rjf_net.dir/jamming_detector.cpp.o" "gcc" "src/net/CMakeFiles/rjf_net.dir/jamming_detector.cpp.o.d"
+  "/root/repo/src/net/mac_frame.cpp" "src/net/CMakeFiles/rjf_net.dir/mac_frame.cpp.o" "gcc" "src/net/CMakeFiles/rjf_net.dir/mac_frame.cpp.o.d"
+  "/root/repo/src/net/wifi_network.cpp" "src/net/CMakeFiles/rjf_net.dir/wifi_network.cpp.o" "gcc" "src/net/CMakeFiles/rjf_net.dir/wifi_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/rjf_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy80211/CMakeFiles/rjf_phy80211.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/rjf_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rjf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/rjf_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/rjf_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy80211b/CMakeFiles/rjf_phy80211b.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy80216/CMakeFiles/rjf_phy80216.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

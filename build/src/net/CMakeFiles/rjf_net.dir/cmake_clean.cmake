@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rjf_net.dir/arf.cpp.o"
+  "CMakeFiles/rjf_net.dir/arf.cpp.o.d"
+  "CMakeFiles/rjf_net.dir/iperf.cpp.o"
+  "CMakeFiles/rjf_net.dir/iperf.cpp.o.d"
+  "CMakeFiles/rjf_net.dir/jamming_detector.cpp.o"
+  "CMakeFiles/rjf_net.dir/jamming_detector.cpp.o.d"
+  "CMakeFiles/rjf_net.dir/mac_frame.cpp.o"
+  "CMakeFiles/rjf_net.dir/mac_frame.cpp.o.d"
+  "CMakeFiles/rjf_net.dir/wifi_network.cpp.o"
+  "CMakeFiles/rjf_net.dir/wifi_network.cpp.o.d"
+  "librjf_net.a"
+  "librjf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rjf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librjf_net.a"
+)

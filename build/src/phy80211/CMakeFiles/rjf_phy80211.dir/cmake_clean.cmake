@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rjf_phy80211.dir/bits.cpp.o"
+  "CMakeFiles/rjf_phy80211.dir/bits.cpp.o.d"
+  "CMakeFiles/rjf_phy80211.dir/constellation.cpp.o"
+  "CMakeFiles/rjf_phy80211.dir/constellation.cpp.o.d"
+  "CMakeFiles/rjf_phy80211.dir/convolutional.cpp.o"
+  "CMakeFiles/rjf_phy80211.dir/convolutional.cpp.o.d"
+  "CMakeFiles/rjf_phy80211.dir/interleaver.cpp.o"
+  "CMakeFiles/rjf_phy80211.dir/interleaver.cpp.o.d"
+  "CMakeFiles/rjf_phy80211.dir/ofdm.cpp.o"
+  "CMakeFiles/rjf_phy80211.dir/ofdm.cpp.o.d"
+  "CMakeFiles/rjf_phy80211.dir/preamble.cpp.o"
+  "CMakeFiles/rjf_phy80211.dir/preamble.cpp.o.d"
+  "CMakeFiles/rjf_phy80211.dir/rates.cpp.o"
+  "CMakeFiles/rjf_phy80211.dir/rates.cpp.o.d"
+  "CMakeFiles/rjf_phy80211.dir/receiver.cpp.o"
+  "CMakeFiles/rjf_phy80211.dir/receiver.cpp.o.d"
+  "CMakeFiles/rjf_phy80211.dir/scrambler.cpp.o"
+  "CMakeFiles/rjf_phy80211.dir/scrambler.cpp.o.d"
+  "CMakeFiles/rjf_phy80211.dir/signal_field.cpp.o"
+  "CMakeFiles/rjf_phy80211.dir/signal_field.cpp.o.d"
+  "CMakeFiles/rjf_phy80211.dir/transmitter.cpp.o"
+  "CMakeFiles/rjf_phy80211.dir/transmitter.cpp.o.d"
+  "librjf_phy80211.a"
+  "librjf_phy80211.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rjf_phy80211.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

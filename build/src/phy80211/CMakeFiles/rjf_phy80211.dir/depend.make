@@ -1,0 +1,2 @@
+# Empty dependencies file for rjf_phy80211.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy80211b/barker.cpp" "src/phy80211b/CMakeFiles/rjf_phy80211b.dir/barker.cpp.o" "gcc" "src/phy80211b/CMakeFiles/rjf_phy80211b.dir/barker.cpp.o.d"
+  "/root/repo/src/phy80211b/cck.cpp" "src/phy80211b/CMakeFiles/rjf_phy80211b.dir/cck.cpp.o" "gcc" "src/phy80211b/CMakeFiles/rjf_phy80211b.dir/cck.cpp.o.d"
+  "/root/repo/src/phy80211b/dsss.cpp" "src/phy80211b/CMakeFiles/rjf_phy80211b.dir/dsss.cpp.o" "gcc" "src/phy80211b/CMakeFiles/rjf_phy80211b.dir/dsss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/rjf_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rjf_phy80211b.dir/barker.cpp.o"
+  "CMakeFiles/rjf_phy80211b.dir/barker.cpp.o.d"
+  "CMakeFiles/rjf_phy80211b.dir/cck.cpp.o"
+  "CMakeFiles/rjf_phy80211b.dir/cck.cpp.o.d"
+  "CMakeFiles/rjf_phy80211b.dir/dsss.cpp.o"
+  "CMakeFiles/rjf_phy80211b.dir/dsss.cpp.o.d"
+  "librjf_phy80211b.a"
+  "librjf_phy80211b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rjf_phy80211b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

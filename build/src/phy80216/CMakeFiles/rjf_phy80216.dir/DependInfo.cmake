@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy80216/frame.cpp" "src/phy80216/CMakeFiles/rjf_phy80216.dir/frame.cpp.o" "gcc" "src/phy80216/CMakeFiles/rjf_phy80216.dir/frame.cpp.o.d"
+  "/root/repo/src/phy80216/pn_sequence.cpp" "src/phy80216/CMakeFiles/rjf_phy80216.dir/pn_sequence.cpp.o" "gcc" "src/phy80216/CMakeFiles/rjf_phy80216.dir/pn_sequence.cpp.o.d"
+  "/root/repo/src/phy80216/preamble.cpp" "src/phy80216/CMakeFiles/rjf_phy80216.dir/preamble.cpp.o" "gcc" "src/phy80216/CMakeFiles/rjf_phy80216.dir/preamble.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/rjf_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

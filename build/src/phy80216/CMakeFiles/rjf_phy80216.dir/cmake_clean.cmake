@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rjf_phy80216.dir/frame.cpp.o"
+  "CMakeFiles/rjf_phy80216.dir/frame.cpp.o.d"
+  "CMakeFiles/rjf_phy80216.dir/pn_sequence.cpp.o"
+  "CMakeFiles/rjf_phy80216.dir/pn_sequence.cpp.o.d"
+  "CMakeFiles/rjf_phy80216.dir/preamble.cpp.o"
+  "CMakeFiles/rjf_phy80216.dir/preamble.cpp.o.d"
+  "librjf_phy80216.a"
+  "librjf_phy80216.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rjf_phy80216.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/adc_dac.cpp" "src/radio/CMakeFiles/rjf_radio.dir/adc_dac.cpp.o" "gcc" "src/radio/CMakeFiles/rjf_radio.dir/adc_dac.cpp.o.d"
+  "/root/repo/src/radio/ddc_duc.cpp" "src/radio/CMakeFiles/rjf_radio.dir/ddc_duc.cpp.o" "gcc" "src/radio/CMakeFiles/rjf_radio.dir/ddc_duc.cpp.o.d"
+  "/root/repo/src/radio/frontend.cpp" "src/radio/CMakeFiles/rjf_radio.dir/frontend.cpp.o" "gcc" "src/radio/CMakeFiles/rjf_radio.dir/frontend.cpp.o.d"
+  "/root/repo/src/radio/settings_bus.cpp" "src/radio/CMakeFiles/rjf_radio.dir/settings_bus.cpp.o" "gcc" "src/radio/CMakeFiles/rjf_radio.dir/settings_bus.cpp.o.d"
+  "/root/repo/src/radio/usrp_n210.cpp" "src/radio/CMakeFiles/rjf_radio.dir/usrp_n210.cpp.o" "gcc" "src/radio/CMakeFiles/rjf_radio.dir/usrp_n210.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/rjf_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/rjf_fpga.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rjf_radio.dir/adc_dac.cpp.o"
+  "CMakeFiles/rjf_radio.dir/adc_dac.cpp.o.d"
+  "CMakeFiles/rjf_radio.dir/ddc_duc.cpp.o"
+  "CMakeFiles/rjf_radio.dir/ddc_duc.cpp.o.d"
+  "CMakeFiles/rjf_radio.dir/frontend.cpp.o"
+  "CMakeFiles/rjf_radio.dir/frontend.cpp.o.d"
+  "CMakeFiles/rjf_radio.dir/settings_bus.cpp.o"
+  "CMakeFiles/rjf_radio.dir/settings_bus.cpp.o.d"
+  "CMakeFiles/rjf_radio.dir/usrp_n210.cpp.o"
+  "CMakeFiles/rjf_radio.dir/usrp_n210.cpp.o.d"
+  "librjf_radio.a"
+  "librjf_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rjf_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rjf_radio.
+# This may be replaced when dependencies are built.

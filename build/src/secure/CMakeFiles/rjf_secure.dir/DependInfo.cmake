@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/secure/friendly.cpp" "src/secure/CMakeFiles/rjf_secure.dir/friendly.cpp.o" "gcc" "src/secure/CMakeFiles/rjf_secure.dir/friendly.cpp.o.d"
+  "/root/repo/src/secure/ijam.cpp" "src/secure/CMakeFiles/rjf_secure.dir/ijam.cpp.o" "gcc" "src/secure/CMakeFiles/rjf_secure.dir/ijam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/rjf_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rjf_secure.dir/friendly.cpp.o"
+  "CMakeFiles/rjf_secure.dir/friendly.cpp.o.d"
+  "CMakeFiles/rjf_secure.dir/ijam.cpp.o"
+  "CMakeFiles/rjf_secure.dir/ijam.cpp.o.d"
+  "librjf_secure.a"
+  "librjf_secure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rjf_secure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

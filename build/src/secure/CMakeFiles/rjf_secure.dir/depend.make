@@ -1,0 +1,2 @@
+# Empty dependencies file for rjf_secure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline_countermeasure.cpp" "tests/CMakeFiles/rjf_tests.dir/test_baseline_countermeasure.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_baseline_countermeasure.cpp.o.d"
+  "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/rjf_tests.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_core_jammer.cpp" "tests/CMakeFiles/rjf_tests.dir/test_core_jammer.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_core_jammer.cpp.o.d"
+  "/root/repo/tests/test_core_templates_calibration.cpp" "tests/CMakeFiles/rjf_tests.dir/test_core_templates_calibration.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_core_templates_calibration.cpp.o.d"
+  "/root/repo/tests/test_dsp_cic.cpp" "tests/CMakeFiles/rjf_tests.dir/test_dsp_cic.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_dsp_cic.cpp.o.d"
+  "/root/repo/tests/test_dsp_db.cpp" "tests/CMakeFiles/rjf_tests.dir/test_dsp_db.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_dsp_db.cpp.o.d"
+  "/root/repo/tests/test_dsp_fft.cpp" "tests/CMakeFiles/rjf_tests.dir/test_dsp_fft.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_dsp_fft.cpp.o.d"
+  "/root/repo/tests/test_dsp_fir.cpp" "tests/CMakeFiles/rjf_tests.dir/test_dsp_fir.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_dsp_fir.cpp.o.d"
+  "/root/repo/tests/test_dsp_misc.cpp" "tests/CMakeFiles/rjf_tests.dir/test_dsp_misc.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_dsp_misc.cpp.o.d"
+  "/root/repo/tests/test_dsp_resampler.cpp" "tests/CMakeFiles/rjf_tests.dir/test_dsp_resampler.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_dsp_resampler.cpp.o.d"
+  "/root/repo/tests/test_dsp_rng.cpp" "tests/CMakeFiles/rjf_tests.dir/test_dsp_rng.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_dsp_rng.cpp.o.d"
+  "/root/repo/tests/test_dsp_types.cpp" "tests/CMakeFiles/rjf_tests.dir/test_dsp_types.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_dsp_types.cpp.o.d"
+  "/root/repo/tests/test_event_builder.cpp" "tests/CMakeFiles/rjf_tests.dir/test_event_builder.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_event_builder.cpp.o.d"
+  "/root/repo/tests/test_fpga_cross_correlator.cpp" "tests/CMakeFiles/rjf_tests.dir/test_fpga_cross_correlator.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_fpga_cross_correlator.cpp.o.d"
+  "/root/repo/tests/test_fpga_dsp_core.cpp" "tests/CMakeFiles/rjf_tests.dir/test_fpga_dsp_core.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_fpga_dsp_core.cpp.o.d"
+  "/root/repo/tests/test_fpga_energy_differentiator.cpp" "tests/CMakeFiles/rjf_tests.dir/test_fpga_energy_differentiator.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_fpga_energy_differentiator.cpp.o.d"
+  "/root/repo/tests/test_fpga_jammer_controller.cpp" "tests/CMakeFiles/rjf_tests.dir/test_fpga_jammer_controller.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_fpga_jammer_controller.cpp.o.d"
+  "/root/repo/tests/test_fpga_register_file.cpp" "tests/CMakeFiles/rjf_tests.dir/test_fpga_register_file.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_fpga_register_file.cpp.o.d"
+  "/root/repo/tests/test_fpga_resource_model.cpp" "tests/CMakeFiles/rjf_tests.dir/test_fpga_resource_model.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_fpga_resource_model.cpp.o.d"
+  "/root/repo/tests/test_fpga_trigger_fsm.cpp" "tests/CMakeFiles/rjf_tests.dir/test_fpga_trigger_fsm.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_fpga_trigger_fsm.cpp.o.d"
+  "/root/repo/tests/test_full_path_properties.cpp" "tests/CMakeFiles/rjf_tests.dir/test_full_path_properties.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_full_path_properties.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rjf_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_multipath.cpp" "tests/CMakeFiles/rjf_tests.dir/test_multipath.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_multipath.cpp.o.d"
+  "/root/repo/tests/test_net_mac_iperf.cpp" "tests/CMakeFiles/rjf_tests.dir/test_net_mac_iperf.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_net_mac_iperf.cpp.o.d"
+  "/root/repo/tests/test_net_wifi_network.cpp" "tests/CMakeFiles/rjf_tests.dir/test_net_wifi_network.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_net_wifi_network.cpp.o.d"
+  "/root/repo/tests/test_phy80211_bits_scrambler.cpp" "tests/CMakeFiles/rjf_tests.dir/test_phy80211_bits_scrambler.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_phy80211_bits_scrambler.cpp.o.d"
+  "/root/repo/tests/test_phy80211_convolutional.cpp" "tests/CMakeFiles/rjf_tests.dir/test_phy80211_convolutional.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_phy80211_convolutional.cpp.o.d"
+  "/root/repo/tests/test_phy80211_mapping.cpp" "tests/CMakeFiles/rjf_tests.dir/test_phy80211_mapping.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_phy80211_mapping.cpp.o.d"
+  "/root/repo/tests/test_phy80211_ofdm_preamble.cpp" "tests/CMakeFiles/rjf_tests.dir/test_phy80211_ofdm_preamble.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_phy80211_ofdm_preamble.cpp.o.d"
+  "/root/repo/tests/test_phy80211_txrx.cpp" "tests/CMakeFiles/rjf_tests.dir/test_phy80211_txrx.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_phy80211_txrx.cpp.o.d"
+  "/root/repo/tests/test_phy80211b.cpp" "tests/CMakeFiles/rjf_tests.dir/test_phy80211b.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_phy80211b.cpp.o.d"
+  "/root/repo/tests/test_phy80216.cpp" "tests/CMakeFiles/rjf_tests.dir/test_phy80216.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_phy80216.cpp.o.d"
+  "/root/repo/tests/test_radio_adc_dac.cpp" "tests/CMakeFiles/rjf_tests.dir/test_radio_adc_dac.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_radio_adc_dac.cpp.o.d"
+  "/root/repo/tests/test_radio_chains.cpp" "tests/CMakeFiles/rjf_tests.dir/test_radio_chains.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_radio_chains.cpp.o.d"
+  "/root/repo/tests/test_radio_usrp.cpp" "tests/CMakeFiles/rjf_tests.dir/test_radio_usrp.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_radio_usrp.cpp.o.d"
+  "/root/repo/tests/test_secure.cpp" "tests/CMakeFiles/rjf_tests.dir/test_secure.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_secure.cpp.o.d"
+  "/root/repo/tests/test_secure_sweeps.cpp" "tests/CMakeFiles/rjf_tests.dir/test_secure_sweeps.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_secure_sweeps.cpp.o.d"
+  "/root/repo/tests/test_soft_decisions_psd.cpp" "tests/CMakeFiles/rjf_tests.dir/test_soft_decisions_psd.cpp.o" "gcc" "tests/CMakeFiles/rjf_tests.dir/test_soft_decisions_psd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rjf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rjf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/secure/CMakeFiles/rjf_secure.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rjf_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/rjf_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy80211/CMakeFiles/rjf_phy80211.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy80211b/CMakeFiles/rjf_phy80211b.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy80216/CMakeFiles/rjf_phy80216.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/rjf_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/rjf_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/rjf_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
