@@ -2,8 +2,20 @@
 // cycle-accurate fabric and the PHY pipelines run on the host. These bound
 // how much paper-scale experimentation (10000-frame characterisations,
 // 60-second iperf runs) costs in wall-clock time.
+//
+// Besides the console table, the run emits a machine-readable summary to
+// BENCH_fabric.json (override the path with RJF_BENCH_JSON): samples/s per
+// stage plus the bit-parallel and block-processing speedup ratios over the
+// scalar / per-tick reference paths, so the perf trajectory is trackable
+// across commits.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "core/templates.h"
 #include "dsp/fft.h"
 #include "dsp/noise.h"
@@ -11,17 +23,22 @@
 #include "fpga/dsp_core.h"
 #include "phy80211/receiver.h"
 #include "phy80211/transmitter.h"
+#include "radio/usrp_n210.h"
 
 using namespace rjf;
 
 namespace {
 
-void BM_DspCoreTick(benchmark::State& state) {
-  fpga::DspCore core;
+void program_detection_core(fpga::DspCore& core) {
   fpga::program_template(core.registers(), core::wifi_short_preamble_template());
   core.registers().write(fpga::Reg::kXcorrThreshold, 1u << 20);
   core.registers().set_trigger_stages(fpga::kEventXcorr, 0, 0);
   core.apply_registers();
+}
+
+void BM_DspCoreTick(benchmark::State& state) {
+  fpga::DspCore core;
+  program_detection_core(core);
   dsp::NoiseSource noise(0.01, 1);
   const dsp::iqvec samples = dsp::to_iq16(noise.block(4096));
   std::size_t k = 0;
@@ -37,19 +54,72 @@ void BM_DspCoreTick(benchmark::State& state) {
 }
 BENCHMARK(BM_DspCoreTick);
 
+void BM_DspCoreRunBlock(benchmark::State& state) {
+  fpga::DspCore core;
+  program_detection_core(core);
+  dsp::NoiseSource noise(0.01, 1);
+  const dsp::iqvec samples = dsp::to_iq16(noise.block(4096));
+  std::vector<fpga::CoreOutput> out(samples.size() * fpga::kClocksPerSample);
+  for (auto _ : state) {
+    core.run_block(samples, out);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(samples.size()));
+  state.counters["baseband_samples_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * samples.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DspCoreRunBlock);
+
+// Both correlator benches sweep a whole buffer per iteration so the
+// measured per-item cost is the kernel, not the bench loop bookkeeping.
 void BM_CrossCorrelatorStep(benchmark::State& state) {
   fpga::CrossCorrelator corr;
   const auto tpl = core::wifi_long_preamble_template();
   corr.set_coefficients(tpl.coef_i, tpl.coef_q);
   dsp::NoiseSource noise(0.01, 2);
   const dsp::iqvec samples = dsp::to_iq16(noise.block(4096));
-  std::size_t k = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(corr.step(samples[k++ % samples.size()]));
+    std::uint64_t acc = 0;
+    for (const dsp::IQ16 s : samples) acc += corr.step(s).metric;
+    benchmark::DoNotOptimize(acc);
   }
-  state.SetItemsProcessed(state.iterations());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(samples.size()));
 }
 BENCHMARK(BM_CrossCorrelatorStep);
+
+void BM_CrossCorrelatorStepReference(benchmark::State& state) {
+  fpga::CrossCorrelator corr;
+  const auto tpl = core::wifi_long_preamble_template();
+  corr.set_coefficients(tpl.coef_i, tpl.coef_q);
+  dsp::NoiseSource noise(0.01, 2);
+  const dsp::iqvec samples = dsp::to_iq16(noise.block(4096));
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const dsp::IQ16 s : samples) acc += corr.step_reference(s).metric;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(samples.size()));
+}
+BENCHMARK(BM_CrossCorrelatorStepReference);
+
+void BM_UsrpStream(benchmark::State& state) {
+  radio::UsrpN210 radio;
+  fpga::program_template(radio.core().registers(),
+                         core::wifi_short_preamble_template());
+  radio.write_register_now(fpga::Reg::kXcorrThreshold, 1u << 20);
+  dsp::NoiseSource noise(0.001, 6);
+  const dsp::cvec rx = noise.block(65536);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(radio.stream(rx));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rx.size()));
+}
+BENCHMARK(BM_UsrpStream);
 
 void BM_WifiTransmit54(benchmark::State& state) {
   const std::vector<std::uint8_t> psdu(1534, 0x42);
@@ -91,6 +161,61 @@ void BM_Fft1024(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft1024);
 
+// Console reporter that also collects each benchmark's item rate so main()
+// can emit the BENCH_fabric.json summary.
+class RateCollector : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end())
+        rates_[run.benchmark_name()] = static_cast<double>(it->second);
+    }
+  }
+
+  [[nodiscard]] double rate(const std::string& name) const {
+    const auto it = rates_.find(name);
+    return it == rates_.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] const std::map<std::string, double>& rates() const {
+    return rates_;
+  }
+
+ private:
+  std::map<std::string, double> rates_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  RateCollector collector;
+  benchmark::RunSpecifiedBenchmarks(&collector);
+  benchmark::Shutdown();
+
+  rjf::bench::JsonWriter json;
+  json.set("bench", std::string("fabric_throughput"));
+  for (const auto& [name, rate] : collector.rates())
+    json.set(name + "_items_per_s", rate);
+
+  const double ref = collector.rate("BM_CrossCorrelatorStepReference");
+  const double fast = collector.rate("BM_CrossCorrelatorStep");
+  if (ref > 0.0 && fast > 0.0)
+    json.set("xcorr_bitparallel_speedup", fast / ref);
+  const double tick = collector.rate("BM_DspCoreTick");
+  const double block = collector.rate("BM_DspCoreRunBlock");
+  if (tick > 0.0 && block > 0.0)
+    json.set("dsp_core_block_speedup", block / tick);
+
+  const char* path = std::getenv("RJF_BENCH_JSON");
+  const std::string out = path ? path : "BENCH_fabric.json";
+  if (!json.write_file(out))
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+  else
+    std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -27,9 +27,16 @@ class ReactiveJammer {
   void set_tx_gain(double db) { radio_.frontend().set_tx_gain(db); }
 
   /// Run the radio over receive baseband at 25 MSPS; returns the emitted
-  /// jamming waveform and per-call statistics.
+  /// jamming waveform and per-call statistics. The whole block is pushed
+  /// through the cycle-accurate core with the block-processing fast path.
   radio::UsrpN210::StreamResult observe(std::span<const dsp::cfloat> rx) {
     return radio_.stream(rx);
+  }
+
+  /// Same pass over DDC-domain fabric samples, skipping the front-end gain
+  /// and ADC models (for simulations that synthesise IQ16 directly).
+  radio::UsrpN210::StreamResult observe(std::span<const dsp::IQ16> rx) {
+    return radio_.stream_fabric(rx);
   }
 
   [[nodiscard]] radio::UsrpN210& radio() noexcept { return radio_; }

@@ -16,6 +16,7 @@ void CrossCorrelator::load_from_registers(const RegisterFile& regs) noexcept {
     coef_q_[k] = static_cast<std::int8_t>(regs.coefficient(true, k));
   }
   threshold_ = regs.read(Reg::kXcorrThreshold);
+  rebuild_derived();
 }
 
 void CrossCorrelator::set_coefficients(std::span<const int> coef_i,
@@ -26,13 +27,41 @@ void CrossCorrelator::set_coefficients(std::span<const int> coef_i,
     coef_i_[k] = static_cast<std::int8_t>(std::clamp(ci, -4, 3));
     coef_q_[k] = static_cast<std::int8_t>(std::clamp(cq, -4, 3));
   }
+  rebuild_derived();
 }
 
-CrossCorrelator::Output CrossCorrelator::step(dsp::IQ16 sample) noexcept {
+void CrossCorrelator::rebuild_derived() noexcept {
+  planes_i_ = BitPlanes{};
+  planes_q_ = BitPlanes{};
+  std::int64_t peak = 0;
+  for (std::size_t k = 0; k < kCorrelatorLength; ++k) {
+    // Coefficient k aligns with the sample that is (kCorrelatorLength-1-k)
+    // strobes old, i.e. bit (kCorrelatorLength-1-k) of the sign words.
+    const std::uint64_t bit = 1ull << (kCorrelatorLength - 1 - k);
+    const auto ci = static_cast<std::uint32_t>(coef_i_[k]) & 0x7u;
+    const auto cq = static_cast<std::uint32_t>(coef_q_[k]) & 0x7u;
+    if (ci & 1u) planes_i_.b0 |= bit;
+    if (ci & 2u) planes_i_.b1 |= bit;
+    if (ci & 4u) planes_i_.b2 |= bit;
+    if (cq & 1u) planes_q_.b0 |= bit;
+    if (cq & 2u) planes_q_.b1 |= bit;
+    if (cq & 4u) planes_q_.b2 |= bit;
+    planes_i_.coef_sum += coef_i_[k];
+    planes_q_.coef_sum += coef_q_[k];
+    // If every sign pair aligns with the template phase, both rails
+    // contribute their magnitudes fully to the real accumulator.
+    peak += std::abs(static_cast<int>(coef_i_[k])) +
+            std::abs(static_cast<int>(coef_q_[k]));
+  }
+  max_metric_ = static_cast<std::uint32_t>(peak * peak);
+}
+
+CrossCorrelator::Output CrossCorrelator::step_reference(
+    dsp::IQ16 sample) noexcept {
   // MSB slice: 1-bit signed representation of each rail (Fig. 3).
   sign_i_[pos_] = (sample.i < 0) ? -1 : 1;
   sign_q_[pos_] = (sample.q < 0) ? -1 : 1;
-  pos_ = (pos_ + 1) % kCorrelatorLength;
+  pos_ = (pos_ + 1) & kCorrelatorMask;
 
   // Correlate the last 64 sign pairs against the template. Coefficient
   // index 0 corresponds to the oldest sample in the window, matching how
@@ -46,7 +75,7 @@ CrossCorrelator::Output CrossCorrelator::step(dsp::IQ16 sample) noexcept {
     // s * conj(c): re = si*ci + sq*cq, im = sq*ci - si*cq
     re += si * coef_i_[k] + sq * coef_q_[k];
     im += sq * coef_i_[k] - si * coef_q_[k];
-    idx = (idx + 1) % kCorrelatorLength;
+    idx = (idx + 1) & kCorrelatorMask;
   }
   Output out;
   out.metric = static_cast<std::uint32_t>(re * re) +
@@ -59,16 +88,8 @@ void CrossCorrelator::reset() noexcept {
   sign_i_.fill(1);
   sign_q_.fill(1);
   pos_ = 0;
-}
-
-std::uint32_t CrossCorrelator::max_metric() const noexcept {
-  // If every sign pair aligns with the template phase, both rails
-  // contribute their magnitudes fully to the real accumulator.
-  std::int64_t peak = 0;
-  for (std::size_t k = 0; k < kCorrelatorLength; ++k)
-    peak += std::abs(static_cast<int>(coef_i_[k])) +
-            std::abs(static_cast<int>(coef_q_[k]));
-  return static_cast<std::uint32_t>(peak * peak);
+  neg_i_ = 0;
+  neg_q_ = 0;
 }
 
 CorrelatorTemplate make_template(std::span<const dsp::cfloat> reference) {

@@ -8,9 +8,20 @@
 // run-time coefficient loading over the user register bus — modelled here
 // by reading the coefficient banks from the RegisterFile before each run
 // (load_from_registers()).
+//
+// Host fast path (see DESIGN.md "Host fast path"): because the datapath is
+// exactly 1-bit signs against 3-bit coefficients, the 64-tap complex
+// correlation collapses to bit-plane arithmetic. The sign history of each
+// rail lives in one uint64_t (one bit per tap) and each coefficient bank is
+// decomposed at load time into three 64-bit plane masks (the two's-complement
+// bits of the 3-bit values, weights +1, +2, -4). step() then computes every
+// sign/coefficient dot product as a handful of AND + popcount operations —
+// bit-identical to the scalar shift-register model, which is preserved as
+// step_reference() for equivalence testing.
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 #include "dsp/types.h"
@@ -19,6 +30,12 @@
 namespace rjf::fpga {
 
 inline constexpr std::size_t kCorrelatorLength = 64;
+// Circular indexing in the reference model uses a mask, so the tap count
+// must stay a power of two (it also must fit one bit per tap in a uint64_t
+// for the bit-parallel fast path).
+static_assert(std::has_single_bit(kCorrelatorLength));
+static_assert(kCorrelatorLength <= 64);
+inline constexpr std::size_t kCorrelatorMask = kCorrelatorLength - 1;
 
 class CrossCorrelator {
  public:
@@ -40,21 +57,83 @@ class CrossCorrelator {
   };
 
   /// Clock in one baseband sample (one 25 MSPS strobe). The metric reflects
-  /// the most recent kCorrelatorLength samples.
-  Output step(dsp::IQ16 sample) noexcept;
+  /// the most recent kCorrelatorLength samples. Bit-parallel fast path;
+  /// defined inline so the block-processing loop keeps the plane masks and
+  /// sign words in registers.
+  Output step(dsp::IQ16 sample) noexcept {
+    // MSB slice (Fig. 3): shift the new sign bit in at the bottom; the tap
+    // that ages out of the 64-sample window falls off the top.
+    neg_i_ = (neg_i_ << 1) | static_cast<std::uint64_t>(sample.i < 0);
+    neg_q_ = (neg_q_ << 1) | static_cast<std::uint64_t>(sample.q < 0);
+
+    // s * conj(c): re = <si,ci> + <sq,cq>, im = <sq,ci> - <si,cq>, each dot
+    // product evaluated across the three coefficient bit-planes.
+    const std::int32_t re = dot(neg_i_, planes_i_) + dot(neg_q_, planes_q_);
+    const std::int32_t im = dot(neg_q_, planes_i_) - dot(neg_i_, planes_q_);
+
+    Output out;
+    out.metric = static_cast<std::uint32_t>(re * re) +
+                 static_cast<std::uint32_t>(im * im);
+    out.trigger = out.metric > threshold_;
+    return out;
+  }
+
+  /// Scalar shift-register model of the same datapath. Maintains its own
+  /// delay-line state, so drive a given instance through either step() or
+  /// step_reference(), never both; equivalence tests run two instances on
+  /// the same stream and compare outputs.
+  Output step_reference(dsp::IQ16 sample) noexcept;
 
   void reset() noexcept;
 
   /// Peak achievable metric for the installed template (all signs agree).
-  [[nodiscard]] std::uint32_t max_metric() const noexcept;
+  /// Cached at coefficient-load time.
+  [[nodiscard]] std::uint32_t max_metric() const noexcept { return max_metric_; }
 
  private:
+  /// Recompute the bit-plane masks, coefficient sums, and cached max_metric
+  /// after a coefficient load.
+  void rebuild_derived() noexcept;
+
+  // One coefficient bank decomposed into two's-complement bit-planes.
+  // Coefficient k occupies bit (kCorrelatorLength-1-k) of each mask so the
+  // oldest tap lines up with the top of the shifted-in sign history.
+  struct BitPlanes {
+    std::uint64_t b0 = 0;  // weight +1
+    std::uint64_t b1 = 0;  // weight +2
+    std::uint64_t b2 = 0;  // weight -4 (sign bit of the 3-bit value)
+    std::int32_t coef_sum = 0;  // dot product when every sign is +1
+  };
+
+  /// Dot product of a +/-1 sign vector (packed as "negative" bits) with a
+  /// coefficient bank: sum_k sign[k]*coef[k].
+  [[nodiscard]] static std::int32_t dot(std::uint64_t neg,
+                                        const BitPlanes& p) noexcept {
+    // sign[k] = 1 - 2*neg[k], so the dot is the all-positive sum minus
+    // twice the (plane-weighted) sum over the negative taps.
+    const std::int32_t neg_sum = std::popcount(neg & p.b0) +
+                                 2 * std::popcount(neg & p.b1) -
+                                 4 * std::popcount(neg & p.b2);
+    return p.coef_sum - 2 * neg_sum;
+  }
+
   std::array<std::int8_t, kCorrelatorLength> coef_i_{};
   std::array<std::int8_t, kCorrelatorLength> coef_q_{};
+
+  // Bit-parallel state: sign history packed one bit per tap, bit 0 newest,
+  // bit 63 oldest; a set bit means the rail was negative.
+  std::uint64_t neg_i_ = 0;
+  std::uint64_t neg_q_ = 0;
+  BitPlanes planes_i_;
+  BitPlanes planes_q_;
+
+  // Scalar reference state (step_reference() only).
   std::array<std::int8_t, kCorrelatorLength> sign_i_{};  // delay line, +1/-1
   std::array<std::int8_t, kCorrelatorLength> sign_q_{};
   std::size_t pos_ = 0;
+
   std::uint32_t threshold_ = 0xFFFFFFFFu;
+  std::uint32_t max_metric_ = 0;
 };
 
 /// Offline coefficient generation (paper §2.3: "generated offline on the

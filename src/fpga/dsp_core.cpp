@@ -11,39 +11,7 @@ void DspCore::apply_registers() noexcept {
   jammer_.load_from_registers(regs_);
 }
 
-CoreOutput DspCore::tick(std::optional<dsp::IQ16> rx) noexcept {
-  CoreOutput out;
-  out.vita_ticks = vita_ticks_;
-
-  const bool strobe = (strobe_phase_ == 0);
-  strobe_phase_ = (strobe_phase_ + 1) % kClocksPerSample;
-
-  if (strobe) {
-    const dsp::IQ16 sample = rx.value_or(dsp::IQ16{});
-    out.rx_strobe = true;
-
-    const auto xc = correlator_.step(sample);
-    const auto en = energy_.step(sample);
-    jammer_.record_rx(sample);
-
-    // Edge-detect so one packet produces one event per detector, not one
-    // per sample while the metric stays above threshold.
-    held_events_.xcorr = xc.trigger && !prev_xcorr_;
-    held_events_.energy_high = en.trigger_high && !prev_high_;
-    held_events_.energy_low = en.trigger_low && !prev_low_;
-    prev_xcorr_ = xc.trigger;
-    prev_high_ = en.trigger_high;
-    prev_low_ = en.trigger_low;
-
-    if (held_events_.xcorr) ++feedback_.xcorr_detections;
-    if (held_events_.energy_high) ++feedback_.energy_high_detections;
-    if (held_events_.energy_low) ++feedback_.energy_low_detections;
-  }
-
-  out.xcorr_trigger = held_events_.xcorr;
-  out.energy_high = held_events_.energy_high;
-  out.energy_low = held_events_.energy_low;
-
+void DspCore::finish_tick(CoreOutput& out) noexcept {
   out.jam_trigger = fsm_.clock(held_events_);
   if (out.jam_trigger) {
     ++feedback_.jam_triggers;
@@ -56,17 +24,132 @@ CoreOutput DspCore::tick(std::optional<dsp::IQ16> rx) noexcept {
 
   ++vita_ticks_;
   feedback_.vita_ticks = vita_ticks_;
+}
+
+CoreOutput DspCore::strobe_tick(dsp::IQ16 sample) noexcept {
+  CoreOutput out;
+  out.vita_ticks = vita_ticks_;
+  out.rx_strobe = true;
+
+  const auto xc = correlator_.step(sample);
+  const auto en = energy_.step(sample);
+  jammer_.record_rx(sample);
+
+  // Edge-detect so one packet produces one event per detector, not one
+  // per sample while the metric stays above threshold.
+  held_events_.xcorr = xc.trigger && !prev_xcorr_;
+  held_events_.energy_high = en.trigger_high && !prev_high_;
+  held_events_.energy_low = en.trigger_low && !prev_low_;
+  prev_xcorr_ = xc.trigger;
+  prev_high_ = en.trigger_high;
+  prev_low_ = en.trigger_low;
+
+  if (held_events_.xcorr) ++feedback_.xcorr_detections;
+  if (held_events_.energy_high) ++feedback_.energy_high_detections;
+  if (held_events_.energy_low) ++feedback_.energy_low_detections;
+
+  out.xcorr_trigger = held_events_.xcorr;
+  out.energy_high = held_events_.energy_high;
+  out.energy_low = held_events_.energy_low;
+
+  finish_tick(out);
   return out;
 }
 
-std::vector<CoreOutput> DspCore::process(std::span<const dsp::IQ16> rx) {
-  std::vector<CoreOutput> trace;
-  trace.reserve(rx.size() * kClocksPerSample);
-  for (const dsp::IQ16 sample : rx) {
-    trace.push_back(tick(sample));
-    for (std::uint32_t c = 1; c < kClocksPerSample; ++c)
-      trace.push_back(tick(std::nullopt));
+CoreOutput DspCore::idle_tick() noexcept {
+  CoreOutput out;
+  out.vita_ticks = vita_ticks_;
+  // held_events_ were cleared when the previous tick's FSM consumed them,
+  // so detector outputs read false between strobes.
+  finish_tick(out);
+  return out;
+}
+
+CoreOutput DspCore::tick(std::optional<dsp::IQ16> rx) noexcept {
+  const bool strobe = (strobe_phase_ == 0);
+  strobe_phase_ = (strobe_phase_ + 1) % kClocksPerSample;
+  return strobe ? strobe_tick(rx.value_or(dsp::IQ16{})) : idle_tick();
+}
+
+void DspCore::run_block(std::span<const dsp::IQ16> rx,
+                        std::span<CoreOutput> out) noexcept {
+  if (out.size() < rx.size() * kClocksPerSample) {
+    rx = rx.first(out.size() / kClocksPerSample);
   }
+
+  if (strobe_phase_ != 0) {
+    // Misaligned entry (a caller interleaved raw tick()s): replay the exact
+    // per-tick cadence instead of the straight-line pass.
+    std::size_t o = 0;
+    for (const dsp::IQ16 sample : rx) {
+      out[o++] = tick(sample);
+      for (std::uint32_t c = 1; c < kClocksPerSample; ++c)
+        out[o++] = tick(std::nullopt);
+    }
+    return;
+  }
+
+  std::size_t o = 0;
+  for (const dsp::IQ16 sample : rx) {
+    // --- Strobe clock: detectors + edge logic (same body as strobe_tick,
+    // with the event latch kept in a local so held_events_ stays clear).
+    CoreOutput& s = out[o++];
+    s = CoreOutput{};
+    s.vita_ticks = vita_ticks_;
+    s.rx_strobe = true;
+
+    const auto xc = correlator_.step(sample);
+    const auto en = energy_.step(sample);
+    jammer_.record_rx(sample);
+
+    DetectorEvents ev;
+    ev.xcorr = xc.trigger && !prev_xcorr_;
+    ev.energy_high = en.trigger_high && !prev_high_;
+    ev.energy_low = en.trigger_low && !prev_low_;
+    prev_xcorr_ = xc.trigger;
+    prev_high_ = en.trigger_high;
+    prev_low_ = en.trigger_low;
+
+    if (ev.xcorr) ++feedback_.xcorr_detections;
+    if (ev.energy_high) ++feedback_.energy_high_detections;
+    if (ev.energy_low) ++feedback_.energy_low_detections;
+
+    s.xcorr_trigger = ev.xcorr;
+    s.energy_high = ev.energy_high;
+    s.energy_low = ev.energy_low;
+
+    // When the FSM is disengaged and no event is asserted, clock() cannot
+    // change state or fire, so the call is skipped outright.
+    bool jam = false;
+    if (fsm_.engaged() || ev.any()) jam = fsm_.clock(ev);
+    if (jam) {
+      ++feedback_.jam_triggers;
+      feedback_.last_trigger_vita = vita_ticks_;
+    }
+    s.jam_trigger = jam;
+    // An idle jammer ignores a false trigger; skip the virtual clocking.
+    if (jam || jammer_.busy()) s.tx = jammer_.clock(jam);
+    ++vita_ticks_;
+
+    // --- Idle clocks: detector outputs hold low; only the FSM window
+    // countdown and the jammer's cycle timers can advance. With no events
+    // asserted the FSM can time out but never fire, so jam_trigger is
+    // provably false here.
+    for (std::uint32_t c = 1; c < kClocksPerSample; ++c) {
+      CoreOutput& t = out[o++];
+      t = CoreOutput{};
+      t.vita_ticks = vita_ticks_;
+      if (fsm_.engaged()) (void)fsm_.clock(DetectorEvents{});
+      if (jammer_.busy()) t.tx = jammer_.clock(false);
+      ++vita_ticks_;
+    }
+  }
+  feedback_.vita_ticks = vita_ticks_;
+}
+
+std::vector<CoreOutput> DspCore::process(std::span<const dsp::IQ16> rx) {
+  std::vector<CoreOutput> trace(rx.size() * kClocksPerSample);
+  run_block(rx, trace);
   return trace;
 }
 

@@ -60,8 +60,19 @@ class DspCore {
   void apply_registers() noexcept;
 
   /// Advance one fabric clock. `rx` must be present exactly on strobe ticks
-  /// (every 4th tick); pass std::nullopt between strobes.
+  /// (every 4th tick); pass std::nullopt between strobes. Thin wrapper over
+  /// the strobe/idle tick bodies that run_block() drives in bulk.
   CoreOutput tick(std::optional<dsp::IQ16> rx) noexcept;
+
+  /// Block-processing fast path: feed `rx.size()` baseband samples
+  /// (kClocksPerSample fabric clocks each) and write the per-tick outputs
+  /// into `out`, which must hold rx.size() * kClocksPerSample entries.
+  /// Bit-identical to calling tick(sample) + (kClocksPerSample-1) idle
+  /// ticks per sample — trigger edges, VITA timestamps, TX samples and
+  /// feedback counters all match — but hoists the strobe-phase arithmetic,
+  /// std::optional plumbing and idle-datapath calls out of the inner loop.
+  void run_block(std::span<const dsp::IQ16> rx,
+                 std::span<CoreOutput> out) noexcept;
 
   /// Convenience: feed a block of baseband samples (4 ticks each) and
   /// collect the per-tick outputs. Keeps full cycle accuracy.
@@ -83,6 +94,13 @@ class DspCore {
   void reset() noexcept;
 
  private:
+  /// Strobe-tick body: detectors + edge logic + FSM/jammer clocks.
+  CoreOutput strobe_tick(dsp::IQ16 sample) noexcept;
+  /// Idle-tick body: detectors hold; FSM window and jammer timers advance.
+  CoreOutput idle_tick() noexcept;
+  /// Shared tail of every tick: FSM, jam bookkeeping, TX path, VITA time.
+  void finish_tick(CoreOutput& out) noexcept;
+
   RegisterFile regs_;
   CrossCorrelator correlator_;
   EnergyDifferentiator energy_;

@@ -26,7 +26,7 @@ void JammerController::set_host_waveform(std::vector<dsp::IQ16> samples) {
 
 void JammerController::record_rx(dsp::IQ16 sample) noexcept {
   replay_[replay_write_] = sample;
-  replay_write_ = (replay_write_ + 1) % kReplayDepth;
+  replay_write_ = (replay_write_ + 1) & kReplayMask;
 }
 
 std::int16_t JammerController::lfsr_gaussian() noexcept {
@@ -49,7 +49,7 @@ dsp::IQ16 JammerController::next_waveform_sample() noexcept {
       return dsp::IQ16{lfsr_gaussian(), lfsr_gaussian()};
     case JamWaveform::kReplay: {
       const dsp::IQ16 s = replay_[playback_pos_];
-      playback_pos_ = (playback_pos_ + 1) % kReplayDepth;
+      playback_pos_ = (playback_pos_ + 1) & kReplayMask;
       return s;
     }
     case JamWaveform::kHostStream: {

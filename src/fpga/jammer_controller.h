@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -22,6 +23,9 @@
 namespace rjf::fpga {
 
 inline constexpr std::size_t kReplayDepth = 512;
+// The replay ring is indexed with a power-of-two mask, not `%`.
+static_assert(std::has_single_bit(kReplayDepth));
+inline constexpr std::size_t kReplayMask = kReplayDepth - 1;
 inline constexpr std::uint32_t kTxInitCycles = 8;  // 1 trigger + 7 DUC fill
 inline constexpr std::uint32_t kClocksPerSample = 4;  // 100 MHz / 25 MSPS
 

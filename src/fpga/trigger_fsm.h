@@ -25,6 +25,9 @@ struct DetectorEvents {
     return (xcorr ? kEventXcorr : 0u) | (energy_high ? kEventEnergyHigh : 0u) |
            (energy_low ? kEventEnergyLow : 0u);
   }
+  [[nodiscard]] bool any() const noexcept {
+    return xcorr || energy_high || energy_low;
+  }
 };
 
 class TriggerFsm {
@@ -40,6 +43,12 @@ class TriggerFsm {
   bool clock(const DetectorEvents& events) noexcept;
 
   [[nodiscard]] int stage() const noexcept { return stage_; }
+
+  /// True while a partially-matched trigger sequence is pending. When not
+  /// engaged, clock() with no asserted events is a provable no-op, which
+  /// lets the block-processing fast path skip the call entirely.
+  [[nodiscard]] bool engaged() const noexcept { return stage_ > 0; }
+
   void reset() noexcept;
 
  private:

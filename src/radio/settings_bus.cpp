@@ -26,4 +26,8 @@ std::uint64_t SettingsBus::last_completion() const noexcept {
   return pending_.empty() ? 0 : pending_.back().completes_at;
 }
 
+std::uint64_t SettingsBus::next_completion() const noexcept {
+  return pending_.empty() ? ~std::uint64_t{0} : pending_.front().completes_at;
+}
+
 }  // namespace rjf::radio

@@ -39,6 +39,11 @@ class SettingsBus {
   /// Completion time of the last enqueued write (0 when none pending).
   [[nodiscard]] std::uint64_t last_completion() const noexcept;
 
+  /// Completion time of the earliest pending write (UINT64_MAX when none).
+  /// The block-streaming path uses this to chop a receive block exactly at
+  /// the sample before which the next in-flight write lands.
+  [[nodiscard]] std::uint64_t next_completion() const noexcept;
+
  private:
   struct Pending {
     fpga::Reg addr;

@@ -1,6 +1,17 @@
 #include "radio/usrp_n210.h"
 
+#include <algorithm>
+
 namespace rjf::radio {
+
+namespace {
+
+// Samples per run_block() chunk. Bounds the per-tick scratch buffer
+// (kChunkSamples * kClocksPerSample CoreOutputs) while keeping the inner
+// loop long enough to amortise the chunking overhead.
+constexpr std::size_t kChunkSamples = 8192;
+
+}  // namespace
 
 UsrpN210::UsrpN210() = default;
 
@@ -13,34 +24,60 @@ void UsrpN210::write_register_now(fpga::Reg addr, std::uint32_t value) {
   core_.apply_registers();
 }
 
-UsrpN210::StreamResult UsrpN210::stream(std::span<const dsp::cfloat> rx) {
+UsrpN210::StreamResult UsrpN210::stream_fabric(std::span<const dsp::IQ16> rx) {
   StreamResult result;
   result.tx.assign(rx.size(), dsp::cfloat{});
 
   const auto before = core_.feedback();
-  const dsp::cvec rx_gained = frontend_.apply_rx(rx);
+  std::vector<fpga::CoreOutput> trace(
+      std::min(rx.size(), kChunkSamples) * fpga::kClocksPerSample);
 
   bool burst_open = false;
-  for (std::size_t n = 0; n < rx_gained.size(); ++n) {
+  std::size_t n = 0;
+  while (n < rx.size()) {
     // Service any in-flight settings-bus writes; re-latch on application.
     if (!bus_.idle() && bus_.service(core_.registers(), now_ticks()) > 0)
       core_.apply_registers();
 
-    const dsp::IQ16 sample = adc_.sample(rx_gained[n]);
-    bool rf_active = false;
-    for (std::uint32_t c = 0; c < fpga::kClocksPerSample; ++c) {
-      const auto out = core_.tick(c == 0 ? std::optional<dsp::IQ16>(sample)
-                                         : std::nullopt);
-      rf_active = rf_active || out.tx.rf_active;
-      if (out.tx.sample_strobe) result.tx[n] = dac_.sample(out.tx.sample);
+    // Run up to a full chunk, but never across the fabric tick where the
+    // next pending register write lands: the per-sample model serviced the
+    // bus before every sample, so the block model must re-check exactly at
+    // the first sample whose start tick reaches the completion time.
+    std::size_t end = std::min(rx.size(), n + kChunkSamples);
+    if (!bus_.idle()) {
+      const std::uint64_t due = bus_.next_completion();
+      const std::uint64_t base = now_ticks();
+      if (due > base) {
+        const std::uint64_t ahead = (due - base + fpga::kClocksPerSample - 1) /
+                                    fpga::kClocksPerSample;
+        end = std::min<std::uint64_t>(end, n + std::max<std::uint64_t>(ahead, 1));
+      } else {
+        end = n + 1;  // unreachable after service(); stay exact regardless
+      }
     }
-    if (rf_active && !burst_open) {
-      result.bursts.push_back(JamBurst{n, 0});
-      burst_open = true;
-    } else if (!rf_active && burst_open) {
-      burst_open = false;
+
+    const std::size_t len = end - n;
+    const auto chunk =
+        std::span(trace).first(len * fpga::kClocksPerSample);
+    core_.run_block(rx.subspan(n, len), chunk);
+
+    // Scan the per-tick outputs for TX strobes and jam-burst boundaries.
+    for (std::size_t m = 0; m < len; ++m) {
+      bool rf_active = false;
+      for (std::uint32_t c = 0; c < fpga::kClocksPerSample; ++c) {
+        const auto& out = chunk[m * fpga::kClocksPerSample + c];
+        rf_active = rf_active || out.tx.rf_active;
+        if (out.tx.sample_strobe) result.tx[n + m] = dac_.sample(out.tx.sample);
+      }
+      if (rf_active && !burst_open) {
+        result.bursts.push_back(JamBurst{n + m, 0});
+        burst_open = true;
+      } else if (!rf_active && burst_open) {
+        burst_open = false;
+      }
+      if (burst_open) ++result.bursts.back().length;
     }
-    if (burst_open) ++result.bursts.back().length;
+    n = end;
   }
 
   result.tx = frontend_.apply_tx(result.tx);
@@ -52,6 +89,12 @@ UsrpN210::StreamResult UsrpN210::stream(std::span<const dsp::cfloat> rx) {
   result.energy_low_detections =
       after.energy_low_detections - before.energy_low_detections;
   return result;
+}
+
+UsrpN210::StreamResult UsrpN210::stream(std::span<const dsp::cfloat> rx) {
+  const dsp::cvec rx_gained = frontend_.apply_rx(rx);
+  const dsp::iqvec iq = adc_.convert(rx_gained);
+  return stream_fabric(iq);
 }
 
 }  // namespace rjf::radio

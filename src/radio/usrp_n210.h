@@ -51,8 +51,17 @@ class UsrpN210 {
     std::uint64_t energy_low_detections = 0;
   };
 
-  /// Run the radio over a block of receive baseband at 25 MSPS.
+  /// Run the radio over a block of receive baseband at 25 MSPS. The whole
+  /// block is ADC-converted up front and pushed through the DSP core with
+  /// DspCore::run_block(), chunked only where an in-flight settings-bus
+  /// write lands (so mid-stream reconfiguration keeps its exact latency).
   StreamResult stream(std::span<const dsp::cfloat> rx);
+
+  /// Same full-duplex pass over samples already in the fabric (DDC-output)
+  /// representation, skipping the front-end gain and ADC models. Network
+  /// simulations that synthesise fabric-domain baseband directly use this
+  /// to avoid the float round-trip.
+  StreamResult stream_fabric(std::span<const dsp::IQ16> rx);
 
   [[nodiscard]] const fpga::HostFeedback& feedback() const noexcept {
     return core_.feedback();
