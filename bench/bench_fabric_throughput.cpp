@@ -21,6 +21,7 @@
 #include "dsp/noise.h"
 #include "dsp/resampler.h"
 #include "fpga/dsp_core.h"
+#include "obs/telemetry.h"
 #include "phy80211/receiver.h"
 #include "phy80211/transmitter.h"
 #include "radio/usrp_n210.h"
@@ -71,6 +72,31 @@ void BM_DspCoreRunBlock(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_DspCoreRunBlock);
+
+// Same block pass with the full telemetry bundle attached: run_block falls
+// back to the per-tick cadence and publishes events + strobe snapshots to
+// the recorder/metrics/probe. The ratio against BM_DspCoreRunBlock is the
+// price of turning tracing ON; the no-sink path itself must stay fast (the
+// CI regression gate watches BM_DspCoreRunBlock).
+void BM_DspCoreRunBlockTraced(benchmark::State& state) {
+  fpga::DspCore core;
+  program_detection_core(core);
+  obs::Telemetry telemetry;
+  core.set_sink(&telemetry);
+  dsp::NoiseSource noise(0.01, 1);
+  const dsp::iqvec samples = dsp::to_iq16(noise.block(4096));
+  std::vector<fpga::CoreOutput> out(samples.size() * fpga::kClocksPerSample);
+  for (auto _ : state) {
+    core.run_block(samples, out);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(samples.size()));
+  state.counters["baseband_samples_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * samples.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DspCoreRunBlockTraced);
 
 // Both correlator benches sweep a whole buffer per iteration so the
 // measured per-item cost is the kernel, not the bench loop bookkeeping.
@@ -210,6 +236,9 @@ int main(int argc, char** argv) {
   const double block = collector.rate("BM_DspCoreRunBlock");
   if (tick > 0.0 && block > 0.0)
     json.set("dsp_core_block_speedup", block / tick);
+  const double traced = collector.rate("BM_DspCoreRunBlockTraced");
+  if (traced > 0.0 && block > 0.0)
+    json.set("trace_attached_slowdown", block / traced);
 
   const char* path = std::getenv("RJF_BENCH_JSON");
   const std::string out = path ? path : "BENCH_fabric.json";

@@ -10,10 +10,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
-#include <utility>
-#include <vector>
+
+#include "obs/json_writer.h"
 
 namespace rjf::bench {
+
+/// JSON result emission lives in the library now (src/obs/json_writer.h) so
+/// library code never includes from bench/. The bench name stays for the
+/// existing call sites.
+using JsonWriter = rjf::obs::JsonWriter;
 
 inline std::size_t frames_per_point(std::size_t fallback = 400) {
   if (const char* env = std::getenv("RJF_BENCH_FRAMES"))
@@ -37,50 +42,5 @@ inline void print_header(const char* title, const char* paper_ref) {
 inline void print_footer() {
   std::printf("----------------------------------------------------------------\n");
 }
-
-/// Minimal machine-readable result emitter: a flat, insertion-ordered JSON
-/// object written in one shot. Used by the perf benches (BENCH_fabric.json)
-/// so the throughput trajectory can be tracked across commits without
-/// scraping console tables.
-class JsonWriter {
- public:
-  void set(const std::string& key, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", value);
-    fields_.emplace_back(key, std::string(buf));
-  }
-  void set(const std::string& key, std::uint64_t value) {
-    fields_.emplace_back(key, std::to_string(value));
-  }
-  void set(const std::string& key, const std::string& value) {
-    fields_.emplace_back(key, "\"" + escape(value) + "\"");
-  }
-
-  /// Write `{ "k": v, ... }` to `path`. Returns false on I/O failure.
-  bool write_file(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) return false;
-    std::fputs("{\n", f);
-    for (std::size_t k = 0; k < fields_.size(); ++k)
-      std::fprintf(f, "  \"%s\": %s%s\n", escape(fields_[k].first).c_str(),
-                   fields_[k].second.c_str(),
-                   k + 1 < fields_.size() ? "," : "");
-    std::fputs("}\n", f);
-    return std::fclose(f) == 0;
-  }
-
- private:
-  static std::string escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
-  }
-
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
 
 }  // namespace rjf::bench

@@ -141,6 +141,7 @@ std::optional<JammerConfig> JammingEventBuilder::build() {
     error_ = "no jam uptime selected";
     return std::nullopt;
   }
+  config_.description = describe();
   return config_;
 }
 

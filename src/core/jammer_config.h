@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "fpga/cross_correlator.h"
 #include "fpga/register_file.h"
@@ -35,6 +36,12 @@ struct JammerConfig {
 
   // Sequenced-trigger window (kXcorrThenEnergy), in fabric clock cycles.
   std::uint32_t trigger_window_cycles = 25000;  // 250 us
+
+  // Human-readable personality name, surfaced in telemetry traces so an
+  // exported timeline identifies which jamming event produced each burst.
+  // JammingEventBuilder::build() stamps its describe() string here; presets
+  // carry their own labels. Never parsed — purely for trace annotation.
+  std::string description;
 
   // Jamming response.
   fpga::JamWaveform waveform = fpga::JamWaveform::kWhiteNoise;

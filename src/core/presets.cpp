@@ -13,6 +13,7 @@ JammerConfig wifi_reactive_preset(double uptime_s, double false_alarm_per_s) {
   config.xcorr_threshold = model.threshold_for_rate(false_alarm_per_s);
   config.waveform = fpga::JamWaveform::kWhiteNoise;
   config.jam_uptime_samples = JammerConfig::samples_from_seconds(uptime_s);
+  config.description = "preset: wifi-reactive xcorr(WiFi STS) WGN";
   return config;
 }
 
@@ -22,6 +23,7 @@ JammerConfig energy_reactive_preset(double uptime_s, double threshold_db) {
   config.energy_high_db = threshold_db;
   config.waveform = fpga::JamWaveform::kWhiteNoise;
   config.jam_uptime_samples = JammerConfig::samples_from_seconds(uptime_s);
+  config.description = "preset: energy-reactive energy-rise WGN";
   return config;
 }
 
@@ -29,6 +31,7 @@ JammerConfig continuous_preset() {
   JammerConfig config;
   config.detection = DetectionMode::kContinuous;
   config.waveform = fpga::JamWaveform::kWhiteNoise;
+  config.description = "preset: continuous WGN";
   return config;
 }
 
@@ -42,6 +45,7 @@ JammerConfig wimax_combined_preset(double uptime_s, unsigned cell_id,
   config.energy_high_db = 10.0;
   config.waveform = fpga::JamWaveform::kWhiteNoise;
   config.jam_uptime_samples = JammerConfig::samples_from_seconds(uptime_s);
+  config.description = "preset: wimax-combined xcorr|energy-rise WGN";
   return config;
 }
 

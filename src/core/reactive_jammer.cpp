@@ -1,5 +1,9 @@
 #include "core/reactive_jammer.h"
 
+#include <cmath>
+
+#include "obs/telemetry.h"
+
 namespace rjf::core {
 namespace {
 
@@ -89,6 +93,37 @@ void ReactiveJammer::reconfigure(const JammerConfig& config) {
   program(config, [this](fpga::Reg addr, std::uint32_t value) {
     radio_.write_register(addr, value);
   });
+  if (telemetry_ != nullptr)
+    telemetry_->set_personality(config_.description, radio_.now_ticks());
+}
+
+void ReactiveJammer::attach_trace(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  radio_.attach_sink(telemetry);
+  if (telemetry_ != nullptr)
+    telemetry_->set_personality(config_.description, radio_.now_ticks());
+}
+
+obs::MetricsRegistry* ReactiveJammer::metrics() const noexcept {
+  return telemetry_ != nullptr ? &telemetry_->metrics() : nullptr;
+}
+
+void ReactiveJammer::tune(double freq_hz) {
+  radio_.frontend().tune(freq_hz);
+  if (telemetry_ != nullptr)
+    telemetry_->on_event(obs::EventKind::kRetune, radio_.now_ticks(),
+                         static_cast<std::uint64_t>(radio_.frontend().frequency()));
+}
+
+void ReactiveJammer::set_tx_gain(double db) {
+  radio_.frontend().set_tx_gain(db);
+  if (telemetry_ != nullptr)
+    // Value is the clamped front-end gain in centi-dB so the integer event
+    // payload keeps one decimal of the 0.5 dB SBX gain steps.
+    telemetry_->on_event(
+        obs::EventKind::kGainChange, radio_.now_ticks(),
+        static_cast<std::uint64_t>(
+            std::lround(radio_.frontend().tx_gain_db() * 100.0)));
 }
 
 }  // namespace rjf::core

@@ -11,6 +11,11 @@
 #include "core/jammer_config.h"
 #include "radio/usrp_n210.h"
 
+namespace rjf::obs {
+class Telemetry;
+class MetricsRegistry;
+}  // namespace rjf::obs
+
 namespace rjf::core {
 
 class ReactiveJammer {
@@ -22,9 +27,20 @@ class ReactiveJammer {
   /// settings take effect mid-stream after the bus latency.
   void reconfigure(const JammerConfig& config);
 
+  /// Attach a telemetry bundle (nullptr detaches). Wires the sink through
+  /// the radio into the fabric core and settings bus, and records the
+  /// current personality description as a trace annotation. While detached
+  /// the streaming fast path is untouched (see DspCore::set_sink()).
+  void attach_trace(obs::Telemetry* telemetry);
+  [[nodiscard]] obs::Telemetry* telemetry() const noexcept {
+    return telemetry_;
+  }
+  /// Metrics of the attached telemetry bundle, nullptr when detached.
+  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept;
+
   /// Tune both TX and RX front ends (they start together; paper §2.1).
-  void tune(double freq_hz) { radio_.frontend().tune(freq_hz); }
-  void set_tx_gain(double db) { radio_.frontend().set_tx_gain(db); }
+  void tune(double freq_hz);
+  void set_tx_gain(double db);
 
   /// Run the radio over receive baseband at 25 MSPS; returns the emitted
   /// jamming waveform and per-call statistics. The whole block is pushed
@@ -52,6 +68,7 @@ class ReactiveJammer {
 
   JammerConfig config_;
   radio::UsrpN210 radio_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace rjf::core

@@ -22,8 +22,52 @@ void DspCore::finish_tick(CoreOutput& out) noexcept {
 
   out.tx = jammer_.clock(out.jam_trigger);
 
+  if (sink_ != nullptr) [[unlikely]]
+    emit_tick(out);
+
   ++vita_ticks_;
   feedback_.vita_ticks = vita_ticks_;
+}
+
+void DspCore::emit_tick(const CoreOutput& out) noexcept {
+  const std::uint64_t vita = vita_ticks_;
+  using obs::EventKind;
+  if (out.xcorr_trigger)
+    sink_->on_event(EventKind::kXcorrTrigger, vita, probe_xcorr_metric_);
+  if (out.energy_high)
+    sink_->on_event(EventKind::kEnergyRise, vita, probe_energy_sum_);
+  if (out.energy_low)
+    sink_->on_event(EventKind::kEnergyFall, vita, probe_energy_sum_);
+  const int stage = fsm_.stage();
+  if (stage != prev_stage_) {
+    sink_->on_event(EventKind::kFsmStage, vita,
+                    static_cast<std::uint64_t>(stage));
+    prev_stage_ = stage;
+  }
+  if (out.jam_trigger) sink_->on_event(EventKind::kJamTrigger, vita, 0);
+  if (out.tx.rf_active != prev_rf_) {
+    sink_->on_event(out.tx.rf_active ? EventKind::kJamStart
+                                     : EventKind::kJamEnd,
+                    vita, 0);
+    prev_rf_ = out.tx.rf_active;
+  }
+  if (out.tx.sample_strobe) probe_tx_ = out.tx.sample;
+
+  if (out.rx_strobe) {
+    obs::FabricSignals s;
+    s.vita_ticks = vita;
+    s.rx = probe_rx_;
+    s.xcorr_metric = probe_xcorr_metric_;
+    s.energy_sum = probe_energy_sum_;
+    s.fsm_stage = static_cast<std::uint8_t>(stage);
+    s.xcorr_trigger = out.xcorr_trigger;
+    s.energy_high = out.energy_high;
+    s.energy_low = out.energy_low;
+    s.jam_trigger = out.jam_trigger;
+    s.rf_active = out.tx.rf_active;
+    s.tx = probe_tx_;
+    sink_->on_strobe(s);
+  }
 }
 
 CoreOutput DspCore::strobe_tick(dsp::IQ16 sample) noexcept {
@@ -34,6 +78,12 @@ CoreOutput DspCore::strobe_tick(dsp::IQ16 sample) noexcept {
   const auto xc = correlator_.step(sample);
   const auto en = energy_.step(sample);
   jammer_.record_rx(sample);
+
+  if (sink_ != nullptr) [[unlikely]] {
+    probe_xcorr_metric_ = xc.metric;
+    probe_energy_sum_ = en.energy_sum;
+    probe_rx_ = sample;
+  }
 
   // Edge-detect so one packet produces one event per detector, not one
   // per sample while the metric stays above threshold.
@@ -77,9 +127,11 @@ void DspCore::run_block(std::span<const dsp::IQ16> rx,
     rx = rx.first(out.size() / kClocksPerSample);
   }
 
-  if (strobe_phase_ != 0) {
-    // Misaligned entry (a caller interleaved raw tick()s): replay the exact
-    // per-tick cadence instead of the straight-line pass.
+  if (strobe_phase_ != 0 || sink_ != nullptr) {
+    // Misaligned entry (a caller interleaved raw tick()s) or a telemetry
+    // sink attached: replay the exact per-tick cadence instead of the
+    // straight-line pass. Bit-identical either way; the instrumented ticks
+    // additionally publish events and per-strobe snapshots.
     std::size_t o = 0;
     for (const dsp::IQ16 sample : rx) {
       out[o++] = tick(sample);
@@ -163,6 +215,18 @@ void DspCore::fast_forward(std::uint64_t samples) noexcept {
   vita_ticks_ += samples * kClocksPerSample;
   feedback_.vita_ticks = vita_ticks_;
   strobe_phase_ = 0;
+  if (sink_ != nullptr) {
+    // A jam burst whose edge fell inside the skipped air time still needs
+    // that edge; the exact tick is unobservable here, so stamp it at the
+    // end of the gap (duty-cycle error bounded by the skip length).
+    if (prev_rf_ != jammer_.rf_active()) {
+      prev_rf_ = jammer_.rf_active();
+      sink_->on_event(prev_rf_ ? obs::EventKind::kJamStart
+                               : obs::EventKind::kJamEnd,
+                      vita_ticks_, 0);
+    }
+    prev_stage_ = fsm_.stage();
+  }
 }
 
 void DspCore::reset() noexcept {
@@ -175,6 +239,12 @@ void DspCore::reset() noexcept {
   strobe_phase_ = 0;
   held_events_ = DetectorEvents{};
   prev_xcorr_ = prev_high_ = prev_low_ = false;
+  probe_xcorr_metric_ = 0;
+  probe_energy_sum_ = 0;
+  probe_rx_ = dsp::IQ16{};
+  probe_tx_ = dsp::IQ16{};
+  prev_rf_ = false;
+  prev_stage_ = 0;
 }
 
 }  // namespace rjf::fpga

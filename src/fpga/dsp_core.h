@@ -19,6 +19,7 @@
 #include "fpga/jammer_controller.h"
 #include "fpga/register_file.h"
 #include "fpga/trigger_fsm.h"
+#include "obs/events.h"
 
 namespace rjf::fpga {
 
@@ -93,6 +94,15 @@ class DspCore {
   /// Full reset (reprogramming the FPGA). Register contents survive.
   void reset() noexcept;
 
+  /// Attach a telemetry sink (nullptr detaches). With a sink attached the
+  /// core replays the exact per-tick cadence — bit-identical outputs, but
+  /// slower — and publishes trigger edges, FSM transitions, jam bursts and
+  /// per-strobe signal snapshots. With no sink, run_block() keeps the
+  /// uninstrumented fast loop: the only added cost is one pointer test per
+  /// block (the overhead contract; see DESIGN.md "Observability").
+  void set_sink(obs::FabricSink* sink) noexcept { sink_ = sink; }
+  [[nodiscard]] obs::FabricSink* sink() const noexcept { return sink_; }
+
  private:
   /// Strobe-tick body: detectors + edge logic + FSM/jammer clocks.
   CoreOutput strobe_tick(dsp::IQ16 sample) noexcept;
@@ -100,6 +110,12 @@ class DspCore {
   CoreOutput idle_tick() noexcept;
   /// Shared tail of every tick: FSM, jam bookkeeping, TX path, VITA time.
   void finish_tick(CoreOutput& out) noexcept;
+  /// Publish this tick's events/snapshot to the sink (sink_ != nullptr).
+  /// Kept out of line and cold so the no-sink tick path stays inlinable.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((noinline, cold))
+#endif
+  void emit_tick(const CoreOutput& out) noexcept;
 
   RegisterFile regs_;
   CrossCorrelator correlator_;
@@ -115,6 +131,17 @@ class DspCore {
   bool prev_xcorr_ = false;
   bool prev_high_ = false;
   bool prev_low_ = false;
+
+  // Telemetry tap. The probe_* mirrors are only written while a sink is
+  // attached; they exist because the strobe-tick locals (metric, energy
+  // sum) are consumed before the FSM/TX state the snapshot also needs.
+  obs::FabricSink* sink_ = nullptr;
+  std::uint32_t probe_xcorr_metric_ = 0;
+  std::uint64_t probe_energy_sum_ = 0;
+  dsp::IQ16 probe_rx_{};
+  dsp::IQ16 probe_tx_{};
+  bool prev_rf_ = false;
+  int prev_stage_ = 0;
 };
 
 }  // namespace rjf::fpga

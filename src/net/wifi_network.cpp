@@ -51,6 +51,10 @@ double WifiNetworkSim::nominal_sir_db() const {
          dsp::db_from_ratio(config_.client_tx_power / config_.jammer_tx_power);
 }
 
+void WifiNetworkSim::attach_telemetry(obs::Telemetry* telemetry) {
+  if (jammer_) jammer_->attach_trace(telemetry);
+}
+
 void WifiNetworkSim::sync_jammer_to(double now) {
   if (!jammer_ || now <= jammer_time_s_) return;
   const auto gap = static_cast<std::uint64_t>((now - jammer_time_s_) * kFabricRate);

@@ -23,6 +23,10 @@
 #include "net/mac_frame.h"
 #include "phy80211/receiver.h"
 
+namespace rjf::obs {
+class Telemetry;
+}  // namespace rjf::obs
+
 namespace rjf::net {
 
 struct WifiNetworkConfig {
@@ -74,6 +78,11 @@ class WifiNetworkSim {
 
   /// Analytic SIR at the AP for this configuration (paper x-axis).
   [[nodiscard]] double nominal_sir_db() const;
+
+  /// Attach a telemetry bundle to the embedded jammer (no-op when the rig
+  /// runs without one). Safe to call before run(); the exported trace then
+  /// covers the whole iperf test.
+  void attach_telemetry(obs::Telemetry* telemetry);
 
  private:
   struct ExchangeOutcome {

@@ -1,0 +1,104 @@
+// Fabric telemetry event taxonomy and sink interface.
+//
+// The paper validates its jammer with lab instruments — oscilloscope
+// captures of detection/jam correspondence (Fig. 12), ChipScope probes into
+// the fabric, and latency arithmetic (T_en < 1.28 µs, T_xcorr = 2.56 µs,
+// T_init ≈ 80 ns). This layer is their software twin: the fabric, radio and
+// core layers publish VITA-timestamped events and per-strobe signal
+// snapshots into an attached FabricSink. With no sink attached every hook
+// is a skipped branch, so the block-processing fast path keeps its
+// throughput (the "overhead contract", see DESIGN.md "Observability").
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/types.h"
+
+namespace rjf::obs {
+
+/// Every discrete occurrence the instrumented layers can report. Values are
+/// stable across a run; exporters map them to names via event_kind_name().
+enum class EventKind : std::uint8_t {
+  kXcorrTrigger = 0,     // correlator trigger edge; value = |corr|^2 metric
+  kEnergyRise,           // energy-differentiator high edge; value = energy sum
+  kEnergyFall,           // energy-differentiator low edge; value = energy sum
+  kFsmStage,             // trigger-FSM stage transition; value = new stage
+  kJamTrigger,           // FSM fired the jam trigger pulse
+  kJamStart,             // RF jamming energy on the air (rising edge)
+  kJamEnd,               // RF jamming energy off the air (falling edge)
+  kSettingsWriteIssued,  // host register write enqueued; value = reg address
+  kSettingsWriteApplied, // write landed in the register file; value = address
+  kRetune,               // front-end retune; value = new frequency in Hz
+  kGainChange,           // front-end TX gain change; value = centi-dB
+  kStreamStart,          // stream()/stream_fabric() entry; value = rx samples
+  kStreamEnd,            // stream()/stream_fabric() exit; value = rx samples
+  kPersonality,          // jamming personality programmed; value = history idx
+};
+
+inline constexpr std::size_t kNumEventKinds = 14;
+
+[[nodiscard]] constexpr const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kXcorrTrigger: return "xcorr_trigger";
+    case EventKind::kEnergyRise: return "energy_rise";
+    case EventKind::kEnergyFall: return "energy_fall";
+    case EventKind::kFsmStage: return "fsm_stage";
+    case EventKind::kJamTrigger: return "jam_trigger";
+    case EventKind::kJamStart: return "jam_start";
+    case EventKind::kJamEnd: return "jam_end";
+    case EventKind::kSettingsWriteIssued: return "settings_write_issued";
+    case EventKind::kSettingsWriteApplied: return "settings_write_applied";
+    case EventKind::kRetune: return "retune";
+    case EventKind::kGainChange: return "gain_change";
+    case EventKind::kStreamStart: return "stream_start";
+    case EventKind::kStreamEnd: return "stream_end";
+    case EventKind::kPersonality: return "personality";
+  }
+  return "unknown";
+}
+
+/// One recorded event. VITA time is the fabric clock count (100 MHz, GPS
+/// locked in the real radio): 1 tick = 10 ns.
+struct TraceEvent {
+  std::uint64_t vita_ticks = 0;
+  std::uint64_t value = 0;
+  EventKind kind = EventKind::kXcorrTrigger;
+};
+
+/// Fabric-clock/wall-time conversions shared by the exporters.
+inline constexpr double kTickNs = 10.0;  // 100 MHz fabric clock
+
+[[nodiscard]] constexpr double ticks_to_us(std::uint64_t ticks) noexcept {
+  return static_cast<double>(ticks) * (kTickNs / 1000.0);
+}
+
+/// Per-strobe (25 MSPS) snapshot of the fabric signals a ChipScope probe
+/// would tap: detector metrics, FSM stage, and the TX path. Published once
+/// per receive sample when a sink is attached.
+struct FabricSignals {
+  std::uint64_t vita_ticks = 0;
+  dsp::IQ16 rx{};              // the baseband sample clocked in
+  std::uint32_t xcorr_metric = 0;
+  std::uint64_t energy_sum = 0;
+  std::uint8_t fsm_stage = 0;  // after this tick's FSM clock
+  bool xcorr_trigger = false;  // detector edge pulses (single-strobe)
+  bool energy_high = false;
+  bool energy_low = false;
+  bool jam_trigger = false;
+  bool rf_active = false;      // jamming energy on the air this tick
+  dsp::IQ16 tx{};              // most recent TX sample issued
+};
+
+/// Receiver interface the instrumented layers publish into. Implementations
+/// must tolerate events from multiple layers interleaved in VITA order per
+/// layer (the fabric emits in strict order; host-side events such as retune
+/// carry the fabric time at which they were issued).
+class FabricSink {
+ public:
+  virtual ~FabricSink() = default;
+  virtual void on_event(EventKind kind, std::uint64_t vita_ticks,
+                        std::uint64_t value) = 0;
+  virtual void on_strobe(const FabricSignals& signals) = 0;
+};
+
+}  // namespace rjf::obs

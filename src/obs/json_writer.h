@@ -1,0 +1,111 @@
+// Minimal machine-readable result emitter: an insertion-ordered JSON object
+// with scalar fields and nested objects, written in one shot.
+//
+// Promoted out of bench/bench_util.h so the library's own exporters
+// (MetricsRegistry, TraceRecorder metadata) can use it without src/
+// including from bench/. The perf benches keep using it for
+// BENCH_fabric.json, so the throughput trajectory stays trackable across
+// commits without scraping console tables.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rjf::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+  JsonWriter(JsonWriter&&) = default;
+  JsonWriter& operator=(JsonWriter&&) = default;
+
+  void set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    add_raw(key, buf);
+  }
+  void set(const std::string& key, std::uint64_t value) {
+    add_raw(key, std::to_string(value));
+  }
+  void set(const std::string& key, int value) {
+    add_raw(key, std::to_string(value));
+  }
+  void set(const std::string& key, bool value) {
+    add_raw(key, value ? "true" : "false");
+  }
+  void set(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    quoted += escape(value);
+    quoted += '"';
+    add_raw(key, std::move(quoted));
+  }
+  void set(const std::string& key, const char* value) {
+    set(key, std::string(value));
+  }
+
+  /// Create (or return an existing) nested object under `key`. The returned
+  /// reference stays valid for the writer's lifetime.
+  JsonWriter& object(const std::string& key) {
+    for (auto& f : fields_)
+      if (f.child && f.key == key) return *f.child;
+    fields_.push_back(Field{key, {}, std::make_unique<JsonWriter>()});
+    return *fields_.back().child;
+  }
+
+  /// Render the object (and children) as pretty-printed JSON.
+  [[nodiscard]] std::string to_string(int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+    std::string out = "{\n";
+    for (std::size_t k = 0; k < fields_.size(); ++k) {
+      const Field& f = fields_[k];
+      out += pad + "\"" + escape(f.key) + "\": ";
+      out += f.child ? f.child->to_string(indent + 2) : f.raw;
+      if (k + 1 < fields_.size()) out += ",";
+      out += "\n";
+    }
+    out += std::string(static_cast<std::size_t>(indent), ' ') + "}";
+    return out;
+  }
+
+  /// Write the rendered object to `path`. Returns false on I/O failure.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    const std::string body = to_string() + "\n";
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    return (std::fclose(f) == 0) && ok;
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+ private:
+  struct Field {
+    std::string key;
+    std::string raw;  // pre-rendered scalar (when child is null)
+    std::unique_ptr<JsonWriter> child;
+  };
+
+  void add_raw(const std::string& key, std::string raw) {
+    for (auto& f : fields_)
+      if (!f.child && f.key == key) {
+        f.raw = std::move(raw);
+        return;
+      }
+    fields_.push_back(Field{key, std::move(raw), nullptr});
+  }
+
+  std::vector<Field> fields_;
+};
+
+}  // namespace rjf::obs

@@ -1,0 +1,85 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace rjf::obs {
+
+Histogram::Histogram(std::uint64_t min, std::uint64_t bin_width,
+                     std::size_t num_bins)
+    : min_(min),
+      bin_width_(std::max<std::uint64_t>(bin_width, 1)),
+      bins_(std::max<std::size_t>(num_bins, 1), 0) {}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  ++count_;
+  sum_ += value;
+  min_seen_ = std::min(min_seen_, value);
+  max_seen_ = std::max(max_seen_, value);
+  if (value < min_) {
+    ++underflow_;
+    return;
+  }
+  const std::uint64_t bin = (value - min_) / bin_width_;
+  if (bin >= bins_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++bins_[bin];
+}
+
+void Histogram::write_json(JsonWriter& out) const {
+  out.set("min", min_);
+  out.set("bin_width", bin_width_);
+  out.set("num_bins", static_cast<std::uint64_t>(bins_.size()));
+  out.set("count", count_);
+  out.set("sum", sum_);
+  out.set("mean", mean());
+  out.set("underflow", underflow_);
+  out.set("overflow", overflow_);
+  if (count_ > 0) {
+    out.set("min_seen", min_seen_);
+    out.set("max_seen", max_seen_);
+  }
+  JsonWriter& bins = out.object("bins");
+  for (std::size_t k = 0; k < bins_.size(); ++k)
+    if (bins_[k] != 0) bins.set(std::to_string(bin_edge(k)), bins_[k]);
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::uint64_t min,
+                                      std::uint64_t bin_width,
+                                      std::size_t num_bins) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(min, bin_width, num_bins))
+      .first->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::write_json(JsonWriter& out) const {
+  JsonWriter& counters = out.object("counters");
+  for (const auto& [name, value] : counters_) counters.set(name, value);
+  JsonWriter& gauges = out.object("gauges");
+  for (const auto& [name, value] : gauges_) gauges.set(name, value);
+  JsonWriter& hists = out.object("histograms");
+  for (const auto& [name, hist] : histograms_)
+    hist.write_json(hists.object(name));
+}
+
+bool MetricsRegistry::write_file(const std::string& path) const {
+  JsonWriter out;
+  write_json(out);
+  return out.write_file(path);
+}
+
+}  // namespace rjf::obs

@@ -1,0 +1,73 @@
+#include "obs/signal_probe.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace rjf::obs {
+
+SignalProbe::SignalProbe(const ProbeConfig& config) : config_(config) {
+  pre_ring_.resize(std::max<std::size_t>(config_.pre_samples, 1));
+}
+
+void SignalProbe::on_strobe(const FabricSignals& signals) {
+  if (post_remaining_ > 0) {
+    captures_.back().samples.push_back(signals);
+    --post_remaining_;
+  } else if (is_trigger(signals)) {
+    ++triggers_seen_;
+    if (captures_.size() < config_.max_captures) {
+      Capture cap;
+      cap.trigger_vita = signals.vita_ticks;
+      cap.samples.reserve(pre_size_ + 1 + config_.post_samples);
+      // Oldest pre-trigger strobe first.
+      const std::size_t start =
+          pre_size_ == pre_ring_.size() ? pre_head_ : 0;
+      for (std::size_t k = 0; k < pre_size_; ++k)
+        cap.samples.push_back(pre_ring_[(start + k) % pre_ring_.size()]);
+      cap.trigger_index = cap.samples.size();
+      cap.samples.push_back(signals);
+      captures_.push_back(std::move(cap));
+      post_remaining_ = config_.post_samples;
+    }
+  }
+  if (config_.pre_samples > 0) {
+    pre_ring_[pre_head_] = signals;
+    pre_head_ = pre_head_ + 1 == pre_ring_.size() ? 0 : pre_head_ + 1;
+    pre_size_ = std::min(pre_size_ + 1, pre_ring_.size());
+  }
+}
+
+void SignalProbe::clear() {
+  captures_.clear();
+  pre_head_ = 0;
+  pre_size_ = 0;
+  post_remaining_ = 0;
+  triggers_seen_ = 0;
+}
+
+bool SignalProbe::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fputs(
+      "capture,seq,vita_ticks,time_us,rx_i,rx_q,xcorr_metric,energy_sum,"
+      "fsm_stage,xcorr_trig,energy_high,energy_low,jam_trigger,rf_active,"
+      "tx_i,tx_q\n",
+      f);
+  for (std::size_t c = 0; c < captures_.size(); ++c) {
+    const Capture& cap = captures_[c];
+    for (std::size_t k = 0; k < cap.samples.size(); ++k) {
+      const FabricSignals& s = cap.samples[k];
+      std::fprintf(f,
+                   "%zu,%zu,%" PRIu64 ",%.3f,%d,%d,%" PRIu32 ",%" PRIu64
+                   ",%u,%d,%d,%d,%d,%d,%d,%d\n",
+                   c, k, s.vita_ticks, ticks_to_us(s.vita_ticks), s.rx.i,
+                   s.rx.q, s.xcorr_metric, s.energy_sum, s.fsm_stage,
+                   s.xcorr_trigger, s.energy_high, s.energy_low,
+                   s.jam_trigger, s.rf_active, s.tx.i, s.tx.q);
+    }
+  }
+  return std::fclose(f) == 0;
+}
+
+}  // namespace rjf::obs

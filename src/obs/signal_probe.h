@@ -1,0 +1,71 @@
+// SignalProbe — a software ChipScope for the fabric.
+//
+// The paper's authors watched their core with ChipScope (fabric signal
+// capture) and an oscilloscope (Fig. 12: per-frame detection/jam
+// correspondence). This probe reproduces both: it keeps a rolling
+// pre-trigger window of per-strobe fabric signals (xcorr metric, energy
+// differentiator output, FSM stage, TX sample) and, on each detector
+// trigger edge, freezes pre + post samples into a capture — exactly what a
+// scope's single-shot acquisition around a trigger shows. Captures dump to
+// CSV for Fig.-12-style waveform plots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/events.h"
+
+namespace rjf::obs {
+
+struct ProbeConfig {
+  std::size_t pre_samples = 16;    // strobes retained before the trigger
+  std::size_t post_samples = 112;  // strobes captured after the trigger
+  std::size_t max_captures = 32;   // stop arming after this many captures
+};
+
+class SignalProbe {
+ public:
+  explicit SignalProbe(const ProbeConfig& config = {});
+
+  struct Capture {
+    std::uint64_t trigger_vita = 0;    // vita of the triggering strobe
+    std::size_t trigger_index = 0;     // index of that strobe in samples
+    std::vector<FabricSignals> samples;
+  };
+
+  /// Feed one per-strobe snapshot. Arms a new capture on any detector edge
+  /// (xcorr / energy-high / energy-low) when idle and below max_captures.
+  void on_strobe(const FabricSignals& signals);
+
+  [[nodiscard]] const std::vector<Capture>& captures() const noexcept {
+    return captures_;
+  }
+  [[nodiscard]] std::uint64_t triggers_seen() const noexcept {
+    return triggers_seen_;
+  }
+  [[nodiscard]] const ProbeConfig& config() const noexcept { return config_; }
+
+  void clear();
+
+  /// One row per probed strobe:
+  /// capture,seq,vita_ticks,time_us,rx_i,rx_q,xcorr_metric,energy_sum,
+  /// fsm_stage,xcorr_trig,energy_high,energy_low,jam_trigger,rf_active,
+  /// tx_i,tx_q
+  bool write_csv(const std::string& path) const;
+
+ private:
+  [[nodiscard]] static bool is_trigger(const FabricSignals& s) noexcept {
+    return s.xcorr_trigger || s.energy_high || s.energy_low;
+  }
+
+  ProbeConfig config_;
+  std::vector<FabricSignals> pre_ring_;
+  std::size_t pre_head_ = 0;
+  std::size_t pre_size_ = 0;
+  std::vector<Capture> captures_;
+  std::size_t post_remaining_ = 0;  // >0 while a capture is filling
+  std::uint64_t triggers_seen_ = 0;
+};
+
+}  // namespace rjf::obs

@@ -1,0 +1,106 @@
+// Telemetry — the one-stop fabric sink examples and benches attach per run.
+//
+// Bundles the three observability instruments behind a single FabricSink:
+//   - TraceRecorder  : VITA-timestamped event ring -> Chrome trace / CSV
+//   - MetricsRegistry: counters + fixed-bin histograms -> JSON
+//   - SignalProbe    : pre/post waveform captures around trigger edges
+// and derives the paper-facing metrics from the raw event stream as it
+// arrives: trigger->RF reaction latency (the measured T_init + surgical
+// delay), detector-edge->RF latency (adds FSM sequencing), detection
+// inter-arrival times, jam duty cycle, settings-bus write latency, and
+// per-stream host throughput (samples per wall-clock second).
+//
+// Attach through ReactiveJammer::attach_trace() (or UsrpN210::attach_sink()
+// / DspCore::set_sink() at lower layers). Detach before destroying the
+// Telemetry object — the producers keep only a raw pointer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/signal_probe.h"
+#include "obs/trace_recorder.h"
+
+namespace rjf::obs {
+
+struct TelemetryConfig {
+  std::size_t trace_capacity = 1 << 16;
+  bool probe_enabled = true;
+  ProbeConfig probe;
+};
+
+class Telemetry final : public FabricSink {
+ public:
+  explicit Telemetry(const TelemetryConfig& config = {});
+
+  [[nodiscard]] TraceRecorder& trace() noexcept { return trace_; }
+  [[nodiscard]] const TraceRecorder& trace() const noexcept { return trace_; }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] SignalProbe& probe() noexcept { return probe_; }
+  [[nodiscard]] const SignalProbe& probe() const noexcept { return probe_; }
+
+  /// Record the jamming personality active from `vita_ticks` on. Exported
+  /// traces carry the full history as annotations, so every trace names the
+  /// personality that produced it (JammingEventBuilder::describe() strings
+  /// land here via ReactiveJammer).
+  void set_personality(const std::string& description,
+                       std::uint64_t vita_ticks);
+  [[nodiscard]] const std::vector<TraceRecorder::Annotation>& personalities()
+      const noexcept {
+    return personalities_;
+  }
+
+  // FabricSink --------------------------------------------------------------
+  void on_event(EventKind kind, std::uint64_t vita_ticks,
+                std::uint64_t value) override;
+  void on_strobe(const FabricSignals& signals) override;
+
+  /// RF-on-air ticks / streamed fabric ticks (0 when nothing streamed yet).
+  [[nodiscard]] double jam_duty_cycle() const noexcept;
+
+  // Exports -----------------------------------------------------------------
+  /// Chrome trace-event JSON with personality annotations (Perfetto).
+  bool write_chrome_trace(const std::string& path) const;
+  /// Metrics JSON; refreshes derived gauges (duty cycle, throughput) first.
+  bool write_metrics_json(const std::string& path);
+  bool write_probe_csv(const std::string& path) const {
+    return probe_.write_csv(path);
+  }
+
+  /// Recompute derived gauges from the counters accumulated so far.
+  void refresh_gauges();
+
+ private:
+  TraceRecorder trace_;
+  MetricsRegistry metrics_;
+  SignalProbe probe_;
+  bool probe_enabled_;
+
+  std::vector<TraceRecorder::Annotation> personalities_;
+
+  // Latency derivation state.
+  bool armed_ = false;                  // detector edge seen, RF not yet up
+  std::uint64_t armed_vita_ = 0;
+  bool trigger_pending_ = false;        // jam trigger fired, RF not yet up
+  std::uint64_t trigger_vita_ = 0;
+  bool have_last_detection_ = false;
+  std::uint64_t last_detection_vita_ = 0;
+  bool jam_open_ = false;
+  std::uint64_t jam_start_vita_ = 0;
+  std::uint64_t last_vita_ = 0;
+  std::deque<std::uint64_t> settings_issue_vitas_;
+  bool stream_open_ = false;
+  std::uint64_t stream_start_vita_ = 0;
+  std::chrono::steady_clock::time_point stream_wall_start_{};
+};
+
+}  // namespace rjf::obs

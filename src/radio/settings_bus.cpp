@@ -9,6 +9,9 @@ void SettingsBus::write(fpga::Reg addr, std::uint32_t value,
   const std::uint64_t start =
       pending_.empty() ? now_ticks : pending_.back().completes_at;
   pending_.push_back(Pending{addr, value, start + latency_cycles_});
+  if (sink_ != nullptr)
+    sink_->on_event(obs::EventKind::kSettingsWriteIssued, now_ticks,
+                    static_cast<std::uint64_t>(addr));
 }
 
 std::size_t SettingsBus::service(fpga::RegisterFile& regs,
@@ -16,6 +19,12 @@ std::size_t SettingsBus::service(fpga::RegisterFile& regs,
   std::size_t applied = 0;
   while (!pending_.empty() && pending_.front().completes_at <= now_ticks) {
     regs.write(pending_.front().addr, pending_.front().value);
+    if (sink_ != nullptr)
+      // Timestamped at the modelled completion tick, not the (possibly
+      // later) fabric time at which the host happened to service the bus.
+      sink_->on_event(obs::EventKind::kSettingsWriteApplied,
+                      pending_.front().completes_at,
+                      static_cast<std::uint64_t>(pending_.front().addr));
     pending_.pop_front();
     ++applied;
   }

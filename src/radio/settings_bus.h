@@ -13,6 +13,7 @@
 #include <deque>
 
 #include "fpga/register_file.h"
+#include "obs/events.h"
 
 namespace rjf::radio {
 
@@ -44,6 +45,11 @@ class SettingsBus {
   /// the sample before which the next in-flight write lands.
   [[nodiscard]] std::uint64_t next_completion() const noexcept;
 
+  /// Attach a telemetry sink (nullptr detaches): each write is reported
+  /// when issued and again when it lands in the register file, with the
+  /// register address as the event value.
+  void set_sink(obs::FabricSink* sink) noexcept { sink_ = sink; }
+
  private:
   struct Pending {
     fpga::Reg addr;
@@ -52,6 +58,7 @@ class SettingsBus {
   };
   std::uint32_t latency_cycles_;
   std::deque<Pending> pending_;
+  obs::FabricSink* sink_ = nullptr;
 };
 
 }  // namespace rjf::radio

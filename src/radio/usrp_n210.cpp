@@ -28,6 +28,9 @@ UsrpN210::StreamResult UsrpN210::stream_fabric(std::span<const dsp::IQ16> rx) {
   StreamResult result;
   result.tx.assign(rx.size(), dsp::cfloat{});
 
+  if (sink_ != nullptr)
+    sink_->on_event(obs::EventKind::kStreamStart, now_ticks(), rx.size());
+
   const auto before = core_.feedback();
   std::vector<fpga::CoreOutput> trace(
       std::min(rx.size(), kChunkSamples) * fpga::kClocksPerSample);
@@ -88,6 +91,9 @@ UsrpN210::StreamResult UsrpN210::stream_fabric(std::span<const dsp::IQ16> rx) {
       after.energy_high_detections - before.energy_high_detections;
   result.energy_low_detections =
       after.energy_low_detections - before.energy_low_detections;
+
+  if (sink_ != nullptr)
+    sink_->on_event(obs::EventKind::kStreamEnd, now_ticks(), rx.size());
   return result;
 }
 

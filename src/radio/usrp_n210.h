@@ -14,6 +14,7 @@
 
 #include "dsp/types.h"
 #include "fpga/dsp_core.h"
+#include "obs/events.h"
 #include "radio/adc_dac.h"
 #include "radio/frontend.h"
 #include "radio/settings_bus.h"
@@ -71,12 +72,24 @@ class UsrpN210 {
   }
   [[nodiscard]] const SettingsBus& settings_bus() const noexcept { return bus_; }
 
+  /// Attach a telemetry sink to the whole radio (nullptr detaches): the
+  /// fabric core publishes trigger/jam events and per-strobe snapshots, the
+  /// settings bus reports write issue/completion, and each stream call is
+  /// bracketed by kStreamStart/kStreamEnd events carrying the sample count.
+  void attach_sink(obs::FabricSink* sink) noexcept {
+    sink_ = sink;
+    core_.set_sink(sink);
+    bus_.set_sink(sink);
+  }
+  [[nodiscard]] obs::FabricSink* sink() const noexcept { return sink_; }
+
  private:
   SbxFrontend frontend_;
   Adc adc_;
   Dac dac_;
   fpga::DspCore core_;
   SettingsBus bus_;
+  obs::FabricSink* sink_ = nullptr;
 };
 
 }  // namespace rjf::radio

@@ -1,0 +1,539 @@
+// Telemetry-layer tests (DESIGN.md "Observability"): ring-buffer retention,
+// histogram binning, Chrome-trace JSON well-formedness, the overhead
+// contract (attaching a sink must not change fabric behaviour bit for bit),
+// and the paper's latency arithmetic measured through the event stream
+// (T_init = 8 fabric clocks = 80 ns; T_xcorr = one 64-sample window).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/event_builder.h"
+#include "core/reactive_jammer.h"
+#include "dsp/noise.h"
+#include "dsp/rng.h"
+#include "fpga/dsp_core.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/signal_probe.h"
+#include "obs/telemetry.h"
+#include "obs/trace_recorder.h"
+#include "radio/usrp_n210.h"
+
+namespace rjf::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator, enough to check that exported
+// files are well-formed (objects, arrays, strings, numbers, literals).
+
+bool parse_json_value(const std::string& s, std::size_t& p);
+
+void skip_ws(const std::string& s, std::size_t& p) {
+  while (p < s.size() &&
+         (s[p] == ' ' || s[p] == '\t' || s[p] == '\n' || s[p] == '\r'))
+    ++p;
+}
+
+bool parse_json_string(const std::string& s, std::size_t& p) {
+  if (p >= s.size() || s[p] != '"') return false;
+  ++p;
+  while (p < s.size() && s[p] != '"') {
+    if (s[p] == '\\') {
+      ++p;
+      if (p >= s.size()) return false;
+    }
+    ++p;
+  }
+  if (p >= s.size()) return false;
+  ++p;  // closing quote
+  return true;
+}
+
+bool parse_json_number(const std::string& s, std::size_t& p) {
+  const std::size_t start = p;
+  if (p < s.size() && (s[p] == '-' || s[p] == '+')) ++p;
+  bool digits = false;
+  while (p < s.size() && (std::isdigit(static_cast<unsigned char>(s[p])) ||
+                          s[p] == '.' || s[p] == 'e' || s[p] == 'E' ||
+                          s[p] == '-' || s[p] == '+'))
+    digits = digits || std::isdigit(static_cast<unsigned char>(s[p])), ++p;
+  return digits && p > start;
+}
+
+bool parse_json_object(const std::string& s, std::size_t& p) {
+  if (s[p] != '{') return false;
+  ++p;
+  skip_ws(s, p);
+  if (p < s.size() && s[p] == '}') return ++p, true;
+  while (p < s.size()) {
+    skip_ws(s, p);
+    if (!parse_json_string(s, p)) return false;
+    skip_ws(s, p);
+    if (p >= s.size() || s[p] != ':') return false;
+    ++p;
+    if (!parse_json_value(s, p)) return false;
+    skip_ws(s, p);
+    if (p < s.size() && s[p] == ',') {
+      ++p;
+      continue;
+    }
+    break;
+  }
+  if (p >= s.size() || s[p] != '}') return false;
+  ++p;
+  return true;
+}
+
+bool parse_json_array(const std::string& s, std::size_t& p) {
+  if (s[p] != '[') return false;
+  ++p;
+  skip_ws(s, p);
+  if (p < s.size() && s[p] == ']') return ++p, true;
+  while (p < s.size()) {
+    if (!parse_json_value(s, p)) return false;
+    skip_ws(s, p);
+    if (p < s.size() && s[p] == ',') {
+      ++p;
+      skip_ws(s, p);
+      continue;
+    }
+    break;
+  }
+  if (p >= s.size() || s[p] != ']') return false;
+  ++p;
+  return true;
+}
+
+bool parse_json_value(const std::string& s, std::size_t& p) {
+  skip_ws(s, p);
+  if (p >= s.size()) return false;
+  if (s[p] == '{') return parse_json_object(s, p);
+  if (s[p] == '[') return parse_json_array(s, p);
+  if (s[p] == '"') return parse_json_string(s, p);
+  if (s.compare(p, 4, "true") == 0) return p += 4, true;
+  if (s.compare(p, 5, "false") == 0) return p += 5, true;
+  if (s.compare(p, 4, "null") == 0) return p += 4, true;
+  return parse_json_number(s, p);
+}
+
+bool is_valid_json(const std::string& s) {
+  std::size_t p = 0;
+  if (!parse_json_value(s, p)) return false;
+  skip_ws(s, p);
+  return p == s.size();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Detection scenario shared by the end-to-end tests: a 64-sample random
+// bipolar code programmed as the correlator template (threshold at half the
+// clean peak, like the radio tests), injected into an otherwise silent
+// stream. Detection timing is then exact: the correlator window fills over
+// the code's 64 samples and the trigger edge lands at its final sample.
+
+dsp::cvec random_code(std::uint64_t seed) {
+  dsp::cvec code(fpga::kCorrelatorLength);
+  dsp::Xoshiro256 rng(seed);
+  for (auto& s : code)
+    s = dsp::cfloat{rng.uniform() < 0.5 ? -0.5f : 0.5f,
+                    rng.uniform() < 0.5 ? -0.5f : 0.5f};
+  return code;
+}
+
+core::JammerConfig code_config(const dsp::cvec& code, std::uint32_t uptime) {
+  const auto tpl = fpga::make_template(code);
+  fpga::CrossCorrelator probe;
+  probe.set_coefficients(tpl.coef_i, tpl.coef_q);
+  std::uint32_t peak = 0;
+  for (const auto s : code)
+    peak = std::max(peak, probe.step(dsp::to_iq16(s)).metric);
+
+  core::JammerConfig config;
+  config.detection = core::DetectionMode::kCrossCorrelator;
+  config.xcorr_template = tpl;
+  config.xcorr_threshold = peak / 2;
+  config.waveform = fpga::JamWaveform::kWhiteNoise;
+  config.jam_uptime_samples = uptime;
+  config.description = "test: 64-sample code jammer";
+  return config;
+}
+
+dsp::cvec code_stream(const dsp::cvec& code, std::size_t inject_at,
+                      std::size_t total) {
+  dsp::cvec rx(total, dsp::cfloat{});
+  for (std::size_t k = 0; k < code.size(); ++k) rx[inject_at + k] = code[k];
+  return rx;
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+
+TEST(TraceRecorder, RingKeepsNewestEventsInOrder) {
+  TraceRecorder ring(8);
+  for (std::uint64_t k = 0; k < 20; ++k)
+    ring.record(EventKind::kFsmStage, /*vita=*/k, /*value=*/k * 10);
+
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.recorded(), 20u);
+  EXPECT_EQ(ring.overwritten(), 12u);
+
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    EXPECT_EQ(events[k].vita_ticks, 12u + k) << "slot " << k;
+    EXPECT_EQ(events[k].value, (12u + k) * 10) << "slot " << k;
+  }
+}
+
+TEST(TraceRecorder, ClearResetsRetentionButNotNothingElse) {
+  TraceRecorder ring(4);
+  ring.record(EventKind::kJamStart, 1, 0);
+  ring.record(EventKind::kJamEnd, 2, 0);
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.events().empty());
+}
+
+TEST(TraceRecorder, CapacityRoundsUpToTwo) {
+  TraceRecorder ring(0);
+  EXPECT_GE(ring.capacity(), 2u);
+  ring.record(EventKind::kJamStart, 5, 0);
+  ring.record(EventKind::kJamEnd, 6, 0);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].vita_ticks, 5u);
+  EXPECT_EQ(events[1].vita_ticks, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(Histogram, BinEdgesAndOverflowBuckets) {
+  // Bins: [10,15) [15,20) [20,25) [25,30); under <10, over >=30.
+  Histogram h(10, 5, 4);
+  EXPECT_EQ(h.bin_edge(0), 10u);
+  EXPECT_EQ(h.bin_edge(1), 15u);
+  EXPECT_EQ(h.bin_edge(3), 25u);
+
+  h.record(9);    // underflow
+  h.record(10);   // bin 0 (inclusive lower edge)
+  h.record(14);   // bin 0
+  h.record(15);   // bin 1 (exclusive upper edge of bin 0)
+  h.record(29);   // bin 3
+  h.record(30);   // overflow (exclusive top edge)
+  h.record(1000); // overflow
+
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 0u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.min_seen(), 9u);
+  EXPECT_EQ(h.max_seen(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), (9.0 + 10 + 14 + 15 + 29 + 30 + 1000) / 7.0);
+}
+
+TEST(MetricsRegistry, HistogramCreatedOnceCountersAccumulate) {
+  MetricsRegistry metrics;
+  metrics.histogram("lat", 0, 1, 16).record(3);
+  // Second lookup with different binning returns the same instance.
+  metrics.histogram("lat", 99, 99, 99).record(5);
+  const Histogram* h = metrics.find_histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_EQ(h->bin_width(), 1u);
+  EXPECT_EQ(metrics.find_histogram("nope"), nullptr);
+
+  metrics.add("n", 2);
+  metrics.add("n", 3);
+  EXPECT_EQ(metrics.counter_value("n"), 5u);
+  EXPECT_EQ(metrics.counter_value("unset"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+TEST(JsonWriter, NestedObjectsRenderValidJson) {
+  JsonWriter json;
+  json.set("name", std::string("va\"lue\\with escapes"));
+  json.set("rate", 1.5);
+  json.set("count", std::uint64_t{42});
+  json.set("flag", true);
+  auto& child = json.object("nested");
+  child.set("inner", 7);
+  json.object("nested").set("again", 8);  // same child, not a duplicate key
+  json.set("rate", 2.5);                  // scalar overwrite, not a dup key
+
+  const std::string body = json.to_string();
+  EXPECT_TRUE(is_valid_json(body)) << body;
+  EXPECT_NE(body.find("\"inner\": 7"), std::string::npos);
+  EXPECT_NE(body.find("\"again\": 8"), std::string::npos);
+  EXPECT_NE(body.find("2.5"), std::string::npos);
+  // The overwritten value is gone and the key appears once.
+  EXPECT_EQ(body.find("1.5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SignalProbe
+
+FabricSignals strobe_at(std::uint64_t vita, bool trigger = false) {
+  FabricSignals s;
+  s.vita_ticks = vita;
+  s.xcorr_metric = static_cast<std::uint32_t>(vita);
+  s.xcorr_trigger = trigger;
+  return s;
+}
+
+TEST(SignalProbe, CapturesPreAndPostWindowAroundTrigger) {
+  ProbeConfig config;
+  config.pre_samples = 4;
+  config.post_samples = 6;
+  config.max_captures = 2;
+  SignalProbe probe(config);
+
+  for (std::uint64_t v = 0; v < 20; ++v) probe.on_strobe(strobe_at(v));
+  probe.on_strobe(strobe_at(20, /*trigger=*/true));
+  for (std::uint64_t v = 21; v < 40; ++v) probe.on_strobe(strobe_at(v));
+
+  ASSERT_EQ(probe.captures().size(), 1u);
+  const auto& cap = probe.captures()[0];
+  EXPECT_EQ(cap.trigger_vita, 20u);
+  // 4 pre + trigger + 6 post.
+  ASSERT_EQ(cap.samples.size(), 11u);
+  EXPECT_EQ(cap.samples[cap.trigger_index].vita_ticks, 20u);
+  EXPECT_EQ(cap.samples.front().vita_ticks, 16u);
+  EXPECT_EQ(cap.samples.back().vita_ticks, 26u);
+  for (std::size_t k = 1; k < cap.samples.size(); ++k)
+    EXPECT_EQ(cap.samples[k].vita_ticks, cap.samples[k - 1].vita_ticks + 1);
+}
+
+TEST(SignalProbe, StopsArmingAtMaxCaptures) {
+  ProbeConfig config;
+  config.pre_samples = 1;
+  config.post_samples = 1;
+  config.max_captures = 2;
+  SignalProbe probe(config);
+
+  std::uint64_t vita = 0;
+  for (int round = 0; round < 5; ++round) {
+    probe.on_strobe(strobe_at(vita++));
+    probe.on_strobe(strobe_at(vita++, /*trigger=*/true));
+    probe.on_strobe(strobe_at(vita++));
+    probe.on_strobe(strobe_at(vita++));
+  }
+  EXPECT_EQ(probe.captures().size(), 2u);
+  EXPECT_EQ(probe.triggers_seen(), 5u);
+
+  probe.clear();
+  EXPECT_TRUE(probe.captures().empty());
+  EXPECT_EQ(probe.triggers_seen(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Overhead contract: attaching a sink must not change the fabric outputs.
+
+TEST(TelemetrySink, AttachedCoreIsBitIdenticalToPlainCore) {
+  const auto config = code_config(random_code(0x5EED), /*uptime=*/48);
+
+  core::ReactiveJammer plain(config);
+  core::ReactiveJammer traced(config);
+  Telemetry telemetry;
+  traced.attach_trace(&telemetry);
+
+  dsp::NoiseSource noise(1e-4, 77);
+  dsp::cvec rx = code_stream(random_code(0x5EED), 500, 4096);
+  noise.add_to(rx);
+
+  const auto a = plain.observe(rx);
+  const auto b = traced.observe(rx);
+  traced.attach_trace(nullptr);
+
+  // Bit-identical TX waveform, burst schedule and counters.
+  ASSERT_EQ(a.tx.size(), b.tx.size());
+  for (std::size_t k = 0; k < a.tx.size(); ++k)
+    ASSERT_EQ(a.tx[k], b.tx[k]) << "sample " << k;
+  ASSERT_EQ(a.bursts.size(), b.bursts.size());
+  for (std::size_t k = 0; k < a.bursts.size(); ++k) {
+    EXPECT_EQ(a.bursts[k].start_sample, b.bursts[k].start_sample);
+    EXPECT_EQ(a.bursts[k].length, b.bursts[k].length);
+  }
+  EXPECT_EQ(a.jam_triggers, b.jam_triggers);
+  EXPECT_EQ(a.xcorr_detections, b.xcorr_detections);
+  EXPECT_EQ(plain.feedback().vita_ticks, traced.feedback().vita_ticks);
+  EXPECT_EQ(plain.feedback().last_trigger_vita,
+            traced.feedback().last_trigger_vita);
+
+  // The equivalence must have exercised a real detection and jam burst.
+  EXPECT_GT(a.jam_triggers, 0u);
+  EXPECT_GT(telemetry.trace().recorded(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Paper latency arithmetic through the event stream.
+
+TEST(TelemetryLatency, TriggerToRfIsTInit80ns) {
+  const auto code = random_code(0xBEEF);
+  core::ReactiveJammer jammer(code_config(code, /*uptime=*/32));
+  Telemetry telemetry;
+  jammer.attach_trace(&telemetry);
+
+  const auto result = jammer.observe(code_stream(code, 300, 2048));
+  jammer.attach_trace(nullptr);
+  ASSERT_EQ(result.jam_triggers, 1u);
+
+  // T_init: the jammer controller counts the trigger clock as the first of
+  // kTxInitCycles = 8 init cycles, so RF rises 8 fabric clocks = 80 ns
+  // after the trigger (paper: "fixed number of cycles ~= 80 ns").
+  const Histogram* h = telemetry.metrics().find_histogram("trigger_to_rf_ticks");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->count(), 1u);
+  EXPECT_EQ(h->min_seen(), 8u);
+  EXPECT_EQ(h->max_seen(), 8u);
+  EXPECT_DOUBLE_EQ(h->mean() * kTickNs, 80.0);
+
+  // T_xcorr: the correlator fires when its 64-sample window has seen the
+  // whole code, i.e. at the code's last sample — one 2.56 us window after
+  // the code started entering the detector.
+  std::uint64_t xcorr_vita = 0;
+  for (const auto& e : telemetry.trace().events())
+    if (e.kind == EventKind::kXcorrTrigger) {
+      xcorr_vita = e.vita_ticks;
+      break;
+    }
+  ASSERT_GT(xcorr_vita, 0u);
+  const double us = ticks_to_us(xcorr_vita);
+  const double code_start_us = 300.0 / 25.0;  // sample 300 at 25 MSPS
+  EXPECT_NEAR(us - code_start_us, 2.56, 0.1);
+
+  // detect->RF arms on the FIRST detector edge of the sequence — here the
+  // energy-rise edge, which fires as soon as the code's energy arrives,
+  // a full correlator window before the xcorr trigger. The measured span is
+  // therefore the whole paper chain: T_xcorr (256 ticks = 2.56 us) +
+  // T_init (8 ticks = 80 ns), minus the few samples the energy window
+  // needs to cross its threshold.
+  const Histogram* d = telemetry.metrics().find_histogram("detect_to_rf_ticks");
+  ASSERT_NE(d, nullptr);
+  ASSERT_EQ(d->count(), 1u);
+  EXPECT_NEAR(static_cast<double>(d->max_seen()), 256.0 + 8.0, 40.0);
+}
+
+TEST(TelemetryLatency, SettingsBusWritesMeasureTheModelledLatency) {
+  const auto code = random_code(0xD00D);
+  core::ReactiveJammer jammer(code_config(code, /*uptime=*/16));
+  Telemetry telemetry;
+  jammer.attach_trace(&telemetry);
+
+  // Reconfigure mid-run: every register write crosses the bus model.
+  jammer.reconfigure(code_config(code, /*uptime=*/24));
+  const auto unused = jammer.observe(dsp::cvec(8192, dsp::cfloat{}));
+  (void)unused;
+  jammer.attach_trace(nullptr);
+
+  const std::uint32_t bus_cycles =
+      jammer.radio().settings_bus().latency_cycles();
+  const Histogram* h =
+      telemetry.metrics().find_histogram("settings_bus_latency_ticks");
+  ASSERT_NE(h, nullptr);
+  ASSERT_GT(h->count(), 0u);
+  // Writes serialise, so the k-th write in the burst waits k*latency; the
+  // fastest write saw exactly one bus crossing.
+  EXPECT_EQ(h->min_seen(), bus_cycles);
+  EXPECT_EQ(h->max_seen() % bus_cycles, 0u);
+  EXPECT_EQ(telemetry.metrics().counter_value("events.settings_write_issued"),
+            telemetry.metrics().counter_value("events.settings_write_applied"));
+}
+
+// ---------------------------------------------------------------------------
+// Exports
+
+TEST(TelemetryExport, ChromeTraceIsWellFormedAndNamesThePersonality) {
+  core::JammingEventBuilder builder;
+  const auto config = builder.detect_energy_rise(10.0).white_noise()
+                          .uptime(10e-6)
+                          .build();
+  ASSERT_TRUE(config.has_value());
+  // Satellite check: build() stamps the describe() string into the config.
+  EXPECT_EQ(config->description, builder.describe());
+  EXPECT_NE(config->description.find("energy-rise"), std::string::npos);
+
+  core::ReactiveJammer jammer(*config);
+  Telemetry telemetry;
+  jammer.attach_trace(&telemetry);
+
+  // An energy step triggers the jammer; a couple of host actions land in
+  // the host lane of the trace.
+  jammer.tune(2.484e9);
+  jammer.set_tx_gain(20.0);
+  dsp::cvec rx(4096, dsp::cfloat{});
+  dsp::NoiseSource noise(0.2, 5);
+  for (std::size_t k = 1024; k < 2048; ++k)
+    rx[k] = noise.block(1)[0];
+  const auto result = jammer.observe(rx);
+  jammer.attach_trace(nullptr);
+  ASSERT_GT(result.jam_triggers, 0u);
+
+  const std::string path = ::testing::TempDir() + "rjf_trace.json";
+  ASSERT_TRUE(telemetry.write_chrome_trace(path));
+  const std::string body = slurp(path);
+  ASSERT_FALSE(body.empty());
+  EXPECT_TRUE(is_valid_json(body)) << body.substr(0, 400);
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(body.find("jam_burst"), std::string::npos);
+  // The personality annotation names what produced the trace.
+  EXPECT_NE(body.find(JsonWriter::escape(config->description)),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryExport, MetricsJsonIsWellFormedWithDerivedGauges) {
+  const auto code = random_code(0xFACE);
+  core::ReactiveJammer jammer(code_config(code, /*uptime=*/64));
+  Telemetry telemetry;
+  jammer.attach_trace(&telemetry);
+  const auto result = jammer.observe(code_stream(code, 200, 4096));
+  jammer.attach_trace(nullptr);
+  ASSERT_GT(result.jam_triggers, 0u);
+
+  // The jammer was on the air for 64 of ~4096 samples.
+  const double duty = telemetry.jam_duty_cycle();
+  EXPECT_GT(duty, 0.0);
+  EXPECT_LE(duty, 1.0);
+  EXPECT_NEAR(duty, 64.0 / 4096.0, 0.01);
+
+  const std::string path = ::testing::TempDir() + "rjf_metrics.json";
+  ASSERT_TRUE(telemetry.write_metrics_json(path));
+  const std::string body = slurp(path);
+  EXPECT_TRUE(is_valid_json(body)) << body.substr(0, 400);
+  EXPECT_NE(body.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(body.find("\"trigger_to_rf_ticks\""), std::string::npos);
+  EXPECT_NE(body.find("\"jam_duty_cycle\""), std::string::npos);
+  std::remove(path.c_str());
+
+  // The probe captured fabric signals around the trigger edge, and the CSV
+  // export round-trips.
+  ASSERT_GE(telemetry.probe().captures().size(), 1u);
+  const std::string csv_path = ::testing::TempDir() + "rjf_probe.csv";
+  ASSERT_TRUE(telemetry.write_probe_csv(csv_path));
+  const std::string csv = slurp(csv_path);
+  EXPECT_NE(csv.find("xcorr_metric"), std::string::npos);
+  EXPECT_GT(std::count(csv.begin(), csv.end(), '\n'), 2);
+  std::remove(csv_path.c_str());
+}
+
+}  // namespace
+}  // namespace rjf::obs

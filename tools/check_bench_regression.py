@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Fail CI when a benchmark rate drops too far below the committed baseline.
+
+Compares one or more rate keys between the committed BENCH_fabric.json and a
+freshly measured run. A key regresses when fresh < (1 - max_drop) * baseline.
+Rates above baseline never fail (faster is fine; shared-runner noise mostly
+errs slow).
+
+Usage:
+  tools/check_bench_regression.py --baseline BENCH_fabric.json \
+      --fresh BENCH_fabric.ci.json --key BM_DspCoreRunBlock_items_per_s \
+      [--key ...] [--max-drop 0.10]
+"""
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--key", action="append", required=True)
+    parser.add_argument("--max-drop", type=float, default=0.10)
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    failed = False
+    for key in args.key:
+        if key not in baseline:
+            print(f"[skip] {key}: not in baseline (new benchmark?)")
+            continue
+        if key not in fresh:
+            print(f"[FAIL] {key}: missing from fresh run")
+            failed = True
+            continue
+        base, now = float(baseline[key]), float(fresh[key])
+        if base <= 0:
+            print(f"[skip] {key}: baseline rate is {base}")
+            continue
+        ratio = now / base
+        floor = 1.0 - args.max_drop
+        status = "FAIL" if ratio < floor else "ok"
+        print(f"[{status}] {key}: baseline {base:.4g}, fresh {now:.4g} "
+              f"({ratio * 100.0:.1f}% of baseline, floor {floor * 100.0:.0f}%)")
+        failed = failed or ratio < floor
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
