@@ -5,12 +5,15 @@
 // Methodology mirrors §3.2: thresholds are calibrated against terminated
 // (noise-only) input to the target false-alarm rates, then 10000 frames
 // (RJF_BENCH_FRAMES here) are sent per SNR point and detections counted.
+// The SNR sweep runs on the deterministic parallel sweep engine
+// (core/sweep.h): trials shard across RJF_BENCH_THREADS workers with the
+// same counts a sequential run would produce.
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "core/calibration.h"
-#include "core/detection_experiment.h"
 #include "core/presets.h"
+#include "core/sweep.h"
 #include "core/templates.h"
 #include "phy80211/ofdm.h"
 #include "phy80211/preamble.h"
@@ -34,35 +37,41 @@ int main() {
   const dsp::cvec single = phy80211::long_training_symbol();
 
   const std::size_t frames = bench::frames_per_point();
-  std::printf("frames per point: %zu (paper used 10000)\n\n", frames);
+  std::printf("frames per point: %zu (paper used 10000), %u worker threads\n\n",
+              frames, bench::resolved_sweep_threads());
 
-  const double snrs[] = {-6, -3, 0, 3, 5, 8, 12, 16, 20};
+  const std::vector<double> snrs = {-6, -3, 0, 3, 5, 8, 12, 16, 20};
+  double wall = 0.0;
   for (const double fa : {0.52, 0.083}) {
     core::JammerConfig config;
     config.detection = core::DetectionMode::kCrossCorrelator;
     config.xcorr_template = tpl;
     config.xcorr_threshold = model.threshold_for_rate(fa);
-    core::ReactiveJammer jammer(config);
+
+    core::SweepConfig sweep;
+    sweep.trials_per_point = frames;
+    sweep.threads = bench::sweep_threads();
+    core::DetectionRunConfig base;
+
+    sweep.seed = 0xF16;
+    const auto full = core::run_detection_sweep(
+        config, full_frame, core::DetectorTap::kXcorr, base, snrs, sweep);
+    sweep.seed = 0xF16 ^ 0x5555;
+    const auto one = core::run_detection_sweep(
+        config, single, core::DetectorTap::kXcorr, base, snrs, sweep);
+    wall += full.wall_seconds + one.wall_seconds;
 
     std::printf("false alarm rate %.3f triggers/s  (threshold %u)\n", fa,
                 config.xcorr_threshold);
     std::printf("%8s %18s %22s\n", "SNR(dB)", "P_det full frames",
                 "P_det single preamble");
-    for (const double snr : snrs) {
-      core::DetectionRunConfig run;
-      run.snr_db = snr;
-      run.num_frames = frames;
-      run.seed = 0xF16ULL + static_cast<std::uint64_t>(snr * 10);
-      const auto full = core::run_detection_experiment(
-          jammer, full_frame, core::DetectorTap::kXcorr, run);
-      run.seed ^= 0x5555;
-      const auto one = core::run_detection_experiment(
-          jammer, single, core::DetectorTap::kXcorr, run);
-      std::printf("%8.1f %18.3f %22.3f\n", snr, full.probability,
-                  one.probability);
-    }
+    for (std::size_t p = 0; p < snrs.size(); ++p)
+      std::printf("%8.1f %18.3f %22.3f\n", snrs[p],
+                  full.points[p].result.probability,
+                  one.points[p].result.probability);
     std::printf("\n");
   }
+  std::printf("sweep wall time: %.2f s\n\n", wall);
   std::printf(
       "expected shape (paper): full frames > single preambles (two LTS\n"
       "copies per frame give two chances); lower FA target -> lower P_det.\n"

@@ -2,11 +2,12 @@
 // 10 dB threshold. Paper shape: no detection below the floor, a band of
 // MULTIPLE detections per frame where OFDM dynamic-range variations
 // straddle the threshold, then exactly one clean detection per frame.
+// Runs on the deterministic parallel sweep engine (core/sweep.h).
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "core/detection_experiment.h"
 #include "core/presets.h"
+#include "core/sweep.h"
 #include "phy80211/transmitter.h"
 
 using namespace rjf;
@@ -17,27 +18,31 @@ int main() {
       "Fig. 8 (full WiFi frames, 10 dB energy threshold, FA = 0/s)");
 
   auto config = core::energy_reactive_preset(1e-4, 10.0);
-  core::ReactiveJammer jammer(config);
 
   std::vector<std::uint8_t> psdu(310, 0xA5);
   phy80211::Transmitter tx({phy80211::Rate::kMbps54, 0x5D});
   const dsp::cvec full_frame = tx.transmit(psdu);
 
   const std::size_t frames = bench::frames_per_point();
-  std::printf("frames per point: %zu (paper used 10000)\n\n", frames);
+  std::printf("frames per point: %zu (paper used 10000), %u worker threads\n\n",
+              frames, bench::resolved_sweep_threads());
+
+  const std::vector<double> snrs = {0.0, 3.0,  6.0,  7.0,  8.0, 9.0,
+                                    10.0, 11.0, 12.0, 15.0, 20.0};
+  core::SweepConfig sweep;
+  sweep.trials_per_point = frames;
+  sweep.threads = bench::sweep_threads();
+  sweep.seed = 0xF18;
+  core::DetectionRunConfig base;
+  const auto report = core::run_detection_sweep(
+      config, full_frame, core::DetectorTap::kEnergyHigh, base, snrs, sweep);
 
   std::printf("%8s %12s %18s\n", "SNR(dB)", "P_det", "detections/frame");
-  for (const double snr :
-       {0.0, 3.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 15.0, 20.0}) {
-    core::DetectionRunConfig run;
-    run.snr_db = snr;
-    run.num_frames = frames;
-    run.seed = 0xF18ULL + static_cast<std::uint64_t>(snr * 10);
-    const auto r = core::run_detection_experiment(
-        jammer, full_frame, core::DetectorTap::kEnergyHigh, run);
-    std::printf("%8.1f %12.3f %18.2f\n", snr, r.probability,
-                r.detections_per_frame);
-  }
+  for (const auto& point : report.points)
+    std::printf("%8.1f %12.3f %18.2f\n", point.snr_db,
+                point.result.probability, point.result.detections_per_frame);
+  std::printf("\nsweep wall time: %.2f s (%.0f trials/s, %zu shards)\n",
+              report.wall_seconds, report.trials_per_second(), report.shards);
   std::printf(
       "\nexpected shape (paper): zero detection below the threshold region,\n"
       "an over-triggering band (detections/frame > 1) where signal+noise\n"

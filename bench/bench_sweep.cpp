@@ -1,0 +1,114 @@
+// Sweep-engine scaling bench: a Fig. 6-style P_det-vs-SNR sweep run on the
+// deterministic parallel sweep engine at 1, 2 and N worker threads.
+//
+// Emits BENCH_sweep.json (override path with RJF_SWEEP_JSON) with the
+// single-thread and N-thread trial rates, the measured speedup, and a
+// sweep_deterministic flag proving that every thread count produced
+// bit-identical aggregate counts — the engine's core guarantee. CI gates
+// the flag and the speedup floor via tools/check_bench_regression.py.
+//
+//   RJF_BENCH_FRAMES   trials per SNR point (default 400)
+//   RJF_BENCH_THREADS  N for the parallel run (default 8)
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/calibration.h"
+#include "core/sweep.h"
+#include "core/templates.h"
+#include "phy80211/transmitter.h"
+
+using namespace rjf;
+
+namespace {
+
+bool same_counts(const core::SweepReport& a, const core::SweepReport& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    const auto& ra = a.points[p].result;
+    const auto& rb = b.points[p].result;
+    if (ra.frames_detected != rb.frames_detected ||
+        ra.total_detections != rb.total_detections ||
+        ra.frames_sent != rb.frames_sent)
+      return false;
+  }
+  return a.metrics.counter_value("sweep.detections") ==
+         b.metrics.counter_value("sweep.detections");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "bench_sweep — parallel sweep engine scaling",
+      "experiment layer for Figs. 6-8 (P_det vs SNR at paper trial counts)");
+
+  const auto tpl = core::wifi_long_preamble_template();
+  const core::XcorrNoiseModel model(tpl);
+  core::JammerConfig config;
+  config.detection = core::DetectionMode::kCrossCorrelator;
+  config.xcorr_template = tpl;
+  config.xcorr_threshold = model.threshold_for_rate(0.52);
+
+  std::vector<std::uint8_t> psdu(310, 0xA5);
+  phy80211::Transmitter tx({phy80211::Rate::kMbps54, 0x5D});
+  const dsp::cvec full_frame = tx.transmit(psdu);
+
+  const std::vector<double> snrs = {-3, 0, 3, 8, 12};
+  core::SweepConfig sweep;
+  sweep.trials_per_point = bench::frames_per_point();
+  sweep.seed = 0xF16;
+  core::DetectionRunConfig base;
+
+  const unsigned n_threads = bench::sweep_threads(8);
+  const unsigned host_cores = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("trials per point: %zu, %zu points; host cores: %u\n\n",
+              sweep.trials_per_point, snrs.size(), host_cores);
+
+  std::printf("%8s %14s %12s %10s\n", "threads", "trials/s", "wall(s)",
+              "speedup");
+  double rate_1t = 0.0;
+  double rate_nt = 0.0;
+  double wall_nt = 0.0;
+  bool deterministic = true;
+  core::SweepReport reference;
+  for (const unsigned threads : {1u, 2u, n_threads}) {
+    sweep.threads = threads;
+    const auto report = core::run_detection_sweep(
+        config, full_frame, core::DetectorTap::kXcorr, base, snrs, sweep);
+    if (threads == 1) {
+      reference = report;
+      rate_1t = report.trials_per_second();
+    } else {
+      deterministic = deterministic && same_counts(reference, report);
+    }
+    if (threads == n_threads) {
+      rate_nt = report.trials_per_second();
+      wall_nt = report.wall_seconds;
+    }
+    std::printf("%8u %14.0f %12.2f %9.2fx\n", threads,
+                report.trials_per_second(), report.wall_seconds,
+                report.trials_per_second() / rate_1t);
+  }
+  std::printf("\naggregates bit-identical across thread counts: %s\n",
+              deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
+
+  const char* json_path = std::getenv("RJF_SWEEP_JSON");
+  bench::JsonWriter json;
+  json.set("sweep_trials_per_point", static_cast<std::uint64_t>(sweep.trials_per_point));
+  json.set("sweep_points", static_cast<std::uint64_t>(snrs.size()));
+  json.set("sweep_threads", static_cast<std::uint64_t>(n_threads));
+  json.set("host_cores", static_cast<std::uint64_t>(host_cores));
+  json.set("sweep_trials_per_s_1t", rate_1t);
+  json.set("sweep_trials_per_s_nt", rate_nt);
+  json.set("sweep_wall_s_nt", wall_nt);
+  json.set("sweep_speedup", rate_1t > 0.0 ? rate_nt / rate_1t : 0.0);
+  json.set("sweep_deterministic", static_cast<std::uint64_t>(deterministic ? 1 : 0));
+  const std::string path = json_path != nullptr ? json_path : "BENCH_sweep.json";
+  if (json.write_file(path))
+    std::printf("wrote %s\n", path.c_str());
+
+  bench::print_footer();
+  return deterministic ? 0 : 1;
+}

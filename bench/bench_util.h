@@ -4,12 +4,14 @@
 //
 //   RJF_BENCH_FRAMES    frames per detection point   (default 400;  paper 10000)
 //   RJF_BENCH_DURATION  seconds per iperf test point (default 0.12; paper 60)
+//   RJF_BENCH_THREADS   sweep-engine worker threads  (default 0 = all cores)
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "obs/json_writer.h"
 
@@ -30,6 +32,21 @@ inline double iperf_duration_s(double fallback = 0.12) {
   if (const char* env = std::getenv("RJF_BENCH_DURATION"))
     return std::strtod(env, nullptr);
   return fallback;
+}
+
+/// Worker threads for the parallel sweep engine; 0 lets the engine use
+/// std::thread::hardware_concurrency().
+inline unsigned sweep_threads(unsigned fallback = 0) {
+  if (const char* env = std::getenv("RJF_BENCH_THREADS"))
+    return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  return fallback;
+}
+
+/// Resolved thread count, for printing alongside results.
+inline unsigned resolved_sweep_threads() {
+  const unsigned requested = sweep_threads();
+  return requested != 0 ? requested
+                        : std::max(1u, std::thread::hardware_concurrency());
 }
 
 inline void print_header(const char* title, const char* paper_ref) {

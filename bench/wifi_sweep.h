@@ -1,5 +1,10 @@
 // Shared SIR sweep for the Figs. 10-11 benches: the four jammer
 // configurations of §4.3 run over the iperf UDP test rig.
+//
+// Each (configuration, jam-power) point is one independent WifiNetworkSim
+// with a fixed seed, so the points of a sweep run in parallel on the sweep
+// engine's worker pool (core::run_shards) — results land in pre-sized
+// slots by point index and are identical at any RJF_BENCH_THREADS value.
 #pragma once
 
 #include <cstdio>
@@ -8,6 +13,7 @@
 
 #include "bench/bench_util.h"
 #include "core/presets.h"
+#include "core/sweep.h"
 #include "net/wifi_network.h"
 
 namespace rjf::bench {
@@ -31,19 +37,28 @@ inline SweepResult run_sweep(const std::string& label,
                              double duration_s) {
   SweepResult result;
   result.label = label;
-  for (const double power : jam_powers) {
+  result.points.resize(jam_powers.size());
+
+  // One shard per SIR point: the iperf run is the unit of work.
+  core::SweepConfig sweep;
+  sweep.trials_per_point = 1;
+  sweep.shard_trials = 1;
+  sweep.threads = sweep_threads();
+  const auto tasks =
+      core::make_shard_schedule(jam_powers.size(), sweep);
+  core::run_shards(tasks, sweep.threads, [&](const core::ShardTask& task) {
     net::WifiNetworkConfig config;
     config.iperf.duration_s = duration_s;
     config.jammer = jammer;
-    config.jammer_tx_power = power;
+    config.jammer_tx_power = jam_powers[task.point];
     config.seed = 1234;
     net::WifiNetworkSim sim(config);
     const auto run = sim.run();
-    result.points.push_back(SweepPoint{
+    result.points[task.point] = SweepPoint{
         run.measured_sir_db,
         run.report.bandwidth_kbps(config.iperf.datagram_bytes),
-        run.report.prr_percent(), run.jam_triggers, run.mean_tx_rate_mbps});
-  }
+        run.report.prr_percent(), run.jam_triggers, run.mean_tx_rate_mbps};
+  });
   return result;
 }
 

@@ -8,8 +8,7 @@
 #include <cstdlib>
 
 #include "core/calibration.h"
-#include "core/detection_experiment.h"
-#include "core/reactive_jammer.h"
+#include "core/sweep.h"
 #include "core/templates.h"
 #include "phy80211/transmitter.h"
 
@@ -43,28 +42,33 @@ int main(int argc, char** argv) {
   std::printf("empirical check: %llu triggers in %.1f simulated seconds\n",
               static_cast<unsigned long long>(counted), check_s);
 
-  // Step 4: detection-probability curve at the calibrated threshold.
+  // Step 4: detection-probability curve at the calibrated threshold, swept
+  // over all SNR points at once on the parallel sweep engine — trials
+  // shard across every core, and the counts match a sequential run bit
+  // for bit (same seed, any thread count).
   core::JammerConfig config;
   config.detection = core::DetectionMode::kCrossCorrelator;
   config.xcorr_template = tpl;
   config.xcorr_threshold = threshold;
-  core::ReactiveJammer jammer(config);
 
   std::vector<std::uint8_t> psdu(310, 0xA5);
   phy80211::Transmitter tx({phy80211::Rate::kMbps54, 0x5D});
   const dsp::cvec frame = tx.transmit(psdu);
 
-  std::printf("\ndetection probability (full WiFi frames, 200 per point):\n");
+  const std::vector<double> snrs = {-6.0, -3.0, 0.0, 3.0, 6.0, 10.0};
+  core::SweepConfig sweep;
+  sweep.trials_per_point = 200;
+  sweep.seed = 0xD7;
+  core::DetectionRunConfig base;
+  const auto report = core::run_detection_sweep(
+      config, frame, core::DetectorTap::kXcorr, base, snrs, sweep);
+
+  std::printf("\ndetection probability (full WiFi frames, 200 per point,\n"
+              "%u sweep workers, %.0f trials/s):\n",
+              report.threads_used, report.trials_per_second());
   std::printf("%10s %10s\n", "SNR (dB)", "P_det");
-  for (const double snr : {-6.0, -3.0, 0.0, 3.0, 6.0, 10.0}) {
-    core::DetectionRunConfig run;
-    run.snr_db = snr;
-    run.num_frames = 200;
-    run.seed = 0xD7;
-    const auto r = core::run_detection_experiment(jammer, frame,
-                                                  core::DetectorTap::kXcorr, run);
-    std::printf("%10.1f %10.3f\n", snr, r.probability);
-  }
+  for (const auto& point : report.points)
+    std::printf("%10.1f %10.3f\n", point.snr_db, point.result.probability);
   std::printf("\nTune the trade-off by re-running with a different budget,\n"
               "e.g. ./detector_tuning 0.52\n");
   return 0;

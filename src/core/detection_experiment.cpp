@@ -8,58 +8,112 @@
 #include "dsp/resampler.h"
 #include "dsp/rng.h"
 #include "fpga/dsp_core.h"
+#include "obs/metrics.h"
 
 namespace rjf::core {
 
-DetectionRunResult run_detection_experiment(
-    ReactiveJammer& jammer, std::span<const dsp::cfloat> frame_native,
-    DetectorTap tap, const DetectionRunConfig& config) {
-  DetectionRunResult result;
-  result.frames_sent = config.num_frames;
+DetectionTrialPlan prepare_detection_trials(
+    std::span<const dsp::cfloat> frame_native, DetectorTap tap,
+    const DetectionRunConfig& config) {
+  DetectionTrialPlan plan;
+  plan.lead_in = config.lead_in;
+  plan.tail = config.tail;
+  plan.noise_power = config.noise_power;
+  plan.max_cfo_hz = config.max_cfo_hz;
+  plan.seed = config.seed;
+  plan.tap = tap;
 
   // Pre-render the frame at the fabric rate for each fractional timing
   // phase; trials then pick a phase at random, modelling the free-running
   // TX/RX sample clocks.
   const unsigned phases = std::max(config.timing_phases, 1u);
   const dsp::Resampler to_fabric(config.tx_rate_hz, fpga::kBasebandRateHz);
-  std::vector<dsp::cvec> variants(phases);
   const double target_power =
       config.noise_power * dsp::ratio_from_db(config.snr_db);
+  plan.variants.resize(phases);
   for (unsigned p = 0; p < phases; ++p) {
-    variants[p] = to_fabric.resample(
+    plan.variants[p] = to_fabric.resample(
         frame_native, static_cast<double>(p) / static_cast<double>(phases));
-    dsp::set_mean_power(std::span<dsp::cfloat>(variants[p]), target_power);
+    dsp::set_mean_power(std::span<dsp::cfloat>(plan.variants[p]),
+                        target_power);
   }
+  return plan;
+}
 
-  dsp::Xoshiro256 rng(config.seed);
-  dsp::NoiseSource noise(config.noise_power, config.seed ^ 0xA5A5A5A5ULL);
+dsp::cfloat cfo_phasor(double w, std::uint64_t k) noexcept {
+  const double phase =
+      std::remainder(w * static_cast<double>(k), 2.0 * std::numbers::pi);
+  return dsp::cfloat{static_cast<float>(std::cos(phase)),
+                     static_cast<float>(std::sin(phase))};
+}
 
-  for (std::size_t f = 0; f < config.num_frames; ++f) {
-    const dsp::cvec& frame = variants[rng.uniform_int(phases)];
-    dsp::cvec capture(config.lead_in + frame.size() + config.tail);
+DetectionTrialCounts run_detection_trials(ReactiveJammer& jammer,
+                                          const DetectionTrialPlan& plan,
+                                          std::size_t first_trial,
+                                          std::size_t num_trials,
+                                          obs::MetricsRegistry* metrics) {
+  DetectionTrialCounts counts;
+  obs::Histogram* per_trial = nullptr;
+  if (metrics != nullptr)
+    // 0..14 events per trial, then overflow; covers Fig. 8's over-trigger
+    // band (a few detections/frame) with headroom.
+    per_trial = &metrics->histogram("sweep.detections_per_trial", 0, 1, 15);
+
+  for (std::size_t t = first_trial; t < first_trial + num_trials; ++t) {
+    // Each trial owns a derived RNG stream: impairments depend only on the
+    // trial index, never on which trials ran before (or on which thread).
+    dsp::Xoshiro256 rng(dsp::derive_seed(plan.seed, t));
+    const std::uint64_t noise_seed = rng.next();
+    const dsp::cvec& frame = plan.variants[rng.uniform_int(plan.variants.size())];
+
+    dsp::NoiseSource noise(plan.noise_power, noise_seed);
+    dsp::cvec capture(plan.lead_in + frame.size() + plan.tail);
     for (auto& s : capture) s = noise.sample();
 
-    // Per-trial carrier frequency offset.
-    const double cfo =
-        (2.0 * rng.uniform() - 1.0) * config.max_cfo_hz;
+    // Per-trial carrier frequency offset; phase evaluated in double and
+    // wrapped, so long captures keep full precision (see cfo_phasor()).
+    const double cfo = (2.0 * rng.uniform() - 1.0) * plan.max_cfo_hz;
     const double w = 2.0 * std::numbers::pi * cfo / fpga::kBasebandRateHz;
-    for (std::size_t k = 0; k < frame.size(); ++k) {
-      const auto rot = static_cast<float>(w * static_cast<double>(k));
-      capture[config.lead_in + k] +=
-          frame[k] * dsp::cfloat{std::cos(rot), std::sin(rot)};
-    }
+    for (std::size_t k = 0; k < frame.size(); ++k)
+      capture[plan.lead_in + k] += frame[k] * cfo_phasor(w, k);
+
+    // §3.2 requires independent trials: flush the energy differentiator's
+    // moving sums, the correlator pipeline and the trigger FSM so nothing
+    // carries over from the previous capture.
+    jammer.reset_detection_state();
 
     const auto run = jammer.observe(capture);
     std::uint64_t events = 0;
-    switch (tap) {
+    switch (plan.tap) {
       case DetectorTap::kXcorr: events = run.xcorr_detections; break;
       case DetectorTap::kEnergyHigh: events = run.energy_high_detections; break;
       case DetectorTap::kJamTrigger: events = run.jam_triggers; break;
     }
-    result.total_detections += events;
-    if (events > 0) ++result.frames_detected;
+    counts.total_detections += events;
+    if (events > 0) ++counts.frames_detected;
+    if (per_trial != nullptr) per_trial->record(events);
   }
 
+  if (metrics != nullptr) {
+    metrics->add("sweep.trials", num_trials);
+    metrics->add("sweep.frames_detected", counts.frames_detected);
+    metrics->add("sweep.detections", counts.total_detections);
+  }
+  return counts;
+}
+
+DetectionRunResult run_detection_experiment(
+    ReactiveJammer& jammer, std::span<const dsp::cfloat> frame_native,
+    DetectorTap tap, const DetectionRunConfig& config) {
+  const DetectionTrialPlan plan =
+      prepare_detection_trials(frame_native, tap, config);
+  const DetectionTrialCounts counts =
+      run_detection_trials(jammer, plan, 0, config.num_frames);
+
+  DetectionRunResult result;
+  result.frames_sent = config.num_frames;
+  result.frames_detected = counts.frames_detected;
+  result.total_detections = counts.total_detections;
   result.probability = static_cast<double>(result.frames_detected) /
                        static_cast<double>(result.frames_sent);
   result.detections_per_frame =

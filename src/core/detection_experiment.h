@@ -7,6 +7,15 @@
 // lead-in noise, the frame at the target SNR, tail noise — and counts
 // detector events inside it, which is statistically identical and tractable.
 //
+// Trials are *strictly* independent: every trial seeds its own RNG stream
+// (dsp::derive_seed(config.seed, trial_index)) and the fabric's detector
+// state is flushed before each capture (ReactiveJammer::
+// reset_detection_state()), so trial N's moving sums, correlator pipeline
+// and trigger-FSM stage can never leak into trial N+1, and per-trial
+// results depend only on the trial index — not on execution order. That
+// property is what lets the sweep engine (core/sweep.h) shard a run across
+// worker threads and still reproduce the sequential counts bit-for-bit.
+//
 // The transmitter runs at its standard's native rate; the harness converts
 // each frame to the jammer's 25 MSPS sampling domain with a per-trial
 // random fractional timing offset (independent TX/RX sample clocks) and a
@@ -15,8 +24,13 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/reactive_jammer.h"
+
+namespace rjf::obs {
+class MetricsRegistry;
+}  // namespace rjf::obs
 
 namespace rjf::core {
 
@@ -42,8 +56,63 @@ struct DetectionRunResult {
 
 enum class DetectorTap { kXcorr, kEnergyHigh, kJamTrigger };
 
+/// Everything a trial needs that is shared (read-only) across trials: the
+/// frame pre-rendered at the fabric rate for each fractional timing phase,
+/// scaled to the target receive power, plus the per-trial impairment
+/// bounds. Immutable after prepare_detection_trials(), so any number of
+/// worker threads may run trials against the same plan concurrently.
+struct DetectionTrialPlan {
+  std::vector<dsp::cvec> variants;  // one per timing phase, fabric rate
+  std::size_t lead_in = 0;
+  std::size_t tail = 0;
+  double noise_power = 0.0;
+  double max_cfo_hz = 0.0;
+  std::uint64_t seed = 0;           // base seed; trial t uses derive_seed(seed, t)
+  DetectorTap tap = DetectorTap::kXcorr;
+};
+
+/// Pre-render `frame_native` for every timing phase at the experiment's SNR.
+[[nodiscard]] DetectionTrialPlan prepare_detection_trials(
+    std::span<const dsp::cfloat> frame_native, DetectorTap tap,
+    const DetectionRunConfig& config);
+
+/// Partial counts from a contiguous range of trials. Counts merge by plain
+/// addition, so shard outcomes combine associatively and commutatively —
+/// the aggregate is identical for any partition of the trial range.
+struct DetectionTrialCounts {
+  std::size_t frames_detected = 0;
+  std::uint64_t total_detections = 0;
+  void merge(const DetectionTrialCounts& other) noexcept {
+    frames_detected += other.frames_detected;
+    total_detections += other.total_detections;
+  }
+};
+
+/// The per-trial kernel: run trials [first_trial, first_trial + num_trials)
+/// of `plan` through `jammer`. Each trial flushes the fabric's detector
+/// state and draws its impairments from its own derived RNG stream, so the
+/// result depends only on (plan.seed, trial index). When `metrics` is
+/// non-null the kernel records trial/detection counters and a
+/// detections-per-trial histogram into it (callers running shards give each
+/// shard its own registry and merge afterwards).
+[[nodiscard]] DetectionTrialCounts run_detection_trials(
+    ReactiveJammer& jammer, const DetectionTrialPlan& plan,
+    std::size_t first_trial, std::size_t num_trials,
+    obs::MetricsRegistry* metrics = nullptr);
+
+/// Unit phasor e^{j·w·k} for the per-trial CFO rotation, evaluated in
+/// double precision with the phase wrapped to [-pi, pi] before the cast to
+/// float. Accumulating w·k in float loses ~milliradians of phase by the
+/// end of a WiMAX-length capture (24-bit mantissa at phase magnitudes of
+/// thousands of radians); wrapping first keeps the error at double
+/// round-off regardless of capture length.
+[[nodiscard]] dsp::cfloat cfo_phasor(double w, std::uint64_t k) noexcept;
+
 /// Run the experiment: `frame_native` is the frame waveform at
 /// `config.tx_rate_hz` with arbitrary scale (re-scaled per-trial).
+/// Equivalent to prepare_detection_trials() + one run_detection_trials()
+/// over the whole range — the sweep engine's sharded execution reproduces
+/// this sequential path bit-for-bit.
 [[nodiscard]] DetectionRunResult run_detection_experiment(
     ReactiveJammer& jammer, std::span<const dsp::cfloat> frame_native,
     DetectorTap tap, const DetectionRunConfig& config);

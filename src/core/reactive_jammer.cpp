@@ -108,6 +108,11 @@ obs::MetricsRegistry* ReactiveJammer::metrics() const noexcept {
   return telemetry_ != nullptr ? &telemetry_->metrics() : nullptr;
 }
 
+void ReactiveJammer::reset_detection_state() {
+  radio_.core().reset();
+  radio_.core().apply_registers();
+}
+
 void ReactiveJammer::tune(double freq_hz) {
   radio_.frontend().tune(freq_hz);
   if (telemetry_ != nullptr)

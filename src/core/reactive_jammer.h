@@ -38,6 +38,15 @@ class ReactiveJammer {
   /// Metrics of the attached telemetry bundle, nullptr when detached.
   [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept;
 
+  /// Flush all detector and jammer pipeline state — energy-differentiator
+  /// moving sums, correlator shift registers, trigger-FSM stage, TX
+  /// countdowns, feedback counters and VITA time — while preserving the
+  /// programmed personality (register contents survive a fabric reset and
+  /// are re-latched into the datapath). Experiment harnesses call this
+  /// between captures so trials are independent (§3.2); do not call while
+  /// a settings-bus write is in flight.
+  void reset_detection_state();
+
   /// Tune both TX and RX front ends (they start together; paper §2.1).
   void tune(double freq_hz);
   void set_tx_gain(double db);

@@ -1,0 +1,151 @@
+#include "core/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "dsp/rng.h"
+
+namespace rjf::core {
+
+std::vector<ShardTask> make_shard_schedule(std::size_t num_points,
+                                           const SweepConfig& config) {
+  const std::size_t shard_trials = std::max<std::size_t>(config.shard_trials, 1);
+  std::vector<ShardTask> tasks;
+  std::size_t index = 0;
+  for (std::size_t p = 0; p < num_points; ++p) {
+    for (std::size_t first = 0; first < config.trials_per_point;
+         first += shard_trials) {
+      ShardTask task;
+      task.point = p;
+      task.index = index;
+      task.seed = dsp::derive_seed(config.seed, index);
+      task.first_trial = first;
+      task.trials = std::min(shard_trials, config.trials_per_point - first);
+      tasks.push_back(task);
+      ++index;
+    }
+  }
+  return tasks;
+}
+
+void run_shards(std::span<const ShardTask> tasks, unsigned threads,
+                const std::function<void(const ShardTask&)>& kernel) {
+  if (tasks.empty()) return;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, tasks.size()));
+
+  if (threads <= 1) {
+    for (const ShardTask& task : tasks) kernel(task);
+    return;
+  }
+
+  // Dynamic work-stealing off one atomic cursor: workers pull the next
+  // unclaimed shard, so a slow shard (long frame, high-SNR over-triggering)
+  // never stalls the rest of the schedule. Result placement is by
+  // task.index, so claim order cannot affect the merged report.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      try {
+        kernel(tasks[i]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+SweepReport run_detection_sweep(const JammerConfig& jammer_config,
+                                std::span<const dsp::cfloat> frame_native,
+                                DetectorTap tap,
+                                const DetectionRunConfig& base,
+                                std::span<const double> snr_points_db,
+                                const SweepConfig& sweep) {
+  const auto started = std::chrono::steady_clock::now();
+
+  // Per-point read-only trial plans (pre-rendered, power-scaled variants).
+  // Point p's trials derive from derive_seed(sweep.seed, p), matching a
+  // sequential run_detection_experiment with that seed.
+  std::vector<DetectionTrialPlan> plans;
+  plans.reserve(snr_points_db.size());
+  for (std::size_t p = 0; p < snr_points_db.size(); ++p) {
+    DetectionRunConfig config = base;
+    config.snr_db = snr_points_db[p];
+    config.num_frames = sweep.trials_per_point;
+    config.seed = dsp::derive_seed(sweep.seed, p);
+    plans.push_back(prepare_detection_trials(frame_native, tap, config));
+  }
+
+  const std::vector<ShardTask> tasks =
+      make_shard_schedule(snr_points_db.size(), sweep);
+
+  // Outcome slots keyed by shard index: workers write disjoint entries.
+  std::vector<DetectionTrialCounts> outcomes(tasks.size());
+  std::vector<obs::MetricsRegistry> shard_metrics(tasks.size());
+  std::vector<std::uint64_t> shard_trials(tasks.size(), 0);
+
+  run_shards(tasks, sweep.threads, [&](const ShardTask& task) {
+    // Every shard programs its own jammer/fabric instance from the shared
+    // personality: no mutable state crosses shard boundaries.
+    ReactiveJammer jammer(jammer_config);
+    outcomes[task.index] =
+        run_detection_trials(jammer, plans[task.point], task.first_trial,
+                             task.trials, &shard_metrics[task.index]);
+    shard_trials[task.index] = task.trials;
+  });
+
+  SweepReport report;
+  report.threads_used =
+      sweep.threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                         : sweep.threads;
+  report.shards = tasks.size();
+  report.shard_trials = std::move(shard_trials);
+  report.points.resize(snr_points_db.size());
+  for (std::size_t p = 0; p < snr_points_db.size(); ++p) {
+    report.points[p].snr_db = snr_points_db[p];
+    report.points[p].seed = plans[p].seed;
+    report.points[p].result.frames_sent = sweep.trials_per_point;
+  }
+
+  // Deterministic merge: fold shard outcomes and metrics in index order.
+  std::vector<DetectionTrialCounts> totals(snr_points_db.size());
+  for (const ShardTask& task : tasks) {
+    totals[task.point].merge(outcomes[task.index]);
+    report.metrics.merge(shard_metrics[task.index]);
+  }
+  for (std::size_t p = 0; p < snr_points_db.size(); ++p) {
+    auto& result = report.points[p].result;
+    result.frames_detected = totals[p].frames_detected;
+    result.total_detections = totals[p].total_detections;
+    if (result.frames_sent > 0) {
+      result.probability = static_cast<double>(result.frames_detected) /
+                           static_cast<double>(result.frames_sent);
+      result.detections_per_frame =
+          static_cast<double>(result.total_detections) /
+          static_cast<double>(result.frames_sent);
+    }
+  }
+
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  return report;
+}
+
+}  // namespace rjf::core

@@ -1,0 +1,124 @@
+// Deterministic parallel sweep engine.
+//
+// Every headline result in the paper is a sweep — P_det vs SNR over 10000
+// frames per point (Figs. 6-8), iperf bandwidth/PRR vs SIR (Figs. 10-11) —
+// and each trial within a point is independent by construction (§3.2).
+// The engine exploits that: a sweep of P points × T trials is cut into
+// shards of at most `shard_trials` consecutive trials, the shards are
+// executed by a pool of worker threads, and the per-shard outcomes are
+// merged back in shard-index order.
+//
+// Determinism guarantee: the aggregate counts of a sweep depend only on
+// (seed, points, trials_per_point) — NOT on the thread count, the shard
+// size, or the order in which the scheduler happened to run the shards.
+// Three properties enforce it:
+//
+//   1. Seeds derive from logical indices. A shard's RNG stream is
+//      dsp::derive_seed(config.seed, shard_index) (splitmix64); the
+//      detection kernel goes one level finer and derives per-TRIAL streams
+//      from the point seed, so even re-sharding cannot change a trial's
+//      random draws.
+//   2. Shards share no mutable state. Each shard gets its own jammer /
+//      fabric instance (built from the same JammerConfig), its own noise
+//      and impairment RNGs, and its own obs::MetricsRegistry; the
+//      read-only DetectionTrialPlan is the only shared data.
+//   3. Merging is associative bookkeeping. Shard outcomes land in a
+//      pre-sized slot vector keyed by shard index; the engine folds them
+//      sequentially in index order after the pool drains, so floating
+//      summaries are computed from identical integer totals every run.
+//
+// See DESIGN.md "Sweep engine" for the full scheme.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/detection_experiment.h"
+#include "obs/metrics.h"
+
+namespace rjf::core {
+
+struct SweepConfig {
+  std::size_t trials_per_point = 1000;
+  /// Work-unit granularity. Smaller shards balance better across workers;
+  /// the aggregate result is the same for ANY value (determinism does not
+  /// ride on it).
+  std::size_t shard_trials = 250;
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned threads = 0;
+  std::uint64_t seed = 1;
+};
+
+/// One schedulable unit: a contiguous range of trials of one sweep point.
+struct ShardTask {
+  std::size_t point = 0;        // index into the sweep's point axis
+  std::size_t index = 0;        // global shard index (result slot + seed stream)
+  std::uint64_t seed = 0;       // dsp::derive_seed(config.seed, index)
+  std::size_t first_trial = 0;  // offset of the shard's first trial in its point
+  std::size_t trials = 0;
+};
+
+/// Cut num_points × trials_per_point into the deterministic shard list:
+/// points in order, each point's trials in contiguous shards of at most
+/// config.shard_trials, global shard indices (and therefore seed streams)
+/// assigned in schedule order.
+[[nodiscard]] std::vector<ShardTask> make_shard_schedule(
+    std::size_t num_points, const SweepConfig& config);
+
+/// Execute every task exactly once on a pool of `threads` workers (0 =>
+/// hardware concurrency; 1 => run inline in index order, no threads
+/// spawned). The kernel must write its outcome into caller-owned storage
+/// keyed by task.index or task.point — slots are never contended because
+/// indices are unique. The first exception thrown by a kernel is rethrown
+/// here after the pool drains.
+void run_shards(std::span<const ShardTask> tasks, unsigned threads,
+                const std::function<void(const ShardTask&)>& kernel);
+
+struct SweepPointReport {
+  double snr_db = 0.0;
+  std::uint64_t seed = 0;  // per-point base seed the trials derived from
+  DetectionRunResult result;
+};
+
+struct SweepReport {
+  std::vector<SweepPointReport> points;
+  unsigned threads_used = 1;
+  std::size_t shards = 0;
+  double wall_seconds = 0.0;
+  /// Trials executed per shard, by shard index (diagnostics: the schedule
+  /// is deterministic, so this vector is too).
+  std::vector<std::uint64_t> shard_trials;
+  /// Per-shard registries merged in shard-index order: sweep.trials,
+  /// sweep.frames_detected, sweep.detections counters and the
+  /// sweep.detections_per_trial histogram.
+  obs::MetricsRegistry metrics;
+
+  [[nodiscard]] std::size_t total_trials() const noexcept {
+    std::size_t n = 0;
+    for (const auto& p : points) n += p.result.frames_sent;
+    return n;
+  }
+  [[nodiscard]] double trials_per_second() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(total_trials()) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Fig. 6/7/8-style parallel detection sweep: for each SNR point, run
+/// `sweep.trials_per_point` independent trials of `frame_native` against a
+/// fresh jammer programmed with `jammer_config`, sharded across the worker
+/// pool. `base` supplies the non-swept knobs (noise floor, lead-in, rates,
+/// CFO bound); its snr_db / num_frames / seed are overridden per point.
+/// Point p's trials derive from seed dsp::derive_seed(sweep.seed, p), so
+/// the per-point aggregates equal a sequential run_detection_experiment()
+/// with that seed, bit for bit.
+[[nodiscard]] SweepReport run_detection_sweep(
+    const JammerConfig& jammer_config,
+    std::span<const dsp::cfloat> frame_native, DetectorTap tap,
+    const DetectionRunConfig& base, std::span<const double> snr_points_db,
+    const SweepConfig& sweep);
+
+}  // namespace rjf::core

@@ -21,6 +21,15 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
 
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) noexcept {
+  // Each stream advances the splitmix state by its own multiple of the
+  // golden gamma (the increment splitmix64 itself uses), so stream k's seed
+  // equals the (k+1)-th output of a splitmix sequence started at `base`:
+  // well-mixed, collision-free across streams, and independent of ordering.
+  std::uint64_t state = base + stream * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(state);
+}
+
 Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);

@@ -11,6 +11,14 @@
 
 namespace rjf::dsp {
 
+/// Derive the seed for an independent random stream from a base seed and a
+/// stream index (splitmix64 over base + index·golden-gamma). Used by the
+/// sweep engine so shard/trial RNG streams depend only on logical indices —
+/// never on thread scheduling — making parallel experiments reproducible
+/// bit-for-bit at any worker count.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
+                                        std::uint64_t stream) noexcept;
+
 class Xoshiro256 {
  public:
   explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;

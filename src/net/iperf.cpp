@@ -4,16 +4,38 @@
 #include <limits>
 
 namespace rjf::net {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// Datagram n is offered at t = n * interval; real iperf keeps sending
+// through the whole test window, so arrivals span [0, duration] INCLUSIVE
+// of the final interval boundary: floor(duration/interval) + 1 datagrams
+// (the +1 is the one at t = 0 that a bare floor() quotient drops).
+std::uint64_t datagram_count(const IperfConfig& config,
+                             double interval_s) noexcept {
+  if (!(interval_s > 0.0) || !std::isfinite(interval_s) ||
+      config.duration_s < 0.0)
+    return 0;
+  return static_cast<std::uint64_t>(
+             std::floor(config.duration_s / interval_s)) +
+         1;
+}
+
+}  // namespace
 
 IperfSource::IperfSource(const IperfConfig& config) noexcept
     : config_(config),
-      interval_s_(static_cast<double>(config.datagram_bytes) * 8.0 /
-                  (config.offered_mbps * 1e6)),
-      total_(static_cast<std::uint64_t>(
-          std::floor(config.duration_s / interval_s_))) {}
+      // Guard degenerate configs (-b 0, zero-byte datagrams): an infinite
+      // interval offers nothing rather than dividing by zero.
+      interval_s_(config.offered_mbps > 0.0 && config.datagram_bytes > 0
+                      ? static_cast<double>(config.datagram_bytes) * 8.0 /
+                            (config.offered_mbps * 1e6)
+                      : kInfinity),
+      total_(datagram_count(config, interval_s_)) {}
 
 double IperfSource::next_arrival_s() const noexcept {
-  if (produced_ >= total_) return std::numeric_limits<double>::infinity();
+  if (produced_ >= total_) return kInfinity;
   return static_cast<double>(produced_) * interval_s_;
 }
 

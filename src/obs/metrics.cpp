@@ -27,6 +27,20 @@ void Histogram::record(std::uint64_t value) noexcept {
   ++bins_[bin];
 }
 
+bool Histogram::merge(const Histogram& other) noexcept {
+  if (min_ != other.min_ || bin_width_ != other.bin_width_ ||
+      bins_.size() != other.bins_.size())
+    return false;
+  for (std::size_t k = 0; k < bins_.size(); ++k) bins_[k] += other.bins_[k];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  min_seen_ = std::min(min_seen_, other.min_seen_);
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+  return true;
+}
+
 void Histogram::write_json(JsonWriter& out) const {
   out.set("min", min_);
   out.set("bin_width", bin_width_);
@@ -64,6 +78,17 @@ const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::size_t MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
+  std::size_t conflicts = 0;
+  for (const auto& [name, hist] : other.histograms_) {
+    const auto [it, inserted] = histograms_.emplace(name, hist);
+    if (!inserted && !it->second.merge(hist)) ++conflicts;
+  }
+  return conflicts;
 }
 
 void MetricsRegistry::write_json(JsonWriter& out) const {

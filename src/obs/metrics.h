@@ -25,6 +25,14 @@ class Histogram {
 
   void record(std::uint64_t value) noexcept;
 
+  /// Merge another histogram recorded with the same binning (min, width,
+  /// bin count) into this one; bins, totals and extrema combine so the
+  /// result equals one histogram having recorded both value streams, in
+  /// any merge order. Returns false (and changes nothing) when the
+  /// binnings differ. Lets sweep shards record into private histograms
+  /// that the engine folds together deterministically afterwards.
+  bool merge(const Histogram& other) noexcept;
+
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
   [[nodiscard]] double mean() const noexcept {
@@ -87,6 +95,15 @@ class MetricsRegistry {
   [[nodiscard]] const std::map<std::string, double>& gauges() const {
     return gauges_;
   }
+
+  /// Fold another registry into this one: counters add, gauges adopt the
+  /// other's value (last merge wins — gauges are point-in-time readings),
+  /// histograms merge bin-wise when the binning matches and are copied
+  /// when absent here. Merging every shard's registry in shard-index order
+  /// yields the same result on every run regardless of which threads
+  /// produced the shards. Returns the number of histograms that could NOT
+  /// be merged because their binning conflicted (0 on full success).
+  std::size_t merge(const MetricsRegistry& other);
 
   /// Serialise everything into `out` under "counters" / "gauges" /
   /// "histograms" nested objects.

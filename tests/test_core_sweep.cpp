@@ -1,0 +1,317 @@
+// Deterministic parallel sweep engine: shard scheduling, seed derivation,
+// worker-pool execution, trial independence of the detection harness, and
+// the bit-identical-across-thread-counts guarantee.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numbers>
+#include <set>
+#include <stdexcept>
+
+#include "core/detection_experiment.h"
+#include "core/presets.h"
+#include "core/sweep.h"
+#include "core/templates.h"
+#include "dsp/rng.h"
+#include "phy80211/preamble.h"
+
+namespace rjf::core {
+namespace {
+
+// A small pseudo-frame (one long training symbol) keeps each trial's
+// capture short so multi-hundred-trial sweeps stay fast in CI.
+dsp::cvec test_frame() { return phy80211::long_training_symbol(); }
+
+JammerConfig xcorr_config() {
+  JammerConfig config;
+  config.detection = DetectionMode::kCrossCorrelator;
+  config.xcorr_template = wifi_long_preamble_template();
+  config.xcorr_threshold = 9000;
+  return config;
+}
+
+DetectionRunConfig small_run(std::size_t frames, std::uint64_t seed) {
+  DetectionRunConfig config;
+  config.snr_db = 6.0;
+  config.num_frames = frames;
+  // No lead-in: the frame starts inside whatever the 64-tap correlator
+  // window held at capture start, so any state leaking from a previous
+  // capture lands directly on the detection metric.
+  config.lead_in = 0;
+  config.tail = 64;
+  config.seed = seed;
+  return config;
+}
+
+TEST(DeriveSeed, StreamsAreDistinctAndReproducible) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 1000; ++s) {
+    const std::uint64_t a = dsp::derive_seed(42, s);
+    EXPECT_EQ(a, dsp::derive_seed(42, s));
+    seen.insert(a);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_NE(dsp::derive_seed(1, 0), dsp::derive_seed(2, 0));
+}
+
+TEST(ShardSchedule, CoversEveryTrialExactlyOnce) {
+  SweepConfig sweep;
+  sweep.trials_per_point = 1000;
+  sweep.shard_trials = 256;
+  sweep.seed = 7;
+  const auto tasks = make_shard_schedule(3, sweep);
+  ASSERT_EQ(tasks.size(), 12u);  // 4 shards per point (256+256+256+232)
+  std::vector<std::vector<bool>> covered(3, std::vector<bool>(1000, false));
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& task = tasks[i];
+    EXPECT_EQ(task.index, i);
+    EXPECT_EQ(task.seed, dsp::derive_seed(7, i));
+    for (std::size_t t = task.first_trial; t < task.first_trial + task.trials;
+         ++t) {
+      EXPECT_FALSE(covered[task.point][t]);
+      covered[task.point][t] = true;
+    }
+  }
+  for (const auto& point : covered)
+    for (const bool c : point) EXPECT_TRUE(c);
+}
+
+TEST(ShardSchedule, RemainderShardAndOversizeClamp) {
+  SweepConfig sweep;
+  sweep.trials_per_point = 10;
+  sweep.shard_trials = 4;
+  auto tasks = make_shard_schedule(1, sweep);
+  ASSERT_EQ(tasks.size(), 3u);
+  EXPECT_EQ(tasks.back().trials, 2u);  // 4 + 4 + 2
+  sweep.shard_trials = 1000;           // bigger than the point: one shard
+  tasks = make_shard_schedule(1, sweep);
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].trials, 10u);
+}
+
+TEST(RunShards, ExecutesEveryTaskOnceAtAnyThreadCount) {
+  SweepConfig sweep;
+  sweep.trials_per_point = 64;
+  sweep.shard_trials = 8;
+  const auto tasks = make_shard_schedule(2, sweep);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    std::vector<std::atomic<int>> runs(tasks.size());
+    run_shards(tasks, threads,
+               [&](const ShardTask& task) { ++runs[task.index]; });
+    for (const auto& r : runs) EXPECT_EQ(r.load(), 1);
+  }
+}
+
+TEST(RunShards, PropagatesKernelExceptions) {
+  SweepConfig sweep;
+  sweep.trials_per_point = 16;
+  sweep.shard_trials = 4;
+  const auto tasks = make_shard_schedule(1, sweep);
+  EXPECT_THROW(
+      run_shards(tasks, 4,
+                 [&](const ShardTask& task) {
+                   if (task.index == 2) throw std::runtime_error("boom");
+                 }),
+      std::runtime_error);
+}
+
+// §3.2 regression: per-trial results must not depend on which trials ran
+// before. The sequenced kXcorrThenEnergy mode is the sharpest probe: each
+// capture legitimately completes the sequence once (xcorr on the first
+// preamble, energy rise on the burst after the gap) and then re-arms stage
+// 1 on the burst's own correlation peak. Pre-fix that armed stage leaked
+// into the next capture — its frame-onset energy rise completed a
+// sequence that never started there, firing a spurious extra jam trigger
+// on every trial except the first.
+TEST(TrialIndependence, PerTrialResultsAreOrderIndependent) {
+  // Preamble, a gap at the noise floor long enough for the energy
+  // reference to adapt, then a second burst: one xcorr->energy sequence
+  // per capture for a detector whose FSM starts disarmed.
+  const auto lts = phy80211::long_training_symbol();
+  dsp::cvec frame(lts.begin(), lts.end());
+  frame.resize(lts.size() + 160, dsp::cfloat{0.0f, 0.0f});
+  frame.insert(frame.end(), lts.begin(), lts.end());
+
+  JammerConfig sequenced;
+  sequenced.detection = DetectionMode::kXcorrThenEnergy;
+  sequenced.xcorr_template = wifi_long_preamble_template();
+  sequenced.xcorr_threshold = 9000;
+  sequenced.energy_high_db = 10.0;
+
+  auto config = small_run(24, 0xBEEF);
+  config.snr_db = 14.0;
+  config.lead_in = 128;  // the 96-sample energy pipeline arms pre-frame
+  const auto plan =
+      prepare_detection_trials(frame, DetectorTap::kJamTrigger, config);
+
+  // Batch: all trials through one jammer, in order.
+  ReactiveJammer batch_jammer(sequenced);
+  const auto batch = run_detection_trials(batch_jammer, plan, 0, 24);
+  EXPECT_EQ(batch.frames_detected, 24u);  // every capture fires its sequence
+
+  // Isolation: each trial on its own fresh jammer, in REVERSE order.
+  DetectionTrialCounts isolated;
+  for (std::size_t t = 24; t-- > 0;) {
+    ReactiveJammer jammer(sequenced);
+    isolated.merge(run_detection_trials(jammer, plan, t, 1));
+  }
+  EXPECT_EQ(isolated.frames_detected, batch.frames_detected);
+  EXPECT_EQ(isolated.total_detections, batch.total_detections);
+
+  // Split at an arbitrary boundary on one reused jammer: same counts.
+  ReactiveJammer split_jammer(sequenced);
+  auto split = run_detection_trials(split_jammer, plan, 17, 7);
+  split.merge(run_detection_trials(split_jammer, plan, 0, 17));
+  EXPECT_EQ(split.frames_detected, batch.frames_detected);
+  EXPECT_EQ(split.total_detections, batch.total_detections);
+}
+
+TEST(TrialIndependence, DetectorStateIsFlushedBetweenCaptures) {
+  // A jammer that has already chewed through a capture must give the same
+  // verdict on the next one as a factory-fresh jammer. Pre-fix, the energy
+  // differentiator carried its armed warmup counter and a silent Z^-64
+  // reference out of the previous capture, so the lead-in noise alone
+  // fired a spurious rise on top of the real frame-onset detection.
+  const auto frame = test_frame();
+  auto config = small_run(1, 0x50F7);
+  config.snr_db = 14.0;
+  // Long enough for a reset detector's 96-sample comparator pipeline to
+  // arm before the frame arrives: a fresh jammer detects exactly the
+  // frame onset.
+  config.lead_in = 128;
+  const auto plan =
+      prepare_detection_trials(frame, DetectorTap::kEnergyHigh, config);
+
+  ReactiveJammer fresh(energy_reactive_preset(1e-5, 10.0));
+  const auto clean = run_detection_trials(fresh, plan, 0, 1);
+  EXPECT_EQ(clean.frames_detected, 1u);  // the flushed detector still works
+
+  ReactiveJammer warmed(energy_reactive_preset(1e-5, 10.0));
+  dsp::cvec silent(4096, dsp::cfloat{0.0f, 0.0f});  // arms warmup, ref = 0
+  (void)warmed.observe(silent);
+  const auto after = run_detection_trials(warmed, plan, 0, 1);
+  EXPECT_EQ(after.frames_detected, clean.frames_detected);
+  EXPECT_EQ(after.total_detections, clean.total_detections);
+}
+
+TEST(SweepEngine, MatchesSequentialHarnessBitForBit) {
+  const auto frame = test_frame();
+  SweepConfig sweep;
+  sweep.trials_per_point = 60;
+  sweep.shard_trials = 16;
+  sweep.threads = 2;
+  sweep.seed = 0xF00D;
+  const double snrs[] = {0.0, 6.0};
+  const auto base = small_run(0, 0);
+  const auto report = run_detection_sweep(
+      xcorr_config(), frame, DetectorTap::kXcorr, base, snrs, sweep);
+
+  ASSERT_EQ(report.points.size(), 2u);
+  for (std::size_t p = 0; p < 2; ++p) {
+    auto config = small_run(60, dsp::derive_seed(sweep.seed, p));
+    config.snr_db = snrs[p];
+    ReactiveJammer jammer(xcorr_config());
+    const auto sequential =
+        run_detection_experiment(jammer, frame, DetectorTap::kXcorr, config);
+    const auto& parallel = report.points[p].result;
+    EXPECT_EQ(parallel.frames_sent, sequential.frames_sent);
+    EXPECT_EQ(parallel.frames_detected, sequential.frames_detected);
+    EXPECT_EQ(parallel.total_detections, sequential.total_detections);
+    EXPECT_EQ(parallel.probability, sequential.probability);
+    EXPECT_EQ(parallel.detections_per_frame, sequential.detections_per_frame);
+  }
+}
+
+TEST(SweepEngine, BitIdenticalAcrossThreadCountsAndShardSizes) {
+  const auto frame = test_frame();
+  const double snrs[] = {-3.0, 3.0, 9.0};
+  const auto base = small_run(0, 0);
+
+  SweepConfig reference;
+  reference.trials_per_point = 48;
+  reference.shard_trials = 48;
+  reference.threads = 1;
+  reference.seed = 0xD5;
+  const auto golden = run_detection_sweep(
+      xcorr_config(), frame, DetectorTap::kXcorr, base, snrs, reference);
+
+  struct Variant {
+    unsigned threads;
+    std::size_t shard_trials;
+  };
+  for (const auto [threads, shard_trials] :
+       {Variant{1, 7}, Variant{2, 16}, Variant{8, 5}, Variant{8, 48}}) {
+    SweepConfig sweep = reference;
+    sweep.threads = threads;
+    sweep.shard_trials = shard_trials;
+    const auto report = run_detection_sweep(
+        xcorr_config(), frame, DetectorTap::kXcorr, base, snrs, sweep);
+    ASSERT_EQ(report.points.size(), golden.points.size());
+    for (std::size_t p = 0; p < golden.points.size(); ++p) {
+      const auto& a = golden.points[p].result;
+      const auto& b = report.points[p].result;
+      EXPECT_EQ(a.frames_detected, b.frames_detected)
+          << "threads=" << threads << " shard=" << shard_trials << " p=" << p;
+      EXPECT_EQ(a.total_detections, b.total_detections);
+      EXPECT_EQ(a.probability, b.probability);  // derived from identical ints
+    }
+    // Merged metrics are part of the guarantee too.
+    EXPECT_EQ(report.metrics.counter_value("sweep.trials"),
+              golden.metrics.counter_value("sweep.trials"));
+    EXPECT_EQ(report.metrics.counter_value("sweep.detections"),
+              golden.metrics.counter_value("sweep.detections"));
+    const auto* hist =
+        report.metrics.find_histogram("sweep.detections_per_trial");
+    const auto* golden_hist =
+        golden.metrics.find_histogram("sweep.detections_per_trial");
+    ASSERT_NE(hist, nullptr);
+    ASSERT_NE(golden_hist, nullptr);
+    EXPECT_EQ(hist->count(), golden_hist->count());
+    EXPECT_EQ(hist->sum(), golden_hist->sum());
+    for (std::size_t k = 0; k < hist->num_bins(); ++k)
+      EXPECT_EQ(hist->bin_count(k), golden_hist->bin_count(k));
+  }
+}
+
+TEST(SweepEngine, ReportBookkeeping) {
+  const auto frame = test_frame();
+  SweepConfig sweep;
+  sweep.trials_per_point = 20;
+  sweep.shard_trials = 8;
+  sweep.threads = 2;
+  const double snrs[] = {6.0};
+  const auto report = run_detection_sweep(xcorr_config(), frame,
+                                          DetectorTap::kXcorr,
+                                          small_run(0, 0), snrs, sweep);
+  EXPECT_EQ(report.threads_used, 2u);
+  EXPECT_EQ(report.shards, 3u);  // 8 + 8 + 4
+  ASSERT_EQ(report.shard_trials.size(), 3u);
+  EXPECT_EQ(report.shard_trials[0], 8u);
+  EXPECT_EQ(report.shard_trials[2], 4u);
+  EXPECT_EQ(report.total_trials(), 20u);
+  EXPECT_EQ(report.metrics.counter_value("sweep.trials"), 20u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+TEST(CfoPhasor, MatchesDoubleReferenceAtWimaxLength) {
+  // w for a 3 kHz CFO at 25 MSPS; phases reach ~75 rad by k = 100000
+  // (a WiMAX-length capture), where the pre-fix float cast of w*k only
+  // resolves ~4e-6 rad granularity per ULP and drifts milliradians.
+  const double w = 2.0 * std::numbers::pi * 3000.0 / 25e6;
+  double worst = 0.0;
+  for (const std::uint64_t k : {1000ull, 50000ull, 100000ull, 1000000ull}) {
+    const dsp::cfloat got = cfo_phasor(w, k);
+    const long double phase = static_cast<long double>(w) * k;
+    const auto want_re = static_cast<double>(std::cos(phase));
+    const auto want_im = static_cast<double>(std::sin(phase));
+    worst = std::max({worst, std::abs(got.real() - want_re),
+                      std::abs(got.imag() - want_im)});
+  }
+  // Float storage grants ~1e-7 relative precision; the pre-fix phase error
+  // at k = 1e6 was ~1e-3 rad, three orders of magnitude above this bound.
+  EXPECT_LT(worst, 5e-7);
+}
+
+}  // namespace
+}  // namespace rjf::core

@@ -144,6 +144,45 @@ TEST(Iperf, SourcePacesAtOfferedRate) {
   EXPECT_TRUE(std::isinf(source.next_arrival_s()));
 }
 
+TEST(Iperf, FinalIntervalDatagramIsSent) {
+  // 1250-byte datagrams at 1 Mbps: exactly one datagram every 10 ms.
+  IperfConfig config;
+  config.offered_mbps = 1.0;
+  config.datagram_bytes = 1250;
+  config.duration_s = 0.1;
+  IperfSource source(config);
+  // Real iperf sends over the whole [0, 0.1] window: arrivals at
+  // 0, 10, ..., 100 ms = 11 datagrams. floor(duration/interval) alone
+  // (the pre-fix count) drops the final one.
+  std::size_t count = 0;
+  double last = -1.0;
+  while (!std::isinf(source.next_arrival_s())) {
+    last = source.next_arrival_s();
+    source.pop();
+    ++count;
+  }
+  EXPECT_EQ(count, 11u);
+  EXPECT_NEAR(last, 0.1, 1e-9);
+}
+
+TEST(Iperf, ZeroOfferedRateProducesNoDatagrams) {
+  IperfConfig config;
+  config.offered_mbps = 0.0;  // -b 0: must not divide by zero
+  config.duration_s = 60.0;
+  IperfSource source(config);
+  EXPECT_TRUE(std::isinf(source.next_arrival_s()));
+}
+
+TEST(Iperf, ZeroDurationStillSendsTheFirstDatagram) {
+  IperfConfig config;
+  config.offered_mbps = 54.0;
+  config.duration_s = 0.0;
+  IperfSource source(config);
+  EXPECT_EQ(source.next_arrival_s(), 0.0);
+  source.pop();
+  EXPECT_TRUE(std::isinf(source.next_arrival_s()));
+}
+
 TEST(Iperf, ReportMath) {
   IperfReport report;
   report.datagrams_offered = 1000;

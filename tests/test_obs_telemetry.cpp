@@ -265,6 +265,68 @@ TEST(MetricsRegistry, HistogramCreatedOnceCountersAccumulate) {
   EXPECT_EQ(metrics.counter_value("unset"), 0u);
 }
 
+TEST(Histogram, MergeCombinesCompatibleBinnings) {
+  Histogram a(0, 5, 4);
+  a.record(2);
+  a.record(7);
+  a.record(100);  // overflow
+  Histogram b(0, 5, 4);
+  b.record(3);
+  b.record(19);
+  Histogram whole(0, 5, 4);
+  for (const std::uint64_t v : {2u, 7u, 100u, 3u, 19u}) whole.record(v);
+
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.sum(), whole.sum());
+  EXPECT_EQ(a.overflow(), whole.overflow());
+  EXPECT_EQ(a.min_seen(), whole.min_seen());
+  EXPECT_EQ(a.max_seen(), whole.max_seen());
+  for (std::size_t k = 0; k < whole.num_bins(); ++k)
+    EXPECT_EQ(a.bin_count(k), whole.bin_count(k));
+}
+
+TEST(Histogram, MergeRejectsBinningMismatch) {
+  Histogram a(0, 5, 4);
+  a.record(2);
+  Histogram narrower(0, 1, 4);
+  Histogram shifted(1, 5, 4);
+  Histogram fewer(0, 5, 3);
+  EXPECT_FALSE(a.merge(narrower));
+  EXPECT_FALSE(a.merge(shifted));
+  EXPECT_FALSE(a.merge(fewer));
+  EXPECT_EQ(a.count(), 1u);  // unchanged by rejected merges
+}
+
+TEST(MetricsRegistry, MergeFoldsShardRegistries) {
+  MetricsRegistry total;
+  total.add("trials", 10);
+  total.set_gauge("rate", 1.0);
+  total.histogram("lat", 0, 1, 8).record(2);
+
+  MetricsRegistry shard;
+  shard.add("trials", 7);
+  shard.add("detections", 3);
+  shard.set_gauge("rate", 2.5);
+  shard.histogram("lat", 0, 1, 8).record(5);
+  shard.histogram("duty", 0, 10, 4).record(15);
+
+  EXPECT_EQ(total.merge(shard), 0u);
+  EXPECT_EQ(total.counter_value("trials"), 17u);
+  EXPECT_EQ(total.counter_value("detections"), 3u);
+  EXPECT_EQ(total.gauges().at("rate"), 2.5);  // gauges: last merge wins
+  const Histogram* lat = total.find_histogram("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), 2u);
+  ASSERT_NE(total.find_histogram("duty"), nullptr);  // copied when absent
+
+  // A shard whose histogram binning conflicts is reported, not merged.
+  MetricsRegistry bad;
+  bad.histogram("lat", 0, 99, 8).record(1);
+  EXPECT_EQ(total.merge(bad), 1u);
+  EXPECT_EQ(total.find_histogram("lat")->count(), 2u);
+}
+
 // ---------------------------------------------------------------------------
 // JsonWriter
 

@@ -6,26 +6,55 @@ freshly measured run. A key regresses when fresh < (1 - max_drop) * baseline.
 Rates above baseline never fail (faster is fine; shared-runner noise mostly
 errs slow).
 
+Absolute floors gate keys that carry a hard invariant rather than a relative
+rate — e.g. BENCH_sweep.json's sweep_deterministic flag must stay 1 and the
+parallel speedup must not collapse. A --min-value key missing from the fresh
+run fails (the invariant was not measured at all).
+
 Usage:
   tools/check_bench_regression.py --baseline BENCH_fabric.json \
       --fresh BENCH_fabric.ci.json --key BM_DspCoreRunBlock_items_per_s \
       [--key ...] [--max-drop 0.10]
+  tools/check_bench_regression.py --fresh BENCH_sweep.ci.json \
+      --min-value sweep_deterministic=1 --min-value sweep_speedup=0.9
 """
 import argparse
 import json
 import sys
 
 
+def parse_min_value(spec: str):
+    key, sep, floor = spec.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"--min-value expects KEY=FLOOR, got {spec!r}")
+    try:
+        return key, float(floor)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--min-value floor must be a number, got {floor!r}") from exc
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--baseline")
     parser.add_argument("--fresh", required=True)
-    parser.add_argument("--key", action="append", required=True)
+    parser.add_argument("--key", action="append", default=[])
     parser.add_argument("--max-drop", type=float, default=0.10)
+    parser.add_argument("--min-value", action="append", default=[],
+                        type=parse_min_value, metavar="KEY=FLOOR",
+                        help="fail unless fresh[KEY] >= FLOOR")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    if args.key and not args.baseline:
+        parser.error("--key requires --baseline")
+    if not args.key and not args.min_value:
+        parser.error("nothing to check: pass --key and/or --min-value")
+
+    baseline = {}
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
     with open(args.fresh) as f:
         fresh = json.load(f)
 
@@ -48,6 +77,16 @@ def main() -> int:
         print(f"[{status}] {key}: baseline {base:.4g}, fresh {now:.4g} "
               f"({ratio * 100.0:.1f}% of baseline, floor {floor * 100.0:.0f}%)")
         failed = failed or ratio < floor
+
+    for key, floor in args.min_value:
+        if key not in fresh:
+            print(f"[FAIL] {key}: missing from fresh run (floor {floor:g})")
+            failed = True
+            continue
+        now = float(fresh[key])
+        status = "FAIL" if now < floor else "ok"
+        print(f"[{status}] {key}: fresh {now:.4g}, floor {floor:g}")
+        failed = failed or now < floor
 
     return 1 if failed else 0
 
