@@ -10,6 +10,7 @@
 //   RJF_BENCH_FRAMES   trials per SNR point (default 400)
 //   RJF_BENCH_THREADS  N for the parallel run (default 8)
 #include <cstdio>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -61,8 +62,9 @@ int main() {
   sweep.seed = 0xF16;
   core::DetectionRunConfig base;
 
-  const unsigned n_threads = bench::sweep_threads(8);
   const unsigned host_cores = std::max(1u, std::thread::hardware_concurrency());
+  unsigned n_threads = bench::sweep_threads(8);
+  if (n_threads == 0) n_threads = host_cores;
   std::printf("trials per point: %zu, %zu points; host cores: %u\n\n",
               sweep.trials_per_point, snrs.size(), host_cores);
 
@@ -73,7 +75,11 @@ int main() {
   double wall_nt = 0.0;
   bool deterministic = true;
   core::SweepReport reference;
-  for (const unsigned threads : {1u, 2u, n_threads}) {
+  // RJF_BENCH_THREADS of 1 or 2 would duplicate a count and make rate_nt /
+  // the JSON's sweep_speedup come from a redundant run; the ordered set
+  // runs each count once, 1-thread reference first.
+  const std::set<unsigned> thread_counts{1u, 2u, n_threads};
+  for (const unsigned threads : thread_counts) {
     sweep.threads = threads;
     const auto report = core::run_detection_sweep(
         config, full_frame, core::DetectorTap::kXcorr, base, snrs, sweep);

@@ -34,7 +34,8 @@ struct SweepResult {
 inline SweepResult run_sweep(const std::string& label,
                              const std::optional<core::JammerConfig>& jammer,
                              const std::vector<double>& jam_powers,
-                             double duration_s) {
+                             double duration_s,
+                             unsigned threads = sweep_threads()) {
   SweepResult result;
   result.label = label;
   result.points.resize(jam_powers.size());
@@ -43,7 +44,7 @@ inline SweepResult run_sweep(const std::string& label,
   core::SweepConfig sweep;
   sweep.trials_per_point = 1;
   sweep.shard_trials = 1;
-  sweep.threads = sweep_threads();
+  sweep.threads = threads;
   const auto tasks =
       core::make_shard_schedule(jam_powers.size(), sweep);
   core::run_shards(tasks, sweep.threads, [&](const core::ShardTask& task) {

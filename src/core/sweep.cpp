@@ -31,16 +31,16 @@ std::vector<ShardTask> make_shard_schedule(std::size_t num_points,
   return tasks;
 }
 
-void run_shards(std::span<const ShardTask> tasks, unsigned threads,
-                const std::function<void(const ShardTask&)>& kernel) {
-  if (tasks.empty()) return;
+unsigned run_shards(std::span<const ShardTask> tasks, unsigned threads,
+                    const std::function<void(const ShardTask&)>& kernel) {
+  if (tasks.empty()) return 0;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, tasks.size()));
 
   if (threads <= 1) {
     for (const ShardTask& task : tasks) kernel(task);
-    return;
+    return 1;
   }
 
   // Dynamic work-stealing off one atomic cursor: workers pull the next
@@ -69,6 +69,7 @@ void run_shards(std::span<const ShardTask> tasks, unsigned threads,
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+  return threads;
 }
 
 SweepReport run_detection_sweep(const JammerConfig& jammer_config,
@@ -100,20 +101,19 @@ SweepReport run_detection_sweep(const JammerConfig& jammer_config,
   std::vector<obs::MetricsRegistry> shard_metrics(tasks.size());
   std::vector<std::uint64_t> shard_trials(tasks.size(), 0);
 
-  run_shards(tasks, sweep.threads, [&](const ShardTask& task) {
-    // Every shard programs its own jammer/fabric instance from the shared
-    // personality: no mutable state crosses shard boundaries.
-    ReactiveJammer jammer(jammer_config);
-    outcomes[task.index] =
-        run_detection_trials(jammer, plans[task.point], task.first_trial,
-                             task.trials, &shard_metrics[task.index]);
-    shard_trials[task.index] = task.trials;
-  });
+  const unsigned pool_size =
+      run_shards(tasks, sweep.threads, [&](const ShardTask& task) {
+        // Every shard programs its own jammer/fabric instance from the
+        // shared personality: no mutable state crosses shard boundaries.
+        ReactiveJammer jammer(jammer_config);
+        outcomes[task.index] =
+            run_detection_trials(jammer, plans[task.point], task.first_trial,
+                                 task.trials, &shard_metrics[task.index]);
+        shard_trials[task.index] = task.trials;
+      });
 
   SweepReport report;
-  report.threads_used =
-      sweep.threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
-                         : sweep.threads;
+  report.threads_used = std::max(1u, pool_size);
   report.shards = tasks.size();
   report.shard_trials = std::move(shard_trials);
   report.points.resize(snr_points_db.size());

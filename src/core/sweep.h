@@ -72,9 +72,10 @@ struct ShardTask {
 /// spawned). The kernel must write its outcome into caller-owned storage
 /// keyed by task.index or task.point — slots are never contended because
 /// indices are unique. The first exception thrown by a kernel is rethrown
-/// here after the pool drains.
-void run_shards(std::span<const ShardTask> tasks, unsigned threads,
-                const std::function<void(const ShardTask&)>& kernel);
+/// here after the pool drains. Returns the worker count actually used —
+/// the requested count clamped to tasks.size() (0 when there is no work).
+unsigned run_shards(std::span<const ShardTask> tasks, unsigned threads,
+                    const std::function<void(const ShardTask&)>& kernel);
 
 struct SweepPointReport {
   double snr_db = 0.0;

@@ -80,18 +80,7 @@ WifiNetworkSim::ExchangeOutcome WifiNetworkSim::exchange(
   // ---- Cached per-rate client waveforms (payload is the iperf datagram,
   // identical every time; the MAC sequence number lives in the header and
   // is pinned so the waveform cache stays valid).
-  struct RateCache {
-    dsp::cvec w20;          // client waveform, client_tx_power mean power
-    dsp::cvec w25;          // same, resampled into the jammer's domain
-    double duration_s = 0;
-  };
-  static thread_local std::array<std::optional<RateCache>, 8> cache;
-  static thread_local double cached_power = -1.0;
-  if (cached_power != config_.client_tx_power) {
-    cache.fill(std::nullopt);
-    cached_power = config_.client_tx_power;
-  }
-  auto& slot = cache[static_cast<std::size_t>(rate)];
+  auto& slot = rate_cache_[static_cast<std::size_t>(rate)];
   if (!slot) {
     MacFrame frame;
     frame.type = FrameType::kData;
@@ -193,8 +182,7 @@ WifiNetworkSim::ExchangeOutcome WifiNetworkSim::exchange(
   if (!jam_overlaps_data) {
     // Clean channel: at the configured noise floors the decode margin is
     // tens of dB, so cache the verdict per rate.
-    static thread_local std::array<int, 8> clean_ok{};  // 0 unknown 1 ok 2 bad
-    auto& verdict = clean_ok[static_cast<std::size_t>(rate)];
+    auto& verdict = clean_verdict_[static_cast<std::size_t>(rate)];
     if (verdict == 0) {
       dsp::cvec rx(rc.w20.size());
       dsp::NoiseSource noise(config_.ap_noise_power, rng_.next());
@@ -223,7 +211,7 @@ WifiNetworkSim::ExchangeOutcome WifiNetworkSim::exchange(
 
   // ---- ACK exchange.
   const double ack_start = now + data_dur + config_.timing.sifs_s;
-  static thread_local std::optional<dsp::cvec> ack20;
+  auto& ack20 = ack20_;
   if (!ack20) {
     MacFrame ack;
     ack.type = FrameType::kAck;
@@ -262,7 +250,7 @@ WifiNetworkSim::ExchangeOutcome WifiNetworkSim::exchange(
 
   const bool jam_overlaps_ack = !ack_bursts.empty();
   if (!jam_overlaps_ack) {
-    static thread_local int ack_clean = 0;
+    int& ack_clean = ack_clean_verdict_;
     if (ack_clean == 0) {
       dsp::cvec rx(ack20->size());
       dsp::NoiseSource noise(config_.client_noise_power, rng_.next());

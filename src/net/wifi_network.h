@@ -12,6 +12,7 @@
 // fast-forwarded, which is exact for jam scheduling.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 
@@ -106,6 +107,21 @@ class WifiNetworkSim {
   double jammer_time_s_ = 0.0;  // wall time of the jammer's sample clock
   dsp::Xoshiro256 rng_;
   phy80211::Receiver rx_;
+
+  // Per-sim waveform and clean-decode caches. These MUST be members, not
+  // thread_local statics: a cold cache consumes rng_.next() draws, so
+  // cache warmth inherited from another sim on the same worker thread
+  // would desynchronise this sim's RNG stream and break the sweep
+  // engine's any-thread-count determinism guarantee.
+  struct RateCache {
+    dsp::cvec w20;      // client waveform, client_tx_power mean power
+    dsp::cvec w25;      // same, resampled into the jammer's domain
+    double duration_s = 0;
+  };
+  std::array<std::optional<RateCache>, 8> rate_cache_;
+  std::array<int, 8> clean_verdict_{};  // per rate: 0 unknown 1 ok 2 bad
+  std::optional<dsp::cvec> ack20_;
+  int ack_clean_verdict_ = 0;
 
   // Jam-burst power bookkeeping for the measured-SIR output.
   double jam_power_at_ap_acc_ = 0.0;

@@ -1,0 +1,98 @@
+// bench::run_sweep (Figs. 10-11 rig) parallelizes independent
+// WifiNetworkSim points over core::run_shards, and its contract is that
+// every point is bit-identical at any RJF_BENCH_THREADS value. Regression:
+// thread_local waveform/verdict caches in WifiNetworkSim::exchange consumed
+// per-sim rng_.next() draws only when cold, so a sim's RNG stream depended
+// on which points had previously run on the same worker thread — a
+// single-thread run (all points share one warm thread) disagreed with an
+// N-thread run (points land on cold threads).
+//
+// The suite name contains "SweepEngine" so the TSan CI job's test filter
+// also runs it.
+#include "bench/wifi_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/presets.h"
+
+namespace rjf::bench {
+namespace {
+
+// Run each config through its own WifiNetworkSim, sequentially on ONE
+// fresh thread (mimicking a sweep-engine worker draining several shards),
+// and return the last result.
+net::WifiRunResult run_chain_on_fresh_thread(
+    const std::vector<net::WifiNetworkConfig>& configs) {
+  net::WifiRunResult last;
+  std::thread worker([&] {
+    for (const auto& config : configs) {
+      net::WifiNetworkSim sim(config);
+      last = sim.run();
+    }
+  });
+  worker.join();
+  return last;
+}
+
+// A WifiNetworkSim must be a pure function of its config: its result may
+// not depend on which sims previously ran on the same worker thread.
+// Regression: the decode-verdict caches in exchange() were thread_local,
+// so a sim inherited another config's cached clean-channel verdicts (and
+// skipped the rng_ draws that produced them) whenever its shard landed on
+// a warm thread.
+TEST(WifiSweepEngine, SimResultIndependentOfThreadHistory) {
+  net::WifiNetworkConfig probe;
+  probe.iperf.duration_s = 0.02;
+  probe.seed = 42;
+
+  // Same probe, but preceded on the thread by a sim whose AP noise floor
+  // drowns every data frame (clean-channel verdict: bad, at every rate
+  // ARF falls back to).
+  net::WifiNetworkConfig deaf = probe;
+  deaf.ap_noise_power = 1e-3;
+
+  const auto isolated = run_chain_on_fresh_thread({probe});
+  const auto after_deaf = run_chain_on_fresh_thread({deaf, probe});
+
+  EXPECT_GT(isolated.report.datagrams_received, 0u);
+  EXPECT_EQ(after_deaf.report.datagrams_received,
+            isolated.report.datagrams_received);
+  EXPECT_EQ(after_deaf.report.datagrams_sent, isolated.report.datagrams_sent);
+  EXPECT_EQ(after_deaf.data_frames_delivered, isolated.data_frames_delivered);
+  EXPECT_EQ(after_deaf.retries, isolated.retries);
+  EXPECT_EQ(after_deaf.mean_tx_rate_mbps, isolated.mean_tx_rate_mbps);
+}
+
+TEST(WifiSweepEngine, RunSweepBitIdenticalAcrossThreadCounts) {
+  const std::vector<double> powers = {1e-4, 1e-3, 3e-3, 1e-2};
+  const double duration_s = 0.02;
+  const auto jammer = core::energy_reactive_preset(1e-4, 10.0);
+
+  const auto single = run_sweep("1 thread", jammer, powers, duration_s, 1);
+  ASSERT_EQ(single.points.size(), powers.size());
+
+  for (const unsigned threads : {2u, 4u}) {
+    const auto parallel =
+        run_sweep("N threads", jammer, powers, duration_s, threads);
+    ASSERT_EQ(parallel.points.size(), single.points.size());
+    for (std::size_t p = 0; p < powers.size(); ++p) {
+      const auto& a = single.points[p];
+      const auto& b = parallel.points[p];
+      EXPECT_EQ(a.jam_triggers, b.jam_triggers)
+          << "threads=" << threads << " point=" << p;
+      EXPECT_EQ(a.sir_db, b.sir_db) << "threads=" << threads << " point=" << p;
+      EXPECT_EQ(a.bandwidth_kbps, b.bandwidth_kbps)
+          << "threads=" << threads << " point=" << p;
+      EXPECT_EQ(a.prr_percent, b.prr_percent)
+          << "threads=" << threads << " point=" << p;
+      EXPECT_EQ(a.mean_rate_mbps, b.mean_rate_mbps)
+          << "threads=" << threads << " point=" << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rjf::bench
