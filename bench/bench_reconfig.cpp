@@ -39,7 +39,7 @@ int main() {
     const std::uint64_t t0 = jammer.radio().now_ticks();
     jammer.reconfigure(p.config);
     const std::uint64_t completes =
-        jammer.radio().settings_bus().last_completion();
+        jammer.radio().settings_bus().last_completion().value_or(t0);
     // Writing the correlator template costs 16 coefficient registers on
     // top of the ~8 control registers.
     const std::uint64_t registers = (completes - t0) / bus_cycles;

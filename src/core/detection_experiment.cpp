@@ -47,6 +47,47 @@ dsp::cfloat cfo_phasor(double w, std::uint64_t k) noexcept {
                      static_cast<float>(std::sin(phase))};
 }
 
+DetectionTrialOutcome run_detection_trial(ReactiveJammer& jammer,
+                                          const DetectionTrialPlan& plan,
+                                          std::size_t trial) {
+  // Each trial owns a derived RNG stream: impairments depend only on the
+  // trial index, never on which trials ran before (or on which thread).
+  dsp::Xoshiro256 rng(dsp::derive_seed(plan.seed, trial));
+  const std::uint64_t noise_seed = rng.next();
+  const dsp::cvec& frame = plan.variants[rng.uniform_int(plan.variants.size())];
+
+  dsp::NoiseSource noise(plan.noise_power, noise_seed);
+  dsp::cvec capture(plan.lead_in + frame.size() + plan.tail);
+  for (auto& s : capture) s = noise.sample();
+
+  // Per-trial carrier frequency offset; phase evaluated in double and
+  // wrapped, so long captures keep full precision (see cfo_phasor()).
+  const double cfo = (2.0 * rng.uniform() - 1.0) * plan.max_cfo_hz;
+  const double w = 2.0 * std::numbers::pi * cfo / fpga::kBasebandRateHz;
+  for (std::size_t k = 0; k < frame.size(); ++k)
+    capture[plan.lead_in + k] += frame[k] * cfo_phasor(w, k);
+
+  // §3.2 requires independent trials: flush the energy differentiator's
+  // moving sums, the correlator pipeline and the trigger FSM so nothing
+  // carries over from the previous capture.
+  jammer.reset_detection_state();
+
+  const auto run = jammer.observe(capture);
+  DetectionTrialOutcome outcome;
+  switch (plan.tap) {
+    case DetectorTap::kXcorr: outcome.events = run.xcorr_detections; break;
+    case DetectorTap::kEnergyHigh:
+      outcome.events = run.energy_high_detections;
+      break;
+    case DetectorTap::kJamTrigger: outcome.events = run.jam_triggers; break;
+  }
+  outcome.jam_triggers = run.jam_triggers;
+  outcome.last_trigger_vita = run.last_trigger_vita;
+  outcome.overflow_gaps = run.overflow_gaps;
+  outcome.samples_lost = run.samples_lost;
+  return outcome;
+}
+
 DetectionTrialCounts run_detection_trials(ReactiveJammer& jammer,
                                           const DetectionTrialPlan& plan,
                                           std::size_t first_trial,
@@ -60,35 +101,7 @@ DetectionTrialCounts run_detection_trials(ReactiveJammer& jammer,
     per_trial = &metrics->histogram("sweep.detections_per_trial", 0, 1, 15);
 
   for (std::size_t t = first_trial; t < first_trial + num_trials; ++t) {
-    // Each trial owns a derived RNG stream: impairments depend only on the
-    // trial index, never on which trials ran before (or on which thread).
-    dsp::Xoshiro256 rng(dsp::derive_seed(plan.seed, t));
-    const std::uint64_t noise_seed = rng.next();
-    const dsp::cvec& frame = plan.variants[rng.uniform_int(plan.variants.size())];
-
-    dsp::NoiseSource noise(plan.noise_power, noise_seed);
-    dsp::cvec capture(plan.lead_in + frame.size() + plan.tail);
-    for (auto& s : capture) s = noise.sample();
-
-    // Per-trial carrier frequency offset; phase evaluated in double and
-    // wrapped, so long captures keep full precision (see cfo_phasor()).
-    const double cfo = (2.0 * rng.uniform() - 1.0) * plan.max_cfo_hz;
-    const double w = 2.0 * std::numbers::pi * cfo / fpga::kBasebandRateHz;
-    for (std::size_t k = 0; k < frame.size(); ++k)
-      capture[plan.lead_in + k] += frame[k] * cfo_phasor(w, k);
-
-    // §3.2 requires independent trials: flush the energy differentiator's
-    // moving sums, the correlator pipeline and the trigger FSM so nothing
-    // carries over from the previous capture.
-    jammer.reset_detection_state();
-
-    const auto run = jammer.observe(capture);
-    std::uint64_t events = 0;
-    switch (plan.tap) {
-      case DetectorTap::kXcorr: events = run.xcorr_detections; break;
-      case DetectorTap::kEnergyHigh: events = run.energy_high_detections; break;
-      case DetectorTap::kJamTrigger: events = run.jam_triggers; break;
-    }
+    const std::uint64_t events = run_detection_trial(jammer, plan, t).events;
     counts.total_detections += events;
     if (events > 0) ++counts.frames_detected;
     if (per_trial != nullptr) per_trial->record(events);

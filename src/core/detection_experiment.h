@@ -88,6 +88,26 @@ struct DetectionTrialCounts {
   }
 };
 
+/// Everything one trial produced, for harnesses (e.g. the fault-robustness
+/// sweep) that need per-trial detail beyond the aggregated counts.
+/// last_trigger_vita is capture-relative because the detector state (and
+/// VITA clock) is flushed at the start of every trial.
+struct DetectionTrialOutcome {
+  std::uint64_t events = 0;             // detector events at the plan's tap
+  std::uint64_t jam_triggers = 0;
+  std::uint64_t last_trigger_vita = 0;
+  std::uint64_t overflow_gaps = 0;      // fault accounting; 0 on clean runs
+  std::uint64_t samples_lost = 0;
+};
+
+/// Run exactly one trial of `plan`. Draws the trial's impairments from the
+/// derived stream dsp::derive_seed(plan.seed, trial), flushes the fabric's
+/// detector state, streams the capture, and reads the tap. The outcome
+/// depends only on (plan.seed, trial) and the jammer's programmed state —
+/// run_detection_trials() is a loop over this kernel.
+[[nodiscard]] DetectionTrialOutcome run_detection_trial(
+    ReactiveJammer& jammer, const DetectionTrialPlan& plan, std::size_t trial);
+
 /// The per-trial kernel: run trials [first_trial, first_trial + num_trials)
 /// of `plan` through `jammer`. Each trial flushes the fabric's detector
 /// state and draws its impairments from its own derived RNG stream, so the

@@ -113,6 +113,45 @@ void ReactiveJammer::reset_detection_state() {
   radio_.core().apply_registers();
 }
 
+void ReactiveJammer::absorb_stream_faults(
+    const radio::UsrpN210::StreamResult& result) {
+  if (result.overflow_gaps == 0 && !result.adc_clipped) return;
+
+  obs::MetricsRegistry* m = metrics();
+  if (m != nullptr) {
+    if (result.overflow_gaps > 0) {
+      m->add("fault.streams_degraded", 1);
+      m->add("fault.overflow_gaps", result.overflow_gaps);
+      m->add("fault.samples_lost", result.samples_lost);
+    }
+    if (result.adc_clipped) m->add("fault.clipped_streams", 1);
+  }
+  // In-stream recovery (DspCore::fast_forward) already kept VITA time exact
+  // and flushed the detector pipelines across each gap; the policy reset
+  // additionally returns the whole fabric to a known-clean state for the
+  // next capture. Never while a write is in flight: reset_detection_state()
+  // re-latches registers, which would apply the write early.
+  if (result.overflow_gaps > 0 && policy_.reset_after_overflow &&
+      radio_.settings_bus().idle()) {
+    reset_detection_state();
+    if (m != nullptr) m->add("fault.detector_resets", 1);
+  }
+}
+
+radio::UsrpN210::StreamResult ReactiveJammer::observe(
+    std::span<const dsp::cfloat> rx) {
+  radio::UsrpN210::StreamResult result = radio_.stream(rx);
+  absorb_stream_faults(result);
+  return result;
+}
+
+radio::UsrpN210::StreamResult ReactiveJammer::observe(
+    std::span<const dsp::IQ16> rx) {
+  radio::UsrpN210::StreamResult result = radio_.stream_fabric(rx);
+  absorb_stream_faults(result);
+  return result;
+}
+
 void ReactiveJammer::tune(double freq_hz) {
   radio_.frontend().tune(freq_hz);
   if (telemetry_ != nullptr)

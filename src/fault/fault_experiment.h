@@ -1,0 +1,62 @@
+// Fault-robustness sweep: detection probability and trigger latency as a
+// function of fault intensity × SNR.
+//
+// Reuses the deterministic sweep engine (core/sweep.h) over a fault-major
+// grid: point index p = scale_index * num_snrs + snr_index. Trial plans
+// derive from dsp::derive_seed(sweep.seed, p) exactly like the clean
+// detection sweep, so the scale-0 row of the grid reproduces
+// core::run_detection_sweep bit-for-bit (the zero-fault inertness
+// contract). Each trial generates its own FaultPlan from
+// derive_seed(derive_seed(fault_base.seed, p), trial) — fault schedules,
+// like impairments, depend only on logical indices, never on thread count
+// or shard size.
+#pragma once
+
+#include "core/sweep.h"
+#include "fault/fault_injector.h"
+
+namespace rjf::fault {
+
+struct FaultSweepPoint {
+  double fault_scale = 0.0;
+  double snr_db = 0.0;
+  core::DetectionRunResult result;
+  std::uint64_t faults_injected = 0;   // timeline faults entering captures
+  std::uint64_t overflow_gaps = 0;
+  std::uint64_t samples_lost = 0;
+  // Frame-start -> jam-trigger latency over trials that triggered, in
+  // fabric ticks (10 ns); measured to the trial's last trigger.
+  std::uint64_t trigger_latency_count = 0;
+  double trigger_latency_mean_ticks = 0.0;
+};
+
+struct FaultSweepReport {
+  /// Fault-major grid: points[s * num_snrs + k] is scale s, SNR k.
+  std::vector<FaultSweepPoint> points;
+  unsigned threads_used = 1;
+  std::size_t shards = 0;
+  double wall_seconds = 0.0;
+  /// Per-shard registries merged in shard-index order; carries the clean
+  /// sweep.* series plus fault.* counters and the
+  /// fault.trigger_latency_ticks histogram when faults were injected.
+  obs::MetricsRegistry metrics;
+
+  [[nodiscard]] const FaultSweepPoint& at(std::size_t scale_index,
+                                          std::size_t snr_index,
+                                          std::size_t num_snrs) const {
+    return points[scale_index * num_snrs + snr_index];
+  }
+};
+
+/// Run the grid. `fault_base` holds the rates at scale 1.0 (its
+/// horizon_samples is overridden per point to cover the capture, its seed
+/// is the root of the per-trial schedule streams); `fault_scales` is the
+/// degradation-curve x-axis — include 0.0 to anchor the clean baseline.
+[[nodiscard]] FaultSweepReport run_fault_robustness_sweep(
+    const core::JammerConfig& jammer_config,
+    std::span<const dsp::cfloat> frame_native, core::DetectorTap tap,
+    const core::DetectionRunConfig& base, std::span<const double> snr_points_db,
+    std::span<const double> fault_scales, const FaultPlanConfig& fault_base,
+    const core::SweepConfig& sweep);
+
+}  // namespace rjf::fault

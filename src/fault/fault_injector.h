@@ -1,0 +1,57 @@
+// FaultInjector — executes a FaultPlan against the radio's fault seams.
+//
+// One object implements both radio hooks: RxFaultHook (amplitude/phase
+// faults on the receive baseband, overflow-gap declarations) and
+// BusFaultHook (per-write stall/drop decisions). Attach it with
+// ReactiveJammer::attach_fault_hooks(&inj, &inj) — or either seam alone.
+//
+// Determinism: rx-path behaviour is a pure function of the plan and the
+// absolute sample range passed in; bus behaviour is a pure function of the
+// plan seed and the write ordinal. Neither depends on wall time, thread
+// schedule or call batching, so faulted sweeps shard like clean ones.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fault/fault_plan.h"
+#include "radio/fault_hooks.h"
+
+namespace rjf::fault {
+
+class FaultInjector final : public radio::RxFaultHook,
+                            public radio::BusFaultHook {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  // RxFaultHook
+  void mutate_rx(std::span<dsp::cfloat> rx,
+                 std::uint64_t start_sample) override;
+  void overflow_gaps(std::uint64_t start_sample, std::uint64_t length,
+                     std::vector<radio::OverflowGap>& out) const override;
+  void applied_faults(std::uint64_t start_sample, std::uint64_t length,
+                      std::vector<radio::RxFaultView>& out) const override;
+
+  // BusFaultHook
+  WriteFault on_write(fpga::Reg addr, std::uint64_t now_ticks) override;
+
+  /// Faults actually injected so far (timeline kinds count when their first
+  /// sample enters a mutate_rx() block; bus kinds count per faulted write).
+  [[nodiscard]] std::uint64_t injected(FaultKind kind) const noexcept {
+    return injected_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t injected_total() const noexcept;
+  [[nodiscard]] std::uint64_t bus_writes_seen() const noexcept {
+    return write_index_;
+  }
+
+ private:
+  FaultPlan plan_;
+  std::array<std::uint64_t, kNumFaultKinds> injected_{};
+  std::uint64_t write_index_ = 0;
+};
+
+}  // namespace rjf::fault

@@ -23,13 +23,18 @@ void TriggerFsm::configure(std::uint32_t mask0, std::uint32_t mask1,
 bool TriggerFsm::clock(const DetectorEvents& events) noexcept {
   if (num_stages_ == 0) return false;
 
-  // Window timeout: abandon a partially-matched sequence and rearm.
+  const std::uint32_t asserted = events.as_mask();
+  // Window timeout: abandon a partially-matched sequence and rearm — unless
+  // a masked event for the pending stage is asserted on this same clock. In
+  // the RTL the stage-advance and expiry comparisons are evaluated on the
+  // same edge and the advance path wins, so a match landing on the expiry
+  // tick still completes (see the header's window-semantics note).
   if (stage_ > 0) {
     ++elapsed_;
-    if (window_cycles_ != 0 && elapsed_ > window_cycles_) reset();
+    if (window_cycles_ != 0 && elapsed_ > window_cycles_ &&
+        (asserted & masks_[stage_]) == 0)
+      reset();
   }
-
-  const std::uint32_t asserted = events.as_mask();
   // A stage whose mask is 0 in the middle of the sequence can never fire;
   // configure() guarantees contiguous stages by construction of num_stages_.
   if ((asserted & masks_[stage_]) == 0) return false;

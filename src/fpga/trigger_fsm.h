@@ -8,6 +8,18 @@
 // energy-low). A stage fires when any masked event is asserted on the
 // current clock. When the final configured stage fires within the window,
 // the FSM emits a one-cycle jam trigger pulse and rearms.
+//
+// Window semantics: the window bounds the WHOLE sequence — `elapsed_`
+// starts counting on the clock after stage 0 matches, and every later
+// stage must match while `elapsed_ <= window_cycles`. The boundary is
+// match-priority-over-timeout: a stage match asserted on the exact clock
+// the window expires (`elapsed_ == window_cycles + 1`) still advances or
+// fires, because the RTL evaluates the stage-advance path and the expiry
+// comparison on the same edge and the advance wins; the timeout only
+// rearms when no masked event is present on that clock. Since each such
+// match consumes a stage, the sequence can overrun the window by at most
+// num_stages - 1 consecutive matching clocks — it cannot be extended
+// indefinitely. A window of 0 means unbounded.
 #pragma once
 
 #include <cstdint>

@@ -33,9 +33,17 @@ enum class EventKind : std::uint8_t {
   kStreamStart,          // stream()/stream_fabric() entry; value = rx samples
   kStreamEnd,            // stream()/stream_fabric() exit; value = rx samples
   kPersonality,          // jamming personality programmed; value = history idx
+  kOverflowGap,          // rx samples lost to a stream overflow ("O");
+                         // value = samples lost
+  kDetectorFlush,        // detector state flushed across an overflow gap;
+                         // value = fabric ticks spanned by the flush
+  kSettingsWriteDropped, // bus write lost in transit (fault); value = address
+  kSettingsWriteRetried, // host re-issued a dropped write; value = address
+  kSettingsWriteAbandoned, // write retry budget exhausted; value = address
+  kFaultInjected,        // rx-path fault applied; value = fault::FaultKind id
 };
 
-inline constexpr std::size_t kNumEventKinds = 14;
+inline constexpr std::size_t kNumEventKinds = 20;
 
 [[nodiscard]] constexpr const char* event_kind_name(EventKind kind) noexcept {
   switch (kind) {
@@ -53,6 +61,12 @@ inline constexpr std::size_t kNumEventKinds = 14;
     case EventKind::kStreamStart: return "stream_start";
     case EventKind::kStreamEnd: return "stream_end";
     case EventKind::kPersonality: return "personality";
+    case EventKind::kOverflowGap: return "overflow_gap";
+    case EventKind::kDetectorFlush: return "detector_flush";
+    case EventKind::kSettingsWriteDropped: return "settings_write_dropped";
+    case EventKind::kSettingsWriteRetried: return "settings_write_retried";
+    case EventKind::kSettingsWriteAbandoned: return "settings_write_abandoned";
+    case EventKind::kFaultInjected: return "fault_injected";
   }
   return "unknown";
 }

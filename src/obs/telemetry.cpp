@@ -13,6 +13,8 @@ constexpr std::uint64_t kSettingsWidth = 10;      // 100 ns per bin
 constexpr std::uint64_t kSettingsBins = 128;      // 0 .. 12.8 us
 constexpr std::uint64_t kInterarrivalWidth = 10000;  // 100 us per bin
 constexpr std::uint64_t kInterarrivalBins = 250;     // 0 .. 25 ms
+constexpr std::uint64_t kRecoveryWidth = 64;         // 640 ns per bin
+constexpr std::uint64_t kRecoveryBins = 256;         // 0 .. 163.84 us
 
 }  // namespace
 
@@ -28,6 +30,7 @@ Telemetry::Telemetry(const TelemetryConfig& config)
                      kInterarrivalBins);
   metrics_.histogram("settings_bus_latency_ticks", 0, kSettingsWidth,
                      kSettingsBins);
+  metrics_.histogram("fault_recovery_ticks", 0, kRecoveryWidth, kRecoveryBins);
 }
 
 void Telemetry::set_personality(const std::string& description,
@@ -121,6 +124,34 @@ void Telemetry::on_event(EventKind kind, std::uint64_t vita_ticks,
                     .count()));
         stream_open_ = false;
       }
+      break;
+    case EventKind::kSettingsWriteDropped:
+      // A dropped write's issue never pairs with an apply; pop it so the
+      // FIFO pairing stays aligned for the writes queued behind it (the
+      // retry re-emits kSettingsWriteIssued).
+      if (!settings_issue_vitas_.empty()) settings_issue_vitas_.pop_front();
+      metrics_.add("fault.bus_writes_dropped", 1);
+      break;
+    case EventKind::kSettingsWriteRetried:
+      metrics_.add("fault.bus_writes_retried", 1);
+      break;
+    case EventKind::kSettingsWriteAbandoned:
+      metrics_.add("fault.bus_writes_abandoned", 1);
+      break;
+    case EventKind::kOverflowGap:
+      metrics_.add("fault.overflow_samples_lost", value);
+      break;
+    case EventKind::kDetectorFlush:
+      // value = fabric ticks the stream skipped while the detector state
+      // was flushed: the blind window a fault cost the jammer.
+      metrics_.histogram("fault_recovery_ticks", 0, kRecoveryWidth,
+                         kRecoveryBins)
+          .record(value);
+      // A flush invalidates any half-armed latency measurement.
+      armed_ = false;
+      trigger_pending_ = false;
+      break;
+    case EventKind::kFaultInjected:
       break;
     case EventKind::kFsmStage:
     case EventKind::kRetune:

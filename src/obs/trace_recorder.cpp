@@ -17,6 +17,7 @@ enum Lane : int {
   kLaneTx = 3,
   kLaneSettingsBus = 4,
   kLaneHost = 5,
+  kLaneFaults = 6,
 };
 
 int lane_for(EventKind kind) noexcept {
@@ -33,6 +34,9 @@ int lane_for(EventKind kind) noexcept {
       return kLaneTx;
     case EventKind::kSettingsWriteIssued:
     case EventKind::kSettingsWriteApplied:
+    case EventKind::kSettingsWriteDropped:
+    case EventKind::kSettingsWriteRetried:
+    case EventKind::kSettingsWriteAbandoned:
       return kLaneSettingsBus;
     case EventKind::kRetune:
     case EventKind::kGainChange:
@@ -40,6 +44,10 @@ int lane_for(EventKind kind) noexcept {
     case EventKind::kStreamEnd:
     case EventKind::kPersonality:
       return kLaneHost;
+    case EventKind::kOverflowGap:
+    case EventKind::kDetectorFlush:
+    case EventKind::kFaultInjected:
+      return kLaneFaults;
   }
   return kLaneHost;
 }
@@ -124,6 +132,7 @@ bool TraceRecorder::write_chrome_trace(
   emit_thread_name(f, kLaneTx, "tx / jam bursts", first);
   emit_thread_name(f, kLaneSettingsBus, "settings bus", first);
   emit_thread_name(f, kLaneHost, "host", first);
+  emit_thread_name(f, kLaneFaults, "faults / recovery", first);
 
   const std::vector<TraceEvent> evs = events();
 
@@ -157,6 +166,17 @@ bool TraceRecorder::write_chrome_trace(
       case EventKind::kSettingsWriteApplied:
         if (settings_next < settings_issues.size()) {
           emit_span(f, "settings_write", kLaneSettingsBus,
+                    settings_issues[settings_next++], e.vita_ticks, e.value,
+                    first);
+        } else {
+          emit_instant(f, e, first);
+        }
+        break;
+      case EventKind::kSettingsWriteDropped:
+        // A dropped write consumes its issue (a retry re-issues), keeping
+        // the FIFO pairing intact for the writes behind it.
+        if (settings_next < settings_issues.size()) {
+          emit_span(f, "settings_write_dropped", kLaneSettingsBus,
                     settings_issues[settings_next++], e.vita_ticks, e.value,
                     first);
         } else {

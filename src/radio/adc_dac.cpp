@@ -11,10 +11,12 @@ dsp::IQ16 Adc::sample(dsp::cfloat in) const noexcept {
   const int levels = 1 << (bits_ - 1);
   const auto quantise = [&](float x) -> std::int16_t {
     const float scaled = x * static_cast<float>(levels);
-    if (scaled >= static_cast<float>(levels - 1) ||
-        scaled < -static_cast<float>(levels))
-      clipped_ = true;
-    const long code = std::clamp<long>(std::lrintf(scaled), -levels, levels - 1);
+    // Clip only when the rounded code falls outside the representable
+    // two's-complement range [-levels, levels-1]. A sample that rounds to
+    // exactly the top code is quantised without loss and must not flag.
+    const long rounded = std::lrintf(scaled);
+    if (rounded > levels - 1 || rounded < -levels) clipped_ = true;
+    const long code = std::clamp<long>(rounded, -levels, levels - 1);
     // Left-justify into the 16-bit fabric word.
     return static_cast<std::int16_t>(code << (16 - bits_));
   };
@@ -22,7 +24,7 @@ dsp::IQ16 Adc::sample(dsp::cfloat in) const noexcept {
 }
 
 dsp::iqvec Adc::convert(std::span<const dsp::cfloat> in) const {
-  clipped_ = false;
+  clear_clip();
   dsp::iqvec out(in.size());
   std::transform(in.begin(), in.end(), out.begin(),
                  [&](dsp::cfloat s) { return sample(s); });

@@ -18,8 +18,13 @@ class Adc {
   [[nodiscard]] dsp::IQ16 sample(dsp::cfloat in) const noexcept;
   [[nodiscard]] dsp::iqvec convert(std::span<const dsp::cfloat> in) const;
 
-  /// True if the most recent convert() clipped any sample.
+  /// True if any sample clipped since the last clear_clip(). The flag is
+  /// sticky: per-sample sample() calls OR into it, and convert() clears it
+  /// on entry, so after a convert() it reports on that block only.
   [[nodiscard]] bool clipped() const noexcept { return clipped_; }
+  /// Re-arm the clip flag (per-sample callers bracket their own blocks the
+  /// way convert() does).
+  void clear_clip() const noexcept { clipped_ = false; }
   [[nodiscard]] unsigned bits() const noexcept { return bits_; }
 
  private:

@@ -1,0 +1,82 @@
+// Fault-injection seams for the radio layer.
+//
+// The radio models (UsrpN210, SettingsBus) consult these abstract hooks at
+// well-defined points in the sample and register-write paths; the concrete
+// implementation lives in src/fault (FaultInjector), keeping the dependency
+// arrow fault -> radio. With no hook attached — or a hook whose plan is
+// empty — every call site is a skipped branch or an identity transform, so
+// the clean path stays bit-identical (the same "overhead contract" the
+// telemetry layer honours).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/types.h"
+#include "fpga/register_file.h"
+
+namespace rjf::radio {
+
+/// A run of receive samples lost to a stream overflow (UHD's "O"): the host
+/// never sees them, so the fabric model must skip them with exact VITA-time
+/// accounting rather than process stale data. Sample indices are absolute
+/// positions in the receive stream (monotonic across stream() calls).
+struct OverflowGap {
+  std::uint64_t start_sample = 0;
+  std::uint64_t length = 0;
+};
+
+/// View of an amplitude/phase fault the hook applied to the rx path, for
+/// trace annotation (kFaultInjected events). kind_id is opaque to the radio
+/// layer; src/fault maps it to its FaultKind taxonomy.
+struct RxFaultView {
+  std::uint64_t at_sample = 0;
+  std::uint64_t length = 0;
+  std::uint32_t kind_id = 0;
+};
+
+/// Receive-path hook. mutate_rx() is called once per stream() block, after
+/// front-end gain and before ADC quantisation, with the absolute stream
+/// position of the block's first sample.
+class RxFaultHook {
+ public:
+  virtual ~RxFaultHook() = default;
+
+  /// Apply amplitude/phase faults in place. Must be deterministic in
+  /// (start_sample, rx.size()) — never in call count or thread schedule.
+  virtual void mutate_rx(std::span<dsp::cfloat> rx,
+                         std::uint64_t start_sample) = 0;
+
+  /// Append the overflow gaps intersecting [start_sample, start_sample +
+  /// length) in ascending start order. Gaps must not overlap each other.
+  virtual void overflow_gaps(std::uint64_t start_sample, std::uint64_t length,
+                             std::vector<OverflowGap>& out) const = 0;
+
+  /// Append views of the faults whose first sample lies in [start_sample,
+  /// start_sample + length), for trace annotation. Default: none.
+  virtual void applied_faults(std::uint64_t start_sample, std::uint64_t length,
+                              std::vector<RxFaultView>& out) const {
+    (void)start_sample;
+    (void)length;
+    (void)out;
+  }
+};
+
+/// Settings-bus hook, consulted once per register write (including host
+/// retries of dropped writes, which count as fresh writes).
+class BusFaultHook {
+ public:
+  /// What the bus should do to this write. extra_latency_cycles models a
+  /// stalled transaction; dropped models a write lost in transit (the bus
+  /// discovers the loss at the write's completion deadline).
+  struct WriteFault {
+    std::uint32_t extra_latency_cycles = 0;
+    bool dropped = false;
+  };
+
+  virtual ~BusFaultHook() = default;
+  virtual WriteFault on_write(fpga::Reg addr, std::uint64_t now_ticks) = 0;
+};
+
+}  // namespace rjf::radio

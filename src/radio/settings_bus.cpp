@@ -1,42 +1,85 @@
 #include "radio/settings_bus.h"
 
+#include "radio/fault_hooks.h"
+
 namespace rjf::radio {
 
-void SettingsBus::write(fpga::Reg addr, std::uint32_t value,
-                        std::uint64_t now_ticks) {
+void SettingsBus::enqueue(fpga::Reg addr, std::uint32_t value,
+                          std::uint64_t now_ticks, std::uint32_t attempt) {
+  BusFaultHook::WriteFault fault;
+  if (fault_hook_ != nullptr) fault = fault_hook_->on_write(addr, now_ticks);
   // Writes serialise on the bus: each one starts after the previous
-  // completes, so a burst of N writes costs N * latency.
+  // completes, so a burst of N writes costs N * latency. A stall fault adds
+  // to this write's transaction time (and delays everything behind it).
   const std::uint64_t start =
       pending_.empty() ? now_ticks : pending_.back().completes_at;
-  pending_.push_back(Pending{addr, value, start + latency_cycles_});
+  pending_.push_back(Pending{addr, value,
+                             start + latency_cycles_ +
+                                 fault.extra_latency_cycles,
+                             attempt, fault.dropped});
+  ++writes_issued_;
   if (sink_ != nullptr)
     sink_->on_event(obs::EventKind::kSettingsWriteIssued, now_ticks,
                     static_cast<std::uint64_t>(addr));
 }
 
+void SettingsBus::write(fpga::Reg addr, std::uint32_t value,
+                        std::uint64_t now_ticks) {
+  enqueue(addr, value, now_ticks, 0);
+}
+
 std::size_t SettingsBus::service(fpga::RegisterFile& regs,
                                  std::uint64_t now_ticks) {
   std::size_t applied = 0;
+  // Terminates: each iteration either applies a write, abandons one, or
+  // re-enqueues with attempt+1 (bounded by retry_limit_); retries land at
+  // the back with a completion time strictly after `now_ticks` only when
+  // the queue drains past them, and attempts are finite.
   while (!pending_.empty() && pending_.front().completes_at <= now_ticks) {
-    regs.write(pending_.front().addr, pending_.front().value);
-    if (sink_ != nullptr)
-      // Timestamped at the modelled completion tick, not the (possibly
-      // later) fabric time at which the host happened to service the bus.
-      sink_->on_event(obs::EventKind::kSettingsWriteApplied,
-                      pending_.front().completes_at,
-                      static_cast<std::uint64_t>(pending_.front().addr));
+    const Pending w = pending_.front();
     pending_.pop_front();
-    ++applied;
+    if (!w.dropped) {
+      regs.write(w.addr, w.value);
+      if (sink_ != nullptr)
+        // Timestamped at the modelled completion tick, not the (possibly
+        // later) fabric time at which the host happened to service the bus.
+        sink_->on_event(obs::EventKind::kSettingsWriteApplied, w.completes_at,
+                        static_cast<std::uint64_t>(w.addr));
+      ++applied;
+      continue;
+    }
+    // Lost in transit. The host's acknowledgement timeout fires at the
+    // write's completion deadline; it then re-issues the write at the back
+    // of the queue (a fresh transaction, so the fault hook is consulted
+    // again) or gives up once the retry budget is spent.
+    ++writes_dropped_;
+    if (sink_ != nullptr)
+      sink_->on_event(obs::EventKind::kSettingsWriteDropped, w.completes_at,
+                      static_cast<std::uint64_t>(w.addr));
+    if (w.attempt >= retry_limit_) {
+      ++writes_abandoned_;
+      if (sink_ != nullptr)
+        sink_->on_event(obs::EventKind::kSettingsWriteAbandoned,
+                        w.completes_at, static_cast<std::uint64_t>(w.addr));
+      continue;
+    }
+    ++writes_retried_;
+    enqueue(w.addr, w.value, w.completes_at, w.attempt + 1);
+    if (sink_ != nullptr)
+      sink_->on_event(obs::EventKind::kSettingsWriteRetried, w.completes_at,
+                      static_cast<std::uint64_t>(w.addr));
   }
   return applied;
 }
 
-std::uint64_t SettingsBus::last_completion() const noexcept {
-  return pending_.empty() ? 0 : pending_.back().completes_at;
+std::optional<std::uint64_t> SettingsBus::last_completion() const noexcept {
+  if (pending_.empty()) return std::nullopt;
+  return pending_.back().completes_at;
 }
 
-std::uint64_t SettingsBus::next_completion() const noexcept {
-  return pending_.empty() ? ~std::uint64_t{0} : pending_.front().completes_at;
+std::optional<std::uint64_t> SettingsBus::next_completion() const noexcept {
+  if (pending_.empty()) return std::nullopt;
+  return pending_.front().completes_at;
 }
 
 }  // namespace rjf::radio

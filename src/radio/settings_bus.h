@@ -7,15 +7,24 @@
 // user setting bus (hundreds of ns)". This model queues writes with a
 // per-transaction latency and applies them when fabric time passes the
 // completion timestamp.
+//
+// Fault model: a BusFaultHook (see radio/fault_hooks.h) may stall a write
+// (extra latency cycles) or drop it in transit. The host discovers a drop
+// at the write's completion deadline — its acknowledgement timeout — and
+// re-issues it at the back of the queue, up to retry_limit() attempts, then
+// abandons it. Every outcome is reported to the attached telemetry sink.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 
 #include "fpga/register_file.h"
 #include "obs/events.h"
 
 namespace rjf::radio {
+
+class BusFaultHook;
 
 class SettingsBus {
  public:
@@ -28,8 +37,9 @@ class SettingsBus {
   void write(fpga::Reg addr, std::uint32_t value,
              std::uint64_t now_ticks);
 
-  /// Apply every write whose completion time has passed. Returns the number
-  /// of writes applied (callers re-latch the datapath when > 0).
+  /// Apply every write whose completion time has passed; re-issue dropped
+  /// writes whose deadline has passed (bounded by retry_limit()). Returns
+  /// the number of writes applied (callers re-latch the datapath when > 0).
   std::size_t service(fpga::RegisterFile& regs, std::uint64_t now_ticks);
 
   [[nodiscard]] bool idle() const noexcept { return pending_.empty(); }
@@ -37,28 +47,67 @@ class SettingsBus {
     return latency_cycles_;
   }
 
-  /// Completion time of the last enqueued write (0 when none pending).
-  [[nodiscard]] std::uint64_t last_completion() const noexcept;
+  /// Completion time of the last enqueued write; nullopt when the bus is
+  /// idle. (Historically an idle bus returned 0 here and UINT64_MAX from
+  /// next_completion(); the mismatched sentinels were a bug magnet, so both
+  /// now answer "is there a completion time at all?" the same way.)
+  [[nodiscard]] std::optional<std::uint64_t> last_completion() const noexcept;
 
-  /// Completion time of the earliest pending write (UINT64_MAX when none).
+  /// Completion time of the earliest pending write; nullopt when idle.
   /// The block-streaming path uses this to chop a receive block exactly at
   /// the sample before which the next in-flight write lands.
-  [[nodiscard]] std::uint64_t next_completion() const noexcept;
+  [[nodiscard]] std::optional<std::uint64_t> next_completion() const noexcept;
 
   /// Attach a telemetry sink (nullptr detaches): each write is reported
   /// when issued and again when it lands in the register file, with the
   /// register address as the event value.
   void set_sink(obs::FabricSink* sink) noexcept { sink_ = sink; }
 
+  /// Attach a fault hook (nullptr detaches). Consulted once per write,
+  /// including host retries.
+  void set_fault_hook(BusFaultHook* hook) noexcept { fault_hook_ = hook; }
+
+  /// Maximum re-issues of a dropped write before the host gives up.
+  void set_retry_limit(std::uint32_t limit) noexcept { retry_limit_ = limit; }
+  [[nodiscard]] std::uint32_t retry_limit() const noexcept {
+    return retry_limit_;
+  }
+
+  // Lifetime fault/recovery accounting (survives queue drain).
+  [[nodiscard]] std::uint64_t writes_issued() const noexcept {
+    return writes_issued_;
+  }
+  [[nodiscard]] std::uint64_t writes_dropped() const noexcept {
+    return writes_dropped_;
+  }
+  [[nodiscard]] std::uint64_t writes_retried() const noexcept {
+    return writes_retried_;
+  }
+  [[nodiscard]] std::uint64_t writes_abandoned() const noexcept {
+    return writes_abandoned_;
+  }
+
  private:
   struct Pending {
     fpga::Reg addr;
     std::uint32_t value;
     std::uint64_t completes_at;
+    std::uint32_t attempt = 0;  // 0 = first issue, n = nth retry
+    bool dropped = false;       // lost in transit; discovered at deadline
   };
+
+  void enqueue(fpga::Reg addr, std::uint32_t value, std::uint64_t now_ticks,
+               std::uint32_t attempt);
+
   std::uint32_t latency_cycles_;
+  std::uint32_t retry_limit_ = 3;
   std::deque<Pending> pending_;
   obs::FabricSink* sink_ = nullptr;
+  BusFaultHook* fault_hook_ = nullptr;
+  std::uint64_t writes_issued_ = 0;
+  std::uint64_t writes_dropped_ = 0;
+  std::uint64_t writes_retried_ = 0;
+  std::uint64_t writes_abandoned_ = 0;
 };
 
 }  // namespace rjf::radio

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "radio/fault_hooks.h"
+
 namespace rjf::radio {
 
 namespace {
@@ -35,6 +37,24 @@ UsrpN210::StreamResult UsrpN210::stream_fabric(std::span<const dsp::IQ16> rx) {
   std::vector<fpga::CoreOutput> trace(
       std::min(rx.size(), kChunkSamples) * fpga::kClocksPerSample);
 
+  // Receive-overflow gaps declared by the fault hook for this block,
+  // converted to block-relative sample indices. The host never saw those
+  // samples, so the core skips them with exact VITA accounting
+  // (fast_forward) instead of processing stale data.
+  std::vector<OverflowGap> gaps;
+  if (rx_fault_ != nullptr) {
+    std::vector<OverflowGap> declared;
+    rx_fault_->overflow_gaps(rx_cursor_, rx.size(), declared);
+    for (const OverflowGap& g : declared) {
+      // Clip to this block; a gap may straddle either block boundary.
+      const std::uint64_t lo = std::max(g.start_sample, rx_cursor_);
+      const std::uint64_t hi =
+          std::min(g.start_sample + g.length, rx_cursor_ + rx.size());
+      if (hi > lo) gaps.push_back(OverflowGap{lo - rx_cursor_, hi - lo});
+    }
+  }
+  std::size_t gap_next = 0;
+
   bool burst_open = false;
   std::size_t n = 0;
   while (n < rx.size()) {
@@ -42,13 +62,36 @@ UsrpN210::StreamResult UsrpN210::stream_fabric(std::span<const dsp::IQ16> rx) {
     if (!bus_.idle() && bus_.service(core_.registers(), now_ticks()) > 0)
       core_.apply_registers();
 
+    // An overflow gap starting at (or spilling over) this sample: flush the
+    // skipped span through the core without samples. The burst scan cannot
+    // observe RF state across the gap, so any open burst ends here.
+    if (gap_next < gaps.size() && gaps[gap_next].start_sample <= n) {
+      const std::uint64_t gap_end = std::min<std::uint64_t>(
+          gaps[gap_next].start_sample + gaps[gap_next].length, rx.size());
+      ++gap_next;
+      if (gap_end > n) {
+        const std::uint64_t lost = gap_end - n;
+        if (sink_ != nullptr)
+          sink_->on_event(obs::EventKind::kOverflowGap, now_ticks(), lost);
+        core_.fast_forward(lost);
+        if (sink_ != nullptr)
+          sink_->on_event(obs::EventKind::kDetectorFlush, now_ticks(),
+                          lost * fpga::kClocksPerSample);
+        ++result.overflow_gaps;
+        result.samples_lost += lost;
+        burst_open = false;
+        n = static_cast<std::size_t>(gap_end);
+      }
+      continue;
+    }
+
     // Run up to a full chunk, but never across the fabric tick where the
     // next pending register write lands: the per-sample model serviced the
     // bus before every sample, so the block model must re-check exactly at
     // the first sample whose start tick reaches the completion time.
     std::size_t end = std::min(rx.size(), n + kChunkSamples);
     if (!bus_.idle()) {
-      const std::uint64_t due = bus_.next_completion();
+      const std::uint64_t due = *bus_.next_completion();
       const std::uint64_t base = now_ticks();
       if (due > base) {
         const std::uint64_t ahead = (due - base + fpga::kClocksPerSample - 1) /
@@ -58,6 +101,9 @@ UsrpN210::StreamResult UsrpN210::stream_fabric(std::span<const dsp::IQ16> rx) {
         end = n + 1;  // unreachable after service(); stay exact regardless
       }
     }
+    // ... and never across the start of the next overflow gap.
+    if (gap_next < gaps.size())
+      end = std::min<std::uint64_t>(end, gaps[gap_next].start_sample);
 
     const std::size_t len = end - n;
     const auto chunk =
@@ -82,6 +128,7 @@ UsrpN210::StreamResult UsrpN210::stream_fabric(std::span<const dsp::IQ16> rx) {
     }
     n = end;
   }
+  rx_cursor_ += rx.size();
 
   result.tx = frontend_.apply_tx(result.tx);
   const auto after = core_.feedback();
@@ -91,6 +138,7 @@ UsrpN210::StreamResult UsrpN210::stream_fabric(std::span<const dsp::IQ16> rx) {
       after.energy_high_detections - before.energy_high_detections;
   result.energy_low_detections =
       after.energy_low_detections - before.energy_low_detections;
+  result.last_trigger_vita = after.last_trigger_vita;
 
   if (sink_ != nullptr)
     sink_->on_event(obs::EventKind::kStreamEnd, now_ticks(), rx.size());
@@ -98,9 +146,26 @@ UsrpN210::StreamResult UsrpN210::stream_fabric(std::span<const dsp::IQ16> rx) {
 }
 
 UsrpN210::StreamResult UsrpN210::stream(std::span<const dsp::cfloat> rx) {
-  const dsp::cvec rx_gained = frontend_.apply_rx(rx);
+  dsp::cvec rx_gained = frontend_.apply_rx(rx);
+  if (rx_fault_ != nullptr) {
+    rx_fault_->mutate_rx(rx_gained, rx_cursor_);
+    if (sink_ != nullptr) {
+      // Annotate the trace with each fault applied in this block, stamped
+      // at the fabric tick of the fault's first sample.
+      std::vector<RxFaultView> views;
+      rx_fault_->applied_faults(rx_cursor_, rx.size(), views);
+      const std::uint64_t base_vita = now_ticks();
+      for (const RxFaultView& v : views)
+        sink_->on_event(obs::EventKind::kFaultInjected,
+                        base_vita + (v.at_sample - rx_cursor_) *
+                                        fpga::kClocksPerSample,
+                        v.kind_id);
+    }
+  }
   const dsp::iqvec iq = adc_.convert(rx_gained);
-  return stream_fabric(iq);
+  StreamResult result = stream_fabric(iq);
+  result.adc_clipped = adc_.clipped();
+  return result;
 }
 
 }  // namespace rjf::radio

@@ -21,6 +21,9 @@
 
 namespace rjf::radio {
 
+class RxFaultHook;
+class BusFaultHook;
+
 /// One contiguous interval of RF jamming energy, in 25 MSPS sample units
 /// relative to the start of the stream() call.
 struct JamBurst {
@@ -50,6 +53,13 @@ class UsrpN210 {
     std::uint64_t xcorr_detections = 0;
     std::uint64_t energy_high_detections = 0;
     std::uint64_t energy_low_detections = 0;
+    // Fault/recovery accounting for this block. last_trigger_vita is
+    // captured here (not read back from feedback()) so callers that reset
+    // detection state after a degraded stream still see the trigger time.
+    std::uint64_t last_trigger_vita = 0;
+    std::uint64_t overflow_gaps = 0;   // gaps skipped in this block
+    std::uint64_t samples_lost = 0;    // rx samples inside those gaps
+    bool adc_clipped = false;          // any sample clipped in the ADC
   };
 
   /// Run the radio over a block of receive baseband at 25 MSPS. The whole
@@ -71,6 +81,7 @@ class UsrpN210 {
     return feedback().vita_ticks;
   }
   [[nodiscard]] const SettingsBus& settings_bus() const noexcept { return bus_; }
+  [[nodiscard]] SettingsBus& settings_bus() noexcept { return bus_; }
 
   /// Attach a telemetry sink to the whole radio (nullptr detaches): the
   /// fabric core publishes trigger/jam events and per-strobe snapshots, the
@@ -83,6 +94,21 @@ class UsrpN210 {
   }
   [[nodiscard]] obs::FabricSink* sink() const noexcept { return sink_; }
 
+  /// Attach fault hooks (nullptr detaches either). The rx hook mutates the
+  /// receive baseband and declares overflow gaps; the bus hook stalls or
+  /// drops register writes. Attaching rewinds the absolute rx stream cursor
+  /// to 0, so a hook's sample-indexed fault plan starts at the next
+  /// stream() call. With both hooks null — or hooks whose plans are empty —
+  /// the radio is bit-identical to an unhooked one.
+  void attach_fault_hooks(RxFaultHook* rx_hook, BusFaultHook* bus_hook) noexcept {
+    rx_fault_ = rx_hook;
+    bus_.set_fault_hook(bus_hook);
+    rx_cursor_ = 0;
+  }
+  /// Absolute rx stream position (samples consumed by stream() since the
+  /// last attach_fault_hooks()).
+  [[nodiscard]] std::uint64_t rx_cursor() const noexcept { return rx_cursor_; }
+
  private:
   SbxFrontend frontend_;
   Adc adc_;
@@ -90,6 +116,8 @@ class UsrpN210 {
   fpga::DspCore core_;
   SettingsBus bus_;
   obs::FabricSink* sink_ = nullptr;
+  RxFaultHook* rx_fault_ = nullptr;
+  std::uint64_t rx_cursor_ = 0;
 };
 
 }  // namespace rjf::radio

@@ -66,6 +66,54 @@ TEST(TriggerFsm, WindowExpiryRearms) {
   EXPECT_TRUE(fsm.clock({.energy_high = true}));
 }
 
+TEST(TriggerFsm, MatchAtExactWindowBoundaryFires) {
+  // Stage-1 match with elapsed_ == window_cycles: the last in-window clock.
+  TriggerFsm fsm;
+  fsm.configure(kEventXcorr, kEventEnergyHigh, 0, 10);
+  EXPECT_FALSE(fsm.clock({.xcorr = true}));              // stage 0, elapsed 0
+  for (int k = 0; k < 9; ++k) EXPECT_FALSE(fsm.clock({}));  // elapsed 1..9
+  EXPECT_TRUE(fsm.clock({.energy_high = true}));         // elapsed 10 == W
+}
+
+TEST(TriggerFsm, MatchOnExpiryClockStillFires) {
+  // Regression: a match asserted on the exact clock the window expires
+  // (elapsed_ == window_cycles + 1) was dropped by the pre-fix code, which
+  // rearmed before testing the match. Match priority over timeout: it fires.
+  TriggerFsm fsm;
+  fsm.configure(kEventXcorr, kEventEnergyHigh, 0, 10);
+  EXPECT_FALSE(fsm.clock({.xcorr = true}));
+  for (int k = 0; k < 10; ++k) EXPECT_FALSE(fsm.clock({}));  // elapsed 1..10
+  EXPECT_TRUE(fsm.clock({.energy_high = true}));             // elapsed 11
+}
+
+TEST(TriggerFsm, OneClockPastExpiryRearms) {
+  // An idle clock past the window rearms; a match after that is too late.
+  TriggerFsm fsm;
+  fsm.configure(kEventXcorr, kEventEnergyHigh, 0, 10);
+  EXPECT_FALSE(fsm.clock({.xcorr = true}));
+  for (int k = 0; k < 11; ++k) EXPECT_FALSE(fsm.clock({}));  // elapsed 1..11
+  EXPECT_FALSE(fsm.engaged());                               // rearmed
+  EXPECT_FALSE(fsm.clock({.energy_high = true}));
+}
+
+TEST(TriggerFsm, ExpiryClockMatchCannotExtendIndefinitely) {
+  // Each boundary-clock match consumes a stage, so a 3-stage sequence can
+  // overrun the window by at most two consecutive matching clocks.
+  TriggerFsm fsm;
+  fsm.configure(kEventXcorr, kEventEnergyHigh, kEventEnergyLow, 10);
+  EXPECT_FALSE(fsm.clock({.xcorr = true}));
+  for (int k = 0; k < 10; ++k) EXPECT_FALSE(fsm.clock({}));
+  EXPECT_FALSE(fsm.clock({.energy_high = true}));  // elapsed 11: advances
+  EXPECT_TRUE(fsm.clock({.energy_low = true}));    // elapsed 12: fires
+  // But an idle clock between the boundary matches rearms as usual.
+  EXPECT_FALSE(fsm.clock({.xcorr = true}));
+  for (int k = 0; k < 10; ++k) EXPECT_FALSE(fsm.clock({}));
+  EXPECT_FALSE(fsm.clock({.energy_high = true}));  // elapsed 11: advances
+  EXPECT_FALSE(fsm.clock({}));                     // elapsed 12, no match
+  EXPECT_FALSE(fsm.engaged());
+  EXPECT_FALSE(fsm.clock({.energy_low = true}));   // sequence is gone
+}
+
 TEST(TriggerFsm, ZeroWindowMeansUnbounded) {
   TriggerFsm fsm;
   fsm.configure(kEventXcorr, kEventEnergyHigh, 0, 0);

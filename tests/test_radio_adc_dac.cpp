@@ -32,6 +32,51 @@ TEST(Adc, CleanSignalDoesNotFlag) {
   EXPECT_FALSE(adc.clipped());
 }
 
+TEST(Adc, TopRepresentableCodeDoesNotFlagClip) {
+  // Regression: a sample that scales to exactly the top code (levels-1 =
+  // 8191 at 14 bits) is quantised without loss; the pre-fix `scaled >=
+  // levels-1` comparison flagged it as clipped anyway.
+  const Adc adc(14);
+  const auto out =
+      adc.convert(dsp::cvec(1, dsp::cfloat{8191.0f / 8192.0f, 0.0f}));
+  EXPECT_EQ(out[0].i, static_cast<std::int16_t>(8191 << 2));
+  EXPECT_FALSE(adc.clipped());
+  // Bottom representable code -levels is equally lossless.
+  (void)adc.convert(dsp::cvec(1, dsp::cfloat{-1.0f, 0.0f}));
+  EXPECT_FALSE(adc.clipped());
+  // One code beyond the top is a genuine clip.
+  (void)adc.convert(dsp::cvec(1, dsp::cfloat{8192.0f / 8192.0f, 0.0f}));
+  EXPECT_TRUE(adc.clipped());
+}
+
+TEST(Adc, RoundingIntoRangeIsNotClipping) {
+  // 8191.4/8192 rounds down to the top code: quantisation error only.
+  const Adc adc(14);
+  (void)adc.convert(dsp::cvec(1, dsp::cfloat{8191.4f / 8192.0f, 0.0f}));
+  EXPECT_FALSE(adc.clipped());
+  // 8191.6/8192 rounds to 8192, beyond the range: clips.
+  (void)adc.convert(dsp::cvec(1, dsp::cfloat{8191.6f / 8192.0f, 0.0f}));
+  EXPECT_TRUE(adc.clipped());
+}
+
+TEST(Adc, PerSampleClipFlagIsStickyUntilCleared) {
+  // sample() participates in clip reporting: the flag ORs across calls and
+  // clear_clip() re-arms it, matching convert()'s block semantics.
+  const Adc adc(14);
+  (void)adc.sample(dsp::cfloat{2.0f, 0.0f});
+  EXPECT_TRUE(adc.clipped());
+  (void)adc.sample(dsp::cfloat{0.1f, 0.0f});
+  EXPECT_TRUE(adc.clipped());  // sticky across clean samples
+  adc.clear_clip();
+  EXPECT_FALSE(adc.clipped());
+  (void)adc.sample(dsp::cfloat{0.1f, 0.0f});
+  EXPECT_FALSE(adc.clipped());
+  // convert() resets on entry, so a prior per-sample clip doesn't leak in.
+  (void)adc.sample(dsp::cfloat{-3.0f, 0.0f});
+  (void)adc.convert(dsp::cvec(4, dsp::cfloat{0.25f, 0.0f}));
+  EXPECT_FALSE(adc.clipped());
+}
+
 TEST(Adc, BitsClamped) {
   EXPECT_EQ(Adc(1).bits(), 2u);
   EXPECT_EQ(Adc(20).bits(), 16u);

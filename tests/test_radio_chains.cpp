@@ -81,6 +81,27 @@ TEST(SettingsBus, BurstSerialises) {
   EXPECT_EQ(bus.service(regs, 200), 1u);
 }
 
+TEST(SettingsBus, EmptyBusHasNoCompletionTimes) {
+  // Regression: an idle bus used to answer 0 from last_completion() and
+  // UINT64_MAX from next_completion() — two different "nothing pending"
+  // sentinels, one of which (0) is a valid fabric time. Both now return
+  // nullopt, and both flip to real times together once a write is queued.
+  SettingsBus bus(40);
+  EXPECT_FALSE(bus.last_completion().has_value());
+  EXPECT_FALSE(bus.next_completion().has_value());
+
+  fpga::RegisterFile regs;
+  bus.write(fpga::Reg::kXcorrThreshold, 1, 100);
+  EXPECT_EQ(bus.next_completion(), 140u);
+  EXPECT_EQ(bus.last_completion(), 140u);
+
+  // Draining the queue returns both to nullopt, not to stale times.
+  (void)bus.service(regs, 1000);
+  EXPECT_TRUE(bus.idle());
+  EXPECT_FALSE(bus.last_completion().has_value());
+  EXPECT_FALSE(bus.next_completion().has_value());
+}
+
 TEST(SettingsBus, OrderPreserved) {
   SettingsBus bus(10);
   fpga::RegisterFile regs;

@@ -8,8 +8,11 @@ errs slow).
 
 Absolute floors gate keys that carry a hard invariant rather than a relative
 rate — e.g. BENCH_sweep.json's sweep_deterministic flag must stay 1 and the
-parallel speedup must not collapse. A --min-value key missing from the fresh
-run fails (the invariant was not measured at all).
+parallel speedup must not collapse. Absolute ceilings (--max-value) gate
+counters that must stay at or below a bound — e.g. BENCH_fault.json's
+fault_zero_fault_mismatch must stay 0 (the zero-fault inertness contract).
+A --min-value/--max-value key missing from the fresh run fails (the
+invariant was not measured at all).
 
 Usage:
   tools/check_bench_regression.py --baseline BENCH_fabric.json \
@@ -17,22 +20,24 @@ Usage:
       [--key ...] [--max-drop 0.10]
   tools/check_bench_regression.py --fresh BENCH_sweep.ci.json \
       --min-value sweep_deterministic=1 --min-value sweep_speedup=0.9
+  tools/check_bench_regression.py --fresh BENCH_fault.ci.json \
+      --min-value fault_deterministic=1 --max-value fault_zero_fault_mismatch=0
 """
 import argparse
 import json
 import sys
 
 
-def parse_min_value(spec: str):
-    key, sep, floor = spec.partition("=")
+def parse_bound(spec: str):
+    key, sep, bound = spec.partition("=")
     if not sep or not key:
         raise argparse.ArgumentTypeError(
-            f"--min-value expects KEY=FLOOR, got {spec!r}")
+            f"expected KEY=BOUND, got {spec!r}")
     try:
-        return key, float(floor)
+        return key, float(bound)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(
-            f"--min-value floor must be a number, got {floor!r}") from exc
+            f"bound must be a number, got {bound!r}") from exc
 
 
 def main() -> int:
@@ -42,14 +47,18 @@ def main() -> int:
     parser.add_argument("--key", action="append", default=[])
     parser.add_argument("--max-drop", type=float, default=0.10)
     parser.add_argument("--min-value", action="append", default=[],
-                        type=parse_min_value, metavar="KEY=FLOOR",
+                        type=parse_bound, metavar="KEY=FLOOR",
                         help="fail unless fresh[KEY] >= FLOOR")
+    parser.add_argument("--max-value", action="append", default=[],
+                        type=parse_bound, metavar="KEY=CEILING",
+                        help="fail unless fresh[KEY] <= CEILING")
     args = parser.parse_args()
 
     if args.key and not args.baseline:
         parser.error("--key requires --baseline")
-    if not args.key and not args.min_value:
-        parser.error("nothing to check: pass --key and/or --min-value")
+    if not args.key and not args.min_value and not args.max_value:
+        parser.error(
+            "nothing to check: pass --key, --min-value and/or --max-value")
 
     baseline = {}
     if args.baseline:
@@ -87,6 +96,16 @@ def main() -> int:
         status = "FAIL" if now < floor else "ok"
         print(f"[{status}] {key}: fresh {now:.4g}, floor {floor:g}")
         failed = failed or now < floor
+
+    for key, ceiling in args.max_value:
+        if key not in fresh:
+            print(f"[FAIL] {key}: missing from fresh run (ceiling {ceiling:g})")
+            failed = True
+            continue
+        now = float(fresh[key])
+        status = "FAIL" if now > ceiling else "ok"
+        print(f"[{status}] {key}: fresh {now:.4g}, ceiling {ceiling:g}")
+        failed = failed or now > ceiling
 
     return 1 if failed else 0
 
