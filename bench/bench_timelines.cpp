@@ -8,6 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "core/calibration.h"
+#include "core/fabric_units.h"
 #include "core/templates.h"
 #include "dsp/resampler.h"
 #include "fpga/dsp_core.h"
@@ -78,7 +79,7 @@ int main() {
   // --- Energy path: quiet floor, then a strong carrier.
   fpga::DspCore en_core;
   en_core.registers().write(fpga::Reg::kEnergyThreshHigh,
-                            fpga::energy_threshold_q88_from_db(10.0));
+                            core::energy_threshold_q88_from_db(10.0));
   en_core.registers().write(fpga::Reg::kEnergyThreshLow, ~0u);
   en_core.registers().write(fpga::Reg::kEnergyFloor, 1);
   en_core.registers().set_trigger_stages(fpga::kEventEnergyHigh, 0, 0);

@@ -1,0 +1,39 @@
+#include "core/fabric_units.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rjf::core {
+
+std::uint32_t energy_threshold_q88_from_db(double db) noexcept {
+  const double ratio = std::pow(10.0, db / 10.0);
+  const double q88 = std::clamp(ratio * 256.0, 0.0, 4294967295.0);
+  return static_cast<std::uint32_t>(std::lround(q88));
+}
+
+double energy_threshold_db_from_q88(std::uint32_t q88) noexcept {
+  if (q88 == 0) return -300.0;
+  return 10.0 * std::log10(static_cast<double>(q88) / 256.0);
+}
+
+fpga::CorrelatorTemplate make_template(std::span<const dsp::cfloat> reference) {
+  fpga::CorrelatorTemplate tpl;
+  float peak = 0.0f;
+  const std::size_t n = std::min(reference.size(), fpga::kCorrelatorLength);
+  for (std::size_t k = 0; k < n; ++k)
+    peak = std::max({peak, std::abs(reference[k].real()),
+                     std::abs(reference[k].imag())});
+  if (peak <= 0.0f) return tpl;
+  for (std::size_t k = 0; k < n; ++k) {
+    // The reference itself is quantised; the correlator datapath applies
+    // the conjugate (s * conj(c)), completing the matched filter.
+    const float scale = 3.0f / peak;
+    tpl.coef_i[k] = std::clamp(
+        static_cast<int>(std::lround(reference[k].real() * scale)), -4, 3);
+    tpl.coef_q[k] = std::clamp(
+        static_cast<int>(std::lround(reference[k].imag() * scale)), -4, 3);
+  }
+  return tpl;
+}
+
+}  // namespace rjf::core

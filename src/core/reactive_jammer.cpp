@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/fabric_units.h"
 #include "obs/telemetry.h"
 
 namespace rjf::core {
@@ -49,9 +50,9 @@ void ReactiveJammer::program(const JammerConfig& config, WriteFn&& write) {
 
   // Energy thresholds.
   write(Reg::kEnergyThreshHigh,
-        fpga::energy_threshold_q88_from_db(config.energy_high_db));
+        energy_threshold_q88_from_db(config.energy_high_db));
   write(Reg::kEnergyThreshLow,
-        fpga::energy_threshold_q88_from_db(config.energy_low_db));
+        energy_threshold_q88_from_db(config.energy_low_db));
   write(Reg::kEnergyFloor, config.energy_floor);
 
   // Trigger FSM.
@@ -68,7 +69,7 @@ void ReactiveJammer::program(const JammerConfig& config, WriteFn&& write) {
                                    fpga::kEventXcorr,
                                0, 0);
     write(Reg::kTriggerConfig, staging.read(Reg::kTriggerConfig));
-    write(Reg::kEnergyThreshLow, fpga::energy_threshold_q88_from_db(-3.0));
+    write(Reg::kEnergyThreshLow, energy_threshold_q88_from_db(-3.0));
     write(Reg::kEnergyFloor, 0);
     staging.set_jammer(config.waveform, true, 0);
     write(Reg::kJammerControl, staging.read(Reg::kJammerControl));

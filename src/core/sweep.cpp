@@ -78,7 +78,7 @@ SweepReport run_detection_sweep(const JammerConfig& jammer_config,
                                 const DetectionRunConfig& base,
                                 std::span<const double> snr_points_db,
                                 const SweepConfig& sweep) {
-  const auto started = std::chrono::steady_clock::now();
+  const auto started = std::chrono::steady_clock::now();  // fabric-lint: allow(wall-clock-or-rand) elapsed-time report only
 
   // Per-point read-only trial plans (pre-rendered, power-scaled variants).
   // Point p's trials derive from derive_seed(sweep.seed, p), matching a
@@ -143,7 +143,7 @@ SweepReport run_detection_sweep(const JammerConfig& jammer_config,
   }
 
   report.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)  // fabric-lint: allow(wall-clock-or-rand) elapsed-time report only
           .count();
   return report;
 }

@@ -1,5 +1,6 @@
 #include "core/templates.h"
 
+#include "core/fabric_units.h"
 #include "dsp/resampler.h"
 #include "fpga/dsp_core.h"
 #include "phy80211/ofdm.h"
@@ -12,10 +13,10 @@ namespace rjf::core {
 fpga::CorrelatorTemplate template_from_waveform(
     std::span<const dsp::cfloat> reference, double reference_rate_hz,
     bool resample_to_fabric_rate) {
-  if (!resample_to_fabric_rate) return fpga::make_template(reference);
+  if (!resample_to_fabric_rate) return make_template(reference);
   const dsp::cvec at_fabric_rate =
       dsp::resample(reference, reference_rate_hz, fpga::kBasebandRateHz);
-  return fpga::make_template(at_fabric_rate);
+  return make_template(at_fabric_rate);
 }
 
 fpga::CorrelatorTemplate wifi_long_preamble_template() {

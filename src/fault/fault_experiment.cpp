@@ -33,7 +33,7 @@ FaultSweepReport run_fault_robustness_sweep(
     const core::DetectionRunConfig& base, std::span<const double> snr_points_db,
     std::span<const double> fault_scales, const FaultPlanConfig& fault_base,
     const core::SweepConfig& sweep) {
-  const auto started = std::chrono::steady_clock::now();
+  const auto started = std::chrono::steady_clock::now();  // fabric-lint: allow(wall-clock-or-rand) elapsed-time report only
   const std::size_t num_snrs = snr_points_db.size();
   const std::size_t num_points = fault_scales.size() * num_snrs;
 
@@ -172,7 +172,7 @@ FaultSweepReport run_fault_robustness_sweep(
   }
 
   report.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)  // fabric-lint: allow(wall-clock-or-rand) elapsed-time report only
           .count();
   return report;
 }

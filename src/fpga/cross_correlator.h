@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "dsp/types.h"
+#include "fpga/hw_int.h"
 #include "fpga/register_file.h"
 
 namespace rjf::fpga {
@@ -39,6 +40,13 @@ inline constexpr std::size_t kCorrelatorMask = kCorrelatorLength - 1;
 
 class CrossCorrelator {
  public:
+  // Datapath widths (paper Fig. 3): 1-bit sign slices over a 64-tap window,
+  // 3-bit signed coefficients, so each rail's dot product is at most 512 in
+  // magnitude (Int<13> after the plane arithmetic, Int<14> for the summed
+  // complex rail) and the squared metric wraps into the 32-bit register.
+  using Coef = hw::Int<3>;
+  using SignHistory = hw::UInt<kCorrelatorLength>;
+
   CrossCorrelator() noexcept;
 
   /// Latch the coefficient banks and threshold from the register file,
@@ -63,17 +71,21 @@ class CrossCorrelator {
   Output step(dsp::IQ16 sample) noexcept {
     // MSB slice (Fig. 3): shift the new sign bit in at the bottom; the tap
     // that ages out of the 64-sample window falls off the top.
-    neg_i_ = (neg_i_ << 1) | static_cast<std::uint64_t>(sample.i < 0);
-    neg_q_ = (neg_q_ << 1) | static_cast<std::uint64_t>(sample.q < 0);
+    neg_i_ = hw::shift_in(neg_i_, sample.i < 0);
+    neg_q_ = hw::shift_in(neg_q_, sample.q < 0);
 
     // s * conj(c): re = <si,ci> + <sq,cq>, im = <sq,ci> - <si,cq>, each dot
     // product evaluated across the three coefficient bit-planes.
-    const std::int32_t re = dot(neg_i_, planes_i_) + dot(neg_q_, planes_q_);
-    const std::int32_t im = dot(neg_q_, planes_i_) - dot(neg_i_, planes_q_);
+    const hw::Int<14> re = dot(neg_i_, planes_i_) + dot(neg_q_, planes_q_);
+    const hw::Int<14> im = dot(neg_q_, planes_i_) - dot(neg_i_, planes_q_);
 
     Output out;
-    out.metric = static_cast<std::uint32_t>(re * re) +
-                 static_cast<std::uint32_t>(im * im);
+    // Square in the exact widened type (Int<14> squares to Int<28>, the sum
+    // is Int<29>) and wrap into the 32-bit metric register the way the RTL
+    // accumulator does. |corr|^2 is non-negative and bounded by 2*512^2, so
+    // the wrap is value-preserving; the old spelling squared in int32_t,
+    // which is signed-overflow UB for |re| > 46340 before the cast.
+    out.metric = hw::wrap_u<32>(re * re + im * im).value();
     out.trigger = out.metric > threshold_;
     return out;
   }
@@ -99,53 +111,55 @@ class CrossCorrelator {
   // Coefficient k occupies bit (kCorrelatorLength-1-k) of each mask so the
   // oldest tap lines up with the top of the shifted-in sign history.
   struct BitPlanes {
-    std::uint64_t b0 = 0;  // weight +1
-    std::uint64_t b1 = 0;  // weight +2
-    std::uint64_t b2 = 0;  // weight -4 (sign bit of the 3-bit value)
-    std::int32_t coef_sum = 0;  // dot product when every sign is +1
+    SignHistory b0;  // weight +1
+    SignHistory b1;  // weight +2
+    SignHistory b2;  // weight -4 (sign bit of the 3-bit value)
+    hw::Int<9> coef_sum;  // dot product when every sign is +1, |.| <= 256
   };
 
   /// Dot product of a +/-1 sign vector (packed as "negative" bits) with a
-  /// coefficient bank: sum_k sign[k]*coef[k].
-  [[nodiscard]] static std::int32_t dot(std::uint64_t neg,
-                                        const BitPlanes& p) noexcept {
+  /// coefficient bank: sum_k sign[k]*coef[k]. Every width below is exact by
+  /// construction: popcounts are 7 bits, the plane-weighted negative sum is
+  /// Int<11>, and the result lands in Int<13> (|dot| <= 512).
+  [[nodiscard]] static hw::Int<13> dot(SignHistory neg,
+                                       const BitPlanes& p) noexcept {
     // sign[k] = 1 - 2*neg[k], so the dot is the all-positive sum minus
     // twice the (plane-weighted) sum over the negative taps.
-    const std::int32_t neg_sum = std::popcount(neg & p.b0) +
-                                 2 * std::popcount(neg & p.b1) -
-                                 4 * std::popcount(neg & p.b2);
-    return p.coef_sum - 2 * neg_sum;
+    const auto n0 = hw::popcount(neg & p.b0).to_signed();
+    const auto n1 = hw::popcount(neg & p.b1).to_signed();
+    const auto n2 = hw::popcount(neg & p.b2).to_signed();
+    const auto neg_sum = n0 + n1.shl<1>() - n2.shl<2>();
+    return p.coef_sum - neg_sum.shl<1>();
   }
 
-  std::array<std::int8_t, kCorrelatorLength> coef_i_{};
-  std::array<std::int8_t, kCorrelatorLength> coef_q_{};
+  std::array<Coef, kCorrelatorLength> coef_i_{};
+  std::array<Coef, kCorrelatorLength> coef_q_{};
 
   // Bit-parallel state: sign history packed one bit per tap, bit 0 newest,
   // bit 63 oldest; a set bit means the rail was negative.
-  std::uint64_t neg_i_ = 0;
-  std::uint64_t neg_q_ = 0;
+  SignHistory neg_i_;
+  SignHistory neg_q_;
   BitPlanes planes_i_;
   BitPlanes planes_q_;
 
-  // Scalar reference state (step_reference() only).
-  std::array<std::int8_t, kCorrelatorLength> sign_i_{};  // delay line, +1/-1
-  std::array<std::int8_t, kCorrelatorLength> sign_q_{};
+  // Scalar reference state (step_reference() only); +1/-1 delay lines.
+  std::array<hw::Int<2>, kCorrelatorLength> sign_i_{};
+  std::array<hw::Int<2>, kCorrelatorLength> sign_q_{};
   std::size_t pos_ = 0;
 
   std::uint32_t threshold_ = 0xFFFFFFFFu;
   std::uint32_t max_metric_ = 0;
 };
 
-/// Offline coefficient generation (paper §2.3: "generated offline on the
-/// host based on knowledge of the wireless standards' preambles").
-/// Quantises the conjugate of the reference waveform's first 64 samples to
-/// 3-bit signed values per rail, scaled so the largest rail magnitude is 3.
+/// A quantised 64-tap coefficient set, ready for the register bus. Produced
+/// offline on the host (paper §2.3: "generated offline on the host based on
+/// knowledge of the wireless standards' preambles") by core::make_template
+/// in core/fabric_units.h — the float-domain quantiser lives on the host
+/// side of the bus, never in the fabric model.
 struct CorrelatorTemplate {
   std::array<int, kCorrelatorLength> coef_i{};
   std::array<int, kCorrelatorLength> coef_q{};
 };
-
-[[nodiscard]] CorrelatorTemplate make_template(std::span<const dsp::cfloat> reference);
 
 /// Write a template into the coefficient registers.
 void program_template(RegisterFile& regs, const CorrelatorTemplate& tpl) noexcept;

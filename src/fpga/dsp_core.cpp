@@ -40,8 +40,7 @@ void DspCore::emit_tick(const CoreOutput& out) noexcept {
     sink_->on_event(EventKind::kEnergyFall, vita, probe_energy_sum_);
   const int stage = fsm_.stage();
   if (stage != prev_stage_) {
-    sink_->on_event(EventKind::kFsmStage, vita,
-                    static_cast<std::uint64_t>(stage));
+    sink_->on_event(EventKind::kFsmStage, vita, hw::UInt<8>(stage).u64());
     prev_stage_ = stage;
   }
   if (out.jam_trigger) sink_->on_event(EventKind::kJamTrigger, vita, 0);
@@ -59,7 +58,7 @@ void DspCore::emit_tick(const CoreOutput& out) noexcept {
     s.rx = probe_rx_;
     s.xcorr_metric = probe_xcorr_metric_;
     s.energy_sum = probe_energy_sum_;
-    s.fsm_stage = static_cast<std::uint8_t>(stage);
+    s.fsm_stage = hw::UInt<8>(stage).value();
     s.xcorr_trigger = out.xcorr_trigger;
     s.energy_high = out.energy_high;
     s.energy_low = out.energy_low;
@@ -117,7 +116,7 @@ CoreOutput DspCore::idle_tick() noexcept {
 
 CoreOutput DspCore::tick(std::optional<dsp::IQ16> rx) noexcept {
   const bool strobe = (strobe_phase_ == 0);
-  strobe_phase_ = (strobe_phase_ + 1) % kClocksPerSample;
+  strobe_phase_ = hw::wrap_inc(strobe_phase_);  // 2-bit wrap == mod 4
   return strobe ? strobe_tick(rx.value_or(dsp::IQ16{})) : idle_tick();
 }
 
@@ -214,7 +213,7 @@ void DspCore::fast_forward(std::uint64_t samples) noexcept {
   prev_xcorr_ = prev_high_ = prev_low_ = false;
   vita_ticks_ += samples * kClocksPerSample;
   feedback_.vita_ticks = vita_ticks_;
-  strobe_phase_ = 0;
+  strobe_phase_ = hw::UInt<2>();
   if (sink_ != nullptr) {
     // A jam burst whose edge fell inside the skipped air time still needs
     // that edge; the exact tick is unobservable here, so stamp it at the
@@ -236,7 +235,7 @@ void DspCore::reset() noexcept {
   jammer_.reset();
   feedback_ = HostFeedback{};
   vita_ticks_ = 0;
-  strobe_phase_ = 0;
+  strobe_phase_ = hw::UInt<2>();
   held_events_ = DetectorEvents{};
   prev_xcorr_ = prev_high_ = prev_low_ = false;
   probe_xcorr_metric_ = 0;

@@ -23,8 +23,11 @@
 
 namespace rjf::fpga {
 
-inline constexpr double kFabricClockHz = 100e6;
-inline constexpr double kBasebandRateHz = 25e6;
+// Host-facing rate constants (Hz). These parameterise latency arithmetic
+// and resampling on the host side; the fabric itself only knows the 4:1
+// clock-to-strobe ratio (kClocksPerSample).
+inline constexpr double kFabricClockHz = 100e6;   // fabric-lint: allow(float-in-datapath)
+inline constexpr double kBasebandRateHz = 25e6;   // fabric-lint: allow(float-in-datapath)
 
 struct CoreOutput {
   bool rx_strobe = false;       // this tick consumed a baseband sample
@@ -123,8 +126,10 @@ class DspCore {
   TriggerFsm fsm_;
   JammerController jammer_;
   HostFeedback feedback_;
-  std::uint64_t vita_ticks_ = 0;
-  std::uint32_t strobe_phase_ = 0;
+  std::uint64_t vita_ticks_ = 0;  // 64-bit VITA clock count (GPS locked)
+  // 100 MHz clock / 25 MSPS strobe divider; the 2-bit wrap is the mod-4.
+  static_assert(kClocksPerSample == 4);
+  hw::UInt<2> strobe_phase_;
   // Latched detector outputs: detectors update on sample strobes, but the
   // FSM samples them every clock, so levels are held between strobes.
   DetectorEvents held_events_;

@@ -5,40 +5,43 @@ namespace rjf::fpga {
 EnergyDifferentiator::EnergyDifferentiator() = default;
 
 void EnergyDifferentiator::load_from_registers(const RegisterFile& regs) noexcept {
-  thresh_high_q88_ = regs.read(Reg::kEnergyThreshHigh);
-  thresh_low_q88_ = regs.read(Reg::kEnergyThreshLow);
-  floor_ = regs.read(Reg::kEnergyFloor);
+  thresh_high_q88_ = hw::UInt<32>(regs.read(Reg::kEnergyThreshHigh));
+  thresh_low_q88_ = hw::UInt<32>(regs.read(Reg::kEnergyThreshLow));
+  floor_ = hw::UInt<32>(regs.read(Reg::kEnergyFloor));
 }
 
 void EnergyDifferentiator::set_thresholds(std::uint32_t high_q88,
                                           std::uint32_t low_q88,
                                           std::uint32_t floor) noexcept {
-  thresh_high_q88_ = high_q88;
-  thresh_low_q88_ = low_q88;
-  floor_ = floor;
+  thresh_high_q88_ = hw::UInt<32>(high_q88);
+  thresh_low_q88_ = hw::UInt<32>(low_q88);
+  floor_ = hw::UInt<32>(floor);
 }
 
 EnergyDifferentiator::Output EnergyDifferentiator::step(dsp::IQ16 sample) noexcept {
-  // x[n] = I^2 + Q^2 on the 16-bit rails; fits in 31 bits.
-  const std::uint64_t xi = static_cast<std::int64_t>(sample.i) * sample.i;
-  const std::uint64_t xq = static_cast<std::int64_t>(sample.q) * sample.q;
-  const std::uint64_t y = sum_.push(xi + xq);
-  const std::uint64_t y_ref = reference_.push(y);
+  // x[n] = I^2 + Q^2 on the 16-bit rails: Int<32> squares, Int<33> sum —
+  // non-negative by construction, so it converts exactly to the unsigned
+  // power rail (at most 2^31 for full-scale-negative I and Q).
+  const auto i = hw::Int<16>(sample.i);
+  const auto q = hw::Int<16>(sample.q);
+  const hw::UInt<33> x = (i * i + q * q).to_unsigned();
+  // The 32-sample moving sum tops out at 2^36; both rails ride in UInt<37>.
+  const hw::UInt<37> y(sum_.push(x.u64()));
+  const hw::UInt<37> y_ref(reference_.push(y.u64()));
 
   Output out;
-  out.energy_sum = y;
+  out.energy_sum = y.u64();
   if (warmup_ < kEnergyWindow + kEnergyRefDelay) {
     ++warmup_;
     return out;  // pipeline not yet full; comparators disarmed
   }
-  // Q8.8 scaling: compare 256*y against thresh*y_ref (and vice versa) using
-  // 128-bit intermediates so a 30 dB threshold can't overflow.
-  const auto lhs_high = static_cast<__uint128_t>(y) << 8;
-  const auto rhs_high = static_cast<__uint128_t>(y_ref) * thresh_high_q88_;
-  const auto lhs_low = static_cast<__uint128_t>(y_ref) << 8;
-  const auto rhs_low = static_cast<__uint128_t>(y) * thresh_low_q88_;
-  out.trigger_high = (y > floor_) && (lhs_high > rhs_high);
-  out.trigger_low = (y_ref > floor_) && (lhs_low > rhs_low);
+  // Q8.8 scaling: compare 256*y against thresh*y_ref (and vice versa). The
+  // full-width intermediates exceed 64 bits, so this is the 128-bit
+  // comparator form — the RTL never materialises the product either.
+  out.trigger_high =
+      y > floor_ && hw::shifted_gt<8>(y, y_ref, thresh_high_q88_);
+  out.trigger_low =
+      y_ref > floor_ && hw::shifted_gt<8>(y_ref, y, thresh_low_q88_);
   return out;
 }
 

@@ -13,6 +13,7 @@
 
 #include "dsp/moving_sum.h"
 #include "dsp/types.h"
+#include "fpga/hw_int.h"
 #include "fpga/register_file.h"
 
 namespace rjf::fpga {
@@ -46,9 +47,9 @@ class EnergyDifferentiator {
  private:
   dsp::MovingSumU64 sum_{kEnergyWindow};
   dsp::DelayLine<std::uint64_t> reference_{kEnergyRefDelay};
-  std::uint32_t thresh_high_q88_ = 0xFFFFFFFFu;
-  std::uint32_t thresh_low_q88_ = 0xFFFFFFFFu;
-  std::uint32_t floor_ = 0;
+  hw::UInt<32> thresh_high_q88_{0xFFFFFFFFu};  // Q8.8 power ratios
+  hw::UInt<32> thresh_low_q88_{0xFFFFFFFFu};
+  hw::UInt<32> floor_;
   std::size_t warmup_ = 0;  // samples seen; comparators arm after the pipe fills
 };
 

@@ -7,8 +7,8 @@ JammerController::JammerController() = default;
 void JammerController::load_from_registers(const RegisterFile& regs) noexcept {
   waveform_ = regs.jam_waveform();
   enabled_ = regs.jam_enabled();
-  delay_samples_ = regs.jam_delay_samples();
-  uptime_samples_ = regs.read(Reg::kJamDuration);
+  delay_samples_ = hw::UInt<16>(regs.jam_delay_samples());
+  uptime_samples_ = hw::UInt<32>(regs.read(Reg::kJamDuration));
 }
 
 void JammerController::configure(JamWaveform waveform, bool enable,
@@ -16,8 +16,10 @@ void JammerController::configure(JamWaveform waveform, bool enable,
                                  std::uint32_t uptime_samples) noexcept {
   waveform_ = waveform;
   enabled_ = enable;
-  delay_samples_ = delay_samples;
-  uptime_samples_ = uptime_samples;
+  // The register field for the delay is 16 bits (kJammerControl[31:16]);
+  // the checked constructor rejects configs the hardware couldn't hold.
+  delay_samples_ = hw::UInt<16>(delay_samples);
+  uptime_samples_ = hw::UInt<32>(uptime_samples);
 }
 
 void JammerController::set_host_waveform(std::vector<dsp::IQ16> samples) {
@@ -32,15 +34,21 @@ void JammerController::record_rx(dsp::IQ16 sample) noexcept {
 std::int16_t JammerController::lfsr_gaussian() noexcept {
   // Sum of four 8-bit uniform variates, centred: a cheap CLT Gaussian
   // approximation matching what fits in fabric logic.
-  int acc = 0;
+  hw::UInt<10> acc;  // 4 * 255 tops out at 1020
   for (int k = 0; k < 4; ++k) {
-    const bool lsb = lfsr_ & 1u;
-    lfsr_ >>= 1;
-    if (lsb) lfsr_ ^= 0xB4BCD35Cu;  // taps 32,31,29,1
-    acc += static_cast<int>(lfsr_ & 0xFFu);
+    const bool lsb = lfsr_.truncate<1>() == 1u;
+    // Galois step: logical shift right (the top bit refills with zero),
+    // then conditionally apply the tap mask.
+    lfsr_ = lfsr_.shr<1>().zext<32>();
+    if (lsb) lfsr_ = lfsr_ ^ hw::UInt<32>(0xB4BCD35Cu);  // taps 32,31,29,1
+    acc = (acc + lfsr_.truncate<8>()).narrow<10>();
   }
-  // acc in [0, 1020]; centre and scale to ~1/4 full scale RMS.
-  return static_cast<std::int16_t>((acc - 510) * 24);
+  // acc in [0, 1020]; centre and scale to ~1/4 full scale RMS. The centred
+  // value rides in Int<12>, the scaled product in Int<18>, and |result|
+  // <= 12240 fits the 16-bit DAC rail exactly.
+  return ((acc.to_signed() - hw::Int<11>(510)) * hw::Int<6>(24))
+      .narrow<16>()
+      .value();
 }
 
 dsp::IQ16 JammerController::next_waveform_sample() noexcept {
@@ -77,24 +85,27 @@ JammerController::TxOut JammerController::clock(bool trigger) noexcept {
         // the air exactly kTxInitCycles (80 ns) after the trigger.
         if (delay_samples_ > 0) {
           state_ = State::kDelay;
-          countdown_cycles_ = delay_samples_ * kClocksPerSample;
+          countdown_cycles_ = delay_samples_ * hw::UInt<3>(kClocksPerSample);
         } else {
           state_ = State::kInit;
-          countdown_cycles_ = kTxInitCycles - 1;
+          countdown_cycles_ = hw::UInt<19>(kTxInitCycles - 1);
         }
       }
       break;
     case State::kDelay:
-      if (--countdown_cycles_ == 0) {
+      countdown_cycles_ = hw::wrap_dec(countdown_cycles_);
+      if (countdown_cycles_ == 0) {
         state_ = State::kInit;
-        countdown_cycles_ = kTxInitCycles - 1;
+        countdown_cycles_ = hw::UInt<19>(kTxInitCycles - 1);
       }
       break;
     case State::kInit:
-      if (--countdown_cycles_ == 0) {
+      countdown_cycles_ = hw::wrap_dec(countdown_cycles_);
+      if (countdown_cycles_ == 0) {
         state_ = State::kJamming;
-        remaining_samples_ = uptime_samples_ == 0 ? 1 : uptime_samples_;
-        strobe_phase_ = 0;
+        remaining_samples_ = uptime_samples_ == 0 ? hw::UInt<32>(1u)
+                                                  : uptime_samples_;
+        strobe_phase_ = hw::UInt<2>();
       }
       break;
     case State::kJamming:
@@ -103,9 +114,10 @@ JammerController::TxOut JammerController::clock(bool trigger) noexcept {
       if (strobe_phase_ == 0) {
         out.sample_strobe = true;
         out.sample = next_waveform_sample();
-        if (--remaining_samples_ == 0) state_ = State::kIdle;
+        remaining_samples_ = hw::wrap_dec(remaining_samples_);
+        if (remaining_samples_ == 0) state_ = State::kIdle;
       }
-      strobe_phase_ = (strobe_phase_ + 1) % kClocksPerSample;
+      strobe_phase_ = hw::wrap_inc(strobe_phase_);  // 2-bit wrap == mod 4
       break;
   }
   return out;
@@ -117,25 +129,27 @@ void JammerController::fast_forward(std::uint64_t samples) noexcept {
     switch (state_) {
       case State::kDelay:
       case State::kInit: {
-        const std::uint64_t used = std::min<std::uint64_t>(cycles, countdown_cycles_);
-        countdown_cycles_ -= static_cast<std::uint32_t>(used);
+        const std::uint64_t used =
+            std::min<std::uint64_t>(cycles, countdown_cycles_.u64());
+        countdown_cycles_ = hw::UInt<19>(countdown_cycles_.u64() - used);
         cycles -= used;
         if (countdown_cycles_ == 0) {
           if (state_ == State::kDelay) {
             state_ = State::kInit;
-            countdown_cycles_ = kTxInitCycles - 1;
+            countdown_cycles_ = hw::UInt<19>(kTxInitCycles - 1);
           } else {
             state_ = State::kJamming;
-            remaining_samples_ = uptime_samples_ == 0 ? 1 : uptime_samples_;
-            strobe_phase_ = 0;
+            remaining_samples_ = uptime_samples_ == 0 ? hw::UInt<32>(1u)
+                                                      : uptime_samples_;
+            strobe_phase_ = hw::UInt<2>();
           }
         }
         break;
       }
       case State::kJamming: {
         const std::uint64_t avail = cycles / kClocksPerSample;
-        const std::uint64_t used = std::min(avail, remaining_samples_);
-        remaining_samples_ -= used;
+        const std::uint64_t used = std::min(avail, remaining_samples_.u64());
+        remaining_samples_ = hw::UInt<32>(remaining_samples_.u64() - used);
         cycles -= used * kClocksPerSample;
         cycles_jamming_ += used * kClocksPerSample;
         if (remaining_samples_ == 0) {
@@ -154,9 +168,9 @@ void JammerController::fast_forward(std::uint64_t samples) noexcept {
 
 void JammerController::reset() noexcept {
   state_ = State::kIdle;
-  countdown_cycles_ = 0;
-  remaining_samples_ = 0;
-  strobe_phase_ = 0;
+  countdown_cycles_ = hw::UInt<19>();
+  remaining_samples_ = hw::UInt<32>();
+  strobe_phase_ = hw::UInt<2>();
   playback_pos_ = 0;
   jam_count_ = 0;
   cycles_jamming_ = 0;

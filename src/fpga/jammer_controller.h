@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dsp/types.h"
+#include "fpga/hw_int.h"
 #include "fpga/register_file.h"
 
 namespace rjf::fpga {
@@ -80,12 +81,17 @@ class JammerController {
   State state_ = State::kIdle;
   JamWaveform waveform_ = JamWaveform::kWhiteNoise;
   bool enabled_ = false;
-  std::uint32_t delay_samples_ = 0;
-  std::uint32_t uptime_samples_ = 0;
+  hw::UInt<16> delay_samples_;   // the kJammerControl field is bits[31:16]
+  hw::UInt<32> uptime_samples_;
 
-  std::uint32_t countdown_cycles_ = 0;   // kDelay / kInit phase timer
-  std::uint64_t remaining_samples_ = 0;  // kJamming phase sample counter
-  std::uint32_t strobe_phase_ = 0;
+  // kDelay / kInit phase timer: at most delay * 4 clocks, so 18 bits, plus
+  // one for the kTxInitCycles reload path.
+  hw::UInt<19> countdown_cycles_;
+  hw::UInt<32> remaining_samples_;  // kJamming phase sample counter
+  // 100 MHz clock / 25 MSPS strobe divider: a free-running 2-bit counter
+  // whose wrap IS the mod-4 divide.
+  static_assert(kClocksPerSample == 4);
+  hw::UInt<2> strobe_phase_;
 
   std::array<dsp::IQ16, kReplayDepth> replay_{};
   std::size_t replay_write_ = 0;
@@ -93,7 +99,7 @@ class JammerController {
   std::vector<dsp::IQ16> host_waveform_;
 
   // On-fabric noise generator: 32-bit Galois LFSR feeding a CLT shaper.
-  std::uint32_t lfsr_ = 0xACE1ACE1u;
+  hw::UInt<32> lfsr_{0xACE1ACE1u};
   [[nodiscard]] std::int16_t lfsr_gaussian() noexcept;
 
   std::uint64_t jam_count_ = 0;

@@ -1,7 +1,6 @@
 #include "fpga/register_file.h"
 
-#include <algorithm>
-#include <cmath>
+#include "fpga/hw_int.h"
 
 namespace rjf::fpga {
 namespace {
@@ -19,8 +18,11 @@ std::size_t coef_reg_index(bool q_bank, std::size_t index) noexcept {
 void RegisterFile::set_coefficient(bool q_bank, std::size_t index,
                                    int value) noexcept {
   if (index >= 64) return;
-  const int clamped = std::clamp(value, -4, 3);
-  const auto field = static_cast<std::uint32_t>(clamped & 0xF);
+  // Clamp into the 3-bit signed coefficient range, then pack the two's
+  // complement bits into the 4-bit bus field (bit 3 is a spare the RTL
+  // carries but the correlator never reads).
+  const hw::Int<3> clamped = hw::sat_s<3>(value);
+  const std::uint32_t field = hw::wrap_u<4>(clamped).zext<32>().value();
   const std::size_t reg = coef_reg_index(q_bank, index);
   const unsigned shift = 4u * static_cast<unsigned>(index % kCoefsPerReg);
   regs_[reg] = (regs_[reg] & ~(0xFu << shift)) | (field << shift);
@@ -30,21 +32,24 @@ int RegisterFile::coefficient(bool q_bank, std::size_t index) const noexcept {
   if (index >= 64) return 0;
   const std::size_t reg = coef_reg_index(q_bank, index);
   const unsigned shift = 4u * static_cast<unsigned>(index % kCoefsPerReg);
-  const auto field = (regs_[reg] >> shift) & 0xFu;
-  // Sign-extend the 4-bit field.
-  return (field & 0x8u) ? static_cast<int>(field) - 16 : static_cast<int>(field);
+  // The correlator consumes 3-bit signed coefficients: bit 3 of the bus
+  // field is a spare the fabric never reads, so decode wraps to 3-bit two's
+  // complement exactly like the bit-plane decomposition does. (This used to
+  // sign-extend all 4 bits, so a rogue raw register write made this readout
+  // disagree with what the correlator actually computed.)
+  return hw::wrap_s<3>(regs_[reg] >> shift).value();
 }
 
 void RegisterFile::set_jammer(JamWaveform waveform, bool enable,
                               std::uint16_t delay_samples) noexcept {
-  const std::uint32_t value = (static_cast<std::uint32_t>(waveform) & 0x3u) |
-                              (enable ? 0x4u : 0x0u) |
-                              (static_cast<std::uint32_t>(delay_samples) << 16);
-  write(Reg::kJammerControl, value);
+  const hw::UInt<32> value = hw::from_enum<2>(waveform).zext<32>() |
+                             hw::UInt<32>(enable ? 0x4u : 0x0u) |
+                             hw::UInt<16>(delay_samples).shl<16>();
+  write(Reg::kJammerControl, value.value());
 }
 
 JamWaveform RegisterFile::jam_waveform() const noexcept {
-  return static_cast<JamWaveform>(read(Reg::kJammerControl) & 0x3u);
+  return hw::to_enum<JamWaveform>(hw::wrap_u<2>(read(Reg::kJammerControl)));
 }
 
 bool RegisterFile::jam_enabled() const noexcept {
@@ -52,7 +57,7 @@ bool RegisterFile::jam_enabled() const noexcept {
 }
 
 std::uint16_t RegisterFile::jam_delay_samples() const noexcept {
-  return static_cast<std::uint16_t>(read(Reg::kJammerControl) >> 16);
+  return hw::wrap_u<16>(read(Reg::kJammerControl) >> 16).value();
 }
 
 void RegisterFile::set_trigger_stages(std::uint32_t mask0, std::uint32_t mask1,
@@ -72,17 +77,6 @@ int RegisterFile::num_trigger_stages() const noexcept {
   for (int stage = 0; stage < 3; ++stage)
     if (trigger_stage_mask(stage) != 0) n = stage + 1;
   return n;
-}
-
-std::uint32_t energy_threshold_q88_from_db(double db) noexcept {
-  const double ratio = std::pow(10.0, db / 10.0);
-  const double q88 = std::clamp(ratio * 256.0, 0.0, 4294967295.0);
-  return static_cast<std::uint32_t>(std::lround(q88));
-}
-
-double energy_threshold_db_from_q88(std::uint32_t q88) noexcept {
-  if (q88 == 0) return -300.0;
-  return 10.0 * std::log10(static_cast<double>(q88) / 256.0);
 }
 
 }  // namespace rjf::fpga

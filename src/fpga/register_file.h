@@ -94,9 +94,8 @@ class RegisterFile {
   std::array<std::uint32_t, kNumUserRegisters> regs_{};
 };
 
-/// Convert an energy-change threshold in dB (paper: 3..30 dB) to the Q8.8
-/// linear power-ratio encoding stored in kEnergyThreshHigh/Low.
-[[nodiscard]] std::uint32_t energy_threshold_q88_from_db(double db) noexcept;
-[[nodiscard]] double energy_threshold_db_from_q88(std::uint32_t q88) noexcept;
+// The dB <-> Q8.8 threshold conversions live on the host side of the
+// register bus: core/fabric_units.h. The fabric only ever sees the fixed
+// point encoding.
 
 }  // namespace rjf::fpga

@@ -10,10 +10,10 @@ void TriggerFsm::load_from_registers(const RegisterFile& regs) noexcept {
 void TriggerFsm::configure(std::uint32_t mask0, std::uint32_t mask1,
                            std::uint32_t mask2,
                            std::uint32_t window_cycles) noexcept {
-  masks_[0] = mask0 & 0xFu;
-  masks_[1] = mask1 & 0xFu;
-  masks_[2] = mask2 & 0xFu;
-  window_cycles_ = window_cycles;
+  masks_[0] = hw::wrap_u<4>(mask0);
+  masks_[1] = hw::wrap_u<4>(mask1);
+  masks_[2] = hw::wrap_u<4>(mask2);
+  window_cycles_ = hw::UInt<32>(window_cycles);
   num_stages_ = 0;
   for (int s = 0; s < 3; ++s)
     if (masks_[s] != 0) num_stages_ = s + 1;
@@ -23,15 +23,15 @@ void TriggerFsm::configure(std::uint32_t mask0, std::uint32_t mask1,
 bool TriggerFsm::clock(const DetectorEvents& events) noexcept {
   if (num_stages_ == 0) return false;
 
-  const std::uint32_t asserted = events.as_mask();
+  const hw::UInt<4> asserted = hw::wrap_u<4>(events.as_mask());
   // Window timeout: abandon a partially-matched sequence and rearm — unless
   // a masked event for the pending stage is asserted on this same clock. In
   // the RTL the stage-advance and expiry comparisons are evaluated on the
   // same edge and the advance path wins, so a match landing on the expiry
   // tick still completes (see the header's window-semantics note).
   if (stage_ > 0) {
-    ++elapsed_;
-    if (window_cycles_ != 0 && elapsed_ > window_cycles_ &&
+    elapsed_ = hw::wrap_inc(elapsed_);
+    if (window_cycles_ > 0 && elapsed_ > window_cycles_ &&
         (asserted & masks_[stage_]) == 0)
       reset();
   }
@@ -44,13 +44,13 @@ bool TriggerFsm::clock(const DetectorEvents& events) noexcept {
     return true;  // final stage matched -> jam trigger pulse
   }
   ++stage_;
-  if (stage_ == 1) elapsed_ = 0;
+  if (stage_ == 1) elapsed_ = hw::UInt<32>();
   return false;
 }
 
 void TriggerFsm::reset() noexcept {
   stage_ = 0;
-  elapsed_ = 0;
+  elapsed_ = hw::UInt<32>();
 }
 
 }  // namespace rjf::fpga

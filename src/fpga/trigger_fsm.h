@@ -24,6 +24,7 @@
 
 #include <cstdint>
 
+#include "fpga/hw_int.h"
 #include "fpga/register_file.h"
 
 namespace rjf::fpga {
@@ -64,11 +65,11 @@ class TriggerFsm {
   void reset() noexcept;
 
  private:
-  std::uint32_t masks_[3] = {0, 0, 0};
-  std::uint32_t window_cycles_ = 0;
+  hw::UInt<4> masks_[3];     // one 4-bit event mask per stage
+  hw::UInt<32> window_cycles_;
   int num_stages_ = 0;
   int stage_ = 0;
-  std::uint32_t elapsed_ = 0;  // cycles since stage 0 fired
+  hw::UInt<32> elapsed_;     // cycles since stage 0 fired
 };
 
 }  // namespace rjf::fpga

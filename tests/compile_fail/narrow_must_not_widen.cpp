@@ -1,0 +1,11 @@
+// narrow<W2>() is a declared-lossless *narrowing*; widening through it must
+// not compile (use zext()/sext() to widen).
+#include "fpga/hw_int.h"
+
+int main() {
+  const rjf::fpga::hw::UInt<8> x(1u);
+#ifdef RJF_EXPECT_COMPILE_FAIL
+  [[maybe_unused]] const auto y = x.narrow<16>();
+#endif
+  return static_cast<int>(x.u64());
+}

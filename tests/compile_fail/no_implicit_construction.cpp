@@ -1,0 +1,12 @@
+// Construction from a raw integer is explicit: a plain assignment would be
+// an implicit width decision, which the type system exists to forbid.
+#include "fpga/hw_int.h"
+
+int main() {
+#ifdef RJF_EXPECT_COMPILE_FAIL
+  rjf::fpga::hw::UInt<8> x = 5;
+#else
+  rjf::fpga::hw::UInt<8> x(5u);
+#endif
+  return static_cast<int>(x.u64());
+}

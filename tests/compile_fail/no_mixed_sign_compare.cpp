@@ -1,0 +1,13 @@
+// Comparing signed and unsigned hardware integers has no single RTL
+// meaning; the caller must cross the domain explicitly (to_signed() /
+// to_unsigned()) before comparing.
+#include "fpga/hw_int.h"
+
+int main() {
+  const rjf::fpga::hw::UInt<8> u(1u);
+  const rjf::fpga::hw::Int<8> s(1);
+#ifdef RJF_EXPECT_COMPILE_FAIL
+  [[maybe_unused]] const bool eq = (u == s);
+#endif
+  return static_cast<int>(u.u64() + static_cast<unsigned>(s.i64() > 0));
+}

@@ -1,0 +1,13 @@
+// Widening multiply carries the exact A+B-bit result type; a product whose
+// true width exceeds the 64-bit model word is a compile error at the
+// operator, not a runtime wrap.
+#include "fpga/hw_int.h"
+
+int main() {
+  const rjf::fpga::hw::UInt<40> a(1u);
+  const rjf::fpga::hw::UInt<40> b(2u);
+#ifdef RJF_EXPECT_COMPILE_FAIL
+  [[maybe_unused]] const auto p = a * b;  // needs 80 bits
+#endif
+  return static_cast<int>(a.u64() + b.u64());
+}

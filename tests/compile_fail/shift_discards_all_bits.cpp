@@ -1,0 +1,13 @@
+// A static right shift by the full width would discard every bit — in RTL
+// terms, wiring nothing to something. Rejected at compile time.
+#include "fpga/hw_int.h"
+
+int main() {
+  const rjf::fpga::hw::UInt<4> x(9u);
+#ifdef RJF_EXPECT_COMPILE_FAIL
+  [[maybe_unused]] const auto y = x.shr<4>();
+#else
+  [[maybe_unused]] const auto y = x.shr<3>();
+#endif
+  return static_cast<int>(x.u64());
+}

@@ -1,0 +1,11 @@
+// truncate<W2>() is a declared lossy bit-drop; widening through it must not
+// compile (use zext()/sext() to widen).
+#include "fpga/hw_int.h"
+
+int main() {
+  const rjf::fpga::hw::Int<8> x(-1);
+#ifdef RJF_EXPECT_COMPILE_FAIL
+  [[maybe_unused]] const auto y = x.truncate<16>();
+#endif
+  return static_cast<int>(x.i64());
+}

@@ -1,0 +1,12 @@
+// Hardware integers model at most the 64-bit word of the C++ model; wider
+// signals must be decomposed (or compared via shifted_gt's 128-bit path).
+#include "fpga/hw_int.h"
+
+int main() {
+#ifdef RJF_EXPECT_COMPILE_FAIL
+  [[maybe_unused]] rjf::fpga::hw::UInt<65> x;
+#else
+  [[maybe_unused]] rjf::fpga::hw::UInt<64> x;
+#endif
+  return 0;
+}

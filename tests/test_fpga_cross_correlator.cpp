@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "core/fabric_units.h"
 #include "dsp/noise.h"
 
 namespace rjf::fpga {
@@ -29,7 +30,7 @@ dsp::iqvec to_fabric(const dsp::cvec& x, float scale = 0.5f) {
 }
 
 TEST(MakeTemplate, CoefficientsWithinThreeBits) {
-  const auto tpl = make_template(test_code());
+  const auto tpl = core::make_template(test_code());
   for (std::size_t k = 0; k < kCorrelatorLength; ++k) {
     EXPECT_GE(tpl.coef_i[k], -4);
     EXPECT_LE(tpl.coef_i[k], 3);
@@ -39,7 +40,7 @@ TEST(MakeTemplate, CoefficientsWithinThreeBits) {
 }
 
 TEST(MakeTemplate, ZeroReferenceGivesZeroTemplate) {
-  const auto tpl = make_template(dsp::cvec(64, dsp::cfloat{}));
+  const auto tpl = core::make_template(dsp::cvec(64, dsp::cfloat{}));
   for (std::size_t k = 0; k < kCorrelatorLength; ++k) {
     EXPECT_EQ(tpl.coef_i[k], 0);
     EXPECT_EQ(tpl.coef_q[k], 0);
@@ -48,7 +49,7 @@ TEST(MakeTemplate, ZeroReferenceGivesZeroTemplate) {
 
 TEST(MakeTemplate, ShortReferencePadsWithZeros) {
   const dsp::cvec code = test_code();
-  const auto tpl = make_template(
+  const auto tpl = core::make_template(
       std::span<const dsp::cfloat>(code.data(), 16));
   bool any_nonzero_head = false;
   for (std::size_t k = 0; k < 16; ++k)
@@ -62,7 +63,7 @@ TEST(MakeTemplate, ShortReferencePadsWithZeros) {
 
 TEST(CrossCorrelator, PeaksWhenCodeFullyEntered) {
   const dsp::cvec code = test_code();
-  const auto tpl = make_template(code);
+  const auto tpl = core::make_template(code);
   CrossCorrelator corr;
   corr.set_coefficients(tpl.coef_i, tpl.coef_q);
 
@@ -85,7 +86,7 @@ TEST(CrossCorrelator, PeaksWhenCodeFullyEntered) {
 
 TEST(CrossCorrelator, TriggerRespectsThreshold) {
   const dsp::cvec code = test_code();
-  const auto tpl = make_template(code);
+  const auto tpl = core::make_template(code);
   CrossCorrelator corr;
   corr.set_coefficients(tpl.coef_i, tpl.coef_q);
 
@@ -108,7 +109,7 @@ TEST(CrossCorrelator, TriggerRespectsThreshold) {
 }
 
 TEST(CrossCorrelator, LoadFromRegistersMatchesDirect) {
-  const auto tpl = make_template(test_code());
+  const auto tpl = core::make_template(test_code());
   RegisterFile regs;
   program_template(regs, tpl);
   regs.write(Reg::kXcorrThreshold, 500);
@@ -131,7 +132,7 @@ TEST(CrossCorrelator, SignSlicingIgnoresAmplitude) {
   // The datapath slices sign bits, so scaling the input by 100x must not
   // change the metric (as long as signs survive quantisation).
   const dsp::cvec code = test_code();
-  const auto tpl = make_template(code);
+  const auto tpl = core::make_template(code);
   CrossCorrelator small, large;
   small.set_coefficients(tpl.coef_i, tpl.coef_q);
   large.set_coefficients(tpl.coef_i, tpl.coef_q);
@@ -144,7 +145,7 @@ TEST(CrossCorrelator, SignSlicingIgnoresAmplitude) {
 
 TEST(CrossCorrelator, NoiseStaysWellBelowSignalPeak) {
   const dsp::cvec code = test_code();
-  const auto tpl = make_template(code);
+  const auto tpl = core::make_template(code);
   CrossCorrelator corr;
   corr.set_coefficients(tpl.coef_i, tpl.coef_q);
 
@@ -162,7 +163,7 @@ TEST(CrossCorrelator, NoiseStaysWellBelowSignalPeak) {
 }
 
 TEST(CrossCorrelator, ResetClearsHistory) {
-  const auto tpl = make_template(test_code());
+  const auto tpl = core::make_template(test_code());
   CrossCorrelator corr;
   corr.set_coefficients(tpl.coef_i, tpl.coef_q);
   for (const auto s : to_fabric(test_code())) (void)corr.step(s);
@@ -173,8 +174,40 @@ TEST(CrossCorrelator, ResetClearsHistory) {
   EXPECT_EQ(corr.step(probe).metric, fresh.step(probe).metric);
 }
 
+TEST(CrossCorrelator, MaxCorrelationInputHitsPeakWithoutOverflow) {
+  // Regression test for the re*re / im*im squaring: the metric used to be
+  // computed as static_cast<uint32_t>(re * re), squaring in plain int — a
+  // signed-overflow UB pattern the width-checked types make impossible (the
+  // squares now widen to Int<28> and the sum wraps into the 32-bit metric
+  // register explicitly). Drive the absolute worst-case datapath excursion —
+  // every coefficient at max magnitude (-4), every sign aligned — and check
+  // the squared metric is exact at the peak. The CI UBSan job runs this
+  // test, so any reintroduced unwidened square trips -fsanitize=undefined.
+  CrossCorrelator corr;
+  std::array<int, kCorrelatorLength> coef{};
+  coef.fill(-4);
+  corr.set_coefficients(coef, coef);
+  // max_metric = (sum_k |ci|+|cq|)^2 = (64*8)^2 = 2^18: the largest value
+  // this datapath can produce.
+  EXPECT_EQ(corr.max_metric(), 512u * 512u);
+
+  // All-negative samples align every sign with the all-negative template:
+  // each rail's dot product saturates at +512 once the window fills.
+  CrossCorrelator ref;
+  ref.set_coefficients(coef, coef);
+  std::uint32_t peak_fast = 0;
+  std::uint32_t peak_ref = 0;
+  for (std::size_t k = 0; k < kCorrelatorLength; ++k) {
+    const dsp::IQ16 s{-30000, -30000};
+    peak_fast = std::max(peak_fast, corr.step(s).metric);
+    peak_ref = std::max(peak_ref, ref.step_reference(s).metric);
+  }
+  EXPECT_EQ(peak_fast, corr.max_metric());
+  EXPECT_EQ(peak_ref, corr.max_metric());
+}
+
 TEST(CrossCorrelator, MaxMetricBound) {
-  const auto tpl = make_template(test_code());
+  const auto tpl = core::make_template(test_code());
   CrossCorrelator corr;
   corr.set_coefficients(tpl.coef_i, tpl.coef_q);
   // max_metric is (sum |ci|+|cq|)^2 <= (64*6)^2.

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include "core/fabric_units.h"
 #include "dsp/rng.h"
 
 #include "dsp/noise.h"
@@ -27,7 +28,7 @@ dsp::cvec test_code() {
 
 // Threshold set at 3/4 of the clean-signal peak for the test code.
 std::uint32_t adaptive_threshold() {
-  const auto tpl = make_template(test_code());
+  const auto tpl = core::make_template(test_code());
   CrossCorrelator corr;
   corr.set_coefficients(tpl.coef_i, tpl.coef_q);
   std::uint32_t peak = 0;
@@ -41,7 +42,7 @@ void program_xcorr_jammer(DspCore& core, std::uint32_t threshold,
                           std::uint32_t uptime = 16,
                           std::uint16_t delay = 0) {
   auto& regs = core.registers();
-  program_template(regs, make_template(test_code()));
+  program_template(regs, core::make_template(test_code()));
   regs.write(Reg::kXcorrThreshold, threshold);
   regs.set_trigger_stages(kEventXcorr, 0, 0);
   regs.write(Reg::kTriggerWindow, 0);
@@ -127,7 +128,7 @@ TEST(DspCore, EnergyDetectionUnder128Clocks) {
   // 128 clock cycles, to trigger ... T_en_det < 1.28 us".
   DspCore core;
   auto& regs = core.registers();
-  regs.write(Reg::kEnergyThreshHigh, energy_threshold_q88_from_db(10.0));
+  regs.write(Reg::kEnergyThreshHigh, core::energy_threshold_q88_from_db(10.0));
   regs.write(Reg::kEnergyThreshLow, ~0u);
   regs.write(Reg::kEnergyFloor, 1);
   regs.set_trigger_stages(kEventEnergyHigh, 0, 0);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/fabric_units.h"
 #include "dsp/noise.h"
 
 namespace rjf::fpga {
@@ -19,8 +20,8 @@ EnergyDifferentiator::Output feed(EnergyDifferentiator& det, std::int16_t amp,
 
 TEST(EnergyDifferentiator, SilentInputNeverTriggers) {
   EnergyDifferentiator det;
-  det.set_thresholds(energy_threshold_q88_from_db(3.0),
-                     energy_threshold_q88_from_db(3.0), 0);
+  det.set_thresholds(core::energy_threshold_q88_from_db(3.0),
+                     core::energy_threshold_q88_from_db(3.0), 0);
   for (std::size_t k = 0; k < 1000; ++k) {
     const auto out = det.step(dsp::IQ16{0, 0});
     ASSERT_FALSE(out.trigger_high);
@@ -30,8 +31,8 @@ TEST(EnergyDifferentiator, SilentInputNeverTriggers) {
 
 TEST(EnergyDifferentiator, WarmupSuppressesTriggers) {
   EnergyDifferentiator det;
-  det.set_thresholds(energy_threshold_q88_from_db(3.0),
-                     energy_threshold_q88_from_db(3.0), 0);
+  det.set_thresholds(core::energy_threshold_q88_from_db(3.0),
+                     core::energy_threshold_q88_from_db(3.0), 0);
   // A strong signal from the very first sample: no trigger until the
   // 96-sample pipeline (32 sum + 64 reference delay) is full.
   for (std::size_t k = 0; k < kWarmup; ++k) {
@@ -42,8 +43,8 @@ TEST(EnergyDifferentiator, WarmupSuppressesTriggers) {
 
 TEST(EnergyDifferentiator, StepUpTriggersHigh) {
   EnergyDifferentiator det;
-  det.set_thresholds(energy_threshold_q88_from_db(10.0),
-                     energy_threshold_q88_from_db(10.0), 1);
+  det.set_thresholds(core::energy_threshold_q88_from_db(10.0),
+                     core::energy_threshold_q88_from_db(10.0), 1);
   feed(det, 100, 400);  // quiet baseline, fully warmed up
   // A 40x amplitude step is a 32 dB energy rise: must trigger within the
   // 32-sample window plus the 64-sample reference delay.
@@ -55,8 +56,8 @@ TEST(EnergyDifferentiator, StepUpTriggersHigh) {
 
 TEST(EnergyDifferentiator, StepDownTriggersLow) {
   EnergyDifferentiator det;
-  det.set_thresholds(energy_threshold_q88_from_db(10.0),
-                     energy_threshold_q88_from_db(10.0), 1);
+  det.set_thresholds(core::energy_threshold_q88_from_db(10.0),
+                     core::energy_threshold_q88_from_db(10.0), 1);
   feed(det, 4000, 400);
   bool low = false;
   for (std::size_t k = 0; k < kEnergyWindow + kEnergyRefDelay && !low; ++k)
@@ -66,8 +67,8 @@ TEST(EnergyDifferentiator, StepDownTriggersLow) {
 
 TEST(EnergyDifferentiator, SmallRiseBelowThresholdIgnored) {
   EnergyDifferentiator det;
-  det.set_thresholds(energy_threshold_q88_from_db(10.0),
-                     energy_threshold_q88_from_db(10.0), 1);
+  det.set_thresholds(core::energy_threshold_q88_from_db(10.0),
+                     core::energy_threshold_q88_from_db(10.0), 1);
   feed(det, 1000, 400);
   // +3 dB rise (amplitude x1.41) must NOT trip a 10 dB threshold.
   bool high = false;
@@ -81,8 +82,8 @@ TEST(EnergyDifferentiator, ThresholdBoundaryIsSharp) {
   for (const auto& [setting_db, expect] :
        std::vector<std::pair<double, bool>>{{10.0, true}, {14.0, false}}) {
     EnergyDifferentiator det;
-    det.set_thresholds(energy_threshold_q88_from_db(setting_db),
-                       energy_threshold_q88_from_db(setting_db), 1);
+    det.set_thresholds(core::energy_threshold_q88_from_db(setting_db),
+                       core::energy_threshold_q88_from_db(setting_db), 1);
     feed(det, 500, 400);
     bool high = false;
     for (std::size_t k = 0; k < 300; ++k)
@@ -94,8 +95,8 @@ TEST(EnergyDifferentiator, ThresholdBoundaryIsSharp) {
 TEST(EnergyDifferentiator, FloorArmsDetector) {
   EnergyDifferentiator det;
   // Enormous floor: even a big relative rise must not trigger.
-  det.set_thresholds(energy_threshold_q88_from_db(3.0),
-                     energy_threshold_q88_from_db(3.0), ~0u);
+  det.set_thresholds(core::energy_threshold_q88_from_db(3.0),
+                     core::energy_threshold_q88_from_db(3.0), ~0u);
   feed(det, 100, 400);
   bool high = false;
   for (std::size_t k = 0; k < 300; ++k)
@@ -115,8 +116,8 @@ TEST(EnergyDifferentiator, EnergySumMatchesWindowSum) {
 
 TEST(EnergyDifferentiator, LoadFromRegisters) {
   RegisterFile regs;
-  regs.write(Reg::kEnergyThreshHigh, energy_threshold_q88_from_db(10.0));
-  regs.write(Reg::kEnergyThreshLow, energy_threshold_q88_from_db(10.0));
+  regs.write(Reg::kEnergyThreshHigh, core::energy_threshold_q88_from_db(10.0));
+  regs.write(Reg::kEnergyThreshLow, core::energy_threshold_q88_from_db(10.0));
   regs.write(Reg::kEnergyFloor, 1);
   EnergyDifferentiator det;
   det.load_from_registers(regs);
@@ -129,8 +130,8 @@ TEST(EnergyDifferentiator, LoadFromRegisters) {
 
 TEST(EnergyDifferentiator, ResetRequiresRewarming) {
   EnergyDifferentiator det;
-  det.set_thresholds(energy_threshold_q88_from_db(3.0),
-                     energy_threshold_q88_from_db(3.0), 1);
+  det.set_thresholds(core::energy_threshold_q88_from_db(3.0),
+                     core::energy_threshold_q88_from_db(3.0), 1);
   feed(det, 100, 400);
   det.reset();
   for (std::size_t k = 0; k < kWarmup; ++k) {
@@ -146,8 +147,8 @@ class EnergyThresholdSweep : public ::testing::TestWithParam<double> {};
 TEST_P(EnergyThresholdSweep, FiresAboveConfiguredThreshold) {
   const double threshold_db = GetParam();
   EnergyDifferentiator det;
-  det.set_thresholds(energy_threshold_q88_from_db(threshold_db),
-                     energy_threshold_q88_from_db(threshold_db), 1);
+  det.set_thresholds(core::energy_threshold_q88_from_db(threshold_db),
+                     core::energy_threshold_q88_from_db(threshold_db), 1);
   feed(det, 200, 400);
   const double rise_db = threshold_db + 3.0;
   const auto amp = static_cast<std::int16_t>(

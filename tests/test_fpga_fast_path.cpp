@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/fabric_units.h"
 #include "core/templates.h"
 #include "dsp/noise.h"
 #include "dsp/resampler.h"
@@ -175,8 +176,8 @@ void program_jammer(DspCore& core, std::uint32_t xcorr_threshold) {
   auto& regs = core.registers();
   program_template(regs, core::wifi_short_preamble_template());
   regs.write(Reg::kXcorrThreshold, xcorr_threshold);
-  regs.write(Reg::kEnergyThreshHigh, energy_threshold_q88_from_db(6.0));
-  regs.write(Reg::kEnergyThreshLow, energy_threshold_q88_from_db(6.0));
+  regs.write(Reg::kEnergyThreshHigh, core::energy_threshold_q88_from_db(6.0));
+  regs.write(Reg::kEnergyThreshLow, core::energy_threshold_q88_from_db(6.0));
   regs.write(Reg::kEnergyFloor, 1000);
   regs.set_trigger_stages(kEventEnergyHigh, kEventXcorr, 0);
   regs.write(Reg::kTriggerWindow, 4096);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/fabric_units.h"
+
 namespace rjf::fpga {
 namespace {
 
@@ -43,6 +45,33 @@ TEST(Coefficients, ClampToThreeBitSigned) {
   EXPECT_EQ(regs.coefficient(false, 0), 3);
   regs.set_coefficient(false, 1, -100);
   EXPECT_EQ(regs.coefficient(false, 1), -4);
+}
+
+TEST(Coefficients, RogueRawWriteDecodesLikeTheFabric) {
+  // Regression test: coefficient() used to sign-extend the full 4-bit bus
+  // field ([-8, 7]) while the correlator's bit-plane decomposition only ever
+  // reads the low 3 bits, so a raw register write with the spare bit set
+  // made the host readout disagree with what the fabric computed. The
+  // decode now wraps to 3-bit two's complement, matching the datapath.
+  RegisterFile regs;
+  regs.write(Reg::kXcorrCoefI0, 0x88888888u);  // every field 0b1000
+  for (std::size_t k = 0; k < 8; ++k)
+    EXPECT_EQ(regs.coefficient(false, k), 0) << "I coef " << k;
+
+  regs.write(Reg::kXcorrCoefQ0, 0xFCFCFCFCu);  // fields alternate 0xC, 0xF
+  for (std::size_t k = 0; k < 8; ++k) {
+    // 0xC -> low bits 100 -> -4; 0xF -> 111 -> -1. Both in contract range,
+    // identical to what the bit planes decode for the same raw bits.
+    EXPECT_EQ(regs.coefficient(true, k), (k % 2 == 0) ? -4 : -1)
+        << "Q coef " << k;
+  }
+
+  // Values written through the packing helper are unaffected: the spare bit
+  // is never set, so 3-bit and 4-bit decodes agree for every legal value.
+  for (int v = -4; v <= 3; ++v) {
+    regs.set_coefficient(false, 0, v);
+    EXPECT_EQ(regs.coefficient(false, 0), v);
+  }
 }
 
 TEST(Coefficients, OutOfRangeIndexIgnored) {
@@ -90,13 +119,13 @@ TEST(TriggerStages, ThreeStagesMax) {
 TEST(EnergyThreshold, Q88ConversionRoundTrips) {
   // Paper: "any energy level change between 3dB and 30dB".
   for (const double db : {3.0, 6.0, 10.0, 20.0, 30.0}) {
-    const auto q88 = energy_threshold_q88_from_db(db);
-    EXPECT_NEAR(energy_threshold_db_from_q88(q88), db, 0.05) << db;
+    const auto q88 = core::energy_threshold_q88_from_db(db);
+    EXPECT_NEAR(core::energy_threshold_db_from_q88(q88), db, 0.05) << db;
   }
 }
 
 TEST(EnergyThreshold, TenDbIsFactorTenQ88) {
-  EXPECT_EQ(energy_threshold_q88_from_db(10.0), 2560u);  // 10.0 * 256
+  EXPECT_EQ(core::energy_threshold_q88_from_db(10.0), 2560u);  // 10.0 * 256
 }
 
 }  // namespace

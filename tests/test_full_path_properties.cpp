@@ -9,6 +9,7 @@
 
 #include "core/detection_experiment.h"
 #include "core/presets.h"
+#include "core/fabric_units.h"
 #include "dsp/noise.h"
 #include "dsp/rng.h"
 #include "fpga/dsp_core.h"
@@ -40,7 +41,7 @@ TEST(FullPath, AdcDdcCoreDetectsToneBurst) {
 
   fpga::DspCore core;
   core.registers().write(fpga::Reg::kEnergyThreshHigh,
-                         fpga::energy_threshold_q88_from_db(10.0));
+                         core::energy_threshold_q88_from_db(10.0));
   core.registers().write(fpga::Reg::kEnergyThreshLow, ~0u);
   // Floor well above the quantised noise floor so sparse-count noise
   // fluctuations can't arm the comparator before the burst.

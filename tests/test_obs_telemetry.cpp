@@ -14,6 +14,7 @@
 
 #include "core/event_builder.h"
 #include "core/reactive_jammer.h"
+#include "core/fabric_units.h"
 #include "dsp/noise.h"
 #include "dsp/rng.h"
 #include "fpga/dsp_core.h"
@@ -152,7 +153,7 @@ dsp::cvec random_code(std::uint64_t seed) {
 }
 
 core::JammerConfig code_config(const dsp::cvec& code, std::uint32_t uptime) {
-  const auto tpl = fpga::make_template(code);
+  const auto tpl = core::make_template(code);
   fpga::CrossCorrelator probe;
   probe.set_coefficients(tpl.coef_i, tpl.coef_q);
   std::uint32_t peak = 0;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "dsp/db.h"
+#include "core/fabric_units.h"
 #include "dsp/noise.h"
 #include "dsp/rng.h"
 
@@ -22,7 +23,7 @@ dsp::cvec random_code(std::uint64_t seed) {
 
 void program_for_code(UsrpN210& radio, const dsp::cvec& code,
                       std::uint32_t uptime) {
-  const auto tpl = fpga::make_template(code);
+  const auto tpl = core::make_template(code);
   fpga::RegisterFile staged;
   fpga::program_template(staged, tpl);
   for (std::size_t r = 0; r < 16; ++r)
