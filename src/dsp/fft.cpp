@@ -1,50 +1,21 @@
 #include "dsp/fft.h"
 
 #include <cassert>
-#include <cmath>
-#include <numbers>
+
+#include "dsp/fft_plan.h"
 
 namespace rjf::dsp {
-namespace {
 
-void bit_reverse_permute(std::span<cfloat> x) {
-  const std::size_t n = x.size();
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(x[i], x[j]);
-  }
+void fft(std::span<cfloat> x) {
+  assert(is_pow2(x.size()));
+  if (x.size() < 2) return;
+  FftPlan::of(x.size()).forward(x.data());
 }
-
-void transform(std::span<cfloat> x, bool inverse) {
-  const std::size_t n = x.size();
-  assert(is_pow2(n));
-  bit_reverse_permute(x);
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle =
-        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
-    const cfloat wlen{static_cast<float>(std::cos(angle)),
-                      static_cast<float>(std::sin(angle))};
-    for (std::size_t i = 0; i < n; i += len) {
-      cfloat w{1.0f, 0.0f};
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const cfloat u = x[i + k];
-        const cfloat v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-}
-
-}  // namespace
-
-void fft(std::span<cfloat> x) { transform(x, /*inverse=*/false); }
 
 void ifft(std::span<cfloat> x) {
-  transform(x, /*inverse=*/true);
+  assert(is_pow2(x.size()));
+  if (x.size() < 2) return;
+  FftPlan::of(x.size()).inverse(x.data());
   const float inv_n = 1.0f / static_cast<float>(x.size());
   for (cfloat& s : x) s *= inv_n;
 }

@@ -1,7 +1,9 @@
-// Iterative radix-2 complex FFT.
+// Planned complex FFT (radix-4 main loop, see dsp/fft_plan.h).
 //
 // Sized for the OFDM work in this repo: 64-point (802.11a/g) and
 // 1024-point (802.16e OFDMA). Any power-of-two length is supported.
+// These wrappers fetch the process-wide per-size plan; callers with a
+// hot loop over one size can hold FftPlan::of(n) directly.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,50 @@
+#include "dsp/simd/dispatch.h"
+
+#include <cstdlib>
+
+namespace rjf::dsp::simd {
+namespace {
+
+Isa detect() noexcept {
+  const char* veto = std::getenv("RJF_DISABLE_SIMD");
+  if (veto != nullptr && veto[0] != '\0') return Isa::kScalar;
+#if defined(RJF_SIMD_HAVE_AVX2) || defined(RJF_SIMD_HAVE_SSE42)
+#if defined(__GNUC__) || defined(__clang__)
+#if defined(RJF_SIMD_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+#endif
+#if defined(RJF_SIMD_HAVE_SSE42)
+  if (__builtin_cpu_supports("sse4.2")) return Isa::kSse42;
+#endif
+#endif
+#endif
+  return Isa::kScalar;
+}
+
+}  // namespace
+
+Isa active_isa() noexcept {
+  static const Isa kActive = detect();
+  return kActive;
+}
+
+Isa compiled_isa() noexcept {
+#if defined(RJF_SIMD_HAVE_AVX2)
+  return Isa::kAvx2;
+#elif defined(RJF_SIMD_HAVE_SSE42)
+  return Isa::kSse42;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kSse42: return "sse4.2";
+    case Isa::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace rjf::dsp::simd

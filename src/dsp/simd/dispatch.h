@@ -1,0 +1,33 @@
+// Runtime ISA dispatch for the host SIMD DSP kernels (DESIGN.md section 12).
+//
+// Every kernel in src/dsp/simd exists in up to three variants: a scalar
+// reference (the authority — it lives next to the call site, e.g. the
+// Viterbi loop in phy80211/convolutional.cpp), an SSE4.2 build and an AVX2
+// build. `active_isa()` picks the widest variant that is (a) compiled in
+// (the toolchain accepted -msse4.2 / -mavx2 and RJF_ENABLE_SIMD was ON),
+// (b) supported by the CPU we are running on, and (c) not vetoed by the
+// RJF_DISABLE_SIMD environment variable (set to any non-empty value to
+// force the reference path, e.g. when bisecting a numerical question).
+//
+// The choice is made once per process and cached; callers can therefore
+// query it in hot loops for free.
+#pragma once
+
+namespace rjf::dsp::simd {
+
+enum class Isa {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+};
+
+/// Widest ISA the process will use (cached after the first call).
+[[nodiscard]] Isa active_isa() noexcept;
+
+/// What this binary was compiled with (upper bound for active_isa()).
+[[nodiscard]] Isa compiled_isa() noexcept;
+
+/// Human-readable name, for bench/test output.
+[[nodiscard]] const char* isa_name(Isa isa) noexcept;
+
+}  // namespace rjf::dsp::simd

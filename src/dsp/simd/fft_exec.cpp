@@ -1,0 +1,18 @@
+#include "dsp/simd/fft_kernels.h"
+
+namespace rjf::dsp::simd {
+
+bool fft_exec(Isa isa, const FftKernelRun& run, float* x) {
+  switch (isa) {
+    case Isa::kAvx2:
+      if (detail::fft_exec_avx2(run, x)) return true;
+      [[fallthrough]];
+    case Isa::kSse42:
+      return detail::fft_exec_sse42(run, x);
+    case Isa::kScalar:
+      break;
+  }
+  return false;
+}
+
+}  // namespace rjf::dsp::simd

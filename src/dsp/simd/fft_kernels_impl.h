@@ -1,0 +1,65 @@
+// Template body for the vectorized FFT butterfly passes.  Included by the
+// per-ISA TUs; instantiated with the same anonymous-namespace Ops structs
+// as the Viterbi kernels.
+//
+// Additional Ops contract used here (on top of the f32 basics):
+//   kComplexLanes          — complexes per vector (kF32Lanes / 2)
+//   cmul(a, b)             — lane-wise complex multiply of interleaved
+//                            re/im pairs, computed as
+//                            (ar*br - ai*bi, ai*br + ar*bi)
+//   mul_i(v)               — lane-wise multiply by +i: (re,im)->(-im,re)
+//
+// Stages whose quarter length is below kComplexLanes fall back to the
+// shared scalar stage bodies, so SIMD and scalar plans execute the exact
+// same arithmetic for those passes.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/simd/fft_kernels.h"
+#include "dsp/simd/fft_stages_scalar.h"
+
+namespace rjf::dsp::simd {
+
+template <class Ops>
+void fft_exec_t(const FftKernelRun& run, float* x) {
+  if (run.radix2_first) fft_radix2_stage(x, run.n);
+  using V = typename Ops::f32v;
+  constexpr std::size_t kC = Ops::kComplexLanes;
+  for (std::size_t s = 0; s < run.n_stages; ++s) {
+    const FftStageView& st = run.stages[s];
+    const std::size_t L = st.quarter;
+    if (L < kC) {
+      fft_radix4_stage(x, run.n, L, st.w1, st.w2, st.w3, run.inverse);
+      continue;
+    }
+    for (std::size_t base = 0; base < 2 * run.n; base += 8 * L) {
+      for (std::size_t k = 0; k < 2 * L; k += 2 * kC) {
+        float* pa = x + base + k;
+        float* pc = pa + 2 * L;  // F2 in, X[k+L] out
+        float* pb = pa + 4 * L;  // F1 in, X[k+2L] out
+        float* pd = pa + 6 * L;  // F3 in, X[k+3L] out
+        const V a = Ops::loaduf(pa);
+        const V c = Ops::cmul(Ops::loaduf(pc), Ops::loaduf(st.w2 + k));
+        const V b = Ops::cmul(Ops::loaduf(pb), Ops::loaduf(st.w1 + k));
+        const V d = Ops::cmul(Ops::loaduf(pd), Ops::loaduf(st.w3 + k));
+        const V t0 = Ops::addf(a, c);
+        const V t1 = Ops::subf(a, c);
+        const V t2 = Ops::addf(b, d);
+        const V t3 = Ops::subf(b, d);
+        const V it3 = Ops::mul_i(t3);
+        Ops::storeuf(pa, Ops::addf(t0, t2));
+        Ops::storeuf(pb, Ops::subf(t0, t2));
+        if (!run.inverse) {
+          Ops::storeuf(pc, Ops::subf(t1, it3));
+          Ops::storeuf(pd, Ops::addf(t1, it3));
+        } else {
+          Ops::storeuf(pc, Ops::addf(t1, it3));
+          Ops::storeuf(pd, Ops::subf(t1, it3));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rjf::dsp::simd

@@ -1,0 +1,118 @@
+// SSE4.2 instantiations of the SIMD DSP kernels.  Mirror of
+// kernels_avx2.cpp at xmm width; see that file for the TU-isolation
+// rationale.
+#include "dsp/simd/fft_kernels.h"
+#include "dsp/simd/viterbi.h"
+
+#if defined(RJF_SIMD_HAVE_SSE42) && defined(__SSE4_2__)
+
+#include <nmmintrin.h>
+
+#include "dsp/simd/fft_kernels_impl.h"
+#include "dsp/simd/viterbi_kernels_impl.h"
+
+namespace rjf::dsp::simd {
+namespace {
+
+struct SseOps {
+  using u8v = __m128i;
+  static constexpr std::size_t kU8Lanes = 16;
+  static u8v loadu8(const std::uint8_t* p) noexcept {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void storeu8(std::uint8_t* p, u8v v) noexcept {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static u8v set1u8(std::uint8_t x) noexcept {
+    return _mm_set1_epi8(static_cast<char>(x));
+  }
+  static u8v addsu8(u8v a, u8v b) noexcept { return _mm_adds_epu8(a, b); }
+  static u8v subsu8(u8v a, u8v b) noexcept { return _mm_subs_epu8(a, b); }
+  static u8v minu8(u8v a, u8v b) noexcept { return _mm_min_epu8(a, b); }
+  static u8v cmpequ8(u8v a, u8v b) noexcept { return _mm_cmpeq_epi8(a, b); }
+  static unsigned movemasku8(u8v v) noexcept {
+    return static_cast<unsigned>(static_cast<unsigned short>(
+        _mm_movemask_epi8(v)));
+  }
+  // unpack(lo/hi) of (v, v) is already the in-order duplication of the
+  // corresponding half at xmm width.
+  static u8v dup_low8(u8v v) noexcept { return _mm_unpacklo_epi8(v, v); }
+  static u8v dup_high8(u8v v) noexcept { return _mm_unpackhi_epi8(v, v); }
+
+  using f32v = __m128;
+  static constexpr std::size_t kF32Lanes = 4;
+  static f32v loaduf(const float* p) noexcept { return _mm_loadu_ps(p); }
+  static void storeuf(float* p, f32v v) noexcept { _mm_storeu_ps(p, v); }
+  static f32v set1f(float x) noexcept { return _mm_set1_ps(x); }
+  static f32v addf(f32v a, f32v b) noexcept { return _mm_add_ps(a, b); }
+  static f32v subf(f32v a, f32v b) noexcept { return _mm_sub_ps(a, b); }
+  static f32v minf(f32v a, f32v b) noexcept { return _mm_min_ps(a, b); }
+  static f32v cmpltf(f32v a, f32v b) noexcept { return _mm_cmplt_ps(a, b); }
+  static f32v blendf(f32v a, f32v b, f32v mask) noexcept {
+    return _mm_blendv_ps(a, b, mask);
+  }
+  static unsigned movemaskf(f32v v) noexcept {
+    return static_cast<unsigned>(_mm_movemask_ps(v));
+  }
+  static void dupf(f32v v, f32v& lo, f32v& hi) noexcept {
+    lo = _mm_unpacklo_ps(v, v);
+    hi = _mm_unpackhi_ps(v, v);
+  }
+
+  static constexpr std::size_t kComplexLanes = 2;
+  static f32v cmul(f32v a, f32v b) noexcept {
+    const __m128 br = _mm_moveldup_ps(b);
+    const __m128 bi = _mm_movehdup_ps(b);
+    const __m128 asw = _mm_shuffle_ps(a, a, 0xB1);  // (ai, ar) pairs
+    return _mm_addsub_ps(_mm_mul_ps(a, br), _mm_mul_ps(asw, bi));
+  }
+  static f32v mul_i(f32v v) noexcept {
+    const __m128 sw = _mm_shuffle_ps(v, v, 0xB1);  // (im, re) pairs
+    const __m128 sign = _mm_setr_ps(-0.0f, 0.0f, -0.0f, 0.0f);
+    return _mm_xor_ps(sw, sign);  // (-im, re) = i*v
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+bool viterbi_hard_sse42(const std::uint8_t* coded, std::size_t n_steps,
+                        std::uint64_t* survivors,
+                        std::uint16_t* final_metrics) {
+  viterbi_hard_acs_t<SseOps>(coded, n_steps, survivors, final_metrics);
+  return true;
+}
+
+bool viterbi_soft_sse42(const float* llrs, std::size_t n_steps,
+                        std::uint64_t* survivors, float* final_metrics) {
+  viterbi_soft_acs_t<SseOps>(llrs, n_steps, survivors, final_metrics);
+  return true;
+}
+
+bool fft_exec_sse42(const FftKernelRun& run, float* x) {
+  fft_exec_t<SseOps>(run, x);
+  return true;
+}
+
+}  // namespace detail
+}  // namespace rjf::dsp::simd
+
+#else  // no SSE4.2 build
+
+namespace rjf::dsp::simd::detail {
+
+bool viterbi_hard_sse42(const std::uint8_t*, std::size_t, std::uint64_t*,
+                        std::uint16_t*) {
+  return false;
+}
+
+bool viterbi_soft_sse42(const float*, std::size_t, std::uint64_t*, float*) {
+  return false;
+}
+
+bool fft_exec_sse42(const FftKernelRun&, float*) { return false; }
+
+}  // namespace rjf::dsp::simd::detail
+
+#endif

@@ -1,0 +1,76 @@
+// Compile-time trellis structure of the 802.11 K=7 convolutional code
+// (g0 = 0133, g1 = 0171), shared by every lane-parallel Viterbi kernel.
+//
+// Lane layout (DESIGN.md section 12): the 64 path metrics are kept in
+// NEXT-STATE order n = 0..63 across the vector register file.  The two
+// predecessors of next-state n are
+//
+//     p0 = n >> 1        (evicted bit 0)
+//     p1 = (n >> 1) + 32 (evicted bit 1)
+//
+// i.e. candidate A for lane n reads lane n/2 of the previous metrics
+// (states 0..31, each duplicated into two adjacent lanes) and candidate B
+// reads lane n/2 + 32.  The encoder output expected on the A branch is a
+// pure function of n: the shift register seen by the generators is
+// x = (p0 << 1) | (n & 1) = n.  Because BOTH generators tap bit 6 of the
+// register, the B branch (p1 = p0 + 32 flips that bit) expects the
+// complement of both output bits — so one pair of constant 64-lane masks
+// (kE0/kE1 below) selects the right branch costs for A, and the inverted
+// selection yields B.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rjf::dsp::simd {
+
+inline constexpr unsigned kVitG0 = 0133;
+inline constexpr unsigned kVitG1 = 0171;
+inline constexpr unsigned kVitStates = 64;
+
+constexpr std::uint8_t vit_parity(unsigned x) noexcept {
+  x ^= x >> 4;
+  x ^= x >> 2;
+  x ^= x >> 1;
+  return static_cast<std::uint8_t>(x & 1u);
+}
+
+constexpr std::array<std::uint8_t, kVitStates> make_expected(unsigned gen) {
+  std::array<std::uint8_t, kVitStates> e{};
+  for (unsigned n = 0; n < kVitStates; ++n) e[n] = vit_parity(n & gen);
+  return e;
+}
+
+/// Expected generator outputs on the A branch into next-state n.
+inline constexpr auto kVitE0 = make_expected(kVitG0);
+inline constexpr auto kVitE1 = make_expected(kVitG1);
+
+/// Blend masks (all-ones where the expected bit is 1) in the 32-bit lane
+/// width the soft (f32) kernels consume.
+constexpr std::array<std::uint32_t, kVitStates> make_mask32(
+    const std::array<std::uint8_t, kVitStates>& e) {
+  std::array<std::uint32_t, kVitStates> m{};
+  for (unsigned n = 0; n < kVitStates; ++n) m[n] = e[n] ? 0xFFFFFFFFu : 0u;
+  return m;
+}
+
+alignas(32) inline constexpr auto kVitMaskE0F32 = make_mask32(kVitE0);
+alignas(32) inline constexpr auto kVitMaskE1F32 = make_mask32(kVitE1);
+
+/// Hard-decision kernels keep metrics in u8 lanes (all 64 states in two
+/// ymm registers).  This is exact because the metric spread across live
+/// states is bounded: every state is reachable from every other within
+/// K-1 = 6 steps at branch cost <= 2 each, so live metrics never differ
+/// by more than 12.  Renormalising (subtracting the minimum) every 64
+/// steps bounds live values by 12 + 2*64 = 140 < 224, so saturation never
+/// touches a live path and every comparison matches the reference's u32
+/// arithmetic.  Unreachable states (which only exist for t < 6) start at
+/// the dead sentinel, which stays strictly above any live candidate until
+/// they disappear.
+inline constexpr std::uint8_t kVitDead = 224;
+inline constexpr std::size_t kVitRenormInterval = 64;
+
+/// Soft kernels mirror the scalar reference's float infinity exactly.
+inline constexpr float kVitSoftInf = 1e30f;
+
+}  // namespace rjf::dsp::simd

@@ -14,6 +14,8 @@ namespace {
 
 constexpr double kFabricRate = 25e6;
 constexpr double kWifiRate = phy80211::kSampleRateHz;
+static_assert(kFabricRate == kJammerSampleRateHz,
+              "WaveformCache resamples to the jammer fabric rate");
 constexpr std::size_t kLeadSamples25 = 220;  // ~8.8 us noise head per capture
 
 // Mean power of the fabric WGN generator (LFSR CLT shaper): measured once
@@ -79,8 +81,11 @@ WifiNetworkSim::ExchangeOutcome WifiNetworkSim::exchange(
 
   // ---- Cached per-rate client waveforms (payload is the iperf datagram,
   // identical every time; the MAC sequence number lives in the header and
-  // is pinned so the waveform cache stays valid).
-  auto& slot = rate_cache_[static_cast<std::size_t>(rate)];
+  // is pinned so the waveform cache stays valid).  Resolved through the
+  // process-wide cache so a sweep synthesises each distinct waveform once
+  // rather than once per point.  CFO bucket 0: the rig models no client
+  // carrier offset.
+  auto& slot = rate_wave_[static_cast<std::size_t>(rate)];
   if (!slot) {
     MacFrame frame;
     frame.type = FrameType::kData;
@@ -89,15 +94,10 @@ WifiNetworkSim::ExchangeOutcome WifiNetworkSim::exchange(
     frame.sequence = seq;
     frame.payload = payload;
     const Bytes psdu = serialize(frame);
-    RateCache rc;
-    phy80211::Transmitter tx({rate, 0x5D});
-    rc.w20 = tx.transmit(psdu);
-    dsp::set_mean_power(std::span<dsp::cfloat>(rc.w20), config_.client_tx_power);
-    rc.w25 = dsp::resample(rc.w20, kWifiRate, kFabricRate);
-    rc.duration_s = static_cast<double>(rc.w20.size()) / kWifiRate;
-    slot = std::move(rc);
+    slot = WaveformCache::instance().get_or_build(
+        psdu, rate, 0x5D, config_.client_tx_power, /*cfo_bucket=*/0);
   }
-  const RateCache& rc = *slot;
+  const CachedWaveform& rc = *slot;
 
   const double data_dur = rc.duration_s;
   const double g_client_ap = network_.path_gain(channel::kPortClient,
@@ -211,24 +211,26 @@ WifiNetworkSim::ExchangeOutcome WifiNetworkSim::exchange(
 
   // ---- ACK exchange.
   const double ack_start = now + data_dur + config_.timing.sifs_s;
-  auto& ack20 = ack20_;
-  if (!ack20) {
+  if (!ack_wave_) {
     MacFrame ack;
     ack.type = FrameType::kAck;
     ack.src = 1;
     ack.dst = 2;
-    phy80211::Transmitter tx({config_.timing.ack_rate, 0x2B});
-    ack20 = tx.transmit(serialize(ack));
-    dsp::set_mean_power(std::span<dsp::cfloat>(*ack20), config_.client_tx_power);
+    ack_wave_ = WaveformCache::instance().get_or_build(
+        serialize(ack), config_.timing.ack_rate, 0x2B,
+        config_.client_tx_power, /*cfo_bucket=*/0);
   }
-  const double ack_dur = static_cast<double>(ack20->size()) / kWifiRate;
+  const dsp::cvec& ack20 = ack_wave_->w20;
+  const double ack_dur = ack_wave_->duration_s;
 
   // The jammer also hears (and may react to) the ACK.
   dsp::cvec ack_jam25;
   double ack_jam_t0 = 0.0;
   std::vector<radio::JamBurst> ack_bursts;
   if (jammer_) {
-    const dsp::cvec ack25 = dsp::resample(*ack20, kWifiRate, kFabricRate);
+    // Cached alongside w20 — this used to be a fresh polyphase resample
+    // on every single exchange.
+    const dsp::cvec& ack25 = ack_wave_->w25;
     const double capture_start = ack_start - 64 / kFabricRate;
     sync_jammer_to(capture_start);
     ack_jam_t0 = jammer_time_s_;
@@ -252,19 +254,19 @@ WifiNetworkSim::ExchangeOutcome WifiNetworkSim::exchange(
   if (!jam_overlaps_ack) {
     int& ack_clean = ack_clean_verdict_;
     if (ack_clean == 0) {
-      dsp::cvec rx(ack20->size());
+      dsp::cvec rx(ack20.size());
       dsp::NoiseSource noise(config_.client_noise_power, rng_.next());
       for (std::size_t k = 0; k < rx.size(); ++k)
-        rx[k] = (*ack20)[k] * static_cast<float>(g_ap_client) + noise.sample();
+        rx[k] = ack20[k] * static_cast<float>(g_ap_client) + noise.sample();
       const auto decoded = rx_.receive(rx);
       ack_clean = (decoded.signal_valid && parse(decoded.psdu)) ? 1 : 2;
     }
     outcome.ack_ok = ack_clean == 1;
   } else {
-    dsp::cvec rx(ack20->size());
+    dsp::cvec rx(ack20.size());
     dsp::NoiseSource noise(config_.client_noise_power, rng_.next());
     for (std::size_t k = 0; k < rx.size(); ++k)
-      rx[k] = (*ack20)[k] * static_cast<float>(g_ap_client) + noise.sample();
+      rx[k] = ack20[k] * static_cast<float>(g_ap_client) + noise.sample();
     // Jam from the ACK-window capture.
     const auto saved_tx = std::move(jam_tx25);
     const auto saved_bursts = std::move(bursts);

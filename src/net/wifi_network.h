@@ -22,6 +22,7 @@
 #include "net/dcf.h"
 #include "net/iperf.h"
 #include "net/mac_frame.h"
+#include "net/waveform_cache.h"
 #include "phy80211/receiver.h"
 
 namespace rjf::obs {
@@ -108,19 +109,20 @@ class WifiNetworkSim {
   dsp::Xoshiro256 rng_;
   phy80211::Receiver rx_;
 
-  // Per-sim waveform and clean-decode caches. These MUST be members, not
-  // thread_local statics: a cold cache consumes rng_.next() draws, so
-  // cache warmth inherited from another sim on the same worker thread
-  // would desynchronise this sim's RNG stream and break the sweep
-  // engine's any-thread-count determinism guarantee.
-  struct RateCache {
-    dsp::cvec w20;      // client waveform, client_tx_power mean power
-    dsp::cvec w25;      // same, resampled into the jammer's domain
-    double duration_s = 0;
-  };
-  std::array<std::optional<RateCache>, 8> rate_cache_;
+  // Waveform handles resolved through the process-wide WaveformCache.
+  // The cached samples are a pure function of (payload, rate, seed,
+  // power) and consume no rng_ draws, so sharing them across sims and
+  // threads is determinism-safe; the per-rate array just avoids a cache
+  // lookup per exchange.
+  std::array<std::shared_ptr<const CachedWaveform>, 8> rate_wave_;
+  std::shared_ptr<const CachedWaveform> ack_wave_;
+
+  // Clean-decode verdict caches. These MUST be members, not thread_local
+  // statics: a cold verdict consumes rng_.next() draws, so cache warmth
+  // inherited from another sim on the same worker thread would
+  // desynchronise this sim's RNG stream and break the sweep engine's
+  // any-thread-count determinism guarantee.
   std::array<int, 8> clean_verdict_{};  // per rate: 0 unknown 1 ok 2 bad
-  std::optional<dsp::cvec> ack20_;
   int ack_clean_verdict_ = 0;
 
   // Jam-burst power bookkeeping for the measured-SIR output.

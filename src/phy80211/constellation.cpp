@@ -25,19 +25,28 @@ float kmod(Modulation mod) {
   return 1.0f;
 }
 
-// Nearest-level hard decision, returning the Gray bits for that level.
-template <std::size_t N>
-unsigned slice(const std::array<float, N>& pam, float x) {
-  unsigned best = 0;
-  float best_dist = 1e30f;
-  for (unsigned idx = 0; idx < N; ++idx) {
-    const float d = std::abs(x - pam[idx]);
-    if (d < best_dist) {
-      best_dist = d;
-      best = idx;
-    }
-  }
-  return best;
+// Nearest-level hard decisions in closed form.  Semantics match a
+// first-minimum linear scan over the Gray tables above: a point exactly
+// between two levels resolves to the LOWER table index of the pair, and
+// NaN (every distance comparison false) resolves to index 0.  The
+// comparison directions below encode exactly those winners; see the
+// demap equivalence test for the exhaustive boundary check.
+unsigned slice4(float x) noexcept {
+  if (!(x > -2.0f)) return 0;  // x <= -2, or NaN
+  if (x <= 0.0f) return 1;
+  if (x < 2.0f) return 3;
+  return 2;
+}
+
+unsigned slice8(float x) noexcept {
+  if (!(x > -6.0f)) return 0;  // x <= -6, or NaN
+  if (x <= -4.0f) return 1;
+  if (x < -2.0f) return 3;     // tie at -2 goes to level -1 (index 2)
+  if (x <= 0.0f) return 2;
+  if (x <= 2.0f) return 6;
+  if (x < 4.0f) return 7;      // tie at 4 goes to level 5 (index 5)
+  if (x < 6.0f) return 5;      // tie at 6 goes to level 7 (index 4)
+  return 4;
 }
 
 }  // namespace
@@ -84,59 +93,101 @@ dsp::cvec map_bits(std::span<const std::uint8_t> bits, Modulation mod) {
 }
 
 Bits demap_symbols(std::span<const dsp::cfloat> symbols, Modulation mod) {
-  const float inv_k = 1.0f / kmod(mod);
-  Bits out;
-  out.reserve(symbols.size() * bits_per_symbol(mod));
-  for (const dsp::cfloat s : symbols) {
-    const float i = s.real() * inv_k;
-    const float q = s.imag() * inv_k;
-    switch (mod) {
-      case Modulation::kBpsk: {
-        out.push_back(i >= 0.0f ? 1 : 0);
-        break;
-      }
-      case Modulation::kQpsk: {
-        out.push_back(i >= 0.0f ? 1 : 0);
-        out.push_back(q >= 0.0f ? 1 : 0);
-        break;
-      }
-      case Modulation::kQam16: {
-        const unsigned gi = slice(kPam4, i);
-        const unsigned gq = slice(kPam4, q);
-        out.push_back(gi & 1u);
-        out.push_back((gi >> 1) & 1u);
-        out.push_back(gq & 1u);
-        out.push_back((gq >> 1) & 1u);
-        break;
-      }
-      case Modulation::kQam64: {
-        const unsigned gi = slice(kPam8, i);
-        const unsigned gq = slice(kPam8, q);
-        out.push_back(gi & 1u);
-        out.push_back((gi >> 1) & 1u);
-        out.push_back((gi >> 2) & 1u);
-        out.push_back(gq & 1u);
-        out.push_back((gq >> 1) & 1u);
-        out.push_back((gq >> 2) & 1u);
-        break;
-      }
-    }
-  }
+  Bits out(symbols.size() * bits_per_symbol(mod));
+  demap_symbols_into(symbols, mod, out.data());
   return out;
+}
+
+namespace {
+
+// Shared hard-demap loop over an output policy: Sink::put(j, bit) stores
+// produced bit j either sequentially or through a scatter permutation.
+template <class Sink>
+void demap_hard_t(std::span<const dsp::cfloat> symbols, Modulation mod,
+                  Sink sink) {
+  const float inv_k = 1.0f / kmod(mod);
+  std::size_t j = 0;
+  switch (mod) {
+    case Modulation::kBpsk:
+      for (const dsp::cfloat s : symbols)
+        sink.put(j++, s.real() * inv_k >= 0.0f ? 1 : 0);
+      break;
+    case Modulation::kQpsk:
+      for (const dsp::cfloat s : symbols) {
+        sink.put(j, s.real() * inv_k >= 0.0f ? 1 : 0);
+        sink.put(j + 1, s.imag() * inv_k >= 0.0f ? 1 : 0);
+        j += 2;
+      }
+      break;
+    case Modulation::kQam16:
+      for (const dsp::cfloat s : symbols) {
+        const unsigned gi = slice4(s.real() * inv_k);
+        const unsigned gq = slice4(s.imag() * inv_k);
+        sink.put(j, static_cast<std::uint8_t>(gi & 1u));
+        sink.put(j + 1, static_cast<std::uint8_t>((gi >> 1) & 1u));
+        sink.put(j + 2, static_cast<std::uint8_t>(gq & 1u));
+        sink.put(j + 3, static_cast<std::uint8_t>((gq >> 1) & 1u));
+        j += 4;
+      }
+      break;
+    case Modulation::kQam64:
+      for (const dsp::cfloat s : symbols) {
+        const unsigned gi = slice8(s.real() * inv_k);
+        const unsigned gq = slice8(s.imag() * inv_k);
+        sink.put(j, static_cast<std::uint8_t>(gi & 1u));
+        sink.put(j + 1, static_cast<std::uint8_t>((gi >> 1) & 1u));
+        sink.put(j + 2, static_cast<std::uint8_t>((gi >> 2) & 1u));
+        sink.put(j + 3, static_cast<std::uint8_t>(gq & 1u));
+        sink.put(j + 4, static_cast<std::uint8_t>((gq >> 1) & 1u));
+        sink.put(j + 5, static_cast<std::uint8_t>((gq >> 2) & 1u));
+        j += 6;
+      }
+      break;
+  }
+}
+
+struct DirectBitSink {
+  std::uint8_t* out;
+  void put(std::size_t j, std::uint8_t b) const { out[j] = b; }
+};
+
+struct ScatterBitSink {
+  const std::uint16_t* scatter;
+  std::uint8_t* out;
+  void put(std::size_t j, std::uint8_t b) const { out[scatter[j]] = b; }
+};
+
+}  // namespace
+
+void demap_symbols_into(std::span<const dsp::cfloat> symbols, Modulation mod,
+                        std::uint8_t* out) {
+  demap_hard_t(symbols, mod, DirectBitSink{out});
+}
+
+void demap_symbols_scatter(std::span<const dsp::cfloat> symbols, Modulation mod,
+                           const std::uint16_t* scatter, std::uint8_t* out) {
+  demap_hard_t(symbols, mod, ScatterBitSink{scatter, out});
 }
 
 std::vector<float> demap_soft(std::span<const dsp::cfloat> symbols,
                               Modulation mod, float noise_var) {
-  const unsigned bps = bits_per_symbol(mod);
+  std::vector<float> llrs(symbols.size() * bits_per_symbol(mod));
+  demap_soft_into(symbols, mod, noise_var, llrs.data());
+  return llrs;
+}
+
+namespace {
+
+template <class Sink>
+void demap_soft_t(std::span<const dsp::cfloat> symbols, Modulation mod,
+                  float noise_var, Sink sink) {
   const float inv_k = 1.0f / kmod(mod);
   const float scale = 2.0f / std::max(noise_var, 1e-9f);
-  std::vector<float> llrs;
-  llrs.reserve(symbols.size() * bps);
 
   // Max-log LLR per axis: for each bit, distance to the nearest level with
   // bit=1 minus distance to the nearest level with bit=0.
   const auto axis_llrs = [&](auto& pam, float x, unsigned bits_per_axis,
-                             auto&& push) {
+                             std::size_t j) {
     for (unsigned b = 0; b < bits_per_axis; ++b) {
       float best0 = 1e30f, best1 = 1e30f;
       for (unsigned level = 0; level < pam.size(); ++level) {
@@ -146,32 +197,60 @@ std::vector<float> demap_soft(std::span<const dsp::cfloat> symbols,
         else
           best0 = std::min(best0, d);
       }
-      push(scale * (best0 - best1));
+      sink.put(j + b, scale * (best0 - best1));
     }
   };
 
+  std::size_t j = 0;
   for (const dsp::cfloat s : symbols) {
     const float i = s.real() * inv_k;
     const float q = s.imag() * inv_k;
     switch (mod) {
       case Modulation::kBpsk:
-        llrs.push_back(scale * 2.0f * i);
+        sink.put(j, scale * 2.0f * i);
+        j += 1;
         break;
       case Modulation::kQpsk:
-        llrs.push_back(scale * 2.0f * i);
-        llrs.push_back(scale * 2.0f * q);
+        sink.put(j, scale * 2.0f * i);
+        sink.put(j + 1, scale * 2.0f * q);
+        j += 2;
         break;
       case Modulation::kQam16:
-        axis_llrs(kPam4, i, 2, [&](float v) { llrs.push_back(v); });
-        axis_llrs(kPam4, q, 2, [&](float v) { llrs.push_back(v); });
+        axis_llrs(kPam4, i, 2, j);
+        axis_llrs(kPam4, q, 2, j + 2);
+        j += 4;
         break;
       case Modulation::kQam64:
-        axis_llrs(kPam8, i, 3, [&](float v) { llrs.push_back(v); });
-        axis_llrs(kPam8, q, 3, [&](float v) { llrs.push_back(v); });
+        axis_llrs(kPam8, i, 3, j);
+        axis_llrs(kPam8, q, 3, j + 3);
+        j += 6;
         break;
     }
   }
-  return llrs;
+}
+
+struct DirectLlrSink {
+  float* out;
+  void put(std::size_t j, float v) const { out[j] = v; }
+};
+
+struct ScatterLlrSink {
+  const std::uint16_t* scatter;
+  float* out;
+  void put(std::size_t j, float v) const { out[scatter[j]] = v; }
+};
+
+}  // namespace
+
+void demap_soft_into(std::span<const dsp::cfloat> symbols, Modulation mod,
+                     float noise_var, float* out) {
+  demap_soft_t(symbols, mod, noise_var, DirectLlrSink{out});
+}
+
+void demap_soft_scatter(std::span<const dsp::cfloat> symbols, Modulation mod,
+                        float noise_var, const std::uint16_t* scatter,
+                        float* out) {
+  demap_soft_t(symbols, mod, noise_var, ScatterLlrSink{scatter, out});
 }
 
 }  // namespace rjf::phy80211

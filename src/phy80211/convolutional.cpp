@@ -4,6 +4,10 @@
 #include <array>
 #include <limits>
 
+#include "dsp/simd/dispatch.h"
+#include "dsp/simd/viterbi.h"
+#include "dsp/simd/viterbi_trellis.h"
+
 namespace rjf::phy80211 {
 namespace {
 
@@ -80,7 +84,48 @@ Bits depuncture(std::span<const std::uint8_t> punctured, CodeRate rate,
   return out;
 }
 
+namespace {
+
+// Traceback over the packed survivor words the SIMD ACS kernels emit: bit
+// `state` of survivors[t] is the evicted bit stored for that state, i.e.
+// the same value the reference keeps in survivor[t][state].
+Bits traceback_packed(const std::vector<std::uint64_t>& survivors,
+                      unsigned state) {
+  const std::size_t n_steps = survivors.size();
+  Bits decoded(n_steps, 0);
+  for (std::size_t t = n_steps; t-- > 0;) {
+    const unsigned evicted =
+        static_cast<unsigned>((survivors[t] >> state) & 1u);
+    decoded[t] = static_cast<std::uint8_t>(state & 1u);
+    state = (state >> 1) | (evicted << 5);
+  }
+  return decoded;
+}
+
+}  // namespace
+
 Bits viterbi_decode(std::span<const std::uint8_t> coded) {
+  const std::size_t n_steps = coded.size() / 2;
+  const dsp::simd::Isa isa = dsp::simd::active_isa();
+  if (isa != dsp::simd::Isa::kScalar) {
+    std::vector<std::uint64_t> survivors(n_steps);
+    std::array<std::uint16_t, kStates> finals;
+    if (dsp::simd::viterbi_hard_acs(isa, coded, survivors.data(),
+                                    finals.data())) {
+      // Terminate in state 0, like the reference. State 0 is always live
+      // (the all-zero path has finite cost), so the reference's
+      // best-state fallback is unreachable; keep it anyway for parity.
+      unsigned state = 0;
+      if (finals[0] >= dsp::simd::kVitDead)
+        state = static_cast<unsigned>(
+            std::min_element(finals.begin(), finals.end()) - finals.begin());
+      return traceback_packed(survivors, state);
+    }
+  }
+  return viterbi_decode_reference(coded);
+}
+
+Bits viterbi_decode_reference(std::span<const std::uint8_t> coded) {
   const std::size_t n_steps = coded.size() / 2;
   constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max() / 4;
 
@@ -153,6 +198,24 @@ std::vector<float> depuncture_soft(std::span<const float> llrs, CodeRate rate,
 }
 
 Bits viterbi_decode_soft(std::span<const float> llrs) {
+  const std::size_t n_steps = llrs.size() / 2;
+  const dsp::simd::Isa isa = dsp::simd::active_isa();
+  if (isa != dsp::simd::Isa::kScalar) {
+    std::vector<std::uint64_t> survivors(n_steps);
+    std::array<float, kStates> finals;
+    if (dsp::simd::viterbi_soft_acs(isa, llrs, survivors.data(),
+                                    finals.data())) {
+      unsigned state = 0;
+      if (finals[0] >= dsp::simd::kVitSoftInf)
+        state = static_cast<unsigned>(
+            std::min_element(finals.begin(), finals.end()) - finals.begin());
+      return traceback_packed(survivors, state);
+    }
+  }
+  return viterbi_decode_soft_reference(llrs);
+}
+
+Bits viterbi_decode_soft_reference(std::span<const float> llrs) {
   const std::size_t n_steps = llrs.size() / 2;
   constexpr float kInf = 1e30f;
 

@@ -33,8 +33,14 @@ struct RateFraction {
 
 /// Hard-decision Viterbi decode of a (possibly erasure-marked) mother-rate
 /// stream. Input length must be even; returns n/2 decoded bits including
-/// the tail. Erasures (value 2) incur zero branch metric.
+/// the tail. Erasures (value 2) incur zero branch metric. Dispatches to the
+/// lane-parallel SIMD ACS kernel when available; decoded bits are
+/// bit-identical to the reference either way.
 [[nodiscard]] Bits viterbi_decode(std::span<const std::uint8_t> coded);
+
+/// Scalar reference decoder (the semantic authority the SIMD kernels are
+/// tested against). Exposed for equivalence tests and benchmarks.
+[[nodiscard]] Bits viterbi_decode_reference(std::span<const std::uint8_t> coded);
 
 /// Convenience: encode + puncture.
 [[nodiscard]] Bits encode_at_rate(std::span<const std::uint8_t> data, CodeRate rate);
@@ -52,8 +58,13 @@ struct RateFraction {
                                                  std::size_t n_mother);
 
 /// Soft-decision Viterbi over mother-rate LLRs (positive = bit 1). Erasures
-/// are zero LLRs and contribute nothing. Returns n/2 decoded bits.
+/// are zero LLRs and contribute nothing. Returns n/2 decoded bits. SIMD
+/// dispatch as for viterbi_decode; the vector kernel replicates the
+/// reference's float arithmetic exactly.
 [[nodiscard]] Bits viterbi_decode_soft(std::span<const float> llrs);
+
+/// Scalar reference soft decoder (see viterbi_decode_reference).
+[[nodiscard]] Bits viterbi_decode_soft_reference(std::span<const float> llrs);
 
 /// Convenience: depuncture_soft + viterbi_decode_soft.
 [[nodiscard]] Bits decode_at_rate_soft(std::span<const float> llrs,

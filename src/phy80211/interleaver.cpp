@@ -16,32 +16,103 @@ std::size_t mapped_index(std::size_t k, unsigned n_cbps, unsigned n_bpsc) {
   return j;
 }
 
+std::vector<std::uint16_t> build_table(unsigned n_cbps, unsigned n_bpsc) {
+  std::vector<std::uint16_t> t(n_cbps);
+  for (std::size_t k = 0; k < n_cbps; ++k)
+    t[k] = static_cast<std::uint16_t>(mapped_index(k, n_cbps, n_bpsc));
+  return t;
+}
+
+// The permutation depends only on (n_cbps, n_bpsc), of which 802.11a/g
+// uses four combinations; precomputing them removes the division-heavy
+// index math from the per-bit loops.  Non-standard parameters fall back
+// to the closed form.
+const std::vector<std::uint16_t>* cached_table(unsigned n_cbps,
+                                               unsigned n_bpsc) {
+  static const std::vector<std::uint16_t> kBpsk = build_table(48, 1);
+  static const std::vector<std::uint16_t> kQpsk = build_table(96, 2);
+  static const std::vector<std::uint16_t> kQam16 = build_table(192, 4);
+  static const std::vector<std::uint16_t> kQam64 = build_table(288, 6);
+  if (n_cbps == 48 && n_bpsc == 1) return &kBpsk;
+  if (n_cbps == 96 && n_bpsc == 2) return &kQpsk;
+  if (n_cbps == 192 && n_bpsc == 4) return &kQam16;
+  if (n_cbps == 288 && n_bpsc == 6) return &kQam64;
+  return nullptr;
+}
+
 }  // namespace
+
+std::size_t interleaver_mapped_index(std::size_t k, unsigned n_cbps,
+                                     unsigned n_bpsc) {
+  return mapped_index(k, n_cbps, n_bpsc);
+}
+
+const std::uint16_t* deinterleave_scatter(unsigned n_cbps, unsigned n_bpsc) {
+  // deinterleave() computes out[k] = in[map[k]]; the scatter form inverts
+  // the permutation so each received bit can be stored straight to its
+  // final position: scatter[map[k]] = k.
+  const auto invert = [](const std::vector<std::uint16_t>& map) {
+    std::vector<std::uint16_t> inv(map.size());
+    for (std::size_t k = 0; k < map.size(); ++k)
+      inv[map[k]] = static_cast<std::uint16_t>(k);
+    return inv;
+  };
+  static const std::vector<std::uint16_t> kBpsk = invert(build_table(48, 1));
+  static const std::vector<std::uint16_t> kQpsk = invert(build_table(96, 2));
+  static const std::vector<std::uint16_t> kQam16 = invert(build_table(192, 4));
+  static const std::vector<std::uint16_t> kQam64 = invert(build_table(288, 6));
+  if (n_cbps == 48 && n_bpsc == 1) return kBpsk.data();
+  if (n_cbps == 96 && n_bpsc == 2) return kQpsk.data();
+  if (n_cbps == 192 && n_bpsc == 4) return kQam16.data();
+  if (n_cbps == 288 && n_bpsc == 6) return kQam64.data();
+  return nullptr;
+}
 
 Bits interleave(std::span<const std::uint8_t> bits, unsigned n_cbps,
                 unsigned n_bpsc) {
   Bits out(bits.size());
-  for (std::size_t block = 0; block + n_cbps <= bits.size(); block += n_cbps)
-    for (std::size_t k = 0; k < n_cbps; ++k)
-      out[block + mapped_index(k, n_cbps, n_bpsc)] = bits[block + k];
+  const auto* table = cached_table(n_cbps, n_bpsc);
+  for (std::size_t block = 0; block + n_cbps <= bits.size(); block += n_cbps) {
+    if (table) {
+      for (std::size_t k = 0; k < n_cbps; ++k)
+        out[block + (*table)[k]] = bits[block + k];
+    } else {
+      for (std::size_t k = 0; k < n_cbps; ++k)
+        out[block + mapped_index(k, n_cbps, n_bpsc)] = bits[block + k];
+    }
+  }
   return out;
 }
 
 Bits deinterleave(std::span<const std::uint8_t> bits, unsigned n_cbps,
                   unsigned n_bpsc) {
   Bits out(bits.size());
-  for (std::size_t block = 0; block + n_cbps <= bits.size(); block += n_cbps)
-    for (std::size_t k = 0; k < n_cbps; ++k)
-      out[block + k] = bits[block + mapped_index(k, n_cbps, n_bpsc)];
+  const auto* table = cached_table(n_cbps, n_bpsc);
+  for (std::size_t block = 0; block + n_cbps <= bits.size(); block += n_cbps) {
+    if (table) {
+      for (std::size_t k = 0; k < n_cbps; ++k)
+        out[block + k] = bits[block + (*table)[k]];
+    } else {
+      for (std::size_t k = 0; k < n_cbps; ++k)
+        out[block + k] = bits[block + mapped_index(k, n_cbps, n_bpsc)];
+    }
+  }
   return out;
 }
 
 std::vector<float> deinterleave_soft(std::span<const float> llrs,
                                      unsigned n_cbps, unsigned n_bpsc) {
   std::vector<float> out(llrs.size());
-  for (std::size_t block = 0; block + n_cbps <= llrs.size(); block += n_cbps)
-    for (std::size_t k = 0; k < n_cbps; ++k)
-      out[block + k] = llrs[block + mapped_index(k, n_cbps, n_bpsc)];
+  const auto* table = cached_table(n_cbps, n_bpsc);
+  for (std::size_t block = 0; block + n_cbps <= llrs.size(); block += n_cbps) {
+    if (table) {
+      for (std::size_t k = 0; k < n_cbps; ++k)
+        out[block + k] = llrs[block + (*table)[k]];
+    } else {
+      for (std::size_t k = 0; k < n_cbps; ++k)
+        out[block + k] = llrs[block + mapped_index(k, n_cbps, n_bpsc)];
+    }
+  }
   return out;
 }
 

@@ -19,4 +19,20 @@ namespace rjf::phy80211 {
                                                    unsigned n_cbps,
                                                    unsigned n_bpsc);
 
+/// Destination index of source bit `k` under the two-permutation map
+/// (equations 17-18 in the standard).  This is the closed-form reference
+/// the cached permutation tables are built from; exposed so tests can
+/// check table contents independently.
+[[nodiscard]] std::size_t interleaver_mapped_index(std::size_t k,
+                                                   unsigned n_cbps,
+                                                   unsigned n_bpsc);
+
+/// Scatter table for fusing the deinterleaver into a demapper: entry j is
+/// the deinterleaved position of received bit j within one `n_cbps`-bit
+/// block, so `out[table[j]] = raw[j]` reproduces `deinterleave()` without
+/// a separate gather pass.  Returns nullptr for parameter combinations
+/// outside the four 802.11a/g (n_cbps, n_bpsc) pairs.
+[[nodiscard]] const std::uint16_t* deinterleave_scatter(unsigned n_cbps,
+                                                        unsigned n_bpsc);
+
 }  // namespace rjf::phy80211

@@ -2,7 +2,10 @@
 
 #include <cmath>
 
+#include <algorithm>
+
 #include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 #include "phy80211/scrambler.h"
 
 namespace rjf::phy80211 {
@@ -62,17 +65,35 @@ dsp::cvec modulate_symbol(std::span<const dsp::cfloat> data48,
 dsp::cvec demodulate_symbol(std::span<const dsp::cfloat> symbol80,
                             std::span<const dsp::cfloat> channel,
                             std::size_t symbol_index) {
-  dsp::cvec time(symbol80.begin() + kCpLen, symbol80.end());
-  const float gain = static_cast<float>(kFftSize / std::sqrt(52.0));
-  for (auto& s : time) s /= gain;
-  dsp::fft(time);
+  const SymbolDemodulator demod(channel);
+  dsp::cvec data(kNumDataCarriers);
+  demod.run(symbol80, symbol_index, data.data());
+  return data;
+}
 
-  // Zero-forcing equalisation.
-  dsp::cvec eq(kFftSize, dsp::cfloat{});
+SymbolDemodulator::SymbolDemodulator(std::span<const dsp::cfloat> channel) {
+  // Zero-forcing equalisation as a multiply: x/h == x * conj(h)/|h|^2.
+  // The transmit gain (64/sqrt(52), applied per time sample on the way
+  // out) is undone here as well — the FFT is linear, so dividing the
+  // frequency bins is the same as dividing the time samples.
+  const float inv_gain = static_cast<float>(std::sqrt(52.0) / kFftSize);
   for (std::size_t bin = 0; bin < kFftSize; ++bin) {
-    const dsp::cfloat h = bin < channel.size() ? channel[bin] : dsp::cfloat{1, 0};
-    eq[bin] = (std::norm(h) > 1e-12f) ? time[bin] / h : dsp::cfloat{};
+    const dsp::cfloat h =
+        bin < channel.size() ? channel[bin] : dsp::cfloat{1, 0};
+    const float n = std::norm(h);
+    inv_channel_[bin] =
+        (n > 1e-12f) ? std::conj(h) * (inv_gain / n) : dsp::cfloat{};
   }
+}
+
+void SymbolDemodulator::run(std::span<const dsp::cfloat> symbol80,
+                            std::size_t symbol_index,
+                            dsp::cfloat* out48) const {
+  std::array<dsp::cfloat, kFftSize> eq;
+  std::copy(symbol80.begin() + kCpLen, symbol80.end(), eq.begin());
+  static const dsp::FftPlan& kPlan = dsp::FftPlan::of(kFftSize);
+  kPlan.forward(eq.data());
+  for (std::size_t bin = 0; bin < kFftSize; ++bin) eq[bin] *= inv_channel_[bin];
 
   // Common phase error from the pilots.
   const float polarity = pilot_polarity(symbol_index);
@@ -85,11 +106,9 @@ dsp::cvec demodulate_symbol(std::span<const dsp::cfloat> symbol80,
   const dsp::cfloat phase_corr =
       mag > 1e-9f ? std::conj(pilot_acc) / mag : dsp::cfloat{1, 0};
 
-  dsp::cvec data(kNumDataCarriers);
   const auto& carriers = data_carriers();
   for (std::size_t n = 0; n < kNumDataCarriers; ++n)
-    data[n] = eq[fft_bin(carriers[n])] * phase_corr;
-  return data;
+    out48[n] = eq[fft_bin(carriers[n])] * phase_corr;
 }
 
 }  // namespace rjf::phy80211

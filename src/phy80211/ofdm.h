@@ -41,4 +41,25 @@ inline constexpr double kSampleRateHz = 20e6;  // 802.11g native rate
     std::span<const dsp::cfloat> channel /* 64 bins */,
     std::size_t symbol_index);
 
+/// Precomputed equaliser for a run of OFDM symbols through one channel
+/// estimate.  The 1/gain amplitude scaling and the per-bin zero-forcing
+/// division are folded into a single complex multiplier per bin at
+/// construction, so the per-symbol work is strip-CP + FFT + one multiply
+/// per bin — no complex divisions in the symbol loop.  Bins whose channel
+/// estimate is effectively zero equalise to 0, as in demodulate_symbol().
+class SymbolDemodulator {
+ public:
+  /// `channel`: per-bin complex gains (up to 64 bins; missing bins are
+  /// treated as 1, matching demodulate_symbol()).
+  explicit SymbolDemodulator(std::span<const dsp::cfloat> channel);
+
+  /// Demodulate one 80-sample symbol (CP + body) into `out48[0..48)`.
+  /// `symbol_index` selects the pilot polarity (0 = SIGNAL symbol).
+  void run(std::span<const dsp::cfloat> symbol80, std::size_t symbol_index,
+           dsp::cfloat* out48) const;
+
+ private:
+  std::array<dsp::cfloat, kFftSize> inv_channel_;
+};
+
 }  // namespace rjf::phy80211

@@ -1,8 +1,10 @@
 #include "phy80211/receiver.h"
 
+#include <array>
 #include <cmath>
 
 #include "dsp/fft.h"
+#include "phy80211/constellation.h"
 #include "phy80211/interleaver.h"
 #include "phy80211/ofdm.h"
 #include "phy80211/preamble.h"
@@ -70,11 +72,16 @@ RxResult Receiver::receive(std::span<const dsp::cfloat> capture) const {
   for (std::size_t bin = 0; bin < kFftSize; ++bin)
     if (std::norm(lts_ref[bin]) > 0.5f) channel[bin] = lts_avg[bin] / lts_ref[bin];
 
+  // One equaliser for the whole frame: SIGNAL and every DATA symbol go
+  // through the same channel estimate, so the zero-forcing reciprocals
+  // are computed once instead of per symbol.
+  const SymbolDemodulator demod(channel);
+  std::array<dsp::cfloat, kNumDataCarriers> data48;
+
   // -- SIGNAL symbol.
   if (capture.size() < data_start + kSymbolLen) return result;
-  const dsp::cvec sig_data = demodulate_symbol(
-      capture.subspan(data_start, kSymbolLen), channel, 0);
-  const Bits sig_bits_raw = demap_symbols(sig_data, Modulation::kBpsk);
+  demod.run(capture.subspan(data_start, kSymbolLen), 0, data48.data());
+  const Bits sig_bits_raw = demap_symbols(data48, Modulation::kBpsk);
   const Bits sig_deinter = deinterleave(sig_bits_raw, 48, 1);
   const Bits sig_decoded = decode_at_rate(sig_deinter, CodeRate::kHalf, 24);
   const auto signal = decode_signal(sig_decoded);
@@ -91,31 +98,46 @@ RxResult Receiver::receive(std::span<const dsp::cfloat> capture) const {
     return result;
   }
 
+  // Demap each symbol straight into its deinterleaved slot of one
+  // whole-frame buffer: the block interleaver works symbol-by-symbol, so
+  // scatter-writing each demapped bit through the inverse permutation is
+  // identical to deinterleaving per symbol and concatenating, without the
+  // separate gather pass or per-symbol allocations.
   const std::size_t n_data_bits = n_sym * p.n_dbps;
+  const std::uint16_t* scatter = deinterleave_scatter(p.n_cbps, p.n_bpsc);
   Bits scrambled;
   if (soft_) {
-    std::vector<float> coded;
-    coded.reserve(n_sym * p.n_cbps);
+    std::vector<float> coded(n_sym * p.n_cbps);
     for (std::size_t s = 0; s < n_sym; ++s) {
       const std::size_t at = data_start + kSymbolLen * (1 + s);
-      const dsp::cvec data48 =
-          demodulate_symbol(capture.subspan(at, kSymbolLen), channel, s + 1);
-      const std::vector<float> raw = demap_soft(data48, p.modulation);
-      const std::vector<float> deinter =
-          deinterleave_soft(raw, p.n_cbps, p.n_bpsc);
-      coded.insert(coded.end(), deinter.begin(), deinter.end());
+      demod.run(capture.subspan(at, kSymbolLen), s + 1, data48.data());
+      if (scatter) {
+        demap_soft_scatter(data48, p.modulation, 1.0f, scatter,
+                           coded.data() + s * p.n_cbps);
+      } else {
+        std::vector<float> raw(p.n_cbps);
+        demap_soft_into(data48, p.modulation, 1.0f, raw.data());
+        const auto deinter = deinterleave_soft(raw, p.n_cbps, p.n_bpsc);
+        std::copy(deinter.begin(), deinter.end(),
+                  coded.begin() + static_cast<std::ptrdiff_t>(s * p.n_cbps));
+      }
     }
     scrambled = decode_at_rate_soft(coded, p.code_rate, n_data_bits);
   } else {
-    Bits coded;
-    coded.reserve(n_sym * p.n_cbps);
+    Bits coded(n_sym * p.n_cbps);
     for (std::size_t s = 0; s < n_sym; ++s) {
       const std::size_t at = data_start + kSymbolLen * (1 + s);
-      const dsp::cvec data48 =
-          demodulate_symbol(capture.subspan(at, kSymbolLen), channel, s + 1);
-      const Bits raw = demap_symbols(data48, p.modulation);
-      const Bits deinter = deinterleave(raw, p.n_cbps, p.n_bpsc);
-      coded.insert(coded.end(), deinter.begin(), deinter.end());
+      demod.run(capture.subspan(at, kSymbolLen), s + 1, data48.data());
+      if (scatter) {
+        demap_symbols_scatter(data48, p.modulation, scatter,
+                              coded.data() + s * p.n_cbps);
+      } else {
+        Bits raw(p.n_cbps);
+        demap_symbols_into(data48, p.modulation, raw.data());
+        const Bits deinter = deinterleave(raw, p.n_cbps, p.n_bpsc);
+        std::copy(deinter.begin(), deinter.end(),
+                  coded.begin() + static_cast<std::ptrdiff_t>(s * p.n_cbps));
+      }
     }
     scrambled = decode_at_rate(coded, p.code_rate, n_data_bits);
   }

@@ -1,0 +1,262 @@
+// Fast-path demod equivalence tests (DESIGN.md section 12).
+//
+// The whole-frame receive path replaced the per-bit linear scans of the
+// Gray tables with closed-form slicers and fused the deinterleaver into
+// the demapper through a scatter table.  These tests pin the fast paths
+// to the straightforward formulations: first-minimum scan semantics for
+// the slicers (ties resolve to the lower table index, NaN to index 0),
+// interleaver_mapped_index() for the tables, and demap+deinterleave for
+// the fused scatter pass.
+#include "phy80211/constellation.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "dsp/rng.h"
+#include "phy80211/interleaver.h"
+
+namespace rjf::phy80211 {
+namespace {
+
+// The standard's Gray-coded PAM tables (duplicated from constellation.cpp
+// on purpose: the reference scan below must not share code with the
+// closed-form slicers it checks).
+constexpr std::array<float, 4> kPam4 = {-3.0f, -1.0f, 3.0f, 1.0f};
+constexpr std::array<float, 8> kPam8 = {-7.0f, -5.0f, -1.0f, -3.0f,
+                                        7.0f,  5.0f,  1.0f,  3.0f};
+
+float kmod(Modulation mod) {
+  switch (mod) {
+    case Modulation::kBpsk: return 1.0f;
+    case Modulation::kQpsk: return 1.0f / std::sqrt(2.0f);
+    case Modulation::kQam16: return 1.0f / std::sqrt(10.0f);
+    case Modulation::kQam64: return 1.0f / std::sqrt(42.0f);
+  }
+  return 1.0f;
+}
+
+// First-minimum linear scan: the semantics the closed-form slicers must
+// reproduce exactly. `d < best` (strict) keeps the FIRST minimum on a
+// tie, and NaN distances compare false so NaN stays at index 0.
+template <std::size_t N>
+unsigned scan_slice(const std::array<float, N>& pam, float x) {
+  unsigned best_idx = 0;
+  float best = std::numeric_limits<float>::infinity();
+  for (unsigned level = 0; level < N; ++level) {
+    const float d = (x - pam[level]) * (x - pam[level]);
+    if (d < best) {
+      best = d;
+      best_idx = level;
+    }
+  }
+  return best_idx;
+}
+
+// Scan-based hard demap of one symbol, replicating the exact float
+// arithmetic of the production path (multiply by 1/kmod first) so both
+// sides slice the same scaled value.  BPSK/QPSK keep the demapper's
+// long-standing sign rule (tie at 0 resolves to bit 1, NaN to bit 0);
+// the first-minimum scan is the reference for the QAM slicers only.
+void scan_demap(dsp::cfloat s, Modulation mod, std::uint8_t* out) {
+  const float inv_k = 1.0f / kmod(mod);
+  const float i = s.real() * inv_k;
+  const float q = s.imag() * inv_k;
+  switch (mod) {
+    case Modulation::kBpsk:
+      out[0] = i >= 0.0f ? 1 : 0;
+      break;
+    case Modulation::kQpsk:
+      out[0] = i >= 0.0f ? 1 : 0;
+      out[1] = q >= 0.0f ? 1 : 0;
+      break;
+    case Modulation::kQam16: {
+      const unsigned gi = scan_slice(kPam4, i);
+      const unsigned gq = scan_slice(kPam4, q);
+      for (unsigned b = 0; b < 2; ++b) out[b] = (gi >> b) & 1u;
+      for (unsigned b = 0; b < 2; ++b) out[2 + b] = (gq >> b) & 1u;
+      break;
+    }
+    case Modulation::kQam64: {
+      const unsigned gi = scan_slice(kPam8, i);
+      const unsigned gq = scan_slice(kPam8, q);
+      for (unsigned b = 0; b < 3; ++b) out[b] = (gi >> b) & 1u;
+      for (unsigned b = 0; b < 3; ++b) out[3 + b] = (gq >> b) & 1u;
+      break;
+    }
+  }
+}
+
+// Axis values that exercise every decision boundary of both PAM tables:
+// the levels themselves, the exact midpoints (ties), a few ulp around
+// each midpoint, far saturation, zero, and NaN/inf.
+std::vector<float> boundary_axis_values() {
+  std::vector<float> xs;
+  for (const float v : {-7.0f, -6.0f, -5.0f, -4.0f, -3.0f, -2.0f, -1.0f,
+                        0.0f, 1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f, 7.0f}) {
+    xs.push_back(v);
+    xs.push_back(std::nextafterf(v, -std::numeric_limits<float>::infinity()));
+    xs.push_back(std::nextafterf(v, std::numeric_limits<float>::infinity()));
+  }
+  for (float v = -9.0f; v <= 9.0f; v += 0.0625f) xs.push_back(v);
+  // Keep the grid within the range where the float squared distances are
+  // exact enough to order the levels; beyond ~2^26 every distance rounds
+  // to x and the scan degenerates to a rounding-tie artifact (the
+  // closed-form slicers return the genuinely nearest level there — see
+  // SaturatedInputsSliceToNearestLevel).
+  xs.push_back(-1e6f);
+  xs.push_back(1e6f);
+  xs.push_back(std::numeric_limits<float>::quiet_NaN());
+  return xs;
+}
+
+TEST(DemodFast, ClosedFormSlicersMatchFirstMinimumScan) {
+  const std::vector<float> xs = boundary_axis_values();
+  for (const Modulation mod : {Modulation::kBpsk, Modulation::kQpsk,
+                               Modulation::kQam16, Modulation::kQam64}) {
+    const unsigned bps = bits_per_symbol(mod);
+    const float k = kmod(mod);
+    for (const float xi : xs) {
+      for (const float xq : {xs[0], 0.5f, xs.back()}) {
+        // Scale by kmod so the production inv_k multiply lands near (and
+        // often exactly on) the boundary value; both sides then slice
+        // the identical float.
+        const dsp::cfloat s{xi * k, xq * k};
+        const Bits got = demap_symbols(std::span(&s, 1), mod);
+        std::array<std::uint8_t, 6> want{};
+        scan_demap(s, mod, want.data());
+        ASSERT_EQ(got.size(), bps);
+        for (unsigned b = 0; b < bps; ++b)
+          EXPECT_EQ(got[b], want[b])
+              << "mod=" << static_cast<int>(mod) << " xi=" << xi
+              << " xq=" << xq << " bit=" << b;
+      }
+    }
+  }
+}
+
+// Far outside the constellation the closed-form slicers clamp to the
+// nearest outer level.  (The legacy scan's float distances all rounded to
+// |x| out here, so its first-minimum tie-break returned the -3/-7 level
+// even for huge POSITIVE inputs; such magnitudes cannot survive the
+// equalizer's dead-bin guard, and nearest-level is the defensible answer.)
+TEST(DemodFast, SaturatedInputsSliceToNearestLevel) {
+  const float k16 = kmod(Modulation::kQam16);
+  const float k64 = kmod(Modulation::kQam64);
+  for (const float big : {1e10f, 1e30f, std::numeric_limits<float>::infinity()}) {
+    const dsp::cfloat pos16{big * k16, -big * k16};
+    const Bits b16 = demap_symbols(std::span(&pos16, 1), Modulation::kQam16);
+    // +big -> level +3 (Gray index 2 -> bits 0,1); -big -> level -3
+    // (index 0 -> bits 0,0).
+    EXPECT_EQ(b16, (Bits{0, 1, 0, 0})) << "big=" << big;
+
+    const dsp::cfloat pos64{big * k64, -big * k64};
+    const Bits b64 = demap_symbols(std::span(&pos64, 1), Modulation::kQam64);
+    // +big -> level +7 (index 4 -> bits 0,0,1); -big -> level -7 (index 0).
+    EXPECT_EQ(b64, (Bits{0, 0, 1, 0, 0, 0})) << "big=" << big;
+  }
+}
+
+TEST(DemodFast, IntoVariantsMatchAllocatingDemap) {
+  dsp::Xoshiro256 rng(7);
+  for (const Modulation mod : {Modulation::kBpsk, Modulation::kQpsk,
+                               Modulation::kQam16, Modulation::kQam64}) {
+    const unsigned bps = bits_per_symbol(mod);
+    dsp::cvec symbols(48);
+    for (auto& s : symbols) s = rng.complex_gaussian();
+
+    const Bits hard = demap_symbols(symbols, mod);
+    Bits hard_into(symbols.size() * bps);
+    demap_symbols_into(symbols, mod, hard_into.data());
+    EXPECT_EQ(hard_into, hard);
+
+    const std::vector<float> soft = demap_soft(symbols, mod, 0.25f);
+    std::vector<float> soft_into(symbols.size() * bps);
+    demap_soft_into(symbols, mod, 0.25f, soft_into.data());
+    EXPECT_EQ(soft_into, soft);
+  }
+}
+
+struct RatePair {
+  unsigned n_cbps;
+  unsigned n_bpsc;
+  Modulation mod;
+};
+
+constexpr RatePair kStandardPairs[] = {
+    {48, 1, Modulation::kBpsk},
+    {96, 2, Modulation::kQpsk},
+    {192, 4, Modulation::kQam16},
+    {288, 6, Modulation::kQam64},
+};
+
+// The scatter table must be the inverse of the closed-form two-permutation
+// map: interleave() writes source bit k to mapped_index(k), so received
+// bit mapped_index(k) deinterleaves back to k.
+TEST(DemodFast, ScatterTableInvertsMappedIndex) {
+  for (const RatePair& p : kStandardPairs) {
+    const std::uint16_t* table = deinterleave_scatter(p.n_cbps, p.n_bpsc);
+    ASSERT_NE(table, nullptr) << "n_cbps=" << p.n_cbps;
+    std::vector<bool> covered(p.n_cbps, false);
+    for (std::size_t k = 0; k < p.n_cbps; ++k) {
+      const std::size_t j = interleaver_mapped_index(k, p.n_cbps, p.n_bpsc);
+      ASSERT_LT(j, p.n_cbps);
+      EXPECT_EQ(table[j], k) << "n_cbps=" << p.n_cbps << " k=" << k;
+      covered[table[j]] = true;
+    }
+    for (std::size_t k = 0; k < p.n_cbps; ++k)
+      EXPECT_TRUE(covered[k]) << "not a permutation at " << k;
+  }
+}
+
+TEST(DemodFast, NonStandardPairHasNoScatterTable) {
+  EXPECT_EQ(deinterleave_scatter(96, 1), nullptr);
+  EXPECT_EQ(deinterleave_scatter(48, 6), nullptr);
+}
+
+// Fused demap+deinterleave must equal the two-pass formulation for every
+// standard (n_cbps, n_bpsc) pair, hard and soft.
+TEST(DemodFast, ScatterDemapEqualsDemapThenDeinterleave) {
+  dsp::Xoshiro256 rng(11);
+  for (const RatePair& p : kStandardPairs) {
+    const std::size_t n_sym = p.n_cbps / p.n_bpsc;
+    dsp::cvec symbols(n_sym);
+    for (auto& s : symbols) s = rng.complex_gaussian();
+    const std::uint16_t* table = deinterleave_scatter(p.n_cbps, p.n_bpsc);
+    ASSERT_NE(table, nullptr);
+
+    const Bits raw = demap_symbols(symbols, p.mod);
+    const Bits two_pass = deinterleave(raw, p.n_cbps, p.n_bpsc);
+    Bits fused(p.n_cbps);
+    demap_symbols_scatter(symbols, p.mod, table, fused.data());
+    EXPECT_EQ(fused, two_pass) << "n_cbps=" << p.n_cbps;
+
+    const std::vector<float> raw_soft = demap_soft(symbols, p.mod, 1.0f);
+    const std::vector<float> two_pass_soft =
+        deinterleave_soft(raw_soft, p.n_cbps, p.n_bpsc);
+    std::vector<float> fused_soft(p.n_cbps);
+    demap_soft_scatter(symbols, p.mod, 1.0f, table, fused_soft.data());
+    EXPECT_EQ(fused_soft, two_pass_soft) << "soft n_cbps=" << p.n_cbps;
+  }
+}
+
+// The table-backed interleave/deinterleave must stay exact inverses, and
+// the closed-form fallback must still serve nonstandard parameter pairs.
+TEST(DemodFast, InterleaveRoundTripsWithAndWithoutTables) {
+  dsp::Xoshiro256 rng(13);
+  const auto round_trip = [&](unsigned n_cbps, unsigned n_bpsc) {
+    Bits bits(n_cbps);
+    for (auto& b : bits) b = rng.uniform() < 0.5 ? 0 : 1;
+    const Bits mixed = interleave(bits, n_cbps, n_bpsc);
+    EXPECT_EQ(deinterleave(mixed, n_cbps, n_bpsc), bits)
+        << "n_cbps=" << n_cbps << " n_bpsc=" << n_bpsc;
+  };
+  for (const RatePair& p : kStandardPairs) round_trip(p.n_cbps, p.n_bpsc);
+  round_trip(96, 1);  // nonstandard: closed-form path
+}
+
+}  // namespace
+}  // namespace rjf::phy80211

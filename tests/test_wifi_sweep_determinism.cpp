@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/presets.h"
+#include "net/waveform_cache.h"
 
 namespace rjf::bench {
 namespace {
@@ -91,6 +92,48 @@ TEST(WifiSweepEngine, RunSweepBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(a.mean_rate_mbps, b.mean_rate_mbps)
           << "threads=" << threads << " point=" << p;
     }
+  }
+}
+
+// The process-wide WaveformCache must be an invisible optimization: a
+// sweep run with the cache disabled (every exchange re-synthesises its
+// waveform) must be bit-identical to one that shares cached samples
+// across all points and threads. The cached value is a pure function of
+// its key and consumes no per-sim RNG draws, so any divergence here means
+// the cache key is missing a dimension or the build path leaks state.
+TEST(WifiSweepEngine, RunSweepBitIdenticalWithWaveformCacheOnAndOff) {
+  const std::vector<double> powers = {1e-4, 1e-3, 3e-3};
+  const double duration_s = 0.02;
+  const auto jammer = core::energy_reactive_preset(1e-4, 10.0);
+
+  auto& cache = net::WaveformCache::instance();
+  const bool was_enabled = cache.enabled();
+
+  cache.set_enabled(false);
+  cache.clear();
+  const auto uncached =
+      run_sweep("cache off", jammer, powers, duration_s, 2);
+
+  cache.set_enabled(true);
+  cache.clear();
+  const auto cached = run_sweep("cache on", jammer, powers, duration_s, 2);
+
+  // The sweep transmits the same datagram/ACK at every point, so a warm
+  // cache must actually be serving hits (else this test proves nothing).
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.size(), 0u);
+
+  cache.set_enabled(was_enabled);
+
+  ASSERT_EQ(cached.points.size(), uncached.points.size());
+  for (std::size_t p = 0; p < powers.size(); ++p) {
+    const auto& a = uncached.points[p];
+    const auto& b = cached.points[p];
+    EXPECT_EQ(a.jam_triggers, b.jam_triggers) << "point=" << p;
+    EXPECT_EQ(a.sir_db, b.sir_db) << "point=" << p;
+    EXPECT_EQ(a.bandwidth_kbps, b.bandwidth_kbps) << "point=" << p;
+    EXPECT_EQ(a.prr_percent, b.prr_percent) << "point=" << p;
+    EXPECT_EQ(a.mean_rate_mbps, b.mean_rate_mbps) << "point=" << p;
   }
 }
 

@@ -3,9 +3,18 @@
 
 The cycle-accurate FPGA model in src/fpga stands in for RTL: everything in
 it must be expressible as fixed-point fabric logic, and everything in the
-deterministic subsystems (src/fpga, src/core/sweep, src/fault) must stay
-bit-reproducible across runs and thread counts. The C++ type system cannot
-enforce either property, so this linter does, as a CI gate.
+deterministic subsystems (src/fpga, src/core/sweep, src/fault,
+src/dsp/simd) must stay bit-reproducible across runs and thread counts.
+The C++ type system cannot enforce either property, so this linter does,
+as a CI gate.
+
+Scopes are assigned per directory: src/fpga gets both the fabric rules
+(float-in-datapath, raw-cast, overflow-multiply) and the deterministic
+rules; src/fault, src/core/sweep.{h,cpp} and src/dsp/simd get only the
+deterministic rules.  The SIMD DSP kernels are HOST-side vector code — the
+soft-Viterbi and FFT kernels are float by design — so exempting them from
+float-in-datapath is a property of the directory, not of allow-tags, and
+does not loosen the fabric scope one line.
 
 Rules (see DESIGN.md section 11 for the full table):
 
@@ -172,11 +181,14 @@ def scoped_files(root: pathlib.Path):
     fpga = sorted((root / "src" / "fpga").glob("**/*"))
     fault = sorted((root / "src" / "fault").glob("**/*"))
     sweep = [root / "src" / "core" / "sweep.h", root / "src" / "core" / "sweep.cpp"]
+    # Host-side SIMD kernels: float vector math is their whole job, so only
+    # the deterministic scope applies (see the module docstring).
+    simd = sorted((root / "src" / "dsp" / "simd").glob("**/*"))
     seen = {}
     for p in fpga:
         if p.suffix in (".h", ".cpp"):
             seen.setdefault(p, set()).update({"fpga", "deterministic"})
-    for p in fault + sweep:
+    for p in fault + sweep + simd:
         if p.suffix in (".h", ".cpp") and p.exists():
             seen.setdefault(p, set()).add("deterministic")
     return sorted(seen.items())
@@ -337,8 +349,34 @@ def self_test() -> int:
             for rel, lineno, rid, _ in residue:
                 print(f"  {rel}:{lineno}: [{rid}]")
             return 1
+
+    # Scope-boundary case (second tree): src/dsp/simd is deterministic-only,
+    # so a float there must NOT fire while a wall clock in the same file
+    # must — and the identical float line in src/fpga must still fire.
+    with tempfile.TemporaryDirectory() as td:
+        root = pathlib.Path(td)
+        simd_rel = "src/dsp/simd/seed_kernel.cpp"
+        fpga_rel = "src/fpga/seed_boundary.cpp"
+        for rel, body in (
+            (simd_rel,
+             "float gain = 0.5f;\n"
+             "auto t0() { return std::chrono::steady_clock::now(); }\n"),
+            (fpga_rel, "float gain = 0.5f;\n"),
+        ):
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(body, encoding="utf-8")
+        got = {(str(rel), rid) for rel, _, rid, _ in run_lint(root)}
+        want = {(simd_rel, "wall-clock-or-rand"),
+                (fpga_rel, "float-in-datapath")}
+        if got != want:
+            print("fabric_lint self-test FAILED (simd scope boundary)")
+            print("  expected:", sorted(want))
+            print("  got:     ", sorted(got))
+            return 1
+
     print(f"fabric_lint self-test OK: {len(RULES)} rules seeded, caught, and"
-          " suppressed via allow-tags")
+          " suppressed via allow-tags; simd scope boundary holds")
     return 0
 
 
