@@ -8,13 +8,17 @@
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/presets.h"
 #include "core/sweep.h"
+#include "net/waveform_cache.h"
 #include "net/wifi_network.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 
 namespace rjf::bench {
 
@@ -31,14 +35,24 @@ struct SweepResult {
   std::vector<SweepPoint> points;
 };
 
+/// When `campaign_metrics` is non-null every point runs with a private
+/// Telemetry bundle (probes off) attached to its embedded jammer; the
+/// per-point fabric counters are merged into `campaign_metrics` in point
+/// order after the pool drains, so the merged counters are bit-identical
+/// at any thread count (stream_wall_ns, the only wall-clock-derived
+/// counter, is stripped first). WaveformCache hit/miss/eviction counters
+/// ride along as cross-thread diagnostics outside that guarantee.
 inline SweepResult run_sweep(const std::string& label,
                              const std::optional<core::JammerConfig>& jammer,
                              const std::vector<double>& jam_powers,
                              double duration_s,
-                             unsigned threads = sweep_threads()) {
+                             unsigned threads = sweep_threads(),
+                             obs::MetricsRegistry* campaign_metrics = nullptr) {
   SweepResult result;
   result.label = label;
   result.points.resize(jam_powers.size());
+  std::vector<obs::MetricsRegistry> point_metrics(
+      campaign_metrics != nullptr ? jam_powers.size() : 0);
 
   // One shard per SIR point: the iperf run is the unit of work.
   core::SweepConfig sweep;
@@ -54,12 +68,32 @@ inline SweepResult run_sweep(const std::string& label,
     config.jammer_tx_power = jam_powers[task.point];
     config.seed = 1234;
     net::WifiNetworkSim sim(config);
+    std::optional<obs::Telemetry> telemetry;
+    if (campaign_metrics != nullptr) {
+      obs::TelemetryConfig tc;
+      tc.probe_enabled = false;  // counters only; probes cost capture memory
+      telemetry.emplace(tc);
+      sim.attach_telemetry(&*telemetry);
+    }
     const auto run = sim.run();
     result.points[task.point] = SweepPoint{
         run.measured_sir_db,
         run.report.bandwidth_kbps(config.iperf.datagram_bytes),
         run.report.prr_percent(), run.jam_triggers, run.mean_tx_rate_mbps};
+    if (telemetry.has_value()) {
+      sim.attach_telemetry(nullptr);
+      telemetry->flush();
+      telemetry->refresh_gauges();
+      point_metrics[task.point] = telemetry->metrics();
+      point_metrics[task.point].erase_counter("stream_wall_ns");
+      point_metrics[task.point].erase_gauge("host_throughput_msps");
+    }
   });
+  if (campaign_metrics != nullptr) {
+    for (const obs::MetricsRegistry& m : point_metrics)
+      campaign_metrics->merge(m);
+    net::WaveformCache::instance().export_metrics(*campaign_metrics);
+  }
   return result;
 }
 

@@ -100,7 +100,7 @@ void ReactiveJammer::reconfigure(const JammerConfig& config) {
 
 void ReactiveJammer::attach_trace(obs::Telemetry* telemetry) {
   telemetry_ = telemetry;
-  radio_.attach_sink(telemetry);
+  radio_.attach_ring(telemetry != nullptr ? &telemetry->ring() : nullptr);
   if (telemetry_ != nullptr)
     telemetry_->set_personality(config_.description, radio_.now_ticks());
 }
@@ -156,8 +156,9 @@ radio::UsrpN210::StreamResult ReactiveJammer::observe(
 void ReactiveJammer::tune(double freq_hz) {
   radio_.frontend().tune(freq_hz);
   if (telemetry_ != nullptr)
-    telemetry_->on_event(obs::EventKind::kRetune, radio_.now_ticks(),
-                         static_cast<std::uint64_t>(radio_.frontend().frequency()));
+    telemetry_->ring().push_event(
+        obs::EventKind::kRetune, radio_.now_ticks(),
+        static_cast<std::uint64_t>(radio_.frontend().frequency()));
 }
 
 void ReactiveJammer::set_tx_gain(double db) {
@@ -165,7 +166,7 @@ void ReactiveJammer::set_tx_gain(double db) {
   if (telemetry_ != nullptr)
     // Value is the clamped front-end gain in centi-dB so the integer event
     // payload keeps one decimal of the 0.5 dB SBX gain steps.
-    telemetry_->on_event(
+    telemetry_->ring().push_event(
         obs::EventKind::kGainChange, radio_.now_ticks(),
         static_cast<std::uint64_t>(
             std::lround(radio_.frontend().tx_gain_db() * 100.0)));

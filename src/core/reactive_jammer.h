@@ -27,10 +27,11 @@ class ReactiveJammer {
   /// settings take effect mid-stream after the bus latency.
   void reconfigure(const JammerConfig& config);
 
-  /// Attach a telemetry bundle (nullptr detaches). Wires the sink through
-  /// the radio into the fabric core and settings bus, and records the
-  /// current personality description as a trace annotation. While detached
-  /// the streaming fast path is untouched (see DspCore::set_sink()).
+  /// Attach a telemetry bundle (nullptr detaches). Wires the bundle's
+  /// event ring through the radio into the fabric core and settings bus,
+  /// and records the current personality description as a trace
+  /// annotation. Instrumented streaming keeps the straight-line fast path
+  /// (see DspCore::set_ring()).
   void attach_trace(obs::Telemetry* telemetry);
   [[nodiscard]] obs::Telemetry* telemetry() const noexcept {
     return telemetry_;

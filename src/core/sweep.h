@@ -33,12 +33,28 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/detection_experiment.h"
 #include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 
 namespace rjf::core {
+
+/// Snapshot handed to the progress callback as shards complete: campaign
+/// throughput, ETA and the fault counters accumulated so far, so a long
+/// run is observable without waiting for the report.
+struct SweepProgress {
+  std::size_t shards_done = 0;
+  std::size_t shards_total = 0;
+  std::uint64_t trials_done = 0;
+  std::uint64_t trials_total = 0;
+  double elapsed_seconds = 0.0;
+  double trials_per_second = 0.0;
+  double eta_seconds = 0.0;          // remaining trials / current rate
+  std::uint64_t faults = 0;          // sum of fault.* counters so far
+};
 
 struct SweepConfig {
   std::size_t trials_per_point = 1000;
@@ -49,6 +65,18 @@ struct SweepConfig {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
   unsigned threads = 0;
   std::uint64_t seed = 1;
+  /// Report progress every N completed shards (0 = silent). Reports go to
+  /// `progress`, or to a one-line stderr ticker when `progress` is empty.
+  /// Progress is a side channel: it never affects the deterministic result.
+  std::size_t progress_every_shards = 0;
+  std::function<void(const SweepProgress&)> progress;
+  /// Attach a per-shard Telemetry bundle (trace ring of this many events,
+  /// probes off) to every shard's jammer (0 = no per-shard telemetry).
+  /// Shard event counters and latency histograms merge into
+  /// SweepReport::metrics (minus wall-clock counters, keeping the merge
+  /// bit-identical across thread counts), and each shard's trace becomes a
+  /// lane of SweepReport::shard_traces / write_campaign_trace().
+  std::size_t trace_events_per_shard = 0;
 };
 
 /// One schedulable unit: a contiguous range of trials of one sweep point.
@@ -93,8 +121,22 @@ struct SweepReport {
   std::vector<std::uint64_t> shard_trials;
   /// Per-shard registries merged in shard-index order: sweep.trials,
   /// sweep.frames_detected, sweep.detections counters and the
-  /// sweep.detections_per_trial histogram.
+  /// sweep.detections_per_trial histogram. With trace_events_per_shard set,
+  /// also the merged fabric event counters and latency histograms from the
+  /// per-shard telemetry, plus the campaign.* aggregates (shards, trials,
+  /// threads, wall_s, trials_per_s) stamped by the engine.
   obs::MetricsRegistry metrics;
+  /// One trace lane per shard (trace_events_per_shard > 0), keyed by shard
+  /// index, each named after its shard and SNR point.
+  std::vector<obs::TraceRecorder::TraceLane> shard_traces;
+
+  /// Merge the shard lanes into one Chrome trace (one process per shard;
+  /// see TraceRecorder::write_merged_chrome_trace). False when there are
+  /// no lanes or the file cannot be written.
+  [[nodiscard]] bool write_campaign_trace(const std::string& path) const {
+    if (shard_traces.empty()) return false;
+    return obs::TraceRecorder::write_merged_chrome_trace(path, shard_traces);
+  }
 
   [[nodiscard]] std::size_t total_trials() const noexcept {
     std::size_t n = 0;

@@ -22,7 +22,7 @@ void DspCore::finish_tick(CoreOutput& out) noexcept {
 
   out.tx = jammer_.clock(out.jam_trigger);
 
-  if (sink_ != nullptr) [[unlikely]]
+  if (ring_ != nullptr) [[unlikely]]
     emit_tick(out);
 
   ++vita_ticks_;
@@ -33,39 +33,44 @@ void DspCore::emit_tick(const CoreOutput& out) noexcept {
   const std::uint64_t vita = vita_ticks_;
   using obs::EventKind;
   if (out.xcorr_trigger)
-    sink_->on_event(EventKind::kXcorrTrigger, vita, probe_xcorr_metric_);
+    ring_->push_event(EventKind::kXcorrTrigger, vita, probe_xcorr_metric_);
   if (out.energy_high)
-    sink_->on_event(EventKind::kEnergyRise, vita, probe_energy_sum_);
+    ring_->push_event(EventKind::kEnergyRise, vita, probe_energy_sum_);
   if (out.energy_low)
-    sink_->on_event(EventKind::kEnergyFall, vita, probe_energy_sum_);
+    ring_->push_event(EventKind::kEnergyFall, vita, probe_energy_sum_);
   const int stage = fsm_.stage();
   if (stage != prev_stage_) {
-    sink_->on_event(EventKind::kFsmStage, vita, hw::UInt<8>(stage).u64());
     prev_stage_ = stage;
+    if (ring_->want_spans())
+      ring_->push_event(EventKind::kFsmStage, vita, hw::UInt<8>(stage).u64());
   }
-  if (out.jam_trigger) sink_->on_event(EventKind::kJamTrigger, vita, 0);
+  if (out.jam_trigger) ring_->push_event(EventKind::kJamTrigger, vita, 0);
   if (out.tx.rf_active != prev_rf_) {
-    sink_->on_event(out.tx.rf_active ? EventKind::kJamStart
-                                     : EventKind::kJamEnd,
-                    vita, 0);
+    ring_->push_event(out.tx.rf_active ? EventKind::kJamStart
+                                       : EventKind::kJamEnd,
+                      vita, 0);
     prev_rf_ = out.tx.rf_active;
   }
   if (out.tx.sample_strobe) probe_tx_ = out.tx.sample;
 
   if (out.rx_strobe) {
-    obs::FabricSignals s;
-    s.vita_ticks = vita;
-    s.rx = probe_rx_;
-    s.xcorr_metric = probe_xcorr_metric_;
-    s.energy_sum = probe_energy_sum_;
-    s.fsm_stage = hw::UInt<8>(stage).value();
-    s.xcorr_trigger = out.xcorr_trigger;
-    s.energy_high = out.energy_high;
-    s.energy_low = out.energy_low;
-    s.jam_trigger = out.jam_trigger;
-    s.rf_active = out.tx.rf_active;
-    s.tx = probe_tx_;
-    sink_->on_strobe(s);
+    const bool interesting = out.xcorr_trigger || out.energy_high ||
+                             out.energy_low || out.jam_trigger;
+    if (ring_->strobe_gate(interesting)) {
+      obs::FabricSignals s;
+      s.vita_ticks = vita;
+      s.rx = probe_rx_;
+      s.xcorr_metric = probe_xcorr_metric_;
+      s.energy_sum = probe_energy_sum_;
+      s.fsm_stage = hw::UInt<8>(stage).value();
+      s.xcorr_trigger = out.xcorr_trigger;
+      s.energy_high = out.energy_high;
+      s.energy_low = out.energy_low;
+      s.jam_trigger = out.jam_trigger;
+      s.rf_active = out.tx.rf_active;
+      s.tx = probe_tx_;
+      ring_->push_strobe(s);
+    }
   }
 }
 
@@ -78,7 +83,7 @@ CoreOutput DspCore::strobe_tick(dsp::IQ16 sample) noexcept {
   const auto en = energy_.step(sample);
   jammer_.record_rx(sample);
 
-  if (sink_ != nullptr) [[unlikely]] {
+  if (ring_ != nullptr) [[unlikely]] {
     probe_xcorr_metric_ = xc.metric;
     probe_energy_sum_ = en.energy_sum;
     probe_rx_ = sample;
@@ -120,26 +125,9 @@ CoreOutput DspCore::tick(std::optional<dsp::IQ16> rx) noexcept {
   return strobe ? strobe_tick(rx.value_or(dsp::IQ16{})) : idle_tick();
 }
 
-void DspCore::run_block(std::span<const dsp::IQ16> rx,
-                        std::span<CoreOutput> out) noexcept {
-  if (out.size() < rx.size() * kClocksPerSample) {
-    rx = rx.first(out.size() / kClocksPerSample);
-  }
-
-  if (strobe_phase_ != 0 || sink_ != nullptr) {
-    // Misaligned entry (a caller interleaved raw tick()s) or a telemetry
-    // sink attached: replay the exact per-tick cadence instead of the
-    // straight-line pass. Bit-identical either way; the instrumented ticks
-    // additionally publish events and per-strobe snapshots.
-    std::size_t o = 0;
-    for (const dsp::IQ16 sample : rx) {
-      out[o++] = tick(sample);
-      for (std::uint32_t c = 1; c < kClocksPerSample; ++c)
-        out[o++] = tick(std::nullopt);
-    }
-    return;
-  }
-
+template <bool kTraced>
+void DspCore::run_block_body(std::span<const dsp::IQ16> rx,
+                             std::span<CoreOutput> out) noexcept {
   std::size_t o = 0;
   for (const dsp::IQ16 sample : rx) {
     // --- Strobe clock: detectors + edge logic (same body as strobe_tick,
@@ -180,6 +168,52 @@ void DspCore::run_block(std::span<const dsp::IQ16> rx,
     s.jam_trigger = jam;
     // An idle jammer ignores a false trigger; skip the virtual clocking.
     if (jam || jammer_.busy()) s.tx = jammer_.clock(jam);
+
+    if constexpr (kTraced) {
+      using obs::EventKind;
+      const std::uint64_t vita = vita_ticks_;
+      if (ev.xcorr) ring_->push_event(EventKind::kXcorrTrigger, vita, xc.metric);
+      if (ev.energy_high)
+        ring_->push_event(EventKind::kEnergyRise, vita, en.energy_sum);
+      if (ev.energy_low)
+        ring_->push_event(EventKind::kEnergyFall, vita, en.energy_sum);
+      const int stage = fsm_.stage();
+      if (stage != prev_stage_) {
+        prev_stage_ = stage;
+        if (ring_->want_spans())
+          ring_->push_event(EventKind::kFsmStage, vita,
+                            hw::UInt<8>(stage).u64());
+      }
+      if (jam) ring_->push_event(EventKind::kJamTrigger, vita, 0);
+      if (s.tx.rf_active != prev_rf_) {
+        ring_->push_event(s.tx.rf_active ? EventKind::kJamStart
+                                         : EventKind::kJamEnd,
+                          vita, 0);
+        prev_rf_ = s.tx.rf_active;
+      }
+      if (s.tx.sample_strobe) probe_tx_ = s.tx.sample;
+      const bool interesting =
+          ev.xcorr || ev.energy_high || ev.energy_low || jam;
+      if (ring_->strobe_gate(interesting)) {
+        obs::FabricSignals snap;
+        snap.vita_ticks = vita;
+        snap.rx = sample;
+        snap.xcorr_metric = xc.metric;
+        snap.energy_sum = en.energy_sum;
+        snap.fsm_stage = hw::UInt<8>(stage).value();
+        snap.xcorr_trigger = ev.xcorr;
+        snap.energy_high = ev.energy_high;
+        snap.energy_low = ev.energy_low;
+        snap.jam_trigger = jam;
+        snap.rf_active = s.tx.rf_active;
+        snap.tx = probe_tx_;
+        ring_->push_strobe(snap);
+      }
+      // Keep the probe mirrors coherent for a later per-tick entry.
+      probe_xcorr_metric_ = xc.metric;
+      probe_energy_sum_ = en.energy_sum;
+      probe_rx_ = sample;
+    }
     ++vita_ticks_;
 
     // --- Idle clocks: detector outputs hold low; only the FSM window
@@ -192,10 +226,54 @@ void DspCore::run_block(std::span<const dsp::IQ16> rx,
       t.vita_ticks = vita_ticks_;
       if (fsm_.engaged()) (void)fsm_.clock(DetectorEvents{});
       if (jammer_.busy()) t.tx = jammer_.clock(false);
+      if constexpr (kTraced) {
+        using obs::EventKind;
+        const int stage = fsm_.stage();
+        if (stage != prev_stage_) {
+          prev_stage_ = stage;
+          if (ring_->want_spans())
+            ring_->push_event(EventKind::kFsmStage, vita_ticks_,
+                              hw::UInt<8>(stage).u64());
+        }
+        if (t.tx.rf_active != prev_rf_) {
+          ring_->push_event(t.tx.rf_active ? EventKind::kJamStart
+                                           : EventKind::kJamEnd,
+                            vita_ticks_, 0);
+          prev_rf_ = t.tx.rf_active;
+        }
+        if (t.tx.sample_strobe) probe_tx_ = t.tx.sample;
+      }
       ++vita_ticks_;
     }
   }
   feedback_.vita_ticks = vita_ticks_;
+}
+
+void DspCore::run_block(std::span<const dsp::IQ16> rx,
+                        std::span<CoreOutput> out) noexcept {
+  if (out.size() < rx.size() * kClocksPerSample) {
+    rx = rx.first(out.size() / kClocksPerSample);
+  }
+
+  if (strobe_phase_ != 0) {
+    // Misaligned entry (a caller interleaved raw tick()s): replay the exact
+    // per-tick cadence. Bit-identical to the straight-line pass.
+    std::size_t o = 0;
+    for (const dsp::IQ16 sample : rx) {
+      out[o++] = tick(sample);
+      for (std::uint32_t c = 1; c < kClocksPerSample; ++c)
+        out[o++] = tick(std::nullopt);
+    }
+    if (ring_ != nullptr) ring_->drain_if_inline();
+    return;
+  }
+
+  if (ring_ != nullptr) {
+    run_block_body<true>(rx, out);
+    ring_->drain_if_inline();
+  } else {
+    run_block_body<false>(rx, out);
+  }
 }
 
 std::vector<CoreOutput> DspCore::process(std::span<const dsp::IQ16> rx) {
@@ -214,15 +292,15 @@ void DspCore::fast_forward(std::uint64_t samples) noexcept {
   vita_ticks_ += samples * kClocksPerSample;
   feedback_.vita_ticks = vita_ticks_;
   strobe_phase_ = hw::UInt<2>();
-  if (sink_ != nullptr) {
+  if (ring_ != nullptr) {
     // A jam burst whose edge fell inside the skipped air time still needs
     // that edge; the exact tick is unobservable here, so stamp it at the
     // end of the gap (duty-cycle error bounded by the skip length).
     if (prev_rf_ != jammer_.rf_active()) {
       prev_rf_ = jammer_.rf_active();
-      sink_->on_event(prev_rf_ ? obs::EventKind::kJamStart
-                               : obs::EventKind::kJamEnd,
-                      vita_ticks_, 0);
+      ring_->push_event(prev_rf_ ? obs::EventKind::kJamStart
+                                 : obs::EventKind::kJamEnd,
+                        vita_ticks_, 0);
     }
     prev_stage_ = fsm_.stage();
   }

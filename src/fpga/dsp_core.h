@@ -19,6 +19,7 @@
 #include "fpga/jammer_controller.h"
 #include "fpga/register_file.h"
 #include "fpga/trigger_fsm.h"
+#include "obs/event_ring.h"
 #include "obs/events.h"
 
 namespace rjf::fpga {
@@ -97,14 +98,15 @@ class DspCore {
   /// Full reset (reprogramming the FPGA). Register contents survive.
   void reset() noexcept;
 
-  /// Attach a telemetry sink (nullptr detaches). With a sink attached the
-  /// core replays the exact per-tick cadence — bit-identical outputs, but
-  /// slower — and publishes trigger edges, FSM transitions, jam bursts and
-  /// per-strobe signal snapshots. With no sink, run_block() keeps the
-  /// uninstrumented fast loop: the only added cost is one pointer test per
-  /// block (the overhead contract; see DESIGN.md "Observability").
-  void set_sink(obs::FabricSink* sink) noexcept { sink_ = sink; }
-  [[nodiscard]] obs::FabricSink* sink() const noexcept { return sink_; }
+  /// Attach the telemetry event ring (nullptr detaches). Producers write
+  /// fixed-size records into the ring on trigger edges, FSM transitions,
+  /// jam bursts and sampled strobes; outputs stay bit-identical to an
+  /// untraced run because the traced run_block() instantiation keeps the
+  /// same straight-line compute path and only appends records behind the
+  /// existing rare-event branches (the overhead contract; see DESIGN.md
+  /// "Observability"). Inline-drain rings are drained at block boundaries.
+  void set_ring(obs::EventRing* ring) noexcept { ring_ = ring; }
+  [[nodiscard]] obs::EventRing* ring() const noexcept { return ring_; }
 
  private:
   /// Strobe-tick body: detectors + edge logic + FSM/jammer clocks.
@@ -113,12 +115,20 @@ class DspCore {
   CoreOutput idle_tick() noexcept;
   /// Shared tail of every tick: FSM, jam bookkeeping, TX path, VITA time.
   void finish_tick(CoreOutput& out) noexcept;
-  /// Publish this tick's events/snapshot to the sink (sink_ != nullptr).
-  /// Kept out of line and cold so the no-sink tick path stays inlinable.
+  /// Publish this tick's events/snapshot to the ring (ring_ != nullptr).
+  /// Kept out of line and cold so the no-ring tick path stays inlinable.
 #if defined(__GNUC__) || defined(__clang__)
   __attribute__((noinline, cold))
 #endif
   void emit_tick(const CoreOutput& out) noexcept;
+  /// The block loop, compiled twice: the kTraced instantiation interleaves
+  /// ring emission behind the existing rare-event branches, the plain one
+  /// is the untouched fast path. Both run the same datapath computations in
+  /// the same order, which is what makes traced-vs-plain bit-identity hold
+  /// by construction.
+  template <bool kTraced>
+  void run_block_body(std::span<const dsp::IQ16> rx,
+                      std::span<CoreOutput> out) noexcept;
 
   RegisterFile regs_;
   CrossCorrelator correlator_;
@@ -137,10 +147,10 @@ class DspCore {
   bool prev_high_ = false;
   bool prev_low_ = false;
 
-  // Telemetry tap. The probe_* mirrors are only written while a sink is
+  // Telemetry tap. The probe_* mirrors are only written while a ring is
   // attached; they exist because the strobe-tick locals (metric, energy
   // sum) are consumed before the FSM/TX state the snapshot also needs.
-  obs::FabricSink* sink_ = nullptr;
+  obs::EventRing* ring_ = nullptr;
   std::uint32_t probe_xcorr_metric_ = 0;
   std::uint64_t probe_energy_sum_ = 0;
   dsp::IQ16 probe_rx_{};

@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "dsp/db.h"
+#include "obs/metrics.h"
 #include "dsp/resampler.h"
 #include "phy80211/ofdm.h"
 #include "phy80211/transmitter.h"
@@ -83,6 +84,7 @@ std::shared_ptr<const CachedWaveform> WaveformCache::get_or_build(
     while (entries_.size() > kMaxEntries) {
       entries_.erase(insertion_order_.front());
       insertion_order_.pop_front();
+      ++evictions_;
     }
   }
   return it->second;
@@ -104,6 +106,7 @@ void WaveformCache::clear() {
   insertion_order_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 std::size_t WaveformCache::size() const {
@@ -119,6 +122,20 @@ std::uint64_t WaveformCache::hits() const {
 std::uint64_t WaveformCache::misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;
+}
+
+std::uint64_t WaveformCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+void WaveformCache::export_metrics(obs::MetricsRegistry& metrics) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics.add("cache.waveform_hits", hits_);
+  metrics.add("cache.waveform_misses", misses_);
+  metrics.add("cache.waveform_evictions", evictions_);
+  metrics.set_gauge("cache.waveform_entries",
+                    static_cast<double>(entries_.size()));
 }
 
 }  // namespace rjf::net

@@ -28,6 +28,10 @@
 #include "dsp/types.h"
 #include "phy80211/rates.h"
 
+namespace rjf::obs {
+class MetricsRegistry;
+}  // namespace rjf::obs
+
 namespace rjf::net {
 
 /// Jammer-domain sample rate the cached w25 is resampled to (the fabric
@@ -55,12 +59,21 @@ class WaveformCache {
   void set_enabled(bool enabled);
   [[nodiscard]] bool enabled() const;
 
-  /// Drop every entry (and reset the hit/miss counters).
+  /// Drop every entry (and reset the hit/miss/eviction counters).
   void clear();
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
+  /// Entries displaced oldest-first after the cap was reached.
+  [[nodiscard]] std::uint64_t evictions() const;
+
+  /// Snapshot the counters into `metrics` as cache.waveform_hits / _misses /
+  /// _evictions plus the cache.waveform_entries gauge. Hit/miss splits
+  /// depend on cross-thread build interleaving, so campaign exports treat
+  /// these as diagnostics outside the bit-identity guarantee (the cached
+  /// samples themselves are deterministic; see the class comment).
+  void export_metrics(obs::MetricsRegistry& metrics) const;
 
  private:
   WaveformCache() = default;
@@ -88,6 +101,7 @@ class WaveformCache {
   bool enabled_ = true;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace rjf::net

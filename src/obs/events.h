@@ -5,9 +5,13 @@
 // the fabric, and latency arithmetic (T_en < 1.28 µs, T_xcorr = 2.56 µs,
 // T_init ≈ 80 ns). This layer is their software twin: the fabric, radio and
 // core layers publish VITA-timestamped events and per-strobe signal
-// snapshots into an attached FabricSink. With no sink attached every hook
-// is a skipped branch, so the block-processing fast path keeps its
-// throughput (the "overhead contract", see DESIGN.md "Observability").
+// snapshots. Producers no longer call a FabricSink directly: they append
+// fixed-size records to an obs::EventRing (see obs/event_ring.h), and the
+// ring's drain side replays them into a FabricSink — the interface below
+// survives as the consumer fan-out contract (Telemetry implements it).
+// With no ring attached every hook is a skipped branch, so the
+// block-processing fast path keeps its throughput (the "overhead
+// contract", see DESIGN.md "Observability").
 #pragma once
 
 #include <cstdint>
@@ -41,9 +45,14 @@ enum class EventKind : std::uint8_t {
   kSettingsWriteRetried, // host re-issued a dropped write; value = address
   kSettingsWriteAbandoned, // write retry budget exhausted; value = address
   kFaultInjected,        // rx-path fault applied; value = fault::FaultKind id
+  kStreamWall,           // wall-clock ns spent inside one stream call,
+                         // measured producer-side (dispatch time would lie
+                         // once records are drained after the fact). Feeds
+                         // the throughput gauge only; never traced, so
+                         // trace exports stay deterministic.
 };
 
-inline constexpr std::size_t kNumEventKinds = 20;
+inline constexpr std::size_t kNumEventKinds = 21;
 
 [[nodiscard]] constexpr const char* event_kind_name(EventKind kind) noexcept {
   switch (kind) {
@@ -67,6 +76,7 @@ inline constexpr std::size_t kNumEventKinds = 20;
     case EventKind::kSettingsWriteRetried: return "settings_write_retried";
     case EventKind::kSettingsWriteAbandoned: return "settings_write_abandoned";
     case EventKind::kFaultInjected: return "fault_injected";
+    case EventKind::kStreamWall: return "stream_wall";
   }
   return "unknown";
 }
@@ -87,8 +97,9 @@ inline constexpr double kTickNs = 10.0;  // 100 MHz fabric clock
 }
 
 /// Per-strobe (25 MSPS) snapshot of the fabric signals a ChipScope probe
-/// would tap: detector metrics, FSM stage, and the TX path. Published once
-/// per receive sample when a sink is attached.
+/// would tap: detector metrics, FSM stage, and the TX path. Published on
+/// sampled receive strobes while a ring is attached (1-in-N decimation;
+/// detector-edge and jam strobes always pass — see EventRing::strobe_gate).
 struct FabricSignals {
   std::uint64_t vita_ticks = 0;
   dsp::IQ16 rx{};              // the baseband sample clocked in

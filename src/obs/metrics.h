@@ -77,11 +77,18 @@ class MetricsRegistry {
     counters_[name] += delta;
   }
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+  /// Remove a counter entirely (no-op when absent). Sweep shards use this
+  /// to strip wall-clock-derived counters (stream_wall_ns) before merging,
+  /// so merged campaign metrics stay bit-identical across thread counts.
+  void erase_counter(const std::string& name) { counters_.erase(name); }
 
   /// Named gauge (a derived double, e.g. a duty cycle or a rate).
   void set_gauge(const std::string& name, double value) {
     gauges_[name] = value;
   }
+  /// Remove a gauge entirely (no-op when absent) — same role as
+  /// erase_counter for wall-clock-derived gauges (host_throughput_msps).
+  void erase_gauge(const std::string& name) { gauges_.erase(name); }
 
   /// Histogram, created with the given binning on first use; later calls
   /// with the same name return the existing instance unchanged.

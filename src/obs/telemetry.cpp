@@ -21,7 +21,10 @@ constexpr std::uint64_t kRecoveryBins = 256;         // 0 .. 163.84 us
 Telemetry::Telemetry(const TelemetryConfig& config)
     : trace_(config.trace_capacity),
       probe_(config.probe),
-      probe_enabled_(config.probe_enabled) {
+      probe_enabled_(config.probe_enabled),
+      ring_(config.ring) {
+  ring_.set_consumer(this, /*inline_drain=*/!config.drain_thread);
+  if (config.drain_thread) drainer_.emplace(ring_, config.drain_poll_us);
   // Pre-create the derived histograms so exports are shaped consistently
   // even before the first event arrives.
   metrics_.histogram("trigger_to_rf_ticks", 0, 1, kLatencyBins);
@@ -36,13 +39,22 @@ Telemetry::Telemetry(const TelemetryConfig& config)
 void Telemetry::set_personality(const std::string& description,
                                 std::uint64_t vita_ticks) {
   personalities_.emplace_back(vita_ticks, description);
-  trace_.record(EventKind::kPersonality, vita_ticks,
-                personalities_.size() - 1);
-  metrics_.add("personality_changes", 1);
+  // The trace record and counter ride the ring so they serialise with the
+  // fabric event stream (and with the drain thread, when one is running).
+  ring_.push_event(EventKind::kPersonality, vita_ticks,
+                   personalities_.size() - 1);
+  ring_.drain_if_inline();
 }
 
 void Telemetry::on_event(EventKind kind, std::uint64_t vita_ticks,
                          std::uint64_t value) {
+  if (kind == EventKind::kStreamWall) {
+    // Producer-measured wall time: feeds the throughput gauge only. Never
+    // traced or counted — its value is nondeterministic, and keeping it out
+    // of the trace keeps trace exports byte-reproducible across runs.
+    metrics_.add("stream_wall_ns", value);
+    return;
+  }
   trace_.record(kind, vita_ticks, value);
   metrics_.add(std::string("events.") + event_kind_name(kind), 1);
   if (vita_ticks > last_vita_) last_vita_ = vita_ticks;
@@ -110,18 +122,11 @@ void Telemetry::on_event(EventKind kind, std::uint64_t vita_ticks,
     case EventKind::kStreamStart:
       stream_open_ = true;
       stream_start_vita_ = vita_ticks;
-      stream_wall_start_ = std::chrono::steady_clock::now();
       break;
     case EventKind::kStreamEnd:
       if (stream_open_) {
         metrics_.add("stream_samples", value);
         metrics_.add("stream_fabric_ticks", vita_ticks - stream_start_vita_);
-        metrics_.add(
-            "stream_wall_ns",
-            static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - stream_wall_start_)
-                    .count()));
         stream_open_ = false;
       }
       break;
@@ -153,10 +158,13 @@ void Telemetry::on_event(EventKind kind, std::uint64_t vita_ticks,
       break;
     case EventKind::kFaultInjected:
       break;
+    case EventKind::kPersonality:
+      metrics_.add("personality_changes", 1);
+      break;
     case EventKind::kFsmStage:
     case EventKind::kRetune:
     case EventKind::kGainChange:
-    case EventKind::kPersonality:
+    case EventKind::kStreamWall:
       break;
   }
 }
@@ -192,14 +200,22 @@ void Telemetry::refresh_gauges() {
     metrics_.set_gauge("detect_to_rf_mean_ns", det->mean() * kTickNs);
   metrics_.counter("trace_events_recorded") = trace_.recorded();
   metrics_.counter("trace_events_overwritten") = trace_.overwritten();
+  metrics_.counter("trace.spans_truncated") = trace_.spans_truncated();
   metrics_.counter("probe_captures") = probe_.captures().size();
+  // Transport accounting: how much the ring accepted, dropped on full, and
+  // decimated away — lossy capture shows up here, never silently.
+  metrics_.counter("obs.ring_records") = ring_.pushed();
+  metrics_.counter("obs.ring_dropped") = ring_.dropped();
+  metrics_.counter("obs.strobes_sampled_out") = ring_.sampled_out();
 }
 
-bool Telemetry::write_chrome_trace(const std::string& path) const {
+bool Telemetry::write_chrome_trace(const std::string& path) {
+  flush();
   return trace_.write_chrome_trace(path, personalities_);
 }
 
 bool Telemetry::write_metrics_json(const std::string& path) {
+  flush();
   refresh_gauges();
   return metrics_.write_file(path);
 }

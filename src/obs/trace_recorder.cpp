@@ -48,37 +48,134 @@ int lane_for(EventKind kind) noexcept {
     case EventKind::kDetectorFlush:
     case EventKind::kFaultInjected:
       return kLaneFaults;
+    case EventKind::kStreamWall:
+      return kLaneHost;  // never recorded; kept for switch coverage
   }
   return kLaneHost;
 }
 
-void emit_thread_name(std::FILE* f, int tid, const char* name, bool& first) {
+void emit_process_name(std::FILE* f, int pid, const std::string& name,
+                       bool& first) {
   std::fprintf(f,
-               "%s    {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-               "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
-               first ? "" : ",\n", tid, name);
+               "%s    {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+               "\"args\":{\"name\":\"%s\"}}",
+               first ? "" : ",\n", pid, JsonWriter::escape(name).c_str());
   first = false;
 }
 
-void emit_instant(std::FILE* f, const TraceEvent& e, bool& first) {
+void emit_thread_name(std::FILE* f, int pid, int tid, const char* name,
+                      bool& first) {
   std::fprintf(f,
-               "%s    {\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+               "%s    {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+               "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+               first ? "" : ",\n", pid, tid, name);
+  first = false;
+}
+
+void emit_instant(std::FILE* f, int pid, const TraceEvent& e, bool& first) {
+  std::fprintf(f,
+               "%s    {\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,"
                "\"tid\":%d,\"ts\":%.3f,\"args\":{\"value\":%" PRIu64
                ",\"vita_ticks\":%" PRIu64 "}}",
-               first ? "" : ",\n", event_kind_name(e.kind), lane_for(e.kind),
-               ticks_to_us(e.vita_ticks), e.value, e.vita_ticks);
+               first ? "" : ",\n", event_kind_name(e.kind), pid,
+               lane_for(e.kind), ticks_to_us(e.vita_ticks), e.value,
+               e.vita_ticks);
   first = false;
 }
 
-void emit_span(std::FILE* f, const char* name, int tid, std::uint64_t start,
-               std::uint64_t end, std::uint64_t value, bool& first) {
+void emit_span(std::FILE* f, int pid, const char* name, int tid,
+               std::uint64_t start, std::uint64_t end, std::uint64_t value,
+               bool& first) {
   std::fprintf(f,
-               "%s    {\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+               "%s    {\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"
                "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"value\":%" PRIu64
                ",\"vita_ticks\":%" PRIu64 "}}",
-               first ? "" : ",\n", name, tid, ticks_to_us(start),
+               first ? "" : ",\n", name, pid, tid, ticks_to_us(start),
                ticks_to_us(end - start), value, start);
   first = false;
+}
+
+// One lane's full body: subsystem row names, the start/end pairing pass
+// (jam bursts + settings writes as "X" spans, degraded to instants when the
+// start was overwritten), and personality annotations. Shared between the
+// single-trace and merged-campaign exports so both stay format-identical.
+void emit_lane(std::FILE* f, int pid, std::span<const TraceEvent> evs,
+               std::span<const TraceRecorder::Annotation> annotations,
+               bool& first) {
+  emit_thread_name(f, pid, kLaneDetectors, "detectors", first);
+  emit_thread_name(f, pid, kLaneTrigger, "trigger fsm", first);
+  emit_thread_name(f, pid, kLaneTx, "tx / jam bursts", first);
+  emit_thread_name(f, pid, kLaneSettingsBus, "settings bus", first);
+  emit_thread_name(f, pid, kLaneHost, "host", first);
+  emit_thread_name(f, pid, kLaneFaults, "faults / recovery", first);
+
+  // Jam bursts: pair each kJamStart with the next kJamEnd. The bus is FIFO,
+  // so settings writes pair the same way per queue order.
+  std::vector<std::uint64_t> settings_issues;
+  std::size_t settings_next = 0;
+  std::uint64_t jam_open = 0;
+  bool jam_is_open = false;
+  std::uint64_t last_ts = 0;
+
+  for (const TraceEvent& e : evs) {
+    last_ts = std::max(last_ts, e.vita_ticks);
+    switch (e.kind) {
+      case EventKind::kJamStart:
+        jam_open = e.vita_ticks;
+        jam_is_open = true;
+        break;
+      case EventKind::kJamEnd:
+        if (jam_is_open) {
+          emit_span(f, pid, "jam_burst", kLaneTx, jam_open, e.vita_ticks,
+                    e.value, first);
+          jam_is_open = false;
+        } else {
+          emit_instant(f, pid, e, first);  // start fell off the ring
+        }
+        break;
+      case EventKind::kSettingsWriteIssued:
+        settings_issues.push_back(e.vita_ticks);
+        break;
+      case EventKind::kSettingsWriteApplied:
+        if (settings_next < settings_issues.size()) {
+          emit_span(f, pid, "settings_write", kLaneSettingsBus,
+                    settings_issues[settings_next++], e.vita_ticks, e.value,
+                    first);
+        } else {
+          emit_instant(f, pid, e, first);
+        }
+        break;
+      case EventKind::kSettingsWriteDropped:
+        // A dropped write consumes its issue (a retry re-issues), keeping
+        // the FIFO pairing intact for the writes behind it.
+        if (settings_next < settings_issues.size()) {
+          emit_span(f, pid, "settings_write_dropped", kLaneSettingsBus,
+                    settings_issues[settings_next++], e.vita_ticks, e.value,
+                    first);
+        } else {
+          emit_instant(f, pid, e, first);
+        }
+        break;
+      default:
+        emit_instant(f, pid, e, first);
+        break;
+    }
+  }
+  // A burst still on the air when the trace is exported: close it at the
+  // last known time so the span is visible.
+  if (jam_is_open)
+    emit_span(f, pid, "jam_burst", kLaneTx, jam_open,
+              std::max(last_ts, jam_open), 0, first);
+
+  for (const TraceRecorder::Annotation& a : annotations) {
+    std::fprintf(f,
+                 "%s    {\"name\":\"personality\",\"ph\":\"i\",\"s\":\"g\","
+                 "\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                 "\"args\":{\"description\":\"%s\"}}",
+                 first ? "" : ",\n", pid, kLaneHost, ticks_to_us(a.first),
+                 JsonWriter::escape(a.second).c_str());
+    first = false;
+  }
 }
 
 }  // namespace
@@ -127,81 +224,66 @@ bool TraceRecorder::write_chrome_trace(
   std::fputs("},\n  \"traceEvents\": [\n", f);
 
   bool first = true;
-  emit_thread_name(f, kLaneDetectors, "detectors", first);
-  emit_thread_name(f, kLaneTrigger, "trigger fsm", first);
-  emit_thread_name(f, kLaneTx, "tx / jam bursts", first);
-  emit_thread_name(f, kLaneSettingsBus, "settings bus", first);
-  emit_thread_name(f, kLaneHost, "host", first);
-  emit_thread_name(f, kLaneFaults, "faults / recovery", first);
-
   const std::vector<TraceEvent> evs = events();
+  emit_lane(f, /*pid=*/1, evs, annotations, first);
 
-  // Jam bursts: pair each kJamStart with the next kJamEnd. The bus is FIFO,
-  // so settings writes pair the same way per queue order.
-  std::vector<std::uint64_t> settings_issues;
-  std::size_t settings_next = 0;
-  std::uint64_t jam_open = 0;
+  std::fputs("\n  ]\n}\n", f);
+  return std::fclose(f) == 0;
+}
+
+std::uint64_t TraceRecorder::spans_truncated() const noexcept {
+  // Mirror of emit_lane()'s pairing pass: every end-side event whose start
+  // was overwritten by ring wraparound degrades its span to an instant.
+  std::uint64_t truncated = 0;
+  std::size_t issues = 0;
+  std::size_t paired = 0;
   bool jam_is_open = false;
-  std::uint64_t last_ts = 0;
-
-  for (const TraceEvent& e : evs) {
-    last_ts = std::max(last_ts, e.vita_ticks);
+  const std::size_t start = size_ == ring_.size() ? head_ : 0;
+  for (std::size_t k = 0; k < size_; ++k) {
+    const TraceEvent& e = ring_[(start + k) % ring_.size()];
     switch (e.kind) {
       case EventKind::kJamStart:
-        jam_open = e.vita_ticks;
         jam_is_open = true;
         break;
       case EventKind::kJamEnd:
-        if (jam_is_open) {
-          emit_span(f, "jam_burst", kLaneTx, jam_open, e.vita_ticks, e.value,
-                    first);
+        if (jam_is_open)
           jam_is_open = false;
-        } else {
-          emit_instant(f, e, first);  // start fell off the ring
-        }
+        else
+          ++truncated;
         break;
       case EventKind::kSettingsWriteIssued:
-        settings_issues.push_back(e.vita_ticks);
+        ++issues;
         break;
       case EventKind::kSettingsWriteApplied:
-        if (settings_next < settings_issues.size()) {
-          emit_span(f, "settings_write", kLaneSettingsBus,
-                    settings_issues[settings_next++], e.vita_ticks, e.value,
-                    first);
-        } else {
-          emit_instant(f, e, first);
-        }
-        break;
       case EventKind::kSettingsWriteDropped:
-        // A dropped write consumes its issue (a retry re-issues), keeping
-        // the FIFO pairing intact for the writes behind it.
-        if (settings_next < settings_issues.size()) {
-          emit_span(f, "settings_write_dropped", kLaneSettingsBus,
-                    settings_issues[settings_next++], e.vita_ticks, e.value,
-                    first);
-        } else {
-          emit_instant(f, e, first);
-        }
+        if (paired < issues)
+          ++paired;
+        else
+          ++truncated;
         break;
       default:
-        emit_instant(f, e, first);
         break;
     }
   }
-  // A burst still on the air when the trace is exported: close it at the
-  // last known time so the span is visible.
-  if (jam_is_open)
-    emit_span(f, "jam_burst", kLaneTx, jam_open, std::max(last_ts, jam_open),
-              0, first);
+  return truncated;
+}
 
-  for (const Annotation& a : annotations) {
-    std::fprintf(f,
-                 "%s    {\"name\":\"personality\",\"ph\":\"i\",\"s\":\"g\","
-                 "\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
-                 "\"args\":{\"description\":\"%s\"}}",
-                 first ? "" : ",\n", kLaneHost, ticks_to_us(a.first),
-                 JsonWriter::escape(a.second).c_str());
-    first = false;
+bool TraceRecorder::write_merged_chrome_trace(const std::string& path,
+                                              std::span<const TraceLane> lanes) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+
+  std::fputs("{\n  \"displayTimeUnit\": \"ns\",\n", f);
+  std::fprintf(f,
+               "  \"otherData\": {\"fabric_clock_hz\": 1e8, "
+               "\"lanes\": %zu},\n  \"traceEvents\": [\n",
+               lanes.size());
+
+  bool first = true;
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const int pid = static_cast<int>(i) + 1;
+    emit_process_name(f, pid, lanes[i].name, first);
+    emit_lane(f, pid, lanes[i].events, lanes[i].annotations, first);
   }
 
   std::fputs("\n  ]\n}\n", f);

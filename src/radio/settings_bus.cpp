@@ -18,9 +18,9 @@ void SettingsBus::enqueue(fpga::Reg addr, std::uint32_t value,
                                  fault.extra_latency_cycles,
                              attempt, fault.dropped});
   ++writes_issued_;
-  if (sink_ != nullptr)
-    sink_->on_event(obs::EventKind::kSettingsWriteIssued, now_ticks,
-                    static_cast<std::uint64_t>(addr));
+  if (ring_ != nullptr)
+    ring_->push_event(obs::EventKind::kSettingsWriteIssued, now_ticks,
+                      static_cast<std::uint64_t>(addr));
 }
 
 void SettingsBus::write(fpga::Reg addr, std::uint32_t value,
@@ -40,11 +40,11 @@ std::size_t SettingsBus::service(fpga::RegisterFile& regs,
     pending_.pop_front();
     if (!w.dropped) {
       regs.write(w.addr, w.value);
-      if (sink_ != nullptr)
+      if (ring_ != nullptr)
         // Timestamped at the modelled completion tick, not the (possibly
         // later) fabric time at which the host happened to service the bus.
-        sink_->on_event(obs::EventKind::kSettingsWriteApplied, w.completes_at,
-                        static_cast<std::uint64_t>(w.addr));
+        ring_->push_event(obs::EventKind::kSettingsWriteApplied,
+                          w.completes_at, static_cast<std::uint64_t>(w.addr));
       ++applied;
       continue;
     }
@@ -53,21 +53,21 @@ std::size_t SettingsBus::service(fpga::RegisterFile& regs,
     // of the queue (a fresh transaction, so the fault hook is consulted
     // again) or gives up once the retry budget is spent.
     ++writes_dropped_;
-    if (sink_ != nullptr)
-      sink_->on_event(obs::EventKind::kSettingsWriteDropped, w.completes_at,
-                      static_cast<std::uint64_t>(w.addr));
+    if (ring_ != nullptr)
+      ring_->push_event(obs::EventKind::kSettingsWriteDropped, w.completes_at,
+                        static_cast<std::uint64_t>(w.addr));
     if (w.attempt >= retry_limit_) {
       ++writes_abandoned_;
-      if (sink_ != nullptr)
-        sink_->on_event(obs::EventKind::kSettingsWriteAbandoned,
-                        w.completes_at, static_cast<std::uint64_t>(w.addr));
+      if (ring_ != nullptr)
+        ring_->push_event(obs::EventKind::kSettingsWriteAbandoned,
+                          w.completes_at, static_cast<std::uint64_t>(w.addr));
       continue;
     }
     ++writes_retried_;
     enqueue(w.addr, w.value, w.completes_at, w.attempt + 1);
-    if (sink_ != nullptr)
-      sink_->on_event(obs::EventKind::kSettingsWriteRetried, w.completes_at,
-                      static_cast<std::uint64_t>(w.addr));
+    if (ring_ != nullptr)
+      ring_->push_event(obs::EventKind::kSettingsWriteRetried, w.completes_at,
+                        static_cast<std::uint64_t>(w.addr));
   }
   return applied;
 }

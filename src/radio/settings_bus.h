@@ -12,7 +12,7 @@
 // (extra latency cycles) or drop it in transit. The host discovers a drop
 // at the write's completion deadline — its acknowledgement timeout — and
 // re-issues it at the back of the queue, up to retry_limit() attempts, then
-// abandons it. Every outcome is reported to the attached telemetry sink.
+// abandons it. Every outcome is pushed into the attached telemetry ring.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +20,7 @@
 #include <optional>
 
 #include "fpga/register_file.h"
-#include "obs/events.h"
+#include "obs/event_ring.h"
 
 namespace rjf::radio {
 
@@ -58,10 +58,10 @@ class SettingsBus {
   /// the sample before which the next in-flight write lands.
   [[nodiscard]] std::optional<std::uint64_t> next_completion() const noexcept;
 
-  /// Attach a telemetry sink (nullptr detaches): each write is reported
-  /// when issued and again when it lands in the register file, with the
-  /// register address as the event value.
-  void set_sink(obs::FabricSink* sink) noexcept { sink_ = sink; }
+  /// Attach the telemetry event ring (nullptr detaches): each write is
+  /// reported when issued and again when it lands in the register file,
+  /// with the register address as the event value.
+  void set_ring(obs::EventRing* ring) noexcept { ring_ = ring; }
 
   /// Attach a fault hook (nullptr detaches). Consulted once per write,
   /// including host retries.
@@ -102,7 +102,7 @@ class SettingsBus {
   std::uint32_t latency_cycles_;
   std::uint32_t retry_limit_ = 3;
   std::deque<Pending> pending_;
-  obs::FabricSink* sink_ = nullptr;
+  obs::EventRing* ring_ = nullptr;
   BusFaultHook* fault_hook_ = nullptr;
   std::uint64_t writes_issued_ = 0;
   std::uint64_t writes_dropped_ = 0;

@@ -1,6 +1,7 @@
 #include "radio/usrp_n210.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "radio/fault_hooks.h"
 
@@ -30,8 +31,12 @@ UsrpN210::StreamResult UsrpN210::stream_fabric(std::span<const dsp::IQ16> rx) {
   StreamResult result;
   result.tx.assign(rx.size(), dsp::cfloat{});
 
-  if (sink_ != nullptr)
-    sink_->on_event(obs::EventKind::kStreamStart, now_ticks(), rx.size());
+  // Wall time is measured here on the producer side: once records are
+  // drained after the fact, dispatch time no longer says anything about
+  // how long the stream call took.
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (ring_ != nullptr)
+    ring_->push_event(obs::EventKind::kStreamStart, now_ticks(), rx.size());
 
   const auto before = core_.feedback();
   std::vector<fpga::CoreOutput> trace(
@@ -71,12 +76,12 @@ UsrpN210::StreamResult UsrpN210::stream_fabric(std::span<const dsp::IQ16> rx) {
       ++gap_next;
       if (gap_end > n) {
         const std::uint64_t lost = gap_end - n;
-        if (sink_ != nullptr)
-          sink_->on_event(obs::EventKind::kOverflowGap, now_ticks(), lost);
+        if (ring_ != nullptr)
+          ring_->push_event(obs::EventKind::kOverflowGap, now_ticks(), lost);
         core_.fast_forward(lost);
-        if (sink_ != nullptr)
-          sink_->on_event(obs::EventKind::kDetectorFlush, now_ticks(),
-                          lost * fpga::kClocksPerSample);
+        if (ring_ != nullptr)
+          ring_->push_event(obs::EventKind::kDetectorFlush, now_ticks(),
+                            lost * fpga::kClocksPerSample);
         ++result.overflow_gaps;
         result.samples_lost += lost;
         burst_open = false;
@@ -140,8 +145,17 @@ UsrpN210::StreamResult UsrpN210::stream_fabric(std::span<const dsp::IQ16> rx) {
       after.energy_low_detections - before.energy_low_detections;
   result.last_trigger_vita = after.last_trigger_vita;
 
-  if (sink_ != nullptr)
-    sink_->on_event(obs::EventKind::kStreamEnd, now_ticks(), rx.size());
+  if (ring_ != nullptr) {
+    ring_->push_event(
+        obs::EventKind::kStreamWall, now_ticks(),
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count()));
+    ring_->push_event(obs::EventKind::kStreamEnd, now_ticks(), rx.size());
+    // In inline-drain mode the consumer has now seen the whole stream.
+    ring_->drain_if_inline();
+  }
   return result;
 }
 
@@ -149,17 +163,17 @@ UsrpN210::StreamResult UsrpN210::stream(std::span<const dsp::cfloat> rx) {
   dsp::cvec rx_gained = frontend_.apply_rx(rx);
   if (rx_fault_ != nullptr) {
     rx_fault_->mutate_rx(rx_gained, rx_cursor_);
-    if (sink_ != nullptr) {
+    if (ring_ != nullptr) {
       // Annotate the trace with each fault applied in this block, stamped
       // at the fabric tick of the fault's first sample.
       std::vector<RxFaultView> views;
       rx_fault_->applied_faults(rx_cursor_, rx.size(), views);
       const std::uint64_t base_vita = now_ticks();
       for (const RxFaultView& v : views)
-        sink_->on_event(obs::EventKind::kFaultInjected,
-                        base_vita + (v.at_sample - rx_cursor_) *
-                                        fpga::kClocksPerSample,
-                        v.kind_id);
+        ring_->push_event(obs::EventKind::kFaultInjected,
+                          base_vita + (v.at_sample - rx_cursor_) *
+                                          fpga::kClocksPerSample,
+                          v.kind_id);
     }
   }
   const dsp::iqvec iq = adc_.convert(rx_gained);

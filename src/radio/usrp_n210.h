@@ -14,7 +14,7 @@
 
 #include "dsp/types.h"
 #include "fpga/dsp_core.h"
-#include "obs/events.h"
+#include "obs/event_ring.h"
 #include "radio/adc_dac.h"
 #include "radio/frontend.h"
 #include "radio/settings_bus.h"
@@ -83,16 +83,19 @@ class UsrpN210 {
   [[nodiscard]] const SettingsBus& settings_bus() const noexcept { return bus_; }
   [[nodiscard]] SettingsBus& settings_bus() noexcept { return bus_; }
 
-  /// Attach a telemetry sink to the whole radio (nullptr detaches): the
-  /// fabric core publishes trigger/jam events and per-strobe snapshots, the
-  /// settings bus reports write issue/completion, and each stream call is
-  /// bracketed by kStreamStart/kStreamEnd events carrying the sample count.
-  void attach_sink(obs::FabricSink* sink) noexcept {
-    sink_ = sink;
-    core_.set_sink(sink);
-    bus_.set_sink(sink);
+  /// Attach the telemetry event ring to the whole radio (nullptr
+  /// detaches): the fabric core pushes trigger/jam events and sampled
+  /// per-strobe snapshots, the settings bus reports write issue/completion,
+  /// and each stream call is bracketed by kStreamStart/kStreamEnd events
+  /// carrying the sample count. Inline-drain rings are drained at each
+  /// stream boundary, so by the time stream() returns the consumer has
+  /// seen every record.
+  void attach_ring(obs::EventRing* ring) noexcept {
+    ring_ = ring;
+    core_.set_ring(ring);
+    bus_.set_ring(ring);
   }
-  [[nodiscard]] obs::FabricSink* sink() const noexcept { return sink_; }
+  [[nodiscard]] obs::EventRing* ring() const noexcept { return ring_; }
 
   /// Attach fault hooks (nullptr detaches either). The rx hook mutates the
   /// receive baseband and declares overflow gaps; the bus hook stalls or
@@ -115,7 +118,7 @@ class UsrpN210 {
   Dac dac_;
   fpga::DspCore core_;
   SettingsBus bus_;
-  obs::FabricSink* sink_ = nullptr;
+  obs::EventRing* ring_ = nullptr;
   RxFaultHook* rx_fault_ = nullptr;
   std::uint64_t rx_cursor_ = 0;
 };

@@ -5,9 +5,14 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <numbers>
 #include <set>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "core/detection_experiment.h"
 #include "core/presets.h"
@@ -292,6 +297,118 @@ TEST(SweepEngine, ReportBookkeeping) {
   EXPECT_EQ(report.total_trials(), 20u);
   EXPECT_EQ(report.metrics.counter_value("sweep.trials"), 20u);
   EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+// Campaign observability: per-shard telemetry merged into the report, the
+// campaign.* aggregates, the progress side channel, and the merged
+// multi-lane Chrome trace.
+TEST(SweepEngine, CampaignMetricsProgressAndShardTraces) {
+  const auto frame = test_frame();
+  SweepConfig sweep;
+  sweep.trials_per_point = 20;
+  sweep.shard_trials = 8;
+  sweep.threads = 2;
+  sweep.trace_events_per_shard = 4096;
+  sweep.progress_every_shards = 1;
+  std::vector<SweepProgress> progress;
+  sweep.progress = [&](const SweepProgress& p) { progress.push_back(p); };
+  const double snrs[] = {6.0};
+  const auto report = run_detection_sweep(xcorr_config(), frame,
+                                          DetectorTap::kXcorr,
+                                          small_run(0, 0), snrs, sweep);
+
+  // Campaign aggregates: counters are schedule-derived, rates are gauges.
+  EXPECT_EQ(report.metrics.counter_value("campaign.shards"), 3u);
+  EXPECT_EQ(report.metrics.counter_value("campaign.trials"), 20u);
+  EXPECT_EQ(report.metrics.counter_value("campaign.points"), 1u);
+  ASSERT_EQ(report.metrics.gauges().count("campaign.threads"), 1u);
+  EXPECT_EQ(report.metrics.gauges().at("campaign.threads"), 2.0);
+  ASSERT_EQ(report.metrics.gauges().count("campaign.wall_s"), 1u);
+  EXPECT_GT(report.metrics.gauges().at("campaign.wall_s"), 0.0);
+
+  // Per-shard fabric telemetry reached the merged registry, with the
+  // wall-clock counter stripped and drop accounting present.
+  EXPECT_GT(report.metrics.counter_value("events.stream_start"), 0u);
+  EXPECT_GT(report.metrics.counter_value("obs.ring_records"), 0u);
+  EXPECT_EQ(report.metrics.counter_value("stream_wall_ns"), 0u);
+  EXPECT_EQ(report.metrics.counters().count("trace.spans_truncated"), 1u);
+  EXPECT_EQ(report.metrics.gauges().count("host_throughput_msps"), 0u);
+
+  // Progress fired for every shard (every_shards = 1) and ended complete.
+  ASSERT_EQ(progress.size(), 3u);
+  EXPECT_EQ(progress.back().shards_done, 3u);
+  EXPECT_EQ(progress.back().shards_total, 3u);
+  EXPECT_EQ(progress.back().trials_done, 20u);
+  EXPECT_EQ(progress.back().trials_total, 20u);
+  for (std::size_t k = 1; k < progress.size(); ++k)
+    EXPECT_GE(progress[k].trials_done, progress[k - 1].trials_done);
+
+  // One trace lane per shard, merged into a loadable campaign trace.
+  ASSERT_EQ(report.shard_traces.size(), 3u);
+  for (const auto& lane : report.shard_traces) {
+    EXPECT_NE(lane.name.find("shard"), std::string::npos);
+    EXPECT_FALSE(lane.events.empty());
+  }
+  const std::string path = ::testing::TempDir() + "rjf_campaign_trace.json";
+  ASSERT_TRUE(report.write_campaign_trace(path));
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream body;
+  body << in.rdbuf();
+  EXPECT_NE(body.str().find("\"lanes\": 3"), std::string::npos);
+  EXPECT_NE(body.str().find("process_name"), std::string::npos);
+  std::remove(path.c_str());
+
+  // Without per-shard telemetry there are no lanes and no merged trace.
+  SweepConfig plain = sweep;
+  plain.trace_events_per_shard = 0;
+  plain.progress_every_shards = 0;
+  const auto bare = run_detection_sweep(xcorr_config(), frame,
+                                        DetectorTap::kXcorr,
+                                        small_run(0, 0), snrs, plain);
+  EXPECT_TRUE(bare.shard_traces.empty());
+  EXPECT_FALSE(bare.write_campaign_trace(path));
+}
+
+// The merged campaign metrics must obey the same bit-identity guarantee as
+// the detection counts: with per-shard telemetry attached, every counter
+// (wall-clock ones are stripped before the merge) is identical at any
+// thread count, and the detection results match a telemetry-free run.
+TEST(SweepEngine, TelemetryAttachedSweepIsBitIdenticalAcrossThreads) {
+  const auto frame = test_frame();
+  const double snrs[] = {3.0, 9.0};
+  SweepConfig reference;
+  reference.trials_per_point = 24;
+  reference.shard_trials = 8;
+  reference.threads = 1;
+  reference.seed = 0xAB;
+  const auto plain = run_detection_sweep(
+      xcorr_config(), frame, DetectorTap::kXcorr, small_run(0, 0), snrs,
+      reference);
+
+  SweepConfig traced = reference;
+  traced.trace_events_per_shard = 4096;
+  std::map<std::string, std::uint64_t> golden;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    traced.threads = threads;
+    const auto report = run_detection_sweep(
+        xcorr_config(), frame, DetectorTap::kXcorr, small_run(0, 0), snrs,
+        traced);
+    // Attaching telemetry must not change the detection outcome.
+    ASSERT_EQ(report.points.size(), plain.points.size());
+    for (std::size_t p = 0; p < plain.points.size(); ++p) {
+      EXPECT_EQ(report.points[p].result.frames_detected,
+                plain.points[p].result.frames_detected)
+          << "threads=" << threads << " p=" << p;
+      EXPECT_EQ(report.points[p].result.total_detections,
+                plain.points[p].result.total_detections);
+    }
+    if (golden.empty()) {
+      golden = report.metrics.counters();
+      EXPECT_GT(golden.at("obs.ring_records"), 0u);
+    } else {
+      EXPECT_EQ(report.metrics.counters(), golden) << "threads=" << threads;
+    }
+  }
 }
 
 TEST(CfoPhasor, MatchesDoubleReferenceAtWimaxLength) {

@@ -131,12 +131,12 @@ TEST(FaultInjector, ZeroFaultPlanIsInert) {
   radio::UsrpN210 baseline;
   program_for_code(baseline, code, 32);
   obs::Telemetry tel_base;
-  baseline.attach_sink(&tel_base);
+  baseline.attach_ring(&tel_base.ring());
 
   radio::UsrpN210 hooked;
   program_for_code(hooked, code, 32);
   obs::Telemetry tel_hooked;
-  hooked.attach_sink(&tel_hooked);
+  hooked.attach_ring(&tel_hooked.ring());
   FaultPlanConfig cfg;
   cfg.horizon_samples = rx.size();  // all rates zero -> empty plan
   FaultInjector injector(FaultPlan::generate(cfg));

@@ -13,11 +13,14 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/presets.h"
 #include "net/waveform_cache.h"
+#include "obs/metrics.h"
 
 namespace rjf::bench {
 namespace {
@@ -95,6 +98,52 @@ TEST(WifiSweepEngine, RunSweepBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// The merged campaign metrics ride the same guarantee as the sweep points:
+// every counter that survives the wall-clock strip (stream_wall_ns) and the
+// cache diagnostics (cache.*: hit/miss splits depend on which thread built
+// an entry first) must be bit-identical at any thread count, because they
+// are derived purely from each point's deterministic fabric event stream
+// and merged in point order.
+TEST(WifiSweepEngine, CampaignMetricsBitIdenticalAcrossThreadCounts) {
+  const std::vector<double> powers = {1e-4, 1e-3, 3e-3};
+  const double duration_s = 0.02;
+  const auto jammer = core::energy_reactive_preset(1e-4, 10.0);
+
+  const auto deterministic_counters = [](const obs::MetricsRegistry& m) {
+    std::map<std::string, std::uint64_t> out;
+    for (const auto& [name, value] : m.counters())
+      if (name.rfind("cache.", 0) != 0) out[name] = value;
+    return out;
+  };
+
+  obs::MetricsRegistry single_metrics;
+  const auto single =
+      run_sweep("1 thread", jammer, powers, duration_s, 1, &single_metrics);
+  const auto golden = deterministic_counters(single_metrics);
+
+  // The sweep must actually have produced fabric telemetry (else the
+  // comparison below is vacuous), and no record may have been lost.
+  EXPECT_GT(single_metrics.counter_value("obs.ring_records"), 0u);
+  EXPECT_GT(single_metrics.counter_value("events.jam_trigger"), 0u);
+  EXPECT_EQ(single_metrics.counter_value("obs.ring_dropped"), 0u);
+  EXPECT_EQ(single_metrics.counter_value("stream_wall_ns"), 0u);
+
+  for (const unsigned threads : {2u, 4u}) {
+    obs::MetricsRegistry parallel_metrics;
+    const auto parallel = run_sweep("N threads", jammer, powers, duration_s,
+                                    threads, &parallel_metrics);
+    ASSERT_EQ(parallel.points.size(), single.points.size());
+    for (std::size_t p = 0; p < powers.size(); ++p) {
+      EXPECT_EQ(single.points[p].jam_triggers, parallel.points[p].jam_triggers)
+          << "threads=" << threads << " point=" << p;
+      EXPECT_EQ(single.points[p].prr_percent, parallel.points[p].prr_percent)
+          << "threads=" << threads << " point=" << p;
+    }
+    EXPECT_EQ(deterministic_counters(parallel_metrics), golden)
+        << "threads=" << threads;
+  }
+}
+
 // The process-wide WaveformCache must be an invisible optimization: a
 // sweep run with the cache disabled (every exchange re-synthesises its
 // waveform) must be bit-identical to one that shares cached samples
@@ -109,19 +158,29 @@ TEST(WifiSweepEngine, RunSweepBitIdenticalWithWaveformCacheOnAndOff) {
   auto& cache = net::WaveformCache::instance();
   const bool was_enabled = cache.enabled();
 
+  // Both runs carry campaign metrics, so this doubles as the guarantee
+  // that attaching counters perturbs nothing.
   cache.set_enabled(false);
   cache.clear();
+  obs::MetricsRegistry uncached_metrics;
   const auto uncached =
-      run_sweep("cache off", jammer, powers, duration_s, 2);
+      run_sweep("cache off", jammer, powers, duration_s, 2, &uncached_metrics);
 
   cache.set_enabled(true);
   cache.clear();
-  const auto cached = run_sweep("cache on", jammer, powers, duration_s, 2);
+  obs::MetricsRegistry cached_metrics;
+  const auto cached =
+      run_sweep("cache on", jammer, powers, duration_s, 2, &cached_metrics);
 
   // The sweep transmits the same datagram/ACK at every point, so a warm
-  // cache must actually be serving hits (else this test proves nothing).
+  // cache must actually be serving hits (else this test proves nothing),
+  // and the hit/miss counters must surface in the campaign metrics.
   EXPECT_GT(cache.hits(), 0u);
   EXPECT_GT(cache.size(), 0u);
+  EXPECT_EQ(cached_metrics.counter_value("cache.waveform_hits"), cache.hits());
+  EXPECT_EQ(cached_metrics.counter_value("cache.waveform_misses"),
+            cache.misses());
+  EXPECT_EQ(uncached_metrics.counter_value("cache.waveform_hits"), 0u);
 
   cache.set_enabled(was_enabled);
 

@@ -10,11 +10,15 @@ as a CI gate.
 
 Scopes are assigned per directory: src/fpga gets both the fabric rules
 (float-in-datapath, raw-cast, overflow-multiply) and the deterministic
-rules; src/fault, src/core/sweep.{h,cpp} and src/dsp/simd get only the
-deterministic rules.  The SIMD DSP kernels are HOST-side vector code — the
-soft-Viterbi and FFT kernels are float by design — so exempting them from
-float-in-datapath is a property of the directory, not of allow-tags, and
-does not loosen the fabric scope one line.
+rules; src/fault, src/core/sweep.{h,cpp}, src/dsp/simd and the telemetry
+transport src/obs/event_ring.{h,cpp} get only the deterministic rules.
+The SIMD DSP kernels are HOST-side vector code — the soft-Viterbi and FFT
+kernels are float by design — so exempting them from float-in-datapath is
+a property of the directory, not of allow-tags, and does not loosen the
+fabric scope one line.  The event ring sits on the producers' hot path and
+its record stream feeds byte-reproducible trace exports, so hidden state,
+unordered iteration or ambient time/entropy in it would leak straight into
+the determinism guarantees.
 
 Rules (see DESIGN.md section 11 for the full table):
 
@@ -184,11 +188,15 @@ def scoped_files(root: pathlib.Path):
     # Host-side SIMD kernels: float vector math is their whole job, so only
     # the deterministic scope applies (see the module docstring).
     simd = sorted((root / "src" / "dsp" / "simd").glob("**/*"))
+    # Telemetry transport: the SPSC ring must stay free of hidden state and
+    # ambient time/entropy or traces stop being byte-reproducible.
+    obs = [root / "src" / "obs" / "event_ring.h",
+           root / "src" / "obs" / "event_ring.cpp"]
     seen = {}
     for p in fpga:
         if p.suffix in (".h", ".cpp"):
             seen.setdefault(p, set()).update({"fpga", "deterministic"})
-    for p in fault + sweep + simd:
+    for p in fault + sweep + simd + obs:
         if p.suffix in (".h", ".cpp") and p.exists():
             seen.setdefault(p, set()).add("deterministic")
     return sorted(seen.items())
