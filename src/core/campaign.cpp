@@ -1,0 +1,519 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "dsp/rng.h"
+#include "fpga/dsp_core.h"
+#include "phy80211/transmitter.h"
+
+namespace rjf::core {
+
+namespace {
+
+/// FNV-1a over a sequence of 64-bit words (store checksums and the spec
+/// fingerprint share it).
+std::uint64_t fnv1a_words(const std::uint64_t* words, std::size_t n,
+                          std::uint64_t h = 0xcbf29ce484222325ull) noexcept {
+  for (std::size_t w = 0; w < n; ++w) {
+    std::uint64_t v = words[w];
+    for (int b = 0; b < 8; ++b) {
+      h ^= v & 0xFFu;
+      h *= 0x100000001b3ull;
+      v >>= 8;
+    }
+  }
+  return h;
+}
+
+std::uint64_t fold_double(std::uint64_t h, double v) noexcept {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  return fnv1a_words(&bits, 1, h);
+}
+
+std::uint64_t fold_word(std::uint64_t h, std::uint64_t v) noexcept {
+  return fnv1a_words(&v, 1, h);
+}
+
+bool read_words(std::FILE* f, std::uint64_t* out, std::size_t n) {
+  return std::fread(out, sizeof(std::uint64_t), n, f) == n;
+}
+
+/// Per-point totals folded from shard records; plain unsigned adds, so the
+/// fold is associative and commutative — record order can never matter.
+struct PointTotals {
+  std::uint64_t trials = 0;
+  std::uint64_t frames_detected = 0;
+  std::uint64_t total_detections = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t overflow_gaps = 0;
+  std::uint64_t samples_lost = 0;
+  std::uint64_t trigger_latency_sum = 0;
+  std::uint64_t trigger_latency_count = 0;
+
+  void fold(const ShardRecord& r) noexcept {
+    trials += r.trials;
+    frames_detected += r.frames_detected;
+    total_detections += r.total_detections;
+    faults_injected += r.faults_injected;
+    overflow_gaps += r.overflow_gaps;
+    samples_lost += r.samples_lost;
+    trigger_latency_sum += r.trigger_latency_sum;
+    trigger_latency_count += r.trigger_latency_count;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardRecord / ShardStore
+
+std::uint64_t ShardRecord::compute_checksum() const noexcept {
+  const std::uint64_t words[kWords - 1] = {
+      point,          shard_index,    first_trial,
+      trials,         frames_detected, total_detections,
+      faults_injected, overflow_gaps,  samples_lost,
+      trigger_latency_sum, trigger_latency_count};
+  return fnv1a_words(words, kWords - 1);
+}
+
+std::unique_ptr<ShardStore> ShardStore::create(const std::string& path,
+                                               const ShardStoreHeader& header) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return nullptr;
+  const std::uint64_t words[8] = {kMagic,
+                                  kVersion,
+                                  header.fingerprint,
+                                  header.campaign_seed,
+                                  header.num_points,
+                                  header.trials_per_point,
+                                  header.shard_trials,
+                                  header.num_shards};
+  if (std::fwrite(words, sizeof(std::uint64_t), 8, f) != 8 ||
+      std::fflush(f) != 0) {
+    std::fclose(f);
+    return nullptr;
+  }
+  return std::unique_ptr<ShardStore>(new ShardStore(f));
+}
+
+std::optional<ShardStore::Loaded> ShardStore::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::uint64_t words[8];
+  if (!read_words(f, words, 8) || words[0] != kMagic || words[1] != kVersion) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  Loaded loaded;
+  loaded.header.fingerprint = words[2];
+  loaded.header.campaign_seed = words[3];
+  loaded.header.num_points = words[4];
+  loaded.header.trials_per_point = words[5];
+  loaded.header.shard_trials = words[6];
+  loaded.header.num_shards = words[7];
+
+  // Records until EOF; a short read or checksum mismatch means the writer
+  // died mid-append — everything from that point on is discarded.
+  for (;;) {
+    std::uint64_t rec[ShardRecord::kWords];
+    const std::size_t got =
+        std::fread(rec, sizeof(std::uint64_t), ShardRecord::kWords, f);
+    if (got == 0) break;
+    ShardRecord record;
+    if (got == ShardRecord::kWords) {
+      record.point = rec[0];
+      record.shard_index = rec[1];
+      record.first_trial = rec[2];
+      record.trials = rec[3];
+      record.frames_detected = rec[4];
+      record.total_detections = rec[5];
+      record.faults_injected = rec[6];
+      record.overflow_gaps = rec[7];
+      record.samples_lost = rec[8];
+      record.trigger_latency_sum = rec[9];
+      record.trigger_latency_count = rec[10];
+      record.checksum = rec[11];
+    }
+    if (got != ShardRecord::kWords ||
+        record.checksum != record.compute_checksum()) {
+      loaded.dropped_bytes = got * sizeof(std::uint64_t);
+      long pos = std::ftell(f);
+      if (pos >= 0) {
+        // Count whatever trails the bad record too.
+        std::fseek(f, 0, SEEK_END);
+        const long end = std::ftell(f);
+        if (end > pos) loaded.dropped_bytes += static_cast<std::uint64_t>(end - pos);
+      }
+      break;
+    }
+    loaded.records.push_back(record);
+  }
+  std::fclose(f);
+  return loaded;
+}
+
+std::unique_ptr<ShardStore> ShardStore::open_append(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return nullptr;
+  return std::unique_ptr<ShardStore>(new ShardStore(f));
+}
+
+ShardStore::~ShardStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool ShardStore::append(ShardRecord record) {
+  record.checksum = record.compute_checksum();
+  const std::uint64_t words[ShardRecord::kWords] = {
+      record.point,          record.shard_index,
+      record.first_trial,    record.trials,
+      record.frames_detected, record.total_detections,
+      record.faults_injected, record.overflow_gaps,
+      record.samples_lost,   record.trigger_latency_sum,
+      record.trigger_latency_count, record.checksum};
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return false;
+  if (std::fwrite(words, sizeof(std::uint64_t), ShardRecord::kWords, file_) !=
+      ShardRecord::kWords)
+    return false;
+  return std::fflush(file_) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// CampaignSpec
+
+std::uint64_t CampaignSpec::fingerprint() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fold_word(h, grid.rates.size());
+  for (const phy80211::Rate r : grid.rates)
+    h = fold_word(h, static_cast<std::uint64_t>(r));
+  h = fold_word(h, grid.fault_scales.size());
+  for (const double s : grid.fault_scales) h = fold_double(h, s);
+  h = fold_word(h, grid.snrs_db.size());
+  for (const double s : grid.snrs_db) h = fold_double(h, s);
+  h = fold_word(h, grid.trials_per_point);
+  h = fold_word(h, seed);
+  h = fold_word(h, static_cast<std::uint64_t>(tap));
+  h = fold_word(h, psdu_bytes);
+  h = fold_word(h, psdu_fill);
+  h = fold_word(h, scrambler_seed);
+  h = fold_double(h, base.noise_power);
+  h = fold_word(h, base.lead_in);
+  h = fold_word(h, base.tail);
+  h = fold_double(h, base.tx_rate_hz);
+  h = fold_word(h, base.timing_phases);
+  h = fold_double(h, base.max_cfo_hz);
+  // Detector identity: mode + thresholds. Template taps are derived from
+  // the config's template vector; fold its values too so a retuned
+  // detector cannot silently resume an old store.
+  h = fold_word(h, static_cast<std::uint64_t>(jammer.detection));
+  h = fold_word(h, static_cast<std::uint64_t>(jammer.xcorr_threshold));
+  h = fold_double(h, jammer.energy_high_db);
+  h = fold_double(h, jammer.energy_low_db);
+  h = fold_word(h, jammer.energy_floor);
+  h = fold_word(h, jammer.trigger_window_cycles);
+  h = fold_word(h, jammer.xcorr_template.has_value() ? 1u : 0u);
+  if (jammer.xcorr_template.has_value()) {
+    for (const int c : jammer.xcorr_template->coef_i)
+      h = fold_word(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(c)));
+    for (const int c : jammer.xcorr_template->coef_q)
+      h = fold_word(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(c)));
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// CampaignReport
+
+std::string CampaignReport::to_csv() const {
+  char line[512];
+  std::string out;
+  std::snprintf(line, sizeof line,
+                "# rjf-campaign-v1 points=%zu trials_per_point=%zu "
+                "complete=%d\n",
+                points.size(), grid.trials_per_point, complete ? 1 : 0);
+  out += line;
+  out +=
+      "rate_mbps,fault_scale,snr_db,trials,frames_detected,total_detections,"
+      "p_det,detections_per_frame,faults_injected,overflow_gaps,samples_lost,"
+      "trigger_latency_count,trigger_latency_mean_ticks\n";
+  for (const CampaignPointResult& p : points) {
+    std::snprintf(line, sizeof line,
+                  "%g,%.9g,%.9g,%llu,%zu,%llu,%.9f,%.9f,%llu,%llu,%llu,%llu,"
+                  "%.6f\n",
+                  phy80211::rate_params(p.rate).mbps, p.fault_scale, p.snr_db,
+                  static_cast<unsigned long long>(p.trials_done),
+                  p.result.frames_detected,
+                  static_cast<unsigned long long>(p.result.total_detections),
+                  p.result.probability, p.result.detections_per_frame,
+                  static_cast<unsigned long long>(p.faults_injected),
+                  static_cast<unsigned long long>(p.overflow_gaps),
+                  static_cast<unsigned long long>(p.samples_lost),
+                  static_cast<unsigned long long>(p.trigger_latency_count),
+                  p.trigger_latency_mean_ticks);
+    out += line;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// run_campaign
+
+CampaignReport run_campaign(const CampaignSpec& spec,
+                            const std::string& store_path) {
+  const auto started = std::chrono::steady_clock::now();  // fabric-lint: allow(wall-clock-or-rand) elapsed-time report only
+  const CampaignGrid& grid = spec.grid;
+  const std::size_t num_points = grid.num_points();
+  if (num_points == 0 || grid.trials_per_point == 0)
+    throw std::invalid_argument("run_campaign: empty grid");
+
+  const unsigned threads =
+      spec.threads != 0 ? spec.threads
+                        : std::max(1u, std::thread::hardware_concurrency());
+
+  ShardStoreHeader header;
+  header.fingerprint = spec.fingerprint();
+  header.campaign_seed = spec.seed;
+  header.num_points = num_points;
+  header.trials_per_point = grid.trials_per_point;
+  header.shard_trials =
+      spec.shard_trials != 0
+          ? spec.shard_trials
+          : resolve_shard_trials(num_points, grid.trials_per_point, threads);
+
+  // Resume or create. On resume the stored shard granularity wins (the
+  // schedule must match the records), and every identity field must agree.
+  std::vector<ShardRecord> prior_records;
+  bool resuming = false;
+  if (auto loaded = ShardStore::load(store_path)) {
+    resuming = true;
+    const ShardStoreHeader& on_disk = loaded->header;
+    if (on_disk.fingerprint != header.fingerprint ||
+        on_disk.campaign_seed != header.campaign_seed ||
+        on_disk.num_points != header.num_points ||
+        on_disk.trials_per_point != header.trials_per_point)
+      throw std::runtime_error(
+          "run_campaign: shard store '" + store_path +
+          "' belongs to a different campaign (fingerprint mismatch); "
+          "move it aside or rerun with the original spec");
+    header.shard_trials = on_disk.shard_trials;
+    prior_records = std::move(loaded->records);
+  }
+
+  SweepConfig schedule_config;
+  schedule_config.trials_per_point = grid.trials_per_point;
+  schedule_config.shard_trials = static_cast<std::size_t>(header.shard_trials);
+  schedule_config.seed = spec.seed;
+  const std::vector<ShardTask> schedule =
+      make_shard_schedule(num_points, schedule_config);
+  header.num_shards = schedule.size();
+
+  // Fold durable records into per-point totals; duplicates (there should
+  // never be any — resume skips recorded shards) count as replayed work and
+  // are excluded from the totals so the merge stays exact.
+  std::vector<PointTotals> totals(num_points);
+  std::vector<bool> recorded(schedule.size(), false);
+  std::uint64_t trials_replayed = 0;
+  for (const ShardRecord& r : prior_records) {
+    if (r.shard_index >= schedule.size() || r.point >= num_points ||
+        recorded[r.shard_index]) {
+      trials_replayed += r.trials;
+      continue;
+    }
+    recorded[r.shard_index] = true;
+    totals[r.point].fold(r);
+  }
+  std::size_t shards_already_complete = 0;
+  for (const bool done : recorded) shards_already_complete += done ? 1 : 0;
+
+  // The work that remains, in schedule order; an optional batch window
+  // bounds how much of it THIS invocation runs.
+  std::vector<ShardTask> remaining;
+  remaining.reserve(schedule.size() - shards_already_complete);
+  for (const ShardTask& task : schedule)
+    if (!recorded[task.index]) remaining.push_back(task);
+  if (spec.max_shards_this_run > 0 &&
+      remaining.size() > spec.max_shards_this_run)
+    remaining.resize(spec.max_shards_this_run);
+
+  std::unique_ptr<ShardStore> store =
+      resuming ? ShardStore::open_append(store_path)
+               : ShardStore::create(store_path, header);
+  if (store == nullptr)
+    throw std::runtime_error("run_campaign: cannot open shard store '" +
+                             store_path + "'");
+
+  // Frames build lazily per rate (shared by every scale×SNR point of that
+  // rate), and plans lazily per point — a resumed campaign only prepares
+  // the points that still have shards outstanding.
+  const std::vector<std::uint8_t> psdu(std::max<std::size_t>(spec.psdu_bytes, 1),
+                                       spec.psdu_fill);
+  std::vector<dsp::cvec> frames(grid.rates.size());
+  std::unique_ptr<std::once_flag[]> frame_once(
+      new std::once_flag[grid.rates.size()]);
+  auto frame_for_rate = [&](std::size_t rate_index) -> const dsp::cvec& {
+    std::call_once(frame_once[rate_index], [&] {
+      phy80211::Transmitter tx({grid.rates[rate_index], spec.scrambler_seed});
+      frames[rate_index] = tx.transmit(psdu);
+    });
+    return frames[rate_index];
+  };
+
+  LazyPlanTable plans(num_points, [&](std::size_t point) {
+    const CampaignGrid::Coords c = grid.coords(point);
+    DetectionRunConfig config = spec.base;
+    config.snr_db = grid.snrs_db[c.snr_index];
+    config.num_frames = grid.trials_per_point;
+    config.seed = dsp::derive_seed(spec.seed, point);
+    return prepare_detection_trials(frame_for_rate(c.rate_index), spec.tap,
+                                    config);
+  });
+
+  // Progress accounting (side channel; never feeds the report's
+  // deterministic fields). Totals fold under a mutex — shards are coarse,
+  // so contention is negligible next to the trials themselves.
+  std::uint64_t trials_remaining = 0;
+  for (const ShardTask& task : remaining) trials_remaining += task.trials;
+  std::atomic<std::size_t> shards_done{0};
+  std::atomic<std::uint64_t> trials_done{0};
+  std::atomic<std::uint64_t> faults_seen{0};
+  std::atomic<std::uint64_t> trials_run{0};
+  std::mutex merge_mutex;
+  bool append_failed = false;
+
+  const unsigned pool_size =
+      run_shards(remaining, threads, [&](const ShardTask& task) {
+        const DetectionTrialPlan& plan = plans.get(task.point);
+        std::size_t max_variant = 0;
+        for (const dsp::cvec& v : plan.variants)
+          max_variant = std::max(max_variant, v.size());
+        const std::uint64_t horizon = plan.lead_in + max_variant + plan.tail;
+        const std::uint64_t lead_ticks =
+            static_cast<std::uint64_t>(plan.lead_in) * fpga::kClocksPerSample;
+
+        ReactiveJammer jammer(spec.jammer);
+        std::unique_ptr<CampaignTrialHook> hook;
+        if (spec.make_trial_hook) hook = spec.make_trial_hook();
+
+        ShardRecord record;
+        record.point = task.point;
+        record.shard_index = task.index;
+        record.first_trial = task.first_trial;
+        record.trials = task.trials;
+        for (std::size_t t = task.first_trial;
+             t < task.first_trial + task.trials; ++t) {
+          if (hook != nullptr)
+            hook->before_trial(jammer, task.point, t, horizon);
+          const DetectionTrialOutcome trial =
+              run_detection_trial(jammer, plan, t);
+          if (hook != nullptr)
+            record.faults_injected += hook->after_trial(jammer);
+          record.total_detections += trial.events;
+          if (trial.events > 0) ++record.frames_detected;
+          record.overflow_gaps += trial.overflow_gaps;
+          record.samples_lost += trial.samples_lost;
+          if (trial.jam_triggers > 0 && trial.last_trigger_vita >= lead_ticks) {
+            record.trigger_latency_sum += trial.last_trigger_vita - lead_ticks;
+            ++record.trigger_latency_count;
+          }
+        }
+
+        // Durable first, merged second: a kill between the two re-runs
+        // nothing (the record is already on disk; the in-memory fold is
+        // rebuilt from it on resume).
+        const bool appended = store->append(record);
+
+        {
+          const std::lock_guard<std::mutex> lock(merge_mutex);
+          totals[task.point].fold(record);
+          if (!appended) append_failed = true;
+        }
+        trials_run.fetch_add(task.trials, std::memory_order_relaxed);
+        faults_seen.fetch_add(record.faults_injected,
+                              std::memory_order_relaxed);
+
+        const std::size_t done =
+            shards_done.fetch_add(1, std::memory_order_relaxed) + 1;
+        trials_done.fetch_add(task.trials, std::memory_order_relaxed);
+        if (spec.progress_every_shards > 0 && spec.progress &&
+            (done % spec.progress_every_shards == 0 ||
+             done == remaining.size())) {
+          SweepProgress prog;
+          prog.shards_done = shards_already_complete + done;
+          prog.shards_total = schedule.size();
+          prog.trials_done = trials_done.load(std::memory_order_relaxed);
+          prog.trials_total = trials_remaining;
+          prog.faults = faults_seen.load(std::memory_order_relaxed);
+          prog.elapsed_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - started)  // fabric-lint: allow(wall-clock-or-rand) elapsed-time report only
+                  .count();
+          if (prog.elapsed_seconds > 0.0)
+            prog.trials_per_second =
+                static_cast<double>(prog.trials_done) / prog.elapsed_seconds;
+          if (prog.trials_per_second > 0.0)
+            prog.eta_seconds =
+                static_cast<double>(trials_remaining - prog.trials_done) /
+                prog.trials_per_second;
+          spec.progress(prog);
+        }
+      });
+
+  if (append_failed)
+    throw std::runtime_error(
+        "run_campaign: shard store append failed (disk full?); completed "
+        "shards up to the failure are durable");
+
+  CampaignReport report;
+  report.grid = grid;
+  report.threads_used = std::max(1u, pool_size);
+  report.shards_total = schedule.size();
+  report.shards_already_complete = shards_already_complete;
+  report.shards_run = remaining.size();
+  report.trials_run = trials_run.load(std::memory_order_relaxed);
+  report.trials_replayed = trials_replayed;
+  report.plans_built = plans.plans_built();
+  report.complete =
+      shards_already_complete + remaining.size() == schedule.size();
+
+  report.points.resize(num_points);
+  for (std::size_t p = 0; p < num_points; ++p) {
+    const CampaignGrid::Coords c = grid.coords(p);
+    CampaignPointResult& point = report.points[p];
+    point.rate = grid.rates[c.rate_index];
+    point.fault_scale = grid.fault_scales[c.scale_index];
+    point.snr_db = grid.snrs_db[c.snr_index];
+    const PointTotals& tot = totals[p];
+    point.trials_done = tot.trials;
+    point.result.frames_sent = static_cast<std::size_t>(tot.trials);
+    point.result.frames_detected =
+        static_cast<std::size_t>(tot.frames_detected);
+    point.result.total_detections = tot.total_detections;
+    if (tot.trials > 0) {
+      point.result.probability = static_cast<double>(tot.frames_detected) /
+                                 static_cast<double>(tot.trials);
+      point.result.detections_per_frame =
+          static_cast<double>(tot.total_detections) /
+          static_cast<double>(tot.trials);
+    }
+    point.faults_injected = tot.faults_injected;
+    point.overflow_gaps = tot.overflow_gaps;
+    point.samples_lost = tot.samples_lost;
+    point.trigger_latency_count = tot.trigger_latency_count;
+    if (tot.trigger_latency_count > 0)
+      point.trigger_latency_mean_ticks =
+          static_cast<double>(tot.trigger_latency_sum) /
+          static_cast<double>(tot.trigger_latency_count);
+  }
+
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)  // fabric-lint: allow(wall-clock-or-rand) elapsed-time report only
+          .count();
+  return report;
+}
+
+}  // namespace rjf::core

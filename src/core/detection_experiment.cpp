@@ -40,6 +40,19 @@ DetectionTrialPlan prepare_detection_trials(
   return plan;
 }
 
+LazyPlanTable::LazyPlanTable(std::size_t num_points, Builder builder)
+    : builder_(std::move(builder)),
+      once_(std::make_unique<std::once_flag[]>(num_points)),
+      plans_(num_points) {}
+
+const DetectionTrialPlan& LazyPlanTable::get(std::size_t point) {
+  std::call_once(once_[point], [&] {
+    plans_[point] = builder_(point);
+    built_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return plans_[point];
+}
+
 dsp::cfloat cfo_phasor(double w, std::uint64_t k) noexcept {
   const double phase =
       std::remainder(w * static_cast<double>(k), 2.0 * std::numbers::pi);

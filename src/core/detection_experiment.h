@@ -23,7 +23,11 @@
 // then sets the SNR where the paper measures it: at the receiver.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/reactive_jammer.h"
@@ -75,6 +79,48 @@ struct DetectionTrialPlan {
 [[nodiscard]] DetectionTrialPlan prepare_detection_trials(
     std::span<const dsp::cfloat> frame_native, DetectorTap tap,
     const DetectionRunConfig& config);
+
+/// Thread-safe lazily built table of per-point trial plans.
+///
+/// prepare_detection_trials() resamples and power-scales the frame once per
+/// timing phase — the dominant per-point setup cost. Building every point's
+/// plan up front serialises that work before the worker pool even starts
+/// (on wide campaign grids, seconds of single-threaded stall), and a
+/// resumed campaign would pay it again for points whose shards are already
+/// checkpointed. The table instead builds each plan on first use from
+/// whichever worker touches the point first (std::call_once per point), so
+/// plan prep overlaps shard execution across the pool and fully completed
+/// points are never prepared at all.
+///
+/// The builder must be a pure function of the point index (the plans here
+/// always are: they depend only on the sweep config and derived seeds), so
+/// which worker builds a plan can never affect its contents.
+class LazyPlanTable {
+ public:
+  using Builder = std::function<DetectionTrialPlan(std::size_t point)>;
+
+  LazyPlanTable(std::size_t num_points, Builder builder);
+
+  /// The point's plan, building it on first use. Safe to call from any
+  /// number of workers concurrently; the reference stays valid for the
+  /// table's lifetime.
+  [[nodiscard]] const DetectionTrialPlan& get(std::size_t point);
+
+  [[nodiscard]] std::size_t num_points() const noexcept {
+    return plans_.size();
+  }
+  /// Plans actually built so far (diagnostics: a campaign resume should
+  /// build only the points that still had shards to run).
+  [[nodiscard]] std::size_t plans_built() const noexcept {
+    return built_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Builder builder_;
+  std::unique_ptr<std::once_flag[]> once_;
+  std::vector<DetectionTrialPlan> plans_;
+  std::atomic<std::size_t> built_{0};
+};
 
 /// Partial counts from a contiguous range of trials. Counts merge by plain
 /// addition, so shard outcomes combine associatively and commutatively —

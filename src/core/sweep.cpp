@@ -1,5 +1,6 @@
 #include "core/sweep.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
@@ -41,9 +42,32 @@ std::string lane_name(const ShardTask& task, double snr_db) {
 
 }  // namespace
 
+std::size_t resolve_shard_trials(std::size_t num_points,
+                                 std::size_t trials_per_point,
+                                 unsigned threads) {
+  if (num_points == 0 || trials_per_point == 0) return 1;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(num_points) * trials_per_point;
+  // ~8 shards per worker keeps the dynamic claim loop balanced even when
+  // per-shard cost varies (long frames, over-triggering points); never fewer
+  // shards than points, since a shard cannot span two points.
+  const std::uint64_t target_shards = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(threads) * 8, num_points);
+  std::uint64_t shard = total / target_shards;
+  shard = std::clamp<std::uint64_t>(shard, kMinAutoShardTrials,
+                                    kMaxAutoShardTrials);
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(shard, trials_per_point));
+}
+
 std::vector<ShardTask> make_shard_schedule(std::size_t num_points,
                                            const SweepConfig& config) {
-  const std::size_t shard_trials = std::max<std::size_t>(config.shard_trials, 1);
+  const std::size_t shard_trials =
+      config.shard_trials > 0
+          ? config.shard_trials
+          : resolve_shard_trials(num_points, config.trials_per_point,
+                                 config.threads);
   std::vector<ShardTask> tasks;
   std::size_t index = 0;
   for (std::size_t p = 0; p < num_points; ++p) {
@@ -78,17 +102,25 @@ unsigned run_shards(std::span<const ShardTask> tasks, unsigned threads,
   // unclaimed shard, so a slow shard (long frame, high-SNR over-triggering)
   // never stalls the rest of the schedule. Result placement is by
   // task.index, so claim order cannot affect the merged report.
+  //
+  // The abort flag makes a kernel exception fatal to the whole pool: once a
+  // shard throws, no worker claims another shard (in-flight shards finish),
+  // so an early failure in a huge campaign cannot silently burn the rest of
+  // the grid before the rethrow at join.
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto worker = [&]() {
     for (;;) {
+      if (abort.load(std::memory_order_acquire)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= tasks.size()) return;
       try {
         kernel(tasks[i]);
       } catch (...) {
+        abort.store(true, std::memory_order_release);
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
@@ -113,16 +145,18 @@ SweepReport run_detection_sweep(const JammerConfig& jammer_config,
 
   // Per-point read-only trial plans (pre-rendered, power-scaled variants).
   // Point p's trials derive from derive_seed(sweep.seed, p), matching a
-  // sequential run_detection_experiment with that seed.
-  std::vector<DetectionTrialPlan> plans;
-  plans.reserve(snr_points_db.size());
-  for (std::size_t p = 0; p < snr_points_db.size(); ++p) {
+  // sequential run_detection_experiment with that seed. Plans build lazily
+  // from whichever worker reaches the point first, so the per-point
+  // resample/scale prep overlaps shard execution instead of running
+  // serially up front (each plan is a pure function of its index, so the
+  // builder's thread cannot affect its contents).
+  LazyPlanTable plans(snr_points_db.size(), [&](std::size_t p) {
     DetectionRunConfig config = base;
     config.snr_db = snr_points_db[p];
     config.num_frames = sweep.trials_per_point;
     config.seed = dsp::derive_seed(sweep.seed, p);
-    plans.push_back(prepare_detection_trials(frame_native, tap, config));
-  }
+    return prepare_detection_trials(frame_native, tap, config);
+  });
 
   const std::vector<ShardTask> tasks =
       make_shard_schedule(snr_points_db.size(), sweep);
@@ -157,8 +191,9 @@ SweepReport run_detection_sweep(const JammerConfig& jammer_config,
           jammer.attach_trace(&*telemetry);
         }
         outcomes[task.index] =
-            run_detection_trials(jammer, plans[task.point], task.first_trial,
-                                 task.trials, &shard_metrics[task.index]);
+            run_detection_trials(jammer, plans.get(task.point),
+                                 task.first_trial, task.trials,
+                                 &shard_metrics[task.index]);
         shard_trials[task.index] = task.trials;
         if (telemetry.has_value()) {
           jammer.attach_trace(nullptr);
@@ -217,7 +252,7 @@ SweepReport run_detection_sweep(const JammerConfig& jammer_config,
   report.points.resize(snr_points_db.size());
   for (std::size_t p = 0; p < snr_points_db.size(); ++p) {
     report.points[p].snr_db = snr_points_db[p];
-    report.points[p].seed = plans[p].seed;
+    report.points[p].seed = dsp::derive_seed(sweep.seed, p);
     report.points[p].result.frames_sent = sweep.trials_per_point;
   }
 

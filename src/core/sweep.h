@@ -60,7 +60,8 @@ struct SweepConfig {
   std::size_t trials_per_point = 1000;
   /// Work-unit granularity. Smaller shards balance better across workers;
   /// the aggregate result is the same for ANY value (determinism does not
-  /// ride on it).
+  /// ride on it). 0 picks an adaptive size from the grid dimensions and
+  /// worker count (see resolve_shard_trials).
   std::size_t shard_trials = 250;
   /// Worker threads; 0 means std::thread::hardware_concurrency().
   unsigned threads = 0;
@@ -88,10 +89,28 @@ struct ShardTask {
   std::size_t trials = 0;
 };
 
+/// Adaptive shard granularity bounds: shards never shrink below
+/// kMinAutoShardTrials (a ReactiveJammer build per shard must amortise)
+/// and never grow beyond kMaxAutoShardTrials (a killed campaign loses at
+/// most one shard of work per worker; see core/campaign.h).
+inline constexpr std::size_t kMinAutoShardTrials = 16;
+inline constexpr std::size_t kMaxAutoShardTrials = 4096;
+
+/// Pick a shard size for a num_points × trials_per_point grid drained by
+/// `threads` workers (0 => hardware concurrency): enough shards to balance
+/// the pool (~8 per worker, at least one per point) without paying a
+/// per-shard setup cost on tiny slices. Results never depend on the choice
+/// — only scheduling overhead and checkpoint granularity do.
+[[nodiscard]] std::size_t resolve_shard_trials(std::size_t num_points,
+                                               std::size_t trials_per_point,
+                                               unsigned threads);
+
 /// Cut num_points × trials_per_point into the deterministic shard list:
 /// points in order, each point's trials in contiguous shards of at most
 /// config.shard_trials, global shard indices (and therefore seed streams)
-/// assigned in schedule order.
+/// assigned in schedule order. config.shard_trials == 0 resolves an
+/// adaptive size via resolve_shard_trials(num_points, trials_per_point,
+/// config.threads).
 [[nodiscard]] std::vector<ShardTask> make_shard_schedule(
     std::size_t num_points, const SweepConfig& config);
 
@@ -99,9 +118,12 @@ struct ShardTask {
 /// hardware concurrency; 1 => run inline in index order, no threads
 /// spawned). The kernel must write its outcome into caller-owned storage
 /// keyed by task.index or task.point — slots are never contended because
-/// indices are unique. The first exception thrown by a kernel is rethrown
-/// here after the pool drains. Returns the worker count actually used —
-/// the requested count clamped to tasks.size() (0 when there is no work).
+/// indices are unique. The first exception thrown by a kernel aborts the
+/// pool: workers stop claiming new shards (shards already in flight finish),
+/// and the exception is rethrown here after the pool drains — a fatal error
+/// early in a 10^6-trial campaign must not burn the rest of the grid.
+/// Returns the worker count actually used — the requested count clamped to
+/// tasks.size() (0 when there is no work).
 unsigned run_shards(std::span<const ShardTask> tasks, unsigned threads,
                     const std::function<void(const ShardTask&)>& kernel);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
+#include <utility>
 
 #include "dsp/rng.h"
 #include "fpga/dsp_core.h"
@@ -39,30 +41,26 @@ FaultSweepReport run_fault_robustness_sweep(
 
   // Per-point read-only state: the trial plan (shared with the clean sweep
   // seeding scheme, so scale 0 reproduces run_detection_sweep), the scaled
-  // fault config with its horizon set to the point's capture length, and
-  // the root seed of the point's per-trial fault streams.
-  std::vector<core::DetectionTrialPlan> plans;
+  // fault config (its horizon is set per shard from the plan's capture
+  // length), and the root seed of the point's per-trial fault streams.
+  // Plans build lazily from the worker pool — the resample/scale prep is
+  // the expensive part of per-point setup and used to run serially up
+  // front; the cheap fault configs stay precomputed.
+  core::LazyPlanTable plans(num_points, [&](std::size_t p) {
+    core::DetectionRunConfig config = base;
+    config.snr_db = snr_points_db[p % num_snrs];
+    config.num_frames = sweep.trials_per_point;
+    config.seed = dsp::derive_seed(sweep.seed, p);
+    return core::prepare_detection_trials(frame_native, tap, config);
+  });
   std::vector<FaultPlanConfig> fault_configs;
   std::vector<std::uint64_t> fault_seeds;
-  plans.reserve(num_points);
   fault_configs.reserve(num_points);
   fault_seeds.reserve(num_points);
   for (std::size_t s = 0; s < fault_scales.size(); ++s) {
     for (std::size_t k = 0; k < num_snrs; ++k) {
       const std::size_t p = s * num_snrs + k;
-      core::DetectionRunConfig config = base;
-      config.snr_db = snr_points_db[k];
-      config.num_frames = sweep.trials_per_point;
-      config.seed = dsp::derive_seed(sweep.seed, p);
-      plans.push_back(core::prepare_detection_trials(frame_native, tap, config));
-
-      std::size_t max_variant = 0;
-      for (const dsp::cvec& v : plans.back().variants)
-        max_variant = std::max(max_variant, v.size());
-      FaultPlanConfig fc = fault_base.scaled(fault_scales[s]);
-      fc.horizon_samples = plans.back().lead_in + max_variant +
-                           plans.back().tail;
-      fault_configs.push_back(fc);
+      fault_configs.push_back(fault_base.scaled(fault_scales[s]));
       fault_seeds.push_back(dsp::derive_seed(fault_base.seed, p));
     }
   }
@@ -80,14 +78,19 @@ FaultSweepReport run_fault_robustness_sweep(
         obs::MetricsRegistry& reg = shard_metrics[task.index];
         obs::Histogram& per_trial =
             reg.histogram("sweep.detections_per_trial", 0, 1, 15);
-        const core::DetectionTrialPlan& plan = plans[task.point];
+        const core::DetectionTrialPlan& plan = plans.get(task.point);
         const std::uint64_t lead_ticks =
             static_cast<std::uint64_t>(plan.lead_in) * fpga::kClocksPerSample;
+        std::size_t max_variant = 0;
+        for (const dsp::cvec& v : plan.variants)
+          max_variant = std::max(max_variant, v.size());
+        const std::uint64_t horizon = plan.lead_in + max_variant + plan.tail;
 
         for (std::size_t t = task.first_trial;
              t < task.first_trial + task.trials; ++t) {
           // The trial's own fault schedule, keyed on (point, trial) alone.
           FaultPlanConfig fc = fault_configs[task.point];
+          fc.horizon_samples = horizon;
           fc.seed = dsp::derive_seed(fault_seeds[task.point], t);
           FaultInjector injector(FaultPlan::generate(fc));
           jammer.attach_fault_hooks(&injector, &injector);
@@ -175,6 +178,55 @@ FaultSweepReport run_fault_robustness_sweep(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)  // fabric-lint: allow(wall-clock-or-rand) elapsed-time report only
           .count();
   return report;
+}
+
+namespace {
+
+/// One per shard; builds the trial's injector in before_trial and detaches
+/// it in after_trial. A scale of exactly 0.0 attaches nothing at all, so
+/// the zero-fault row exercises the identical code path as a campaign with
+/// no hook factory (inertness is structural, not just numerical).
+class CampaignFaultHook final : public core::CampaignTrialHook {
+ public:
+  CampaignFaultHook(core::CampaignGrid grid, FaultPlanConfig base)
+      : grid_(std::move(grid)), base_(std::move(base)) {}
+
+  void before_trial(core::ReactiveJammer& jammer, std::size_t point,
+                    std::size_t trial,
+                    std::uint64_t horizon_samples) override {
+    const core::CampaignGrid::Coords c = grid_.coords(point);
+    const double scale = grid_.fault_scales[c.scale_index];
+    if (scale == 0.0) return;
+    FaultPlanConfig fc = base_.scaled(scale);
+    fc.horizon_samples = horizon_samples;
+    fc.seed = dsp::derive_seed(dsp::derive_seed(base_.seed, point), trial);
+    injector_.emplace(FaultPlan::generate(fc));
+    jammer.attach_fault_hooks(&*injector_, &*injector_);
+  }
+
+  std::uint64_t after_trial(core::ReactiveJammer& jammer) override {
+    if (!injector_.has_value()) return 0;
+    jammer.attach_fault_hooks(nullptr, nullptr);
+    const std::uint64_t injected = injector_->injected_total();
+    injector_.reset();
+    return injected;
+  }
+
+ private:
+  core::CampaignGrid grid_;
+  FaultPlanConfig base_;
+  std::optional<FaultInjector> injector_;
+};
+
+}  // namespace
+
+std::function<std::unique_ptr<core::CampaignTrialHook>()>
+campaign_fault_hook_factory(core::CampaignGrid grid,
+                            FaultPlanConfig fault_base) {
+  return [grid = std::move(grid), fault_base = std::move(fault_base)]() {
+    return std::unique_ptr<core::CampaignTrialHook>(
+        new CampaignFaultHook(grid, fault_base));
+  };
 }
 
 }  // namespace rjf::fault

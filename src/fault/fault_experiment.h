@@ -12,6 +12,7 @@
 // or shard size.
 #pragma once
 
+#include "core/campaign.h"
 #include "core/sweep.h"
 #include "fault/fault_injector.h"
 
@@ -58,5 +59,17 @@ struct FaultSweepReport {
     const core::DetectionRunConfig& base, std::span<const double> snr_points_db,
     std::span<const double> fault_scales, const FaultPlanConfig& fault_base,
     const core::SweepConfig& sweep);
+
+/// The campaign runner's fault axis. Returns a CampaignSpec::make_trial_hook
+/// factory whose hooks attach a per-trial FaultInjector built from
+/// `fault_base` scaled by the point's grid.fault_scales entry, seeded
+/// derive_seed(derive_seed(fault_base.seed, point), trial) — the same
+/// (point, trial) keying as run_fault_robustness_sweep, so campaign results
+/// are index-deterministic and the scale-0.0 rows stay byte-identical to a
+/// hookless campaign (zero-fault inertness). One hook is created per shard;
+/// hooks hold no shared state, so no locking is involved.
+[[nodiscard]] std::function<std::unique_ptr<core::CampaignTrialHook>()>
+campaign_fault_hook_factory(core::CampaignGrid grid,
+                            FaultPlanConfig fault_base);
 
 }  // namespace rjf::fault

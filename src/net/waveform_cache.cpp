@@ -104,6 +104,10 @@ void WaveformCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   insertion_order_.clear();
+}
+
+void WaveformCache::reset_counters() {
+  std::lock_guard<std::mutex> lock(mu_);
   hits_ = 0;
   misses_ = 0;
   evictions_ = 0;

@@ -59,8 +59,15 @@ class WaveformCache {
   void set_enabled(bool enabled);
   [[nodiscard]] bool enabled() const;
 
-  /// Drop every entry (and reset the hit/miss/eviction counters).
+  /// Drop every entry. Counters survive: a test or rig that clears the
+  /// store between phases keeps its cumulative hit/miss/eviction history
+  /// (an earlier clear() silently zeroed them, which made
+  /// export_metrics() after a mid-run clear under-report). Call
+  /// reset_counters() explicitly to start a fresh measurement window.
   void clear();
+
+  /// Zero the hit/miss/eviction counters without touching the entries.
+  void reset_counters();
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t hits() const;

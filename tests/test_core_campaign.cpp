@@ -1,0 +1,338 @@
+// Campaign runner: grid indexing, shard-store durability (torn tails,
+// corrupt records, identity mismatch), and the headline guarantee — a
+// campaign killed at any shard boundary and resumed, at any thread count
+// and any shard granularity, merges to a report byte-identical to an
+// uninterrupted single-process run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/templates.h"
+#include "fault/fault_experiment.h"
+
+namespace rjf::core {
+namespace {
+
+std::string temp_store(const char* name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// Short frames (16-byte PSDU at 54 Mbps ≈ 700 fabric samples) and short
+/// noise flanks keep even the 10^5-trial acceptance grid tractable.
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.jammer.detection = DetectionMode::kCrossCorrelator;
+  spec.jammer.xcorr_template = wifi_long_preamble_template();
+  spec.jammer.xcorr_threshold = 9000;
+  spec.tap = DetectorTap::kXcorr;
+  spec.psdu_bytes = 16;
+  spec.base.lead_in = 64;
+  spec.base.tail = 64;
+  spec.seed = 0xCA4;
+  spec.grid.snrs_db = {0.0, 6.0};
+  spec.grid.trials_per_point = 48;
+  spec.shard_trials = 16;
+  spec.threads = 1;
+  return spec;
+}
+
+TEST(CampaignGrid, CoordsAndPointOfRoundTrip) {
+  CampaignGrid grid;
+  grid.rates = {phy80211::Rate::kMbps6, phy80211::Rate::kMbps54};
+  grid.fault_scales = {0.0, 1.0, 2.0};
+  grid.snrs_db = {-4.0, 0.0, 4.0, 8.0};
+  ASSERT_EQ(grid.num_points(), 24u);
+  for (std::size_t p = 0; p < grid.num_points(); ++p) {
+    const auto c = grid.coords(p);
+    EXPECT_LT(c.rate_index, grid.rates.size());
+    EXPECT_LT(c.scale_index, grid.fault_scales.size());
+    EXPECT_LT(c.snr_index, grid.snrs_db.size());
+    EXPECT_EQ(grid.point_of(c), p);
+  }
+  // Rate-major, SNR fastest: point 0..3 walk the SNR axis of (rate 0,
+  // scale 0), point 4 starts (rate 0, scale 1).
+  EXPECT_EQ(grid.coords(3).snr_index, 3u);
+  EXPECT_EQ(grid.coords(4).scale_index, 1u);
+  EXPECT_EQ(grid.coords(12).rate_index, 1u);
+  EXPECT_EQ(grid.total_trials(), 24u * 1000u);
+}
+
+TEST(ShardStore, RecordsRoundTripThroughCreateAppendLoad) {
+  const std::string path = temp_store("rjf_store_roundtrip.rjfc");
+  ShardStoreHeader header;
+  header.fingerprint = 0xF00D;
+  header.campaign_seed = 7;
+  header.num_points = 3;
+  header.trials_per_point = 100;
+  header.shard_trials = 25;
+  header.num_shards = 12;
+  {
+    auto store = ShardStore::create(path, header);
+    ASSERT_NE(store, nullptr);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      ShardRecord r;
+      r.point = i % 3;
+      r.shard_index = i;
+      r.first_trial = 25 * (i / 3);
+      r.trials = 25;
+      r.frames_detected = 20 + i;
+      r.total_detections = 40 + i;
+      r.faults_injected = i;
+      r.trigger_latency_sum = 1000 * i;
+      r.trigger_latency_count = 20 + i;
+      ASSERT_TRUE(store->append(r));
+    }
+  }
+  const auto loaded = ShardStore::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->header.fingerprint, 0xF00Du);
+  EXPECT_EQ(loaded->header.campaign_seed, 7u);
+  EXPECT_EQ(loaded->header.num_points, 3u);
+  EXPECT_EQ(loaded->header.trials_per_point, 100u);
+  EXPECT_EQ(loaded->header.shard_trials, 25u);
+  EXPECT_EQ(loaded->header.num_shards, 12u);
+  EXPECT_EQ(loaded->dropped_bytes, 0u);
+  ASSERT_EQ(loaded->records.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const ShardRecord& r = loaded->records[i];
+    EXPECT_EQ(r.shard_index, i);
+    EXPECT_EQ(r.frames_detected, 20 + i);
+    EXPECT_EQ(r.total_detections, 40 + i);
+    EXPECT_EQ(r.checksum, r.compute_checksum());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardStore, TornTrailingRecordIsDroppedNotFatal) {
+  const std::string path = temp_store("rjf_store_torn.rjfc");
+  ShardStoreHeader header;
+  header.num_shards = 4;
+  {
+    auto store = ShardStore::create(path, header);
+    ASSERT_NE(store, nullptr);
+    ShardRecord a;
+    a.shard_index = 0;
+    a.trials = 10;
+    ShardRecord b;
+    b.shard_index = 1;
+    b.trials = 10;
+    ASSERT_TRUE(store->append(a));
+    ASSERT_TRUE(store->append(b));
+  }
+  // Simulate a SIGKILL mid-append: chop the second record in half.
+  const std::uintmax_t full = std::filesystem::file_size(path);
+  const std::uintmax_t record_bytes =
+      ShardRecord::kWords * sizeof(std::uint64_t);
+  std::filesystem::resize_file(path, full - record_bytes / 2);
+
+  const auto loaded = ShardStore::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->records.size(), 1u);
+  EXPECT_EQ(loaded->records[0].shard_index, 0u);
+  EXPECT_EQ(loaded->dropped_bytes, record_bytes / 2);
+  std::remove(path.c_str());
+}
+
+TEST(ShardStore, CorruptRecordInvalidatesItselfAndEverythingAfter) {
+  const std::string path = temp_store("rjf_store_corrupt.rjfc");
+  ShardStoreHeader header;
+  header.num_shards = 4;
+  {
+    auto store = ShardStore::create(path, header);
+    ASSERT_NE(store, nullptr);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      ShardRecord r;
+      r.shard_index = i;
+      r.trials = 10;
+      ASSERT_TRUE(store->append(r));
+    }
+  }
+  // Flip one byte inside the SECOND record's payload.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    const std::streamoff header_bytes = 8 * sizeof(std::uint64_t);
+    const std::streamoff record_bytes =
+        ShardRecord::kWords * sizeof(std::uint64_t);
+    f.seekp(header_bytes + record_bytes + 3 * sizeof(std::uint64_t));
+    const char junk = 0x5A;
+    f.write(&junk, 1);
+  }
+  const auto loaded = ShardStore::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  // Only the record before the corruption survives; the checksum rejects
+  // the damaged one and nothing after it is trusted.
+  ASSERT_EQ(loaded->records.size(), 1u);
+  EXPECT_EQ(loaded->records[0].shard_index, 0u);
+  EXPECT_GT(loaded->dropped_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, MismatchedStoreIsRejectedNotMerged) {
+  const std::string path = temp_store("rjf_campaign_mismatch.rjfc");
+  CampaignSpec spec = small_spec();
+  spec.max_shards_this_run = 1;
+  (void)run_campaign(spec, path);
+
+  CampaignSpec other = small_spec();
+  other.seed = spec.seed + 1;  // different campaign identity
+  EXPECT_THROW((void)run_campaign(other, path), std::runtime_error);
+
+  other = small_spec();
+  other.grid.snrs_db.push_back(12.0);  // different grid
+  EXPECT_THROW((void)run_campaign(other, path), std::runtime_error);
+
+  other = small_spec();
+  other.jammer.xcorr_threshold = 12345;  // retuned detector
+  EXPECT_THROW((void)run_campaign(other, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// The headline guarantee. One uninterrupted single-thread run is the
+// reference; each variant runs a window of shards (the deterministic kill
+// switch), "dies", and resumes with a DIFFERENT thread count — the merged
+// CSV must match the reference byte for byte. Shard granularity varies
+// per variant too, so the split itself is proven irrelevant.
+TEST(Campaign, KilledAndResumedRunsAreByteIdenticalToUninterrupted) {
+  CampaignSpec reference_spec = small_spec();
+  const std::string ref_path = temp_store("rjf_campaign_ref.rjfc");
+  const CampaignReport reference = run_campaign(reference_spec, ref_path);
+  EXPECT_TRUE(reference.complete);
+  EXPECT_EQ(reference.trials_replayed, 0u);
+  const std::string golden = reference.to_csv();
+  std::remove(ref_path.c_str());
+
+  struct Variant {
+    unsigned threads_a, threads_b;
+    std::size_t shard_trials;
+    std::size_t kill_after;
+  };
+  for (const auto [threads_a, threads_b, shard_trials, kill_after] :
+       {Variant{1, 2, 16, 3}, Variant{2, 4, 7, 5}, Variant{4, 1, 32, 1}}) {
+    const std::string path = temp_store("rjf_campaign_resume.rjfc");
+    CampaignSpec spec = small_spec();
+    spec.shard_trials = shard_trials;
+
+    spec.threads = threads_a;
+    spec.max_shards_this_run = kill_after;
+    const CampaignReport partial = run_campaign(spec, path);
+    EXPECT_FALSE(partial.complete);
+    EXPECT_EQ(partial.shards_run, kill_after);
+
+    spec.threads = threads_b;
+    spec.max_shards_this_run = 0;
+    const CampaignReport resumed = run_campaign(spec, path);
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_EQ(resumed.shards_already_complete, kill_after);
+    EXPECT_EQ(resumed.trials_replayed, 0u)
+        << "resume re-ran shards that were already durable";
+    EXPECT_EQ(resumed.to_csv(), golden)
+        << "shard=" << shard_trials << " threads=" << threads_a << "->"
+        << threads_b;
+    std::remove(path.c_str());
+  }
+}
+
+// Resume must not pay point-preparation costs for finished points: with one
+// shard per point, a run that completed point 0 leaves exactly point 1's
+// plan to build on resume.
+TEST(Campaign, ResumePreparesOnlyOutstandingPoints) {
+  const std::string path = temp_store("rjf_campaign_lazy.rjfc");
+  CampaignSpec spec = small_spec();
+  spec.shard_trials = spec.grid.trials_per_point;  // 1 shard per point
+  spec.max_shards_this_run = 1;
+
+  const CampaignReport first = run_campaign(spec, path);
+  EXPECT_EQ(first.plans_built, 1u);
+  EXPECT_EQ(first.shards_run, 1u);
+  EXPECT_EQ(first.points[0].trials_done, spec.grid.trials_per_point);
+  EXPECT_EQ(first.points[1].trials_done, 0u);
+
+  spec.max_shards_this_run = 0;
+  const CampaignReport second = run_campaign(spec, path);
+  EXPECT_TRUE(second.complete);
+  EXPECT_EQ(second.plans_built, 1u)
+      << "resume rebuilt plans for already-completed points";
+  EXPECT_EQ(second.points[0].trials_done, spec.grid.trials_per_point);
+  EXPECT_EQ(second.points[1].trials_done, spec.grid.trials_per_point);
+  std::remove(path.c_str());
+}
+
+// Fault axis: the scale-0.0 row of a hooked campaign must be byte-for-byte
+// the row a hookless campaign produces (zero-fault inertness), while a
+// heavy scale visibly injects.
+TEST(Campaign, FaultAxisZeroScaleRowIsInertAndHeavyScaleInjects) {
+  CampaignSpec clean = small_spec();
+  clean.grid.snrs_db = {3.0};
+  const std::string clean_path = temp_store("rjf_campaign_clean.rjfc");
+  const CampaignReport clean_report = run_campaign(clean, clean_path);
+  std::remove(clean_path.c_str());
+
+  CampaignSpec hooked = small_spec();
+  hooked.grid.snrs_db = {3.0};
+  hooked.grid.fault_scales = {0.0, 8.0};
+  fault::FaultPlanConfig fault_base;
+  fault_base.seed = 0xFA;
+  fault_base.clip_rate = 2e-4;
+  fault_base.drop_rate = 2e-4;
+  fault_base.overflow_rate = 2e-4;
+  hooked.make_trial_hook =
+      fault::campaign_fault_hook_factory(hooked.grid, fault_base);
+  const std::string hooked_path = temp_store("rjf_campaign_fault.rjfc");
+  const CampaignReport hooked_report = run_campaign(hooked, hooked_path);
+  std::remove(hooked_path.c_str());
+
+  ASSERT_EQ(hooked_report.points.size(), 2u);
+  const CampaignPointResult& zero = hooked_report.points[0];
+  const CampaignPointResult& heavy = hooked_report.points[1];
+  EXPECT_EQ(zero.faults_injected, 0u);
+  EXPECT_EQ(zero.result.frames_detected,
+            clean_report.points[0].result.frames_detected);
+  EXPECT_EQ(zero.result.total_detections,
+            clean_report.points[0].result.total_detections);
+  EXPECT_GT(heavy.faults_injected, 0u);
+  EXPECT_GT(heavy.overflow_gaps + heavy.samples_lost, 0u);
+}
+
+// Acceptance grid: >= 10^5 trials, killed mid-run, resumed, byte-compared
+// to the uninterrupted run. Deliberately outside the "Campaign." prefix the
+// sanitizer jobs filter on — at TSan's slowdown this would dominate the CI
+// wall clock without adding coverage beyond the small variants above.
+TEST(BigGridResume, HundredThousandTrialKillResumeByteIdentical) {
+  CampaignSpec spec = small_spec();
+  spec.grid.snrs_db = {-2.0, 2.0};
+  spec.grid.trials_per_point = 50000;  // 10^5 total
+  spec.shard_trials = 0;               // adaptive granularity
+  spec.threads = 2;
+
+  const std::string full_path = temp_store("rjf_campaign_full.rjfc");
+  const CampaignReport full = run_campaign(spec, full_path);
+  EXPECT_TRUE(full.complete);
+  std::remove(full_path.c_str());
+
+  const std::string path = temp_store("rjf_campaign_bigresume.rjfc");
+  CampaignSpec windowed = spec;
+  windowed.threads = 4;
+  windowed.max_shards_this_run = 13;  // "killed" mid-grid
+  const CampaignReport partial = run_campaign(windowed, path);
+  EXPECT_FALSE(partial.complete);
+
+  windowed.threads = 2;
+  windowed.max_shards_this_run = 0;
+  const CampaignReport resumed = run_campaign(windowed, path);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.trials_replayed, 0u);
+  EXPECT_EQ(resumed.to_csv(), full.to_csv());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rjf::core

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 #include <map>
 #include <numbers>
 #include <set>
@@ -106,6 +108,67 @@ TEST(RunShards, ExecutesEveryTaskOnceAtAnyThreadCount) {
                [&](const ShardTask& task) { ++runs[task.index]; });
     for (const auto& r : runs) EXPECT_EQ(r.load(), 1);
   }
+}
+
+// Regression: a kernel exception must stop the pool from claiming further
+// shards, not just surface after every remaining shard ran. Pre-fix the
+// claim loop had no abort check, so a throw on shard 0 of a 64-shard
+// schedule still executed the other 63 — in a million-trial campaign an
+// early failure silently burned the whole grid before the rethrow. The
+// non-throwing kernels stall 200 us per shard, so pre-fix the second
+// worker deterministically drained all 63 remaining shards while the first
+// one sat at the join; post-fix the abort flag (stored within microseconds
+// of the immediate throw) caps the overrun at the few shards already
+// claimed.
+TEST(RunShards, StopsClaimingShardsAfterFirstThrow) {
+  SweepConfig sweep;
+  sweep.trials_per_point = 64;
+  sweep.shard_trials = 1;
+  const auto tasks = make_shard_schedule(1, sweep);
+  ASSERT_EQ(tasks.size(), 64u);
+
+  std::atomic<bool> thrown{false};
+  std::atomic<std::size_t> ran_after_throw{0};
+  EXPECT_THROW(
+      run_shards(tasks, 2,
+                 [&](const ShardTask&) {
+                   if (!thrown.exchange(true))
+                     throw std::runtime_error("shard failure");
+                   ran_after_throw.fetch_add(1);
+                   std::this_thread::sleep_for(std::chrono::microseconds(200));
+                 }),
+      std::runtime_error);
+  EXPECT_LT(ran_after_throw.load(), tasks.size() / 2)
+      << "pool kept claiming shards after the first kernel exception";
+}
+
+TEST(ShardSchedule, AdaptiveGranularityScalesWithThreadsAndClamps) {
+  // ~8 shards per worker: 4 points x 10000 trials at 4 threads wants
+  // 40000/32 = 1250 trials per shard.
+  EXPECT_EQ(resolve_shard_trials(4, 10000, 4), 1250u);
+  // Never fewer shards than points: 64 points at 1 thread targets 64
+  // shards, one per point.
+  EXPECT_EQ(resolve_shard_trials(64, 500, 1), 500u);
+  // Clamps: tiny totals floor at kMinAutoShardTrials (bounded by the
+  // point's own trial count), huge totals cap at kMaxAutoShardTrials so
+  // checkpoint records stay fine-grained.
+  EXPECT_EQ(resolve_shard_trials(1, 8, 4), 8u);
+  EXPECT_EQ(resolve_shard_trials(2, 100, 8), kMinAutoShardTrials);
+  EXPECT_EQ(resolve_shard_trials(1, 1000000, 2), kMaxAutoShardTrials);
+}
+
+TEST(ShardSchedule, ZeroShardTrialsTriggersAdaptiveResolution) {
+  SweepConfig sweep;
+  sweep.trials_per_point = 10000;
+  sweep.shard_trials = 0;  // adaptive
+  sweep.threads = 4;
+  const auto tasks = make_shard_schedule(4, sweep);
+  const std::size_t expected = resolve_shard_trials(4, 10000, 4);
+  ASSERT_FALSE(tasks.empty());
+  EXPECT_EQ(tasks[0].trials, expected);
+  std::uint64_t total = 0;
+  for (const auto& t : tasks) total += t.trials;
+  EXPECT_EQ(total, 40000u);
 }
 
 TEST(RunShards, PropagatesKernelExceptions) {

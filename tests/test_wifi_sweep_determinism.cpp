@@ -162,12 +162,14 @@ TEST(WifiSweepEngine, RunSweepBitIdenticalWithWaveformCacheOnAndOff) {
   // that attaching counters perturbs nothing.
   cache.set_enabled(false);
   cache.clear();
+  cache.reset_counters();
   obs::MetricsRegistry uncached_metrics;
   const auto uncached =
       run_sweep("cache off", jammer, powers, duration_s, 2, &uncached_metrics);
 
   cache.set_enabled(true);
   cache.clear();
+  cache.reset_counters();
   obs::MetricsRegistry cached_metrics;
   const auto cached =
       run_sweep("cache on", jammer, powers, duration_s, 2, &cached_metrics);

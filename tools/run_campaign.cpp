@@ -1,0 +1,201 @@
+// run_campaign: checkpointable detection campaign over a {rate, fault
+// scale, SNR} grid. The shard store at --store makes the run durable: kill
+// it at any point (SIGKILL included) and rerunning the same command resumes
+// from the last completed shard; the merged CSV is byte-identical to an
+// uninterrupted single-process run. --max-shards bounds one invocation for
+// batch windows ("run two hours per night") — the overnight recipe is in
+// EXPERIMENTS.md.
+//
+// Usage:
+//   run_campaign --store campaign.rjfc --csv out.csv
+//     --snrs -4,-2,0,2,4 --rates 6,54 --fault-scales 0,1
+//     --trials 100000 [--threads N] [--shard-trials N] [--max-shards N]
+//     [--seed S] [--psdu-bytes N] [--quiet]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/presets.h"
+#include "dsp/rng.h"
+#include "fault/fault_experiment.h"
+#include "fault/fault_plan.h"
+
+namespace {
+
+using rjf::core::CampaignGrid;
+using rjf::core::CampaignReport;
+using rjf::core::CampaignSpec;
+
+std::vector<double> parse_doubles(const char* arg) {
+  std::vector<double> out;
+  const char* p = arg;
+  while (*p != '\0') {
+    char* end = nullptr;
+    out.push_back(std::strtod(p, &end));
+    if (end == p) {
+      std::fprintf(stderr, "run_campaign: bad number list '%s'\n", arg);
+      std::exit(2);
+    }
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out;
+}
+
+std::vector<rjf::phy80211::Rate> parse_rates(const char* arg) {
+  std::vector<rjf::phy80211::Rate> out;
+  for (const double mbps : parse_doubles(arg)) {
+    bool found = false;
+    for (const rjf::phy80211::Rate r : rjf::phy80211::all_rates()) {
+      if (rjf::phy80211::rate_params(r).mbps == mbps) {
+        out.push_back(r);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "run_campaign: unknown 802.11a/g rate %g Mbps\n",
+                   mbps);
+      std::exit(2);
+    }
+  }
+  return out;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: run_campaign --store FILE [--csv FILE] [--snrs a,b,...]\n"
+      "    [--rates mbps,...] [--fault-scales s,...] [--trials N]\n"
+      "    [--threads N] [--shard-trials N] [--max-shards N] [--seed S]\n"
+      "    [--psdu-bytes N] [--quiet]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string store_path;
+  std::string csv_path;
+  CampaignSpec spec;
+  spec.grid.snrs_db = {-4.0, -2.0, 0.0, 2.0, 4.0};
+  spec.grid.trials_per_point = 10000;
+  bool quiet = false;
+  bool fault_axis = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "run_campaign: %s needs a value\n", a);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--store") == 0) {
+      store_path = next();
+    } else if (std::strcmp(a, "--csv") == 0) {
+      csv_path = next();
+    } else if (std::strcmp(a, "--snrs") == 0) {
+      spec.grid.snrs_db = parse_doubles(next());
+    } else if (std::strcmp(a, "--rates") == 0) {
+      spec.grid.rates = parse_rates(next());
+    } else if (std::strcmp(a, "--fault-scales") == 0) {
+      spec.grid.fault_scales = parse_doubles(next());
+      fault_axis = true;
+    } else if (std::strcmp(a, "--trials") == 0) {
+      spec.grid.trials_per_point =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (std::strcmp(a, "--threads") == 0) {
+      spec.threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(a, "--shard-trials") == 0) {
+      spec.shard_trials =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (std::strcmp(a, "--max-shards") == 0) {
+      spec.max_shards_this_run =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (std::strcmp(a, "--seed") == 0) {
+      spec.seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(a, "--psdu-bytes") == 0) {
+      spec.psdu_bytes =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (std::strcmp(a, "--quiet") == 0) {
+      quiet = true;
+    } else {
+      return usage();
+    }
+  }
+  if (store_path.empty() || spec.grid.num_points() == 0 ||
+      spec.grid.trials_per_point == 0)
+    return usage();
+
+  // Paper Fig. 7 personality: short-preamble correlator at the calibrated
+  // false-alarm threshold, 100 us jam bursts.
+  spec.jammer = rjf::core::wifi_reactive_preset(100e-6);
+  spec.tap = rjf::core::DetectorTap::kXcorr;
+
+  if (fault_axis) {
+    // Scale-1.0 rates match bench_fault_robustness's degradation curve; the
+    // grid's fault_scales multiply them per point.
+    rjf::fault::FaultPlanConfig fault_base;
+    fault_base.seed = rjf::dsp::derive_seed(spec.seed, 0x0fa7u);
+    fault_base.clip_rate = 2e-4;
+    fault_base.dc_rate = 2e-4;
+    fault_base.drop_rate = 2e-4;
+    fault_base.overflow_rate = 1e-4;
+    spec.make_trial_hook =
+        rjf::fault::campaign_fault_hook_factory(spec.grid, fault_base);
+  }
+
+  if (!quiet) {
+    spec.progress_every_shards = 25;
+    spec.progress = [](const rjf::core::SweepProgress& p) {
+      std::fprintf(stderr,
+                   "[campaign] shards %zu/%zu  trials %llu  %.0f trials/s  "
+                   "eta %.0fs\n",
+                   p.shards_done, p.shards_total,
+                   static_cast<unsigned long long>(p.trials_done),
+                   p.trials_per_second, p.eta_seconds);
+    };
+  }
+
+  try {
+    const CampaignReport report = rjf::core::run_campaign(spec, store_path);
+    const std::string csv = report.to_csv();
+    if (!csv_path.empty()) {
+      std::FILE* f = std::fopen(csv_path.c_str(), "wb");
+      if (f == nullptr ||
+          std::fwrite(csv.data(), 1, csv.size(), f) != csv.size()) {
+        std::fprintf(stderr, "run_campaign: cannot write '%s'\n",
+                     csv_path.c_str());
+        if (f != nullptr) std::fclose(f);
+        return 1;
+      }
+      std::fclose(f);
+    } else {
+      std::fwrite(csv.data(), 1, csv.size(), stdout);
+    }
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "[campaign] %s: %zu/%zu shards durable (%zu run now, "
+                   "%zu resumed), %llu trials this run, %zu/%zu plans "
+                   "built, %.1fs\n",
+                   report.complete ? "complete" : "PARTIAL",
+                   report.shards_already_complete + report.shards_run,
+                   report.shards_total, report.shards_run,
+                   report.shards_already_complete,
+                   static_cast<unsigned long long>(report.trials_run),
+                   report.plans_built, report.points.size(),
+                   report.wall_seconds);
+    }
+    // Partial runs (a --max-shards window closed early) exit 3 so batch
+    // scripts know to rerun; the store already holds everything durable.
+    return report.complete ? 0 : 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run_campaign: %s\n", e.what());
+    return 1;
+  }
+}
