@@ -38,7 +38,7 @@ core::CampaignSpec bench_spec() {
   spec.base.lead_in = 128;
   spec.base.tail = 128;
   spec.seed = 0xBE9C;
-  spec.grid.rates = {phy80211::Rate::kMbps6, phy80211::Rate::kMbps54};
+  spec.grid.rate_indices = {0, 7};  // wifi_ofdm: 6 and 54 Mb/s
   spec.grid.snrs_db = {-2.0, 2.0, 6.0};
   spec.grid.trials_per_point = bench::frames_per_point();
   spec.threads = bench::sweep_threads(0);

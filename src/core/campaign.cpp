@@ -7,9 +7,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/scenario.h"
 #include "dsp/rng.h"
 #include "fpga/dsp_core.h"
-#include "phy80211/transmitter.h"
 
 namespace rjf::core {
 
@@ -187,11 +187,18 @@ bool ShardStore::append(ShardRecord record) {
 // ---------------------------------------------------------------------------
 // CampaignSpec
 
-std::uint64_t CampaignSpec::fingerprint() const noexcept {
+std::uint64_t CampaignSpec::fingerprint() const {
+  const ProtocolTarget& tgt = target_or_throw(target);
   std::uint64_t h = 0xcbf29ce484222325ull;
-  h = fold_word(h, grid.rates.size());
-  for (const phy80211::Rate r : grid.rates)
-    h = fold_word(h, static_cast<std::uint64_t>(r));
+  h = fold_word(h, tgt.name.size());
+  for (const char c : tgt.name)
+    h = fold_word(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  h = fold_double(h, tgt.native_rate_hz);
+  h = fold_word(h, grid.rate_indices.size());
+  for (const std::size_t idx : grid.rate_indices) {
+    h = fold_word(h, idx);
+    h = fold_word(h, idx < tgt.rates.size() ? tgt.rates[idx].id : ~0ull);
+  }
   h = fold_word(h, grid.fault_scales.size());
   for (const double s : grid.fault_scales) h = fold_double(h, s);
   h = fold_word(h, grid.snrs_db.size());
@@ -234,9 +241,10 @@ std::string CampaignReport::to_csv() const {
   char line[512];
   std::string out;
   std::snprintf(line, sizeof line,
-                "# rjf-campaign-v1 points=%zu trials_per_point=%zu "
+                "# rjf-campaign-v1 target=%s points=%zu trials_per_point=%zu "
                 "complete=%d\n",
-                points.size(), grid.trials_per_point, complete ? 1 : 0);
+                target.c_str(), points.size(), grid.trials_per_point,
+                complete ? 1 : 0);
   out += line;
   out +=
       "rate_mbps,fault_scale,snr_db,trials,frames_detected,total_detections,"
@@ -246,7 +254,7 @@ std::string CampaignReport::to_csv() const {
     std::snprintf(line, sizeof line,
                   "%g,%.9g,%.9g,%llu,%zu,%llu,%.9f,%.9f,%llu,%llu,%llu,%llu,"
                   "%.6f\n",
-                  phy80211::rate_params(p.rate).mbps, p.fault_scale, p.snr_db,
+                  p.rate_mbps, p.fault_scale, p.snr_db,
                   static_cast<unsigned long long>(p.trials_done),
                   p.result.frames_detected,
                   static_cast<unsigned long long>(p.result.total_detections),
@@ -271,6 +279,11 @@ CampaignReport run_campaign(const CampaignSpec& spec,
   const std::size_t num_points = grid.num_points();
   if (num_points == 0 || grid.trials_per_point == 0)
     throw std::invalid_argument("run_campaign: empty grid");
+  const ProtocolTarget& target = target_or_throw(spec.target);
+  for (const std::size_t idx : grid.rate_indices)
+    if (idx >= target.rates.size())
+      throw std::invalid_argument("run_campaign: rate index out of range for "
+                                  "target '" + target.name + "'");
 
   const unsigned threads =
       spec.threads != 0 ? spec.threads
@@ -353,13 +366,13 @@ CampaignReport run_campaign(const CampaignSpec& spec,
   // the points that still have shards outstanding.
   const std::vector<std::uint8_t> psdu(std::max<std::size_t>(spec.psdu_bytes, 1),
                                        spec.psdu_fill);
-  std::vector<dsp::cvec> frames(grid.rates.size());
+  std::vector<dsp::cvec> frames(grid.rate_indices.size());
   std::unique_ptr<std::once_flag[]> frame_once(
-      new std::once_flag[grid.rates.size()]);
+      new std::once_flag[grid.rate_indices.size()]);
   auto frame_for_rate = [&](std::size_t rate_index) -> const dsp::cvec& {
     std::call_once(frame_once[rate_index], [&] {
-      phy80211::Transmitter tx({grid.rates[rate_index], spec.scrambler_seed});
-      frames[rate_index] = tx.transmit(psdu);
+      frames[rate_index] = target.make_frame(grid.rate_indices[rate_index],
+                                             psdu, spec.scrambler_seed);
     });
     return frames[rate_index];
   };
@@ -370,6 +383,7 @@ CampaignReport run_campaign(const CampaignSpec& spec,
     config.snr_db = grid.snrs_db[c.snr_index];
     config.num_frames = grid.trials_per_point;
     config.seed = dsp::derive_seed(spec.seed, point);
+    config.tx_rate_hz = target.native_rate_hz;
     return prepare_detection_trials(frame_for_rate(c.rate_index), spec.tap,
                                     config);
   });
@@ -470,6 +484,7 @@ CampaignReport run_campaign(const CampaignSpec& spec,
 
   CampaignReport report;
   report.grid = grid;
+  report.target = spec.target;
   report.threads_used = std::max(1u, pool_size);
   report.shards_total = schedule.size();
   report.shards_already_complete = shards_already_complete;
@@ -484,7 +499,9 @@ CampaignReport run_campaign(const CampaignSpec& spec,
   for (std::size_t p = 0; p < num_points; ++p) {
     const CampaignGrid::Coords c = grid.coords(p);
     CampaignPointResult& point = report.points[p];
-    point.rate = grid.rates[c.rate_index];
+    const TargetRate& rate = target.rates[grid.rate_indices[c.rate_index]];
+    point.rate_mbps = rate.mbps;
+    point.rate_id = rate.id;
     point.fault_scale = grid.fault_scales[c.scale_index];
     point.snr_db = grid.snrs_db[c.snr_index];
     const PointTotals& tot = totals[p];

@@ -35,7 +35,6 @@
 
 #include "core/detection_experiment.h"
 #include "core/sweep.h"
-#include "phy80211/rates.h"
 
 namespace rjf::core {
 
@@ -45,7 +44,10 @@ namespace rjf::core {
 /// so the SNR axis is contiguous within one (rate, scale) row, mirroring
 /// the fault sweep's scale-major layout.
 struct CampaignGrid {
-  std::vector<phy80211::Rate> rates{phy80211::Rate::kMbps54};
+  /// Rate axis: indices into the campaign target's rate table
+  /// (ProtocolTarget::rates, see core/scenario.h). {0} is the target's
+  /// first rate; tools resolve Mb/s values to indices against the table.
+  std::vector<std::size_t> rate_indices{0};
   std::vector<double> fault_scales{0.0};
   std::vector<double> snrs_db{0.0};
   std::size_t trials_per_point = 1000;
@@ -57,7 +59,7 @@ struct CampaignGrid {
   };
 
   [[nodiscard]] std::size_t num_points() const noexcept {
-    return rates.size() * fault_scales.size() * snrs_db.size();
+    return rate_indices.size() * fault_scales.size() * snrs_db.size();
   }
   [[nodiscard]] std::uint64_t total_trials() const noexcept {
     return static_cast<std::uint64_t>(num_points()) * trials_per_point;
@@ -182,12 +184,17 @@ class CampaignTrialHook {
 struct CampaignSpec {
   CampaignGrid grid;
   JammerConfig jammer;
-  /// Non-swept trial knobs; snr_db / num_frames / seed overridden per point.
+  /// Protocol-target registry key (core/scenario.h): supplies the frame
+  /// factory and native sample rate for every rate-axis entry. The default
+  /// reproduces the original hard-coded 802.11a/g OFDM path.
+  std::string target = "wifi_ofdm";
+  /// Non-swept trial knobs; snr_db / num_frames / seed overridden per
+  /// point, tx_rate_hz overridden with the target's native rate.
   DetectionRunConfig base;
   DetectorTap tap = DetectorTap::kXcorr;
 
   /// Frame synthesised per rate-axis entry: psdu_bytes of psdu_fill through
-  /// a phy80211::Transmitter at that rate.
+  /// the target's transmitter at that rate.
   std::size_t psdu_bytes = 310;
   std::uint8_t psdu_fill = 0xA5;
   std::uint8_t scrambler_seed = 0x5D;
@@ -210,12 +217,15 @@ struct CampaignSpec {
   std::function<std::unique_ptr<CampaignTrialHook>()> make_trial_hook;
 
   /// Everything that can change a trial's outcome, folded to one word for
-  /// the store header.
-  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+  /// the store header: the target identity (name + resolved rate ids +
+  /// native rate) is included, so a store cannot resume under a different
+  /// protocol. Throws std::invalid_argument on an unknown target.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 };
 
 struct CampaignPointResult {
-  phy80211::Rate rate = phy80211::Rate::kMbps54;
+  double rate_mbps = 0.0;
+  std::uint64_t rate_id = 0;  // target-private rate encoding (TargetRate::id)
   double fault_scale = 0.0;
   double snr_db = 0.0;
   std::uint64_t trials_done = 0;        // == grid.trials_per_point when complete
@@ -229,6 +239,7 @@ struct CampaignPointResult {
 
 struct CampaignReport {
   CampaignGrid grid;
+  std::string target;  // registry key the campaign ran against
   std::vector<CampaignPointResult> points;
   bool complete = false;
   unsigned threads_used = 0;

@@ -21,6 +21,11 @@
 // random fractional timing offset (independent TX/RX sample clocks) and a
 // per-trial carrier frequency offset (two free-running N210 oscillators),
 // then sets the SNR where the paper measures it: at the receiver.
+//
+// This layer is protocol-agnostic: callers hand in the frame waveform and
+// its native rate. The protocol-target registry (core/scenario.h) supplies
+// both from a target handle — run_target_detection_experiment /
+// run_target_detection_sweep are the entry points experiments should use.
 #pragma once
 
 #include <atomic>

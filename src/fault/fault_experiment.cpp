@@ -180,6 +180,19 @@ FaultSweepReport run_fault_robustness_sweep(
   return report;
 }
 
+FaultSweepReport run_target_fault_robustness_sweep(
+    const core::ProtocolTarget& target, std::size_t rate_index,
+    std::span<const std::uint8_t> psdu, const core::JammerConfig& jammer_config,
+    core::DetectorTap tap, core::DetectionRunConfig base,
+    std::span<const double> snr_points_db, std::span<const double> fault_scales,
+    const FaultPlanConfig& fault_base, const core::SweepConfig& sweep) {
+  const dsp::cvec frame = target.make_frame(rate_index, psdu, 0x5D);
+  base.tx_rate_hz = target.native_rate_hz;
+  return run_fault_robustness_sweep(jammer_config, frame, tap, base,
+                                    snr_points_db, fault_scales, fault_base,
+                                    sweep);
+}
+
 namespace {
 
 /// One per shard; builds the trial's injector in before_trial and detaches

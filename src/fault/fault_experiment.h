@@ -13,6 +13,7 @@
 #pragma once
 
 #include "core/campaign.h"
+#include "core/scenario.h"
 #include "core/sweep.h"
 #include "fault/fault_injector.h"
 
@@ -59,6 +60,17 @@ struct FaultSweepReport {
     const core::DetectionRunConfig& base, std::span<const double> snr_points_db,
     std::span<const double> fault_scales, const FaultPlanConfig& fault_base,
     const core::SweepConfig& sweep);
+
+/// Run the grid against a registered protocol target (core/scenario.h):
+/// the victim frame is `psdu` through the target's transmitter at
+/// `rate_index`, and `base.tx_rate_hz` is overridden with the target's
+/// native rate. Everything else matches run_fault_robustness_sweep.
+[[nodiscard]] FaultSweepReport run_target_fault_robustness_sweep(
+    const core::ProtocolTarget& target, std::size_t rate_index,
+    std::span<const std::uint8_t> psdu, const core::JammerConfig& jammer_config,
+    core::DetectorTap tap, core::DetectionRunConfig base,
+    std::span<const double> snr_points_db, std::span<const double> fault_scales,
+    const FaultPlanConfig& fault_base, const core::SweepConfig& sweep);
 
 /// The campaign runner's fault axis. Returns a CampaignSpec::make_trial_hook
 /// factory whose hooks attach a per-trial FaultInjector built from

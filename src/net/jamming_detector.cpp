@@ -14,6 +14,13 @@ JammingVerdict diagnose(const LinkObservation& obs) noexcept {
   if (obs.pdr >= kPdrFloor && obs.frames_attempted > 0)
     return JammingVerdict::kHealthy;
 
+  // An idle window proves nothing: with zero attempts and no starvation
+  // signal, PDR carries no evidence, and only a saturated medium (the
+  // client never even got to transmit) still indicts a jammer below.
+  if (obs.frames_attempted == 0 && obs.cca_busy_fraction <= 0.8 &&
+      obs.pdr >= kPdrFloor)
+    return JammingVerdict::kNoTraffic;
+
   // Continuous interference shows up as a persistently busy medium —
   // including the degenerate case where the client cannot send at all.
   if (obs.cca_busy_fraction > 0.8) return JammingVerdict::kContinuousJamming;
@@ -62,6 +69,7 @@ const char* verdict_name(JammingVerdict verdict) noexcept {
     case JammingVerdict::kCongestedOrWeak: return "congested-or-weak";
     case JammingVerdict::kContinuousJamming: return "continuous-jamming";
     case JammingVerdict::kReactiveJamming: return "reactive-jamming";
+    case JammingVerdict::kNoTraffic: return "no-traffic";
   }
   return "unknown";
 }

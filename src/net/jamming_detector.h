@@ -20,6 +20,7 @@ enum class JammingVerdict {
   kCongestedOrWeak,    // low PDR, but medium busy or link weak: not jamming
   kContinuousJamming,  // medium busy nearly always + starvation
   kReactiveJamming,    // PDR collapse with clean carrier and strong signal
+  kNoTraffic,          // zero frames attempted and no starvation: no evidence
 };
 
 struct LinkObservation {

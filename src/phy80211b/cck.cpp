@@ -96,11 +96,16 @@ std::array<std::uint8_t, 8> cck_decode_11mbps(
       }
     }
   }
-  // p1 from the winning correlation's phase; d0d1 differentially.
+  // p1 from the winning correlation's phase; d0d1 differentially. The
+  // reference carries the MEASURED phase forward (like the encoder, whose
+  // reference is the actual transmitted p1), not the sliced constellation
+  // point: with an ideal update a residual CFO's per-symbol rotation is
+  // never tracked, accumulates across the PSDU, and walks dphi over a
+  // QPSK decision boundary mid-packet.
   const double p1 = wrap(std::arg(best_corr));
   const double dphi = p1 - phase_ref - (odd_symbol ? kPi : 0.0);
   const unsigned i1 = slice_qpsk(dphi);
-  phase_ref = wrap(phase_ref + i1 * kPi / 2.0 + (odd_symbol ? kPi : 0.0));
+  phase_ref = p1;
 
   std::array<std::uint8_t, 8> bits{};
   bits_for_index(i1, bits[0], bits[1]);
@@ -135,7 +140,7 @@ std::array<std::uint8_t, 4> cck_decode_5_5mbps(
   const double p1 = wrap(std::arg(best_corr));
   const double dphi = p1 - phase_ref - (odd_symbol ? kPi : 0.0);
   const unsigned i1 = slice_qpsk(dphi);
-  phase_ref = wrap(phase_ref + i1 * kPi / 2.0 + (odd_symbol ? kPi : 0.0));
+  phase_ref = p1;  // measured-phase tracking; see cck_decode_11mbps
 
   std::array<std::uint8_t, 4> bits{};
   bits_for_index(i1, bits[0], bits[1]);

@@ -36,7 +36,9 @@ inline constexpr std::size_t kCckChips = 8;
 
 /// Maximum-likelihood decode of one received codeword (11 Mb/s): search
 /// the 64 (p2,p3,p4) combinations and recover p1 differentially.
-/// Returns the 8 decoded bits; updates `phase_ref`.
+/// Returns the 8 decoded bits; updates `phase_ref` to the measured p1
+/// (not the sliced constellation point) so a residual CFO is tracked
+/// symbol-to-symbol instead of accumulating across the PSDU.
 [[nodiscard]] std::array<std::uint8_t, 8> cck_decode_11mbps(
     std::span<const dsp::cfloat> chips8, double& phase_ref, bool odd_symbol) noexcept;
 

@@ -1,5 +1,6 @@
 #include "phy80211b/dsss.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -95,12 +96,11 @@ dsp::cvec DsssTransmitter::transmit(std::span<const std::uint8_t> psdu) const {
     case DsssRate::kMbps1:
       for (const std::uint8_t bit : bits) append_barker_symbol(out, mod.bpsk(bit));
       break;
-    case DsssRate::kMbps2:
-      for (std::size_t k = 0; k + 1 < bits.size() || k < bits.size(); k += 2) {
-        const std::uint8_t d1 = (k + 1 < bits.size()) ? bits[k + 1] : 0;
-        append_barker_symbol(out, mod.qpsk(bits[k], d1));
-      }
+    case DsssRate::kMbps2: {
+      const dsp::cvec symbols = dqpsk_spread_bits(bits, mod.phase);
+      out.insert(out.end(), symbols.begin(), symbols.end());
       break;
+    }
     case DsssRate::kMbps5_5: {
       double ref = mod.phase;
       std::size_t sym = 0;
@@ -125,23 +125,37 @@ dsp::cvec DsssTransmitter::transmit(std::span<const std::uint8_t> psdu) const {
   return out;
 }
 
+dsp::cvec dqpsk_spread_bits(std::span<const std::uint8_t> bits, double& phase) {
+  dsp::cvec out;
+  out.reserve((bits.size() + 1) / 2 * kBarkerLength);
+  for (std::size_t k = 0; k < bits.size(); k += 2) {
+    const std::uint8_t d1 = k + 1 < bits.size() ? bits[k + 1] : 0;
+    phase += qpsk_phase(bits[k], d1);
+    append_barker_symbol(out, phasor(phase));
+  }
+  return out;
+}
+
 DsssRxResult DsssReceiver::receive(std::span<const dsp::cfloat> capture) const {
   DsssRxResult result;
-  if (capture.size() < kPlcpChips) return result;
 
   // Demodulate the 1 Mb/s portion: Barker-correlate each symbol, take the
-  // differential phase against the previous symbol.
-  const std::size_t plcp_symbols = kSyncBits + 16 + 48;
-  std::vector<std::uint8_t> raw_bits;
-  raw_bits.reserve(plcp_symbols);
-  dsp::cfloat prev = barker_correlate(capture.subspan(0, kBarkerLength));
-  for (std::size_t s = 1; s < plcp_symbols; ++s) {
-    const dsp::cfloat cur =
+  // differential phase against the previous symbol. Demodulate past the
+  // nominal PLCP length so a late SFD (extra symbols captured before the
+  // SYNC) still yields a complete header: the latest SFD end the search
+  // window allows is kSyncBits + 24, and the header needs 48 more bits.
+  const std::size_t max_symbols = kSyncBits + 24 + 48 + 1;
+  const std::size_t nsym =
+      std::min(max_symbols, capture.size() / kBarkerLength);
+  if (nsym < (kSyncBits - 8) + 16 + 1) return result;  // SFD can never fit
+
+  std::vector<dsp::cfloat> corr(nsym);
+  for (std::size_t s = 0; s < nsym; ++s)
+    corr[s] =
         barker_correlate(capture.subspan(s * kBarkerLength, kBarkerLength));
-    const dsp::cfloat d = cur * std::conj(prev);
-    raw_bits.push_back(d.real() < 0.0f ? 1 : 0);
-    prev = cur;
-  }
+  std::vector<std::uint8_t> raw_bits(nsym - 1);
+  for (std::size_t s = 1; s < nsym; ++s)
+    raw_bits[s - 1] = (corr[s] * std::conj(corr[s - 1])).real() < 0.0f ? 1 : 0;
 
   // Descramble (self-synchronising: state fills from received bits).
   DsssScrambler descrambler(0);
@@ -153,8 +167,8 @@ DsssRxResult DsssReceiver::receive(std::span<const dsp::cfloat> capture) const {
   // differential stream (the first SYNC bit is consumed as the reference).
   // Search a small window to tolerate capture offsets.
   std::size_t sfd_end = 0;
-  for (std::size_t start = kSyncBits - 8; start + 16 <= kSyncBits + 24;
-       ++start) {
+  for (std::size_t start = kSyncBits - 8;
+       start + 16 <= kSyncBits + 24 && start + 16 <= bits.size(); ++start) {
     std::uint16_t candidate = 0;
     for (unsigned b = 0; b < 16; ++b)
       candidate |= static_cast<std::uint16_t>(bits[start + b] & 1u) << b;
@@ -187,8 +201,12 @@ DsssRxResult DsssReceiver::receive(std::span<const dsp::cfloat> capture) const {
   for (unsigned b = 0; b < 16; ++b)
     psdu_bytes |= static_cast<std::size_t>(hdr[16 + b] & 1u) << b;
 
-  // PSDU decode from the chip stream after the PLCP.
-  const std::size_t data_at = plcp_symbols * kBarkerLength;
+  // PSDU decode follows the SFD actually found, not the nominal PLCP
+  // length: the first data symbol sits right after the 48 header symbols,
+  // and the differential reference is the last header symbol's correlation.
+  const std::size_t last_plcp_symbol = sfd_end + 48;
+  const std::size_t data_at = (last_plcp_symbol + 1) * kBarkerLength;
+  const dsp::cfloat prev = corr[last_plcp_symbol];
   std::vector<std::uint8_t> scrambled;
   scrambled.reserve(psdu_bytes * 8);
   const std::size_t n_bits = psdu_bytes * 8;
@@ -249,10 +267,16 @@ DsssRxResult DsssReceiver::receive(std::span<const dsp::cfloat> capture) const {
     }
   }
 
-  // Continue the self-synchronising descrambler across the PSDU.
+  // Descramble the PSDU. The self-synchronising descrambler state is
+  // exactly the last 7 raw channel bits, so re-warm a fresh instance with
+  // the raw tail of the header rather than continuing `descrambler`, whose
+  // single pass may have run past the header when the SFD sat early.
+  DsssScrambler psdu_descrambler(0);
+  for (std::size_t k = sfd_end + 41; k < sfd_end + 48; ++k)
+    (void)psdu_descrambler.descramble_bit(raw_bits[k]);
   std::vector<std::uint8_t> psdu_bits(scrambled.size());
   for (std::size_t k = 0; k < scrambled.size(); ++k)
-    psdu_bits[k] = descrambler.descramble_bit(scrambled[k]);
+    psdu_bits[k] = psdu_descrambler.descramble_bit(scrambled[k]);
 
   result.psdu.assign(psdu_bytes, 0);
   for (std::size_t k = 0; k < psdu_bits.size() && k / 8 < psdu_bytes; ++k)

@@ -63,9 +63,20 @@ class DsssReceiver {
  public:
   /// Decode a chip-aligned capture whose preamble nominally starts at
   /// `capture[0]` (the MAC/simulation provides coarse alignment, as with
-  /// the OFDM receiver).
+  /// the OFDM receiver). Whole-symbol capture offsets are tolerated within
+  /// the SFD search window: up to 9 extra symbols prepended before the
+  /// SYNC, or up to 7 SYNC symbols missing — the PSDU position follows the
+  /// SFD actually found, not the nominal PLCP length.
   [[nodiscard]] DsssRxResult receive(std::span<const dsp::cfloat> capture) const;
 };
+
+/// DQPSK-modulate already-scrambled bits at 2 Mb/s (Barker-spread, one
+/// symbol per dibit), continuing the differential phase in `phase`. An odd
+/// bit count pads the final symbol's second bit with 0 — the scenario layer
+/// may feed raw bit payloads that are not byte multiples. Exposed so the
+/// padding path is directly testable.
+[[nodiscard]] dsp::cvec dqpsk_spread_bits(std::span<const std::uint8_t> bits,
+                                          double& phase);
 
 /// The deterministic first 2.56 us of the long preamble as the jammer's
 /// 25 MSPS correlator sees it — the 802.11b detection template source.

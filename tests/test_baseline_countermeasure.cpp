@@ -80,6 +80,28 @@ TEST(Countermeasure, VerdictLogic) {
             JammingVerdict::kReactiveJamming);
 }
 
+// Regression: an idle strong-SNR link (zero frames attempted, no starved
+// drops, so observe() synthesises pdr = 1.0) used to fall through the
+// healthy branch's frames_attempted > 0 guard all the way to
+// kReactiveJamming. No traffic is no evidence.
+TEST(Countermeasure, IdleLinkIsNotReactiveJamming) {
+  using net::JammingVerdict;
+  EXPECT_EQ(net::diagnose({1.0, 0.0, 40.0, 0}), JammingVerdict::kNoTraffic);
+  // Via observe(): a default (nothing sent, nothing dropped) run.
+  net::WifiRunResult idle;
+  const net::WifiNetworkConfig config;
+  EXPECT_EQ(net::diagnose(net::observe(idle, config)),
+            JammingVerdict::kNoTraffic);
+  // A saturated medium still indicts a jammer even with zero attempts (the
+  // client never got to transmit at all).
+  EXPECT_EQ(net::diagnose({1.0, 0.95, 40.0, 0}),
+            JammingVerdict::kContinuousJamming);
+  // And zero-attempt windows with starvation evidence (observe() reports
+  // pdr = 0.0) keep their pre-existing classification.
+  EXPECT_EQ(net::diagnose({0.0, 0.0, 40.0, 0}),
+            JammingVerdict::kReactiveJamming);
+}
+
 TEST(Countermeasure, ClassifiesSimulationRuns) {
   // Healthy link.
   {

@@ -47,13 +47,13 @@ CampaignSpec small_spec() {
 
 TEST(CampaignGrid, CoordsAndPointOfRoundTrip) {
   CampaignGrid grid;
-  grid.rates = {phy80211::Rate::kMbps6, phy80211::Rate::kMbps54};
+  grid.rate_indices = {0, 7};  // wifi_ofdm: 6 and 54 Mb/s
   grid.fault_scales = {0.0, 1.0, 2.0};
   grid.snrs_db = {-4.0, 0.0, 4.0, 8.0};
   ASSERT_EQ(grid.num_points(), 24u);
   for (std::size_t p = 0; p < grid.num_points(); ++p) {
     const auto c = grid.coords(p);
-    EXPECT_LT(c.rate_index, grid.rates.size());
+    EXPECT_LT(c.rate_index, grid.rate_indices.size());
     EXPECT_LT(c.scale_index, grid.fault_scales.size());
     EXPECT_LT(c.snr_index, grid.snrs_db.size());
     EXPECT_EQ(grid.point_of(c), p);

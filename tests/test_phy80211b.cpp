@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "dsp/noise.h"
+#include "dsp/resampler.h"
 #include "dsp/rng.h"
 #include "phy80211b/barker.h"
 #include "phy80211b/cck.h"
@@ -158,10 +159,99 @@ TEST_P(DsssRoundTrip, CleanAndNoisyChannel) {
   EXPECT_EQ(noisy.psdu, psdu);
 }
 
+// Regression for the SFD-offset PSDU bug: receive() searches an SFD window
+// to tolerate capture offsets, but used to decode the PSDU from the fixed
+// nominal position plcp_symbols * kBarkerLength — a whole-symbol capture
+// offset then produced a valid header with garbage PSDU. The PSDU position
+// (and differential reference, and descrambler warm-up) must follow the SFD
+// actually found.
+TEST_P(DsssRoundTrip, OffsetCapturePsduFollowsSfd) {
+  const DsssRate rate = GetParam();
+  std::vector<std::uint8_t> psdu(97);
+  dsp::Xoshiro256 rng(0x0FF5E7 + static_cast<std::uint64_t>(rate));
+  for (auto& byte : psdu) byte = static_cast<std::uint8_t>(rng.next());
+  const dsp::cvec wave = DsssTransmitter(rate).transmit(psdu);
+
+  // Extra symbols before the SYNC (late frame), up to the search window's
+  // +9 symbol limit.
+  for (const std::size_t prepend : {2u, 9u}) {
+    dsp::cvec shifted(prepend * kBarkerLength, dsp::cfloat{0.0f, 0.0f});
+    shifted.insert(shifted.end(), wave.begin(), wave.end());
+    const auto r = DsssReceiver().receive(shifted);
+    ASSERT_TRUE(r.header_valid) << "prepend " << prepend;
+    EXPECT_EQ(r.rate, rate) << "prepend " << prepend;
+    EXPECT_EQ(r.psdu, psdu) << "prepend " << prepend;
+  }
+
+  // Missing SYNC symbols (early capture), up to the window's -7 limit.
+  for (const std::size_t drop : {3u, 7u}) {
+    const dsp::cvec clipped(wave.begin() + drop * kBarkerLength, wave.end());
+    const auto r = DsssReceiver().receive(clipped);
+    ASSERT_TRUE(r.header_valid) << "drop " << drop;
+    EXPECT_EQ(r.rate, rate) << "drop " << drop;
+    EXPECT_EQ(r.psdu, psdu) << "drop " << drop;
+  }
+}
+
+// Loopback matrix, impairment: fractional timing offset between TX and RX
+// sample clocks, modelled with the polyphase resampler's fractional-delay
+// grid shift (the same mechanism the detection harness uses).
+TEST_P(DsssRoundTrip, FractionalTimingOffset) {
+  const DsssRate rate = GetParam();
+  std::vector<std::uint8_t> psdu(131);
+  dsp::Xoshiro256 rng(0x7171 + static_cast<std::uint64_t>(rate));
+  for (auto& byte : psdu) byte = static_cast<std::uint8_t>(rng.next());
+  const dsp::cvec wave = DsssTransmitter(rate).transmit(psdu);
+
+  const dsp::Resampler unity(kChipRateHz, kChipRateHz);
+  for (const double delay : {0.125, 0.25}) {
+    const dsp::cvec offset_wave = unity.resample(wave, delay);
+    const auto r = DsssReceiver().receive(offset_wave);
+    ASSERT_TRUE(r.header_valid) << "delay " << delay;
+    EXPECT_EQ(r.psdu, psdu) << "delay " << delay;
+  }
+}
+
+// Loopback matrix, impairment: carrier frequency offset at the harness's
+// |CFO| bound (3 kHz — two free-running N210 oscillators). Differential
+// demodulation absorbs the per-symbol phase ramp.
+TEST_P(DsssRoundTrip, CarrierFrequencyOffset) {
+  const DsssRate rate = GetParam();
+  std::vector<std::uint8_t> psdu(131);
+  dsp::Xoshiro256 rng(0xCF0 + static_cast<std::uint64_t>(rate));
+  for (auto& byte : psdu) byte = static_cast<std::uint8_t>(rng.next());
+  dsp::cvec wave = DsssTransmitter(rate).transmit(psdu);
+
+  const double w = 2.0 * std::numbers::pi * 3000.0 / kChipRateHz;
+  for (std::size_t k = 0; k < wave.size(); ++k) {
+    const double phase = w * static_cast<double>(k);
+    wave[k] *= dsp::cfloat(static_cast<float>(std::cos(phase)),
+                           static_cast<float>(std::sin(phase)));
+  }
+  const auto r = DsssReceiver().receive(wave);
+  ASSERT_TRUE(r.header_valid);
+  EXPECT_EQ(r.psdu, psdu);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllRates, DsssRoundTrip,
                          ::testing::Values(DsssRate::kMbps1, DsssRate::kMbps2,
                                            DsssRate::kMbps5_5,
                                            DsssRate::kMbps11));
+
+TEST(Dsss, DqpskOddBitCountPadsFinalSymbol) {
+  // An odd bit count pads the last symbol's second bit with 0: encoding
+  // {b0..b4} must equal encoding {b0..b4, 0} chip for chip, and the phase
+  // state must advance identically.
+  const std::uint8_t odd_bits[] = {1, 0, 1, 1, 1};
+  const std::uint8_t padded_bits[] = {1, 0, 1, 1, 1, 0};
+  double odd_phase = 0.3, padded_phase = 0.3;
+  const dsp::cvec odd = dqpsk_spread_bits(odd_bits, odd_phase);
+  const dsp::cvec padded = dqpsk_spread_bits(padded_bits, padded_phase);
+  ASSERT_EQ(odd.size(), 3u * kBarkerLength);
+  ASSERT_EQ(odd.size(), padded.size());
+  for (std::size_t k = 0; k < odd.size(); ++k) EXPECT_EQ(odd[k], padded[k]);
+  EXPECT_DOUBLE_EQ(odd_phase, padded_phase);
+}
 
 TEST(Dsss, StrongNoiseBreaksCck) {
   std::vector<std::uint8_t> psdu(120, 0x7E);

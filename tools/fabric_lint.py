@@ -11,8 +11,8 @@ as a CI gate.
 Scopes are assigned per directory: src/fpga gets both the fabric rules
 (float-in-datapath, raw-cast, overflow-multiply) and the deterministic
 rules; src/fault, src/core/sweep.{h,cpp}, src/core/campaign.{h,cpp},
-src/dsp/simd and the telemetry transport src/obs/event_ring.{h,cpp} get
-only the deterministic rules.
+src/core/scenario.{h,cpp}, src/dsp/simd and the telemetry transport
+src/obs/event_ring.{h,cpp} get only the deterministic rules.
 The SIMD DSP kernels are HOST-side vector code — the soft-Viterbi and FFT
 kernels are float by design — so exempting them from float-in-datapath is
 a property of the directory, not of allow-tags, and does not loosen the
@@ -186,7 +186,8 @@ def scoped_files(root: pathlib.Path):
     fpga = sorted((root / "src" / "fpga").glob("**/*"))
     fault = sorted((root / "src" / "fault").glob("**/*"))
     sweep = [root / "src" / "core" / "sweep.h", root / "src" / "core" / "sweep.cpp",
-             root / "src" / "core" / "campaign.h", root / "src" / "core" / "campaign.cpp"]
+             root / "src" / "core" / "campaign.h", root / "src" / "core" / "campaign.cpp",
+             root / "src" / "core" / "scenario.h", root / "src" / "core" / "scenario.cpp"]
     # Host-side SIMD kernels: float vector math is their whole job, so only
     # the deterministic scope applies (see the module docstring).
     simd = sorted((root / "src" / "dsp" / "simd").glob("**/*"))

@@ -1,16 +1,18 @@
-// run_campaign: checkpointable detection campaign over a {rate, fault
-// scale, SNR} grid. The shard store at --store makes the run durable: kill
-// it at any point (SIGKILL included) and rerunning the same command resumes
-// from the last completed shard; the merged CSV is byte-identical to an
+// run_campaign: checkpointable detection campaign over a {target rate,
+// fault scale, SNR} grid for any registered protocol target (core/
+// scenario.h). The shard store at --store makes the run durable: kill it at
+// any point (SIGKILL included) and rerunning the same command resumes from
+// the last completed shard; the merged CSV is byte-identical to an
 // uninterrupted single-process run. --max-shards bounds one invocation for
 // batch windows ("run two hours per night") — the overnight recipe is in
 // EXPERIMENTS.md.
 //
 // Usage:
 //   run_campaign --store campaign.rjfc --csv out.csv
-//     --snrs -4,-2,0,2,4 --rates 6,54 --fault-scales 0,1
-//     --trials 100000 [--threads N] [--shard-trials N] [--max-shards N]
-//     [--seed S] [--psdu-bytes N] [--quiet]
+//     --target wifi_dsss --snrs -4,-2,0,2,4 --rates 1,2,5.5,11
+//     --fault-scales 0,1 --trials 100000 [--threads N] [--shard-trials N]
+//     [--max-shards N] [--seed S] [--psdu-bytes N] [--quiet]
+//   run_campaign --list-targets
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,7 +21,7 @@
 #include <vector>
 
 #include "core/campaign.h"
-#include "core/presets.h"
+#include "core/scenario.h"
 #include "dsp/rng.h"
 #include "fault/fault_experiment.h"
 #include "fault/fault_plan.h"
@@ -29,6 +31,7 @@ namespace {
 using rjf::core::CampaignGrid;
 using rjf::core::CampaignReport;
 using rjf::core::CampaignSpec;
+using rjf::core::ProtocolTarget;
 
 std::vector<double> parse_doubles(const char* arg) {
   std::vector<double> out;
@@ -45,33 +48,49 @@ std::vector<double> parse_doubles(const char* arg) {
   return out;
 }
 
-std::vector<rjf::phy80211::Rate> parse_rates(const char* arg) {
-  std::vector<rjf::phy80211::Rate> out;
+std::vector<std::size_t> parse_rates(const char* arg,
+                                     const ProtocolTarget& target) {
+  std::vector<std::size_t> out;
   for (const double mbps : parse_doubles(arg)) {
     bool found = false;
-    for (const rjf::phy80211::Rate r : rjf::phy80211::all_rates()) {
-      if (rjf::phy80211::rate_params(r).mbps == mbps) {
-        out.push_back(r);
+    for (std::size_t i = 0; i < target.rates.size(); ++i) {
+      if (target.rates[i].mbps == mbps) {
+        out.push_back(i);
         found = true;
         break;
       }
     }
     if (!found) {
-      std::fprintf(stderr, "run_campaign: unknown 802.11a/g rate %g Mbps\n",
-                   mbps);
+      std::fprintf(stderr, "run_campaign: target '%s' has no %g Mbps rate\n",
+                   target.name.c_str(), mbps);
       std::exit(2);
     }
   }
   return out;
 }
 
+int list_targets() {
+  for (const ProtocolTarget& t : rjf::core::protocol_targets()) {
+    std::string rates;
+    for (const rjf::core::TargetRate& r : t.rates) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%s%g", rates.empty() ? "" : ",", r.mbps);
+      rates += buf;
+    }
+    std::printf("%-12s rates %s Mbps  %s\n", t.name.c_str(), rates.c_str(),
+                t.description.c_str());
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
-      "usage: run_campaign --store FILE [--csv FILE] [--snrs a,b,...]\n"
-      "    [--rates mbps,...] [--fault-scales s,...] [--trials N]\n"
-      "    [--threads N] [--shard-trials N] [--max-shards N] [--seed S]\n"
-      "    [--psdu-bytes N] [--quiet]\n");
+      "usage: run_campaign --store FILE [--csv FILE] [--target NAME]\n"
+      "    [--snrs a,b,...] [--rates mbps,...] [--fault-scales s,...]\n"
+      "    [--trials N] [--threads N] [--shard-trials N] [--max-shards N]\n"
+      "    [--seed S] [--psdu-bytes N] [--quiet]\n"
+      "   or: run_campaign --list-targets\n");
   return 2;
 }
 
@@ -85,6 +104,8 @@ int main(int argc, char** argv) {
   spec.grid.trials_per_point = 10000;
   bool quiet = false;
   bool fault_axis = false;
+  const char* rates_arg = nullptr;
+  bool rates_given = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -99,10 +120,15 @@ int main(int argc, char** argv) {
       store_path = next();
     } else if (std::strcmp(a, "--csv") == 0) {
       csv_path = next();
+    } else if (std::strcmp(a, "--target") == 0) {
+      spec.target = next();
+    } else if (std::strcmp(a, "--list-targets") == 0) {
+      return list_targets();
     } else if (std::strcmp(a, "--snrs") == 0) {
       spec.grid.snrs_db = parse_doubles(next());
     } else if (std::strcmp(a, "--rates") == 0) {
-      spec.grid.rates = parse_rates(next());
+      rates_arg = next();
+      rates_given = true;
     } else if (std::strcmp(a, "--fault-scales") == 0) {
       spec.grid.fault_scales = parse_doubles(next());
       fault_axis = true;
@@ -128,13 +154,23 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
+  const ProtocolTarget* target = rjf::core::find_target(spec.target);
+  if (target == nullptr) {
+    std::fprintf(stderr,
+                 "run_campaign: unknown target '%s' (try --list-targets)\n",
+                 spec.target.c_str());
+    return 2;
+  }
+  spec.grid.rate_indices = rates_given ? parse_rates(rates_arg, *target)
+                                       : std::vector<std::size_t>{
+                                             target->default_rate_index};
   if (store_path.empty() || spec.grid.num_points() == 0 ||
       spec.grid.trials_per_point == 0)
     return usage();
 
-  // Paper Fig. 7 personality: short-preamble correlator at the calibrated
-  // false-alarm threshold, 100 us jam bursts.
-  spec.jammer = rjf::core::wifi_reactive_preset(100e-6);
+  // Paper Fig. 7 personality, retargeted: the target's own preamble
+  // correlator at the calibrated false-alarm threshold, 100 us jam bursts.
+  spec.jammer = rjf::core::target_reactive_preset(*target, 100e-6);
   spec.tap = rjf::core::DetectorTap::kXcorr;
 
   if (fault_axis) {
