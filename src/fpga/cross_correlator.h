@@ -68,6 +68,7 @@ class CrossCorrelator {
   /// the most recent kCorrelatorLength samples. Bit-parallel fast path;
   /// defined inline so the block-processing loop keeps the plane masks and
   /// sign words in registers.
+  // rjf: realtime
   Output step(dsp::IQ16 sample) noexcept {
     // MSB slice (Fig. 3): shift the new sign bit in at the bottom; the tap
     // that ages out of the 64-sample window falls off the top.

@@ -29,6 +29,7 @@ void DspCore::finish_tick(CoreOutput& out) noexcept {
   feedback_.vita_ticks = vita_ticks_;
 }
 
+// rjf: realtime
 void DspCore::emit_tick(const CoreOutput& out) noexcept {
   const std::uint64_t vita = vita_ticks_;
   using obs::EventKind;
@@ -119,6 +120,7 @@ CoreOutput DspCore::idle_tick() noexcept {
   return out;
 }
 
+// rjf: realtime
 CoreOutput DspCore::tick(std::optional<dsp::IQ16> rx) noexcept {
   const bool strobe = (strobe_phase_ == 0);
   strobe_phase_ = hw::wrap_inc(strobe_phase_);  // 2-bit wrap == mod 4
@@ -249,6 +251,7 @@ void DspCore::run_block_body(std::span<const dsp::IQ16> rx,
   feedback_.vita_ticks = vita_ticks_;
 }
 
+// rjf: realtime
 void DspCore::run_block(std::span<const dsp::IQ16> rx,
                         std::span<CoreOutput> out) noexcept {
   if (out.size() < rx.size() * kClocksPerSample) {
@@ -264,13 +267,15 @@ void DspCore::run_block(std::span<const dsp::IQ16> rx,
       for (std::uint32_t c = 1; c < kClocksPerSample; ++c)
         out[o++] = tick(std::nullopt);
     }
-    if (ring_ != nullptr) ring_->drain_if_inline();
+    // Inline drain is the single-thread consumer seam: it runs at the block
+    // boundary, outside the wait-free producer window.
+    if (ring_ != nullptr) ring_->drain_if_inline();  // rjf-analyze: allow(realtime.call)
     return;
   }
 
   if (ring_ != nullptr) {
     run_block_body<true>(rx, out);
-    ring_->drain_if_inline();
+    ring_->drain_if_inline();  // rjf-analyze: allow(realtime.call)
   } else {
     run_block_body<false>(rx, out);
   }

@@ -39,6 +39,7 @@ bool EventRing::try_push(const RingRecord& record) noexcept {
   return true;
 }
 
+// rjf: realtime
 bool EventRing::push_event(EventKind kind, std::uint64_t vita_ticks,
                            std::uint64_t value) noexcept {
   if (level_ == ObsLevel::kOff) return false;
@@ -50,6 +51,7 @@ bool EventRing::push_event(EventKind kind, std::uint64_t vita_ticks,
   return try_push(r);
 }
 
+// rjf: realtime
 bool EventRing::push_strobe(const FabricSignals& signals) noexcept {
   RingRecord r{};
   r.vita_ticks = signals.vita_ticks;

@@ -135,6 +135,7 @@ class EventRing {
   /// `interesting` strobes (detector edge / jam trigger) bypass decimation
   /// without perturbing the countdown, so the 1-in-N phase stays a pure
   /// function of the strobe sequence. Counts suppressed strobes.
+  // rjf: realtime
   [[nodiscard]] bool strobe_gate(bool interesting) noexcept {
     if (!want_probes()) return false;
     if (strobe_countdown_ == 0) {

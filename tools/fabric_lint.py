@@ -1,427 +1,27 @@
 #!/usr/bin/env python3
-"""Fabric synthesizability linter.
+"""Compatibility shim: fabric_lint is now the `fabric` pass of rjf_analyze.
 
-The cycle-accurate FPGA model in src/fpga stands in for RTL: everything in
-it must be expressible as fixed-point fabric logic, and everything in the
-deterministic subsystems (src/fpga, src/core/sweep, src/fault,
-src/dsp/simd) must stay bit-reproducible across runs and thread counts.
-The C++ type system cannot enforce either property, so this linter does,
-as a CI gate.
+The six synthesizability/determinism rules (float-in-datapath, raw-cast,
+overflow-multiply, static-state, unordered-iteration, wall-clock-or-rand),
+their scopes, and the `// fabric-lint: allow(<rule>)` escapes live in
+tools/rjf_analyze/fabric_pass.py, sharing the suite's comment/string-aware
+lexer. This wrapper preserves the historical CLI:
 
-Scopes are assigned per directory: src/fpga gets both the fabric rules
-(float-in-datapath, raw-cast, overflow-multiply) and the deterministic
-rules; src/fault, src/core/sweep.{h,cpp}, src/core/campaign.{h,cpp},
-src/core/scenario.{h,cpp}, src/dsp/simd and the telemetry transport
-src/obs/event_ring.{h,cpp} get only the deterministic rules.
-The SIMD DSP kernels are HOST-side vector code — the soft-Viterbi and FFT
-kernels are float by design — so exempting them from float-in-datapath is
-a property of the directory, not of allow-tags, and does not loosen the
-fabric scope one line.  The event ring sits on the producers' hot path and
-its record stream feeds byte-reproducible trace exports, so hidden state,
-unordered iteration or ambient time/entropy in it would leak straight into
-the determinism guarantees.
+  python3 tools/fabric_lint.py --root .      # == rjf_analyze --pass fabric
+  python3 tools/fabric_lint.py --self-test
+  python3 tools/fabric_lint.py --list-rules
 
-Rules (see DESIGN.md section 11 for the full table):
-
-  float-in-datapath   float/double types or floating literals in src/fpga.
-                      The fabric has no FPU; continuous-domain conversions
-                      belong on the host side of the register bus
-                      (core/fabric_units.h).
-  raw-cast            static_cast/reinterpret_cast to a sized integer type
-                      in src/fpga outside hw_int.h. Width changes must be
-                      spelled as wrap/truncate/sat/narrow on hw::UInt/Int so
-                      every lossy conversion is a declared RTL operation.
-  overflow-multiply   a narrowing integer cast applied directly to a `*`
-                      expression (the `static_cast<uint32_t>(a * b)` idiom):
-                      the multiply runs at the unwidened operand type and
-                      can invoke signed-overflow UB before the cast.
-  static-state        thread_local or mutable static data in deterministic
-                      subsystems; hidden cross-call state breaks trial
-                      independence (see PR 3's thread_local cache bug).
-  unordered-iteration std::unordered_{map,set} in deterministic subsystems:
-                      iteration order is implementation-defined, which leaks
-                      nondeterminism into anything order-sensitive.
-  wall-clock-or-rand  wall clocks (steady/system/high_resolution ::now) or
-                      ambient randomness (std::rand, random_device) in
-                      deterministic subsystems; time and entropy must come
-                      in through explicit seeds/parameters.
-
-Escape hatch: append `// fabric-lint: allow(<rule>)` to the offending line,
-ideally with a justification after the tag. The tag must name the rule it
-suppresses; an allow for a different rule does not match.
-
-Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
-
-`--self-test` seeds one violation per rule in a temp tree, asserts the lint
-reports exactly those six, then asserts an allow-tag suppresses each. CI
-runs the self-test first so a silently broken rule cannot pass the gate.
+Exit codes unchanged: 0 clean, 1 findings, 2 configuration error.
 """
 
-from __future__ import annotations
-
-import argparse
 import pathlib
-import re
 import sys
-import tempfile
 
-# ---------------------------------------------------------------------------
-# Rule table
+_PKG = str(pathlib.Path(__file__).resolve().parent / "rjf_analyze")
+if _PKG not in sys.path:
+    sys.path.insert(0, _PKG)
 
-
-class Rule:
-    def __init__(self, rid, scope, matcher, message):
-        self.rid = rid
-        self.scope = scope  # 'fpga' | 'deterministic'
-        self.matcher = matcher  # callable(code_line) -> bool
-        self.message = message
-
-
-FLOAT_RE = re.compile(
-    r"\b(float|double)\b"
-    r"|\b\d+\.\d*(e[+-]?\d+)?f?\b"
-    r"|\b\d+e[+-]?\d+f?\b",
-    re.IGNORECASE,
-)
-
-SIZED_INT = r"(std::)?(u?int(8|16|32|64)_t|__u?int128(_t)?|unsigned\s+__int128)"
-RAW_CAST_RE = re.compile(
-    r"\b(static_cast|reinterpret_cast)\s*<\s*" + SIZED_INT + r"\s*>"
-)
-# A narrowing cast whose operand expression contains a multiply at the top
-# parenthesis level: static_cast<uint32_t>(a * b).
-OVERFLOW_MUL_RE = re.compile(
-    r"\bstatic_cast\s*<\s*(std::)?u?int(8|16|32)_t\s*>\s*\([^()]*\*[^()]*\)"
-)
-
-UNORDERED_RE = re.compile(r"\bstd::unordered_(map|set|multimap|multiset)\b")
-
-WALLCLOCK_RE = re.compile(
-    r"\b(steady_clock|system_clock|high_resolution_clock)\b"
-    r"|\bstd::rand\b|\bsrand\s*\(|\brandom_device\b"
-)
-
-# `\bstatic\b` does not match inside static_assert/static_cast (underscore
-# is a word character), so those need no special-casing.
-STATIC_KW_RE = re.compile(r"\bstatic\b\s*(inline\b\s*)?(?P<rest>.*)$")
-THREAD_LOCAL_RE = re.compile(r"\bthread_local\b")
-
-
-def _is_mutable_static(code: str) -> bool:
-    """Match static data declarations (namespace-scope or function-local),
-    not static member functions or static const/constexpr tables."""
-    if THREAD_LOCAL_RE.search(code):
-        return True
-    m = STATIC_KW_RE.search(code)
-    if not m:
-        return False
-    rest = m.group("rest")
-    if re.match(r"(const\b|constexpr\b|consteval\b)", rest):
-        return False
-    # A '(' before any '=' means a function declaration/definition.
-    eq = rest.find("=")
-    par = rest.find("(")
-    if par != -1 and (eq == -1 or par < eq):
-        return False
-    return True
-
-
-RULES = [
-    Rule(
-        "float-in-datapath",
-        "fpga",
-        lambda code: FLOAT_RE.search(code) is not None,
-        "float/double in fabric datapath code (convert at the host boundary,"
-        " core/fabric_units.h)",
-    ),
-    Rule(
-        "raw-cast",
-        "fpga",
-        lambda code: RAW_CAST_RE.search(code) is not None,
-        "raw arithmetic cast outside hw_int.h (use hw::UInt/Int"
-        " wrap/truncate/sat/narrow)",
-    ),
-    Rule(
-        "overflow-multiply",
-        "fpga",
-        lambda code: OVERFLOW_MUL_RE.search(code) is not None,
-        "narrowing cast wrapped around a multiply: the product is computed"
-        " at the unwidened type (UB for signed operands); square/multiply in"
-        " the exact widened hw type, then wrap/truncate",
-    ),
-    Rule(
-        "static-state",
-        "deterministic",
-        _is_mutable_static,
-        "thread_local/mutable static state in a deterministic subsystem",
-    ),
-    Rule(
-        "unordered-iteration",
-        "deterministic",
-        lambda code: UNORDERED_RE.search(code) is not None,
-        "unordered container in a deterministic subsystem (iteration order"
-        " is implementation-defined)",
-    ),
-    Rule(
-        "wall-clock-or-rand",
-        "deterministic",
-        lambda code: WALLCLOCK_RE.search(code) is not None,
-        "wall clock or ambient randomness in a deterministic subsystem"
-        " (inject time/seeds explicitly)",
-    ),
-]
-
-ALLOW_RE = re.compile(r"fabric-lint:\s*allow\(([a-z-]+)\)")
-
-# Files whose entire purpose is to confine the raw-cast machinery.
-CAST_EXEMPT = {"hw_int.h"}
-
-
-# ---------------------------------------------------------------------------
-# Scope resolution
-
-
-def scoped_files(root: pathlib.Path):
-    """Yield (path, scopes) for every file the linter covers."""
-    fpga = sorted((root / "src" / "fpga").glob("**/*"))
-    fault = sorted((root / "src" / "fault").glob("**/*"))
-    sweep = [root / "src" / "core" / "sweep.h", root / "src" / "core" / "sweep.cpp",
-             root / "src" / "core" / "campaign.h", root / "src" / "core" / "campaign.cpp",
-             root / "src" / "core" / "scenario.h", root / "src" / "core" / "scenario.cpp"]
-    # Host-side SIMD kernels: float vector math is their whole job, so only
-    # the deterministic scope applies (see the module docstring).
-    simd = sorted((root / "src" / "dsp" / "simd").glob("**/*"))
-    # Telemetry transport: the SPSC ring must stay free of hidden state and
-    # ambient time/entropy or traces stop being byte-reproducible.
-    obs = [root / "src" / "obs" / "event_ring.h",
-           root / "src" / "obs" / "event_ring.cpp"]
-    seen = {}
-    for p in fpga:
-        if p.suffix in (".h", ".cpp"):
-            seen.setdefault(p, set()).update({"fpga", "deterministic"})
-    for p in fault + sweep + simd + obs:
-        if p.suffix in (".h", ".cpp") and p.exists():
-            seen.setdefault(p, set()).add("deterministic")
-    return sorted(seen.items())
-
-
-# ---------------------------------------------------------------------------
-# Comment/string stripping (line oriented; tracks /* */ across lines)
-
-
-def strip_code(lines):
-    """Return (code_lines, raw_lines): code with comments and string/char
-    literals blanked, so rule regexes only see real code tokens."""
-    out = []
-    in_block = False
-    for raw in lines:
-        code = []
-        i = 0
-        n = len(raw)
-        while i < n:
-            if in_block:
-                j = raw.find("*/", i)
-                if j == -1:
-                    i = n
-                else:
-                    in_block = False
-                    i = j + 2
-                continue
-            c = raw[i]
-            if c == "/" and i + 1 < n and raw[i + 1] == "/":
-                break  # rest of line is a comment
-            if c == "/" and i + 1 < n and raw[i + 1] == "*":
-                in_block = True
-                i += 2
-                continue
-            if c in "\"'":
-                quote = c
-                code.append(quote)
-                i += 1
-                while i < n:
-                    if raw[i] == "\\":
-                        i += 2
-                        continue
-                    if raw[i] == quote:
-                        i += 1
-                        break
-                    i += 1
-                code.append(quote)
-                continue
-            code.append(c)
-            i += 1
-        out.append("".join(code))
-    return out
-
-
-# ---------------------------------------------------------------------------
-# Lint driver
-
-
-def lint_file(path: pathlib.Path, scopes, root: pathlib.Path):
-    raw_lines = path.read_text(encoding="utf-8").splitlines()
-    code_lines = strip_code(raw_lines)
-    rel = path.relative_to(root)
-    violations = []
-    for lineno, (code, raw) in enumerate(zip(code_lines, raw_lines), start=1):
-        allows = set(ALLOW_RE.findall(raw))
-        # A narrowing cast of a multiply is also a raw cast; report only the
-        # more specific overflow-multiply diagnosis for that line.
-        mul_hit = OVERFLOW_MUL_RE.search(code) is not None
-        for rule in RULES:
-            if rule.scope not in scopes:
-                continue
-            if rule.rid in ("raw-cast", "overflow-multiply") and path.name in CAST_EXEMPT:
-                continue
-            if rule.rid == "raw-cast" and mul_hit:
-                continue
-            if not rule.matcher(code):
-                continue
-            if rule.rid in allows:
-                continue
-            violations.append((rel, lineno, rule.rid, rule.message))
-    return violations
-
-
-def run_lint(root: pathlib.Path) -> list:
-    violations = []
-    for path, scopes in scoped_files(root):
-        violations.extend(lint_file(path, scopes, root))
-    return violations
-
-
-# ---------------------------------------------------------------------------
-# Self-test: seed exactly one violation per rule, check detection and the
-# allow-tag escape hatch.
-
-SEEDS = {
-    "float-in-datapath": ("src/fpga/seed_float.cpp", "double gain = 0.5;\n"),
-    "raw-cast": (
-        "src/fpga/seed_cast.cpp",
-        "std::uint32_t f(long v) { return static_cast<std::uint32_t>(v); }\n",
-    ),
-    "overflow-multiply": (
-        "src/fpga/seed_mul.cpp",
-        "std::uint32_t sq(int re) { return static_cast<std::uint32_t>(re * re); }\n",
-    ),
-    "static-state": (
-        "src/fault/seed_static.cpp",
-        "int next_id() { static int counter = 0; return ++counter; }\n",
-    ),
-    "unordered-iteration": (
-        "src/core/sweep.h",
-        "#include <unordered_map>\nstd::unordered_map<int, int> trials;\n",
-    ),
-    "wall-clock-or-rand": (
-        "src/fault/seed_clock.cpp",
-        "auto t0() { return std::chrono::steady_clock::now(); }\n",
-    ),
-}
-
-
-def self_test() -> int:
-    with tempfile.TemporaryDirectory() as td:
-        root = pathlib.Path(td)
-        for rid, (rel, body) in SEEDS.items():
-            p = root / rel
-            p.parent.mkdir(parents=True, exist_ok=True)
-            # Appending keeps one file per seed even when two share a path.
-            with open(p, "a", encoding="utf-8") as f:
-                f.write(body)
-        found = run_lint(root)
-        got = {(str(rel), rid) for rel, _, rid, _ in found}
-        want = {(seed_rel, rid) for rid, (seed_rel, _) in SEEDS.items()}
-        # The unordered-iteration seed's include line is comment-free code;
-        # only the declaration line should fire, and only for its rule.
-        if got != want:
-            print("fabric_lint self-test FAILED")
-            print("  expected:", sorted(want))
-            print("  got:     ", sorted(got))
-            return 1
-        per_rule = {}
-        for _, _, rid, _ in found:
-            per_rule[rid] = per_rule.get(rid, 0) + 1
-        if any(count != 1 for count in per_rule.values()) or len(per_rule) != len(RULES):
-            print("fabric_lint self-test FAILED: expected exactly one violation per rule,",
-                  "got", per_rule)
-            return 1
-
-        # Now tag every seeded line and assert full suppression.
-        for rid, (rel, _) in SEEDS.items():
-            p = root / rel
-            tagged = [
-                line + f"  // fabric-lint: allow({rid})" if line.strip() else line
-                for line in p.read_text(encoding="utf-8").splitlines()
-            ]
-            p.write_text("\n".join(tagged) + "\n", encoding="utf-8")
-        residue = run_lint(root)
-        if residue:
-            print("fabric_lint self-test FAILED: allow-tags did not suppress:")
-            for rel, lineno, rid, _ in residue:
-                print(f"  {rel}:{lineno}: [{rid}]")
-            return 1
-
-    # Scope-boundary case (second tree): src/dsp/simd is deterministic-only,
-    # so a float there must NOT fire while a wall clock in the same file
-    # must — and the identical float line in src/fpga must still fire.
-    with tempfile.TemporaryDirectory() as td:
-        root = pathlib.Path(td)
-        simd_rel = "src/dsp/simd/seed_kernel.cpp"
-        fpga_rel = "src/fpga/seed_boundary.cpp"
-        for rel, body in (
-            (simd_rel,
-             "float gain = 0.5f;\n"
-             "auto t0() { return std::chrono::steady_clock::now(); }\n"),
-            (fpga_rel, "float gain = 0.5f;\n"),
-        ):
-            p = root / rel
-            p.parent.mkdir(parents=True, exist_ok=True)
-            p.write_text(body, encoding="utf-8")
-        got = {(str(rel), rid) for rel, _, rid, _ in run_lint(root)}
-        want = {(simd_rel, "wall-clock-or-rand"),
-                (fpga_rel, "float-in-datapath")}
-        if got != want:
-            print("fabric_lint self-test FAILED (simd scope boundary)")
-            print("  expected:", sorted(want))
-            print("  got:     ", sorted(got))
-            return 1
-
-    print(f"fabric_lint self-test OK: {len(RULES)} rules seeded, caught, and"
-          " suppressed via allow-tags; simd scope boundary holds")
-    return 0
-
-
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--root", default=".", help="repository root (default: cwd)")
-    ap.add_argument("--self-test", action="store_true",
-                    help="seed one violation per rule and verify detection")
-    ap.add_argument("--list-rules", action="store_true")
-    args = ap.parse_args()
-
-    if args.list_rules:
-        for rule in RULES:
-            print(f"{rule.rid:20s} [{rule.scope}] {rule.message}")
-        return 0
-    if args.self_test:
-        return self_test()
-
-    root = pathlib.Path(args.root).resolve()
-    if not (root / "src" / "fpga").is_dir():
-        print(f"fabric_lint: no src/fpga under {root}", file=sys.stderr)
-        return 2
-    violations = run_lint(root)
-    for rel, lineno, rid, message in violations:
-        print(f"{rel}:{lineno}: [{rid}] {message}")
-    if violations:
-        print(f"fabric_lint: {len(violations)} violation(s); append"
-              " '// fabric-lint: allow(<rule>)' with a justification only"
-              " where the finding is a modelling-report exception")
-        return 1
-    files = len(scoped_files(root))
-    print(f"fabric_lint: clean ({files} files, {len(RULES)} rules)")
-    return 0
-
+from cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(["--pass", "fabric", *sys.argv[1:]]))

@@ -1,0 +1,3 @@
+"""rjf_analyze: multi-pass static analysis for the reactive-jamming
+framework tree. Run as `python3 tools/rjf_analyze --root .`; see
+DESIGN.md section 15 for the architecture."""

@@ -1,0 +1,18 @@
+"""Package entry point: `python3 tools/rjf_analyze [options]`.
+
+When run as `python3 <dir>`, sys.path[0] is the package directory itself,
+so the flat intra-package imports (`from base import ...`) resolve. When
+run as `python3 -m`, make sure the package dir is importable too.
+"""
+
+import pathlib
+import sys
+
+_HERE = str(pathlib.Path(__file__).resolve().parent)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+from cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Pass protocol, findings, and the analysis context shared by passes."""
+
+from __future__ import annotations
+
+import pathlib
+
+from lexer import FileCache
+
+
+class Finding:
+    """One diagnostic: file:line, pass-qualified rule, human message."""
+
+    __slots__ = ("rel", "line", "pass_id", "rule", "message")
+
+    def __init__(self, rel, line, pass_id, rule, message):
+        self.rel = str(rel)
+        self.line = int(line)
+        self.pass_id = pass_id
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (self.rel, self.line, self.pass_id, self.rule)
+
+    def __repr__(self):
+        return f"{self.rel}:{self.line}: [{self.pass_id}.{self.rule}]"
+
+    def as_dict(self):
+        return {
+            "file": self.rel,
+            "line": self.line,
+            "pass": self.pass_id,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class PassResult:
+    def __init__(self, pass_id):
+        self.pass_id = pass_id
+        self.findings: list[Finding] = []
+        self.files_scanned = 0
+        self.stats: dict = {}
+        self.errors: list[str] = []  # configuration problems (exit 2)
+
+    def add(self, rel, line, rule, message):
+        self.findings.append(Finding(rel, line, self.pass_id, rule, message))
+
+
+class Context:
+    """What a pass gets to look at: the repo root, the lexed-file cache,
+    and (when present) the CMake compile database."""
+
+    def __init__(self, root: pathlib.Path, compdb=None):
+        self.root = pathlib.Path(root).resolve()
+        self.files = FileCache(self.root)
+        self.compdb = compdb  # compdb.CompileDb or None
+
+    def src_files(self, *subdirs):
+        """All .h/.cpp files under root/<subdir>/ (default: src/), sorted.
+
+        When a compile database is loaded, any of its translation units
+        that live under the requested subtrees are unioned in, so the
+        analyzer's universe can never silently lag behind the build's.
+        """
+        roots = [self.root / s for s in (subdirs or ("src",))]
+        seen = set()
+        for base in roots:
+            if not base.is_dir():
+                continue
+            for p in sorted(base.glob("**/*")):
+                if p.suffix in (".h", ".cpp") and p.is_file():
+                    seen.add(p.resolve())
+        if self.compdb is not None:
+            for tu in self.compdb.translation_units():
+                for base in roots:
+                    if tu.is_relative_to(base):
+                        seen.add(tu)
+        return sorted(seen)
+
+
+class Pass:
+    """Base class. Subclasses set pass_id/title and implement run() plus
+    self_test(); rules() feeds --list-rules and the report rule table."""
+
+    pass_id = "?"
+    title = "?"
+
+    def rules(self):
+        raise NotImplementedError
+
+    def run(self, ctx: Context) -> PassResult:
+        raise NotImplementedError
+
+    def self_test(self) -> int:
+        """Return 0 on success, nonzero on failure (prints its own story)."""
+        raise NotImplementedError

@@ -1,0 +1,143 @@
+"""Command-line driver for the rjf_analyze suite.
+
+Usage:
+  python3 tools/rjf_analyze --root . [options]
+
+Options:
+  --root DIR              repository root (default: cwd)
+  --pass a,b,...          run only the named passes (default: all)
+  --self-test             run every pass's seeded-violation self-test
+  --list-rules            print the pass/rule table and exit
+  --report FILE           write the machine-readable JSON report
+  --compile-commands FILE explicit compile_commands.json (default: probe
+                          build/, build-scalar/, build-debug/)
+
+Exit codes: 0 clean, 1 findings, 2 configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+import compdb as compdb_mod
+from base import Context
+from fabric_pass import FabricPass
+from layering_pass import LayeringPass
+from realtime_pass import RealtimePass
+from seed_pass import SeedPass
+import report as report_mod
+
+ALL_PASSES = (FabricPass, LayeringPass, SeedPass, RealtimePass)
+
+
+def _select_passes(spec):
+    registry = {cls.pass_id: cls for cls in ALL_PASSES}
+    if not spec:
+        return [cls() for cls in ALL_PASSES]
+    out = []
+    for pid in spec.split(","):
+        pid = pid.strip()
+        if pid not in registry:
+            raise SystemExit(
+                f"rjf_analyze: unknown pass '{pid}' "
+                f"(known: {', '.join(sorted(registry))})")
+        out.append(registry[pid]())
+    return out
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="rjf_analyze",
+        description="Multi-pass static analysis for the reactive-jamming "
+                    "framework tree (fabric lint, layering DAG, seed "
+                    "discipline, realtime safety).")
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--pass", dest="passes", default="",
+                    help="comma-separated pass ids (default: all)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run seeded-violation self-tests and exit")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the pass/rule table and exit")
+    ap.add_argument("--report", default="",
+                    help="write machine-readable JSON report here")
+    ap.add_argument("--compile-commands", default="",
+                    help="explicit compile_commands.json path")
+    args = ap.parse_args(argv)
+
+    passes = _select_passes(args.passes)
+
+    if args.list_rules:
+        for p in passes:
+            print(f"{p.pass_id}: {p.title}")
+            for rule, desc in sorted(p.rules().items()):
+                print(f"  {p.pass_id}.{rule:<24} {desc}")
+        return 0
+
+    if args.self_test:
+        failures = 0
+        for p in passes:
+            print(f"self-test: {p.pass_id} ({p.title})")
+            failures += p.self_test()
+        if failures:
+            print(f"rjf_analyze: SELF-TEST FAILED ({failures} failure(s))")
+            return 1
+        print(f"rjf_analyze: self-test OK ({len(passes)} pass(es))")
+        return 0
+
+    root = pathlib.Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"rjf_analyze: no src/ under {root} — wrong --root?",
+              file=sys.stderr)
+        return 2
+
+    try:
+        db = compdb_mod.load(root, args.compile_commands or None)
+    except FileNotFoundError as exc:
+        print(f"rjf_analyze: compile database not found: {exc}",
+              file=sys.stderr)
+        return 2
+
+    ctx = Context(root, compdb=db)
+    if db is None:
+        print("rjf_analyze: no compile_commands.json found; "
+              "falling back to globbing src/")
+
+    results = []
+    config_errors = []
+    for p in passes:
+        result = p.run(ctx)
+        results.append((p, result))
+        config_errors.extend(f"[{p.pass_id}] {e}" for e in result.errors)
+
+    rep = report_mod.build_report(root, db.path if db else None, results)
+    if args.report:
+        report_mod.write_report(args.report, rep)
+
+    total = 0
+    for p, result in results:
+        n = len(result.findings)
+        total += n
+        stat_bits = []
+        if "subsystem_edges_observed" in result.stats:
+            stat_bits.append(
+                f"{len(result.stats['subsystem_edges_observed'])} layer edges")
+        if "closure_functions" in result.stats:
+            stat_bits.append(
+                f"closure of {result.stats['closure_functions']} functions")
+        extra = f" ({', '.join(stat_bits)})" if stat_bits else ""
+        print(f"[{p.pass_id}] {result.files_scanned} files, "
+              f"{n} finding(s){extra}")
+        for f in sorted(result.findings, key=lambda f: f.key()):
+            print(f"  {f.rel}:{f.line}: [{f.pass_id}.{f.rule}] {f.message}")
+
+    if config_errors:
+        for err in config_errors:
+            print(f"rjf_analyze: config error: {err}", file=sys.stderr)
+        return 2
+    if total:
+        print(f"rjf_analyze: {total} finding(s)")
+        return 1
+    print("rjf_analyze: clean")
+    return 0

@@ -1,0 +1,87 @@
+"""CMake compile_commands.json loader.
+
+The analyzer is driven by the same compile database clang-tidy uses
+(CMAKE_EXPORT_COMPILE_COMMANDS ON at the top level), so "what the build
+compiles" and "what the analyzer sees" cannot drift: translation units
+are enumerated from the database, and include resolution uses the -I
+paths the compiler was actually given. When no database exists (fresh
+checkout, no configure yet) the passes fall back to globbing src/ and
+resolving includes against the conventional -I src root, and the report
+records that the run was glob-driven.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shlex
+
+
+class CompileDb:
+    def __init__(self, path: pathlib.Path, root: pathlib.Path):
+        self.path = path
+        self.root = root
+        self._tus: list[pathlib.Path] = []
+        self._include_dirs: list[pathlib.Path] = []
+        entries = json.loads(path.read_text(encoding="utf-8"))
+        inc_seen = set()
+        for entry in entries:
+            directory = pathlib.Path(entry.get("directory", "."))
+            file_path = (directory / entry["file"]).resolve() \
+                if not pathlib.Path(entry["file"]).is_absolute() \
+                else pathlib.Path(entry["file"]).resolve()
+            self._tus.append(file_path)
+            args = entry.get("arguments")
+            if args is None:
+                args = shlex.split(entry.get("command", ""))
+            it = iter(range(len(args)))
+            for i in it:
+                arg = args[i]
+                inc = None
+                if arg == "-I" and i + 1 < len(args):
+                    inc = args[i + 1]
+                elif arg.startswith("-I") and len(arg) > 2:
+                    inc = arg[2:]
+                elif arg.startswith("-isystem"):
+                    continue  # system dirs are outside the layering model
+                if inc:
+                    p = (directory / inc).resolve() \
+                        if not pathlib.Path(inc).is_absolute() \
+                        else pathlib.Path(inc).resolve()
+                    if p not in inc_seen:
+                        inc_seen.add(p)
+                        self._include_dirs.append(p)
+        self._tus = sorted(set(self._tus))
+
+    def translation_units(self):
+        return list(self._tus)
+
+    def include_dirs(self):
+        """Project include dirs from the build, repo-internal ones first."""
+        internal = [p for p in self._include_dirs
+                    if p.is_relative_to(self.root)]
+        external = [p for p in self._include_dirs
+                    if not p.is_relative_to(self.root)]
+        return internal + external
+
+
+def load(root: pathlib.Path, explicit: str | None = None):
+    """Load the compile database. `explicit` wins; otherwise probe the
+    conventional build directories. Returns None when absent."""
+    root = pathlib.Path(root).resolve()
+    candidates = []
+    if explicit:
+        candidates.append(pathlib.Path(explicit))
+    else:
+        for build in ("build", "build-scalar", "build-debug"):
+            candidates.append(root / build / "compile_commands.json")
+    for cand in candidates:
+        if cand.is_file():
+            try:
+                return CompileDb(cand.resolve(), root)
+            except (json.JSONDecodeError, KeyError, OSError):
+                if explicit:
+                    raise
+    if explicit:
+        raise FileNotFoundError(explicit)
+    return None

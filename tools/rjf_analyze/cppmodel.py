@@ -1,0 +1,333 @@
+"""Lightweight structural model of C++ sources for the realtime pass.
+
+This is not a compiler front end — it is a brace-and-statement scanner on
+the shared lexer's comment/string-stripped view, built to answer exactly
+the questions the realtime-safety call-graph pass asks:
+
+  * which functions are DEFINED in the scanned set, with their bodies as
+    (line, code) pairs — including methods defined inline at class scope
+    and out-of-class `Cls::name(...)` definitions;
+  * which functions carry the `// rjf: realtime` annotation (comment
+    lines immediately above the definition, or trailing on its header);
+  * what the declared type of each class data member and each function
+    parameter is (so `ring_->push_event(...)` resolves to
+    `EventRing::push_event`);
+  * which method names are declared `virtual` anywhere in the set.
+
+Known, accepted approximations (documented in DESIGN.md section 15):
+overloads collapse per name, operators and lambdas are not modelled as
+callees, and preprocessor conditionals are ignored (both arms scanned
+when both are present textually). The pass is conservative about what it
+cannot resolve: an unresolvable call is simply not traversed.
+"""
+
+from __future__ import annotations
+
+import re
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "decltype",
+    "alignas", "alignof", "noexcept", "static_assert", "new", "delete",
+    "throw", "assert", "defined", "do", "else", "case", "goto", "co_await",
+    "co_return", "co_yield", "requires", "typeid",
+}
+
+ATTR_RE = re.compile(r"\[\[[^\]]*\]\]|__attribute__\s*\(\(.*?\)\)")
+NAMESPACE_RE = re.compile(
+    r'^\s*(inline\s+)?namespace\b|^\s*extern\s*"')
+CLASS_RE = re.compile(r"\b(class|struct|union)\s+([A-Za-z_]\w*)[^;=()]*$")
+ENUM_RE = re.compile(r"\benum\b")
+LAMBDA_TAIL_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(\([^()]*\))?\s*(mutable\b|noexcept\b|->[\w:<>&*\s]+)*\s*$")
+FUNC_NAME_RE = re.compile(r"((?:[A-Za-z_]\w*::)*)(~?[A-Za-z_]\w*)\s*\(")
+MEMBER_RE = re.compile(
+    r"^(?P<type>[\w:<>,\s*&]+?)[\s*&]+(?P<name>[A-Za-z_]\w*)\s*"
+    r"(=[^;]*|\{[^{}]*\})?$")
+PARAM_RE = re.compile(
+    r"^(?P<type>[\w:<>,\s*&\.]+?)[\s*&]+(?P<name>[A-Za-z_]\w*)\s*(=.*)?$")
+ACCESS_RE = re.compile(r"\b(public|private|protected)\s*:")
+REALTIME_RE = re.compile(r"//\s*rjf:\s*realtime\b")
+TEMPLATE_CALL_RE = re.compile(r"(\w)\s*<[^<>()]*>\s*\(")
+CALL_RE = re.compile(
+    r"(?:(?P<recv>\b[A-Za-z_]\w*)\s*(?P<op>\.|->)\s*)?"
+    r"(?P<qual>(?:[A-Za-z_]\w*::)*)(?P<name>~?[A-Za-z_]\w*)\s*\(")
+
+
+def normalize_type(text: str) -> str:
+    """'const obs::EventRing*' -> 'EventRing'; 'hw::UInt<2>' -> 'UInt'."""
+    t = text.strip()
+    t = re.sub(r"\b(const|volatile|mutable|static|constexpr|inline"
+               r"|typename|struct|class)\b", " ", t)
+    t = t.replace("*", " ").replace("&", " ").strip()
+    t = t.split("<", 1)[0].strip()
+    if not t:
+        return ""
+    last = t.split()[-1] if t.split() else t
+    return last.rsplit("::", 1)[-1]
+
+
+class Function:
+    def __init__(self, sf, cls, name, header_line, header_text):
+        self.sf = sf                  # SourceFile of the definition
+        self.cls = cls                # enclosing/qualifying class or None
+        self.name = name
+        self.qualified = f"{cls}::{name}" if cls else name
+        self.header_line = header_line
+        self.header_text = header_text
+        self.body = []                # list of (lineno, code_fragment)
+        self.params = {}              # param name -> normalized type
+        self.realtime = False
+
+    def __repr__(self):
+        return f"<fn {self.qualified} @{self.sf.rel}:{self.header_line}>"
+
+
+class FileModel:
+    def __init__(self, sf):
+        self.sf = sf
+        self.functions: list[Function] = []
+        self.members: dict[str, dict[str, str]] = {}   # class -> name -> type
+        self.methods: dict[str, set] = {}              # class -> method names
+        self.virtuals: set = set()
+
+
+class _Scope:
+    __slots__ = ("kind", "name", "depth", "func")
+
+    def __init__(self, kind, name=None, func=None):
+        self.kind = kind      # namespace|class|function|data|enum|anon
+        self.name = name
+        self.depth = 1
+        self.func = func
+
+
+def _parse_params(func: Function):
+    text = func.header_text
+    m = None
+    for cand in FUNC_NAME_RE.finditer(text):
+        if cand.group(2) not in KEYWORDS:
+            m = cand
+            break
+    if m is None:
+        return
+    start = m.end()  # just past '('
+    depth = 1
+    i = start
+    while i < len(text) and depth:
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+        i += 1
+    params = text[start:i - 1]
+    # split top-level commas (ignore <> and () nesting)
+    parts, buf, d = [], [], 0
+    for c in params:
+        if c in "<([":
+            d += 1
+        elif c in ">)]":
+            d -= 1
+        if c == "," and d == 0:
+            parts.append("".join(buf))
+            buf = []
+        else:
+            buf.append(c)
+    if buf:
+        parts.append("".join(buf))
+    for part in parts:
+        pm = PARAM_RE.match(part.strip())
+        if pm:
+            func.params[pm.group("name")] = normalize_type(pm.group("type"))
+
+
+class _Scanner:
+    def __init__(self, sf):
+        self.sf = sf
+        self.model = FileModel(sf)
+        self.scopes: list[_Scope] = []
+        self.stmt: list[str] = []
+        self.stmt_line = None
+
+    # -- statement handling at namespace/class scope ------------------------
+
+    def _enclosing_class(self):
+        for scope in reversed(self.scopes):
+            if scope.kind == "class":
+                return scope.name
+        return None
+
+    def _statement_text(self):
+        text = "".join(self.stmt)
+        text = ATTR_RE.sub(" ", text)
+        text = ACCESS_RE.sub(" ", text)
+        return text.strip()
+
+    def _candidate_name(self, text):
+        for cand in FUNC_NAME_RE.finditer(text):
+            if cand.group(2) not in KEYWORDS:
+                return cand
+        return None
+
+    def _finish_declaration(self, text):
+        """A ';'-terminated statement at class scope: method declaration
+        (virtual tracking) or data member (type tracking)."""
+        cls = self._enclosing_class()
+        if cls is None:
+            return
+        cand = self._candidate_name(text) if "(" in text else None
+        if cand is not None:
+            name = cand.group(2)
+            self.model.methods.setdefault(cls, set()).add(name)
+            if re.search(r"\bvirtual\b", text):
+                self.model.virtuals.add(name)
+            return
+        mm = MEMBER_RE.match(text)
+        if mm and "(" not in mm.group("type"):
+            self.model.members.setdefault(cls, {})[mm.group("name")] = \
+                normalize_type(mm.group("type"))
+
+    def _annotated(self, header_line):
+        raw = self.sf.raw_lines
+        if header_line <= len(raw) and REALTIME_RE.search(raw[header_line - 1]):
+            return True
+        k = header_line - 1
+        while k >= 1:
+            line = raw[k - 1].strip()
+            if not line:
+                k -= 1
+                continue
+            if line.startswith("//"):
+                if REALTIME_RE.search(line):
+                    return True
+                k -= 1
+                continue
+            break
+        return False
+
+    def _open_brace(self, lineno):
+        text = self._statement_text()
+        self.stmt = []
+        stmt_line = self.stmt_line
+        self.stmt_line = None
+        if not text:
+            self.scopes.append(_Scope("anon"))
+            return
+        if NAMESPACE_RE.search(text):
+            self.scopes.append(_Scope("namespace", text))
+            return
+        if ENUM_RE.search(text):
+            self.scopes.append(_Scope("enum"))
+            return
+        cm = CLASS_RE.search(text)
+        if cm and "(" not in text.split(cm.group(1))[0]:
+            name = cm.group(2)
+            self.model.members.setdefault(name, {})
+            self.model.methods.setdefault(name, set())
+            self.scopes.append(_Scope("class", name))
+            return
+        # data definition: `Type name = {...}` or `Type name{...}`
+        if re.search(r"=\s*$", text) or re.search(r"[\w>\]]\s*$", text) \
+                and ")" not in text:
+            self.scopes.append(_Scope("data"))
+            return
+        if LAMBDA_TAIL_RE.search(text):
+            self.scopes.append(_Scope("anon"))
+            return
+        cand = self._candidate_name(text) if "(" in text else None
+        if cand is not None:
+            qual = cand.group(1).rstrip(":")
+            cls = qual.rsplit("::", 1)[-1] if qual else self._enclosing_class()
+            func = Function(self.sf, cls or None, cand.group(2),
+                            stmt_line or lineno, text)
+            func.realtime = self._annotated(stmt_line or lineno)
+            _parse_params(func)
+            self.model.functions.append(func)
+            if cls:
+                self.model.methods.setdefault(cls, set()).add(cand.group(2))
+            self.scopes.append(_Scope("function", func=func))
+            return
+        self.scopes.append(_Scope("anon"))
+
+    # -- main loop ----------------------------------------------------------
+
+    def scan(self):
+        body_buf = None   # (func, lineno, [chars]) for the current line
+        for lineno, code in enumerate(self.sf.code_lines, start=1):
+            if code.lstrip().startswith("#"):
+                continue
+            i = 0
+            n = len(code)
+            line_frag = []
+            frag_func = None
+            top = self.scopes[-1] if self.scopes else None
+            if top is not None and top.kind == "function":
+                frag_func = top.func
+            while i < n:
+                c = code[i]
+                top = self.scopes[-1] if self.scopes else None
+                if top is not None and top.kind in ("function", "data",
+                                                    "enum", "anon"):
+                    if c == "{":
+                        top.depth += 1
+                    elif c == "}":
+                        top.depth -= 1
+                        if top.depth == 0:
+                            if top.kind == "function" and line_frag and \
+                                    frag_func is top.func:
+                                top.func.body.append(
+                                    (lineno, "".join(line_frag)))
+                                line_frag = []
+                                frag_func = None
+                            self.scopes.pop()
+                            i += 1
+                            continue
+                    if top.kind == "function":
+                        if frag_func is not top.func:
+                            if line_frag and frag_func is not None:
+                                frag_func.body.append(
+                                    (lineno, "".join(line_frag)))
+                            line_frag = []
+                            frag_func = top.func
+                        line_frag.append(c)
+                    i += 1
+                    continue
+                # namespace / class / top level
+                if c == "{":
+                    self._open_brace(lineno)
+                elif c == "}":
+                    if self.scopes:
+                        self.scopes.pop()
+                    self.stmt = []
+                    self.stmt_line = None
+                elif c == ";":
+                    text = self._statement_text()
+                    if text:
+                        self._finish_declaration(text)
+                    self.stmt = []
+                    self.stmt_line = None
+                else:
+                    if self.stmt_line is None and not c.isspace():
+                        self.stmt_line = lineno
+                    if self.stmt or not c.isspace():
+                        self.stmt.append(c)
+                i += 1
+            if line_frag and frag_func is not None:
+                frag_func.body.append((lineno, "".join(line_frag)))
+        return self.model
+
+
+def scan_file(sf) -> FileModel:
+    return _Scanner(sf).scan()
+
+
+def extract_calls(code_line: str):
+    """Yield (recv, op, qual, name) call candidates from one body line."""
+    line = TEMPLATE_CALL_RE.sub(r"\1(", code_line)
+    for m in CALL_RE.finditer(line):
+        name = m.group("name")
+        if name in KEYWORDS:
+            continue
+        recv = m.group("recv")
+        if recv in KEYWORDS:
+            recv = None
+        yield recv, m.group("op"), (m.group("qual") or "").rstrip(":"), name

@@ -1,0 +1,393 @@
+"""Layering-DAG pass: the include graph must match tools/layering.json.
+
+The HW/SW split this framework models (fabric vs. host, producer vs.
+consumer side of the telemetry ring) is a cross-file property the type
+system cannot express: nothing stops a convenience #include from welding
+the fixed-point fabric model to a host-side float subsystem. This pass
+makes the boundary a checked artifact:
+
+  * tools/layering.json declares, per src/ subsystem, which other
+    subsystems it may include — optionally pinned to specific seam
+    headers via {"to": ..., "via": [...]} (the fpga->obs event-ring seam).
+  * The analyzer parses every #include out of comment-stripped code (so a
+    commented-out include can never create an edge), attributes files to
+    subsystems by directory, and checks the REAL edge set against the
+    declared one. Any undeclared edge, any include of a non-seam header
+    over a via-restricted edge, any file-level include cycle, and any
+    src/ subsystem absent from the manifest is a finding.
+  * The declared graph itself must be acyclic — a manifest that declares
+    a cycle is a configuration error (exit 2), not a tree finding.
+
+With the declared graph a DAG and the observed edges a subset of it, the
+subsystem graph is proven acyclic; the file-level DFS extends the proof
+down to individual headers. Rules:
+
+  undeclared-edge      include crosses subsystems without a manifest edge
+  restricted-header    via-restricted edge used outside its seam headers
+  include-cycle        file-level include cycle (reported at the back edge)
+  undeclared-subsystem src/<dir> exists but is not in the manifest
+
+Escape hatch: `// rjf-analyze: allow(layering.<rule>)` on the offending
+line (line 1 for undeclared-subsystem) — for grandfathering an edge while
+a refactor is in flight; the manifest is the durable fix.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import tempfile
+
+from base import Pass, PassResult
+from lexer import SourceFile
+
+# The code view blanks string-literal contents, so the include *path* must
+# come from the raw line; the code view still gates the match so an include
+# inside a comment can never create an edge.
+INCLUDE_GATE_RE = re.compile(r'^\s*#\s*include\s*"')
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+RULE_TABLE = [
+    ("undeclared-edge", "src",
+     "include crosses subsystems without a declared manifest edge"),
+    ("restricted-header", "src",
+     "via-restricted edge used outside its declared seam headers"),
+    ("include-cycle", "src",
+     "file-level include cycle"),
+    ("undeclared-subsystem", "src",
+     "src/ subsystem missing from tools/layering.json"),
+]
+
+
+class Manifest:
+    def __init__(self, data: dict):
+        self.subsystems: dict[str, dict] = {}
+        self.free: list[str] = list(data.get("free", []))
+        for name, spec in data.get("subsystems", {}).items():
+            edges = {}
+            for edge in spec.get("may_include", []):
+                if isinstance(edge, str):
+                    edges[edge] = None  # unrestricted
+                else:
+                    edges[edge["to"]] = list(edge.get("via", [])) or None
+            self.subsystems[name] = edges
+
+    def validate(self) -> list[str]:
+        """Config errors: unknown edge targets, declared cycles."""
+        errors = []
+        for name, edges in self.subsystems.items():
+            for target in edges:
+                if target not in self.subsystems:
+                    errors.append(
+                        f"manifest: {name} may_include unknown subsystem"
+                        f" '{target}'")
+        # Declared-graph cycle check (three-colour DFS).
+        state = {}
+        order = []
+
+        def visit(node, stack):
+            state[node] = 1
+            for nxt in sorted(self.subsystems.get(node, {})):
+                if nxt == node:
+                    continue
+                if state.get(nxt) == 1:
+                    errors.append(
+                        "manifest: declared layering graph has a cycle: "
+                        + " -> ".join(stack + [nxt]))
+                elif state.get(nxt, 0) == 0:
+                    visit(nxt, stack + [nxt])
+            state[node] = 2
+            order.append(node)
+
+        for name in sorted(self.subsystems):
+            if state.get(name, 0) == 0:
+                visit(name, [name])
+        return errors
+
+
+def load_manifest(root: pathlib.Path):
+    path = root / "tools" / "layering.json"
+    if not path.is_file():
+        return None, f"missing layering manifest {path}"
+    try:
+        return Manifest(json.loads(path.read_text(encoding="utf-8"))), None
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        return None, f"unparseable layering manifest {path}: {exc}"
+
+
+class LayeringPass(Pass):
+    pass_id = "layering"
+    title = "subsystem layering DAG vs. tools/layering.json"
+
+    def rules(self):
+        return {rid: desc for rid, _scope, desc in RULE_TABLE}
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _subsystem_of(path: pathlib.Path, src_root: pathlib.Path):
+        try:
+            rel = path.relative_to(src_root)
+        except ValueError:
+            return None
+        return rel.parts[0] if len(rel.parts) > 1 else None
+
+    @staticmethod
+    def _resolve_include(inc: str, including: pathlib.Path,
+                         include_dirs) -> pathlib.Path | None:
+        for base in [including.parent, *include_dirs]:
+            cand = (base / inc)
+            if cand.is_file():
+                return cand.resolve()
+        return None
+
+    def _analyze(self, root: pathlib.Path, manifest: Manifest,
+                 files, file_cache, result: PassResult, include_dirs):
+        src_root = (root / "src").resolve()
+
+        # Subsystem attribution + undeclared-subsystem findings.
+        subsys_of: dict[pathlib.Path, str] = {}
+        flagged_dirs = set()
+        for path in files:
+            sub = self._subsystem_of(path, src_root)
+            if sub is None:
+                continue
+            subsys_of[path] = sub
+            if sub not in manifest.subsystems and sub not in flagged_dirs:
+                sf = file_cache(path)
+                if not sf.allowed(1, self.pass_id, "undeclared-subsystem"):
+                    result.add(sf.rel, 1, "undeclared-subsystem",
+                               f"subsystem 'src/{sub}' is not declared in"
+                               " tools/layering.json (add it with its"
+                               " may_include edges)")
+                # One finding per directory keeps the signal readable.
+                flagged_dirs.add(sub)
+
+        # Include graph: file-level edges with line anchors.
+        graph: dict[pathlib.Path, list] = {p: [] for p in files}
+        observed_edges: dict[tuple, int] = {}
+        for path in files:
+            sf = file_cache(path)
+            sub = subsys_of.get(path)
+            for lineno, code, raw in sf.lines():
+                if not INCLUDE_GATE_RE.match(code):
+                    continue
+                m = INCLUDE_RE.match(raw)
+                if not m:
+                    continue
+                inc = m.group(1)
+                target = self._resolve_include(inc, path, include_dirs)
+                target_sub = None
+                if target is not None:
+                    target_sub = self._subsystem_of(target, src_root)
+                if target_sub is None:
+                    # Attribute by path prefix when the header itself is not
+                    # on disk (the canonical "subsys/file.h" include shape).
+                    head = inc.split("/", 1)[0]
+                    if head in manifest.subsystems or \
+                            (src_root / head).is_dir():
+                        target_sub = head
+                if target is not None and target in graph:
+                    allowed_cycle = sf.allowed(lineno, self.pass_id,
+                                               "include-cycle")
+                    graph[path].append((target, lineno, allowed_cycle))
+                if sub is None or target_sub is None or target_sub == sub:
+                    continue
+                observed_edges[(sub, target_sub)] = \
+                    observed_edges.get((sub, target_sub), 0) + 1
+                declared = manifest.subsystems.get(sub, {})
+                if target_sub not in declared:
+                    if not sf.allowed(lineno, self.pass_id, "undeclared-edge"):
+                        result.add(sf.rel, lineno, "undeclared-edge",
+                                   f"'{sub}' may not include '{target_sub}'"
+                                   f" (#include \"{inc}\"); declare the edge"
+                                   " in tools/layering.json or break the"
+                                   " dependency")
+                    continue
+                via = declared[target_sub]
+                if via is not None and inc not in via:
+                    if not sf.allowed(lineno, self.pass_id,
+                                      "restricted-header"):
+                        result.add(sf.rel, lineno, "restricted-header",
+                                   f"edge '{sub}' -> '{target_sub}' is"
+                                   f" restricted to seam headers {via};"
+                                   f" #include \"{inc}\" is outside the seam")
+
+        # File-level cycle detection (iterative three-colour DFS). Allow-
+        # tagged include lines drop their edge from the graph, which is the
+        # per-line escape for a cycle under refactor.
+        WHITE, GREY, BLACK = 0, 1, 2
+        state = {p: WHITE for p in graph}
+        cycle_count = 0
+        for start in sorted(graph):
+            if state[start] != WHITE:
+                continue
+            stack = [(start, iter(sorted(graph[start])))]
+            state[start] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for target, lineno, allowed_cycle in it:
+                    if allowed_cycle:
+                        continue
+                    if state.get(target, BLACK) == GREY:
+                        sf = file_cache(node)
+                        cycle_count += 1
+                        chain = [file_cache(p).rel for p, _ in stack]
+                        result.add(sf.rel, lineno, "include-cycle",
+                                   "include cycle: "
+                                   + " -> ".join(chain + [file_cache(target).rel]))
+                        continue
+                    if state.get(target, BLACK) == WHITE:
+                        state[target] = GREY
+                        stack.append((target, iter(sorted(graph[target]))))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[node] = BLACK
+                    stack.pop()
+
+        result.stats = {
+            "subsystems_declared": len(manifest.subsystems),
+            "subsystems_observed": len({s for s in subsys_of.values()}),
+            "files": len(files),
+            "include_edges": sum(len(v) for v in graph.values()),
+            "subsystem_edges_observed": sorted(
+                f"{a}->{b}" for (a, b) in observed_edges),
+            "acyclic": cycle_count == 0,
+        }
+
+    def run(self, ctx):
+        result = PassResult(self.pass_id)
+        manifest, err = load_manifest(ctx.root)
+        if err:
+            result.errors.append(err)
+            return result
+        result.errors.extend(manifest.validate())
+        if result.errors:
+            return result
+        include_dirs = [ctx.root / "src"]
+        if ctx.compdb is not None:
+            include_dirs = [d for d in ctx.compdb.include_dirs()
+                            if d.is_relative_to(ctx.root)] or include_dirs
+        files = ctx.src_files()
+        result.files_scanned = len(files)
+        self._analyze(ctx.root, manifest, files, ctx.files.get, result,
+                      include_dirs)
+        return result
+
+    # -- self-test ----------------------------------------------------------
+
+    _SELFTEST_MANIFEST = {
+        "subsystems": {
+            "alpha": {"may_include": []},
+            "beta": {"may_include": [
+                {"to": "alpha", "via": ["alpha/pub.h"]}
+            ]},
+        },
+        "free": ["tests"],
+    }
+
+    _SELFTEST_FILES = {
+        # undeclared-edge: alpha may not include beta.
+        "src/alpha/uses_beta.cpp": '#include "beta/impl.h"\n',
+        # restricted-header: beta -> alpha only via alpha/pub.h.
+        "src/beta/impl.h": '#include "alpha/priv.h"\n',
+        "src/beta/impl.cpp": '#include "beta/impl.h"\n'
+                             '#include "alpha/pub.h"\n',
+        # include-cycle: ring1 -> ring2 -> ring1 (intra-subsystem).
+        "src/alpha/pub.h": "int pub();\n",
+        "src/alpha/priv.h": "int priv();\n",
+        "src/alpha/ring1.h": '#include "alpha/ring2.h"\n',
+        "src/alpha/ring2.h": '#include "alpha/ring1.h"\n',
+        # undeclared-subsystem: gamma is absent from the manifest.
+        "src/gamma/orphan.cpp": "int orphan();\n",
+    }
+
+    _SELFTEST_WANT = {
+        ("src/alpha/uses_beta.cpp", "undeclared-edge"),
+        ("src/beta/impl.h", "restricted-header"),
+        ("src/alpha/ring2.h", "include-cycle"),
+        ("src/gamma/orphan.cpp", "undeclared-subsystem"),
+    }
+
+    def _run_tree(self, root: pathlib.Path):
+        result = PassResult(self.pass_id)
+        manifest, err = load_manifest(root)
+        assert err is None, err
+        errors = manifest.validate()
+        assert not errors, errors
+        files = sorted(p.resolve() for p in (root / "src").glob("**/*")
+                       if p.suffix in (".h", ".cpp"))
+        cache = {}
+
+        def file_cache(path):
+            if path not in cache:
+                cache[path] = SourceFile(path, root)
+            return cache[path]
+
+        self._analyze(root, manifest, files, file_cache, result,
+                      [root / "src"])
+        return result
+
+    def self_test(self) -> int:
+        with tempfile.TemporaryDirectory() as td:
+            root = pathlib.Path(td).resolve()
+            (root / "tools").mkdir(parents=True)
+            (root / "tools" / "layering.json").write_text(
+                json.dumps(self._SELFTEST_MANIFEST), encoding="utf-8")
+            for rel, body in self._SELFTEST_FILES.items():
+                p = root / rel
+                p.parent.mkdir(parents=True, exist_ok=True)
+                p.write_text(body, encoding="utf-8")
+
+            result = self._run_tree(root)
+            got = {(f.rel, f.rule) for f in result.findings}
+            if got != self._SELFTEST_WANT:
+                print("layering pass self-test FAILED")
+                print("  expected:", sorted(self._SELFTEST_WANT))
+                print("  got:     ", sorted(got))
+                return 1
+            if len(result.findings) != len(self._SELFTEST_WANT):
+                print("layering pass self-test FAILED: expected exactly one"
+                      " violation per rule, got",
+                      [f.key() for f in result.findings])
+                return 1
+            if result.stats.get("acyclic"):
+                print("layering pass self-test FAILED: seeded cycle not"
+                      " reflected in stats")
+                return 1
+
+            # Tag each offending line and assert full suppression.
+            for f in result.findings:
+                p = root / f.rel
+                lines = p.read_text(encoding="utf-8").splitlines()
+                lines[f.line - 1] += \
+                    f"  // rjf-analyze: allow(layering.{f.rule})"
+                p.write_text("\n".join(lines) + "\n", encoding="utf-8")
+            residue = self._run_tree(root)
+            if residue.findings:
+                print("layering pass self-test FAILED: allow-tags did not"
+                      " suppress:")
+                for f in residue.findings:
+                    print(f"  {f!r}")
+                return 1
+            if not residue.stats.get("acyclic"):
+                print("layering pass self-test FAILED: allow-tagged cycle"
+                      " edge still counted")
+                return 1
+
+            # Manifest-cycle configuration error (exit-2 class, not a
+            # finding): alpha <-> beta declared both ways must be rejected.
+            bad = {"subsystems": {"alpha": {"may_include": ["beta"]},
+                                  "beta": {"may_include": ["alpha"]}}}
+            errors = Manifest(bad).validate()
+            if not any("cycle" in e for e in errors):
+                print("layering pass self-test FAILED: declared manifest"
+                      " cycle not rejected")
+                return 1
+
+        print("layering pass self-test OK: 4 rules seeded, caught, and"
+              " suppressed via allow-tags; declared-cycle manifest rejected")
+        return 0

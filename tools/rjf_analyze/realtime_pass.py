@@ -1,0 +1,382 @@
+"""Realtime-safety call-graph pass.
+
+Functions annotated ``// rjf: realtime`` are the wait-free roots of the
+DSP fabric (the EventRing producer emit path, ``CrossCorrelator::step``,
+``DspCore::run_block``/``tick``). This pass computes the transitive call
+closure of those roots across every scanned translation unit and flags,
+anywhere in the closure:
+
+  rt-allocation    heap allocation (new, malloc family, make_unique/shared,
+                   growing containers: push_back/emplace/resize/reserve/...,
+                   construction of allocating std:: containers)
+  rt-mutex         mutex/lock use or explicit lock()/unlock()
+  rt-io            stdio/iostream/filesystem I/O, and sleeps
+  rt-throw         throw expressions
+  rt-virtual-call  a call through a name declared `virtual` anywhere in
+                   the scanned set — dynamic dispatch into unknown code
+
+Escapes:
+
+  // rjf-analyze: allow(realtime.call)      audited call edge — callees on
+                                            this line are not traversed and
+                                            virtual dispatch is accepted
+  // rjf-analyze: allow(realtime.rt-<rule>) suppress a direct finding
+
+Resolution is conservative (see cppmodel.py): a call the model cannot
+attribute to a scanned definition is not traversed. Virtual-name matches
+are the exception — dispatch into unknown code is exactly the hazard, so
+they are flagged even when unresolvable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import tempfile
+
+from base import Pass, PassResult
+import cppmodel
+
+RULES = {
+    "rt-allocation": "heap allocation reachable from a realtime root",
+    "rt-mutex": "mutex or blocking lock reachable from a realtime root",
+    "rt-io": "I/O or sleep reachable from a realtime root",
+    "rt-throw": "throw expression reachable from a realtime root",
+    "rt-virtual-call": "virtual dispatch reachable from a realtime root",
+}
+
+ALLOC_RE = re.compile(
+    r"\bnew\b"
+    r"|\b(?:malloc|calloc|realloc|aligned_alloc|strdup)\s*\("
+    r"|\bmake_(?:unique|shared)\b"
+    r"|\.(?:push_back|emplace_back|emplace|resize|reserve|insert|append)\s*\("
+    r"|\bstd::(?:vector|string|deque|map|unordered_map|set|unordered_set"
+    r"|list|function)\s*[<({]")
+MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|shared_mutex|timed_mutex)\b"
+    r"|\b(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\.(?:lock|unlock|try_lock)\s*\("
+    r"|\bstd::lock\s*\(")
+IO_RE = re.compile(
+    r"\b(?:printf|fprintf|snprintf|puts|putchar|fwrite|fread|fopen|fclose"
+    r"|fflush|fputs|fgets|getline)\s*\("
+    r"|\bstd::c(?:out|err|log)\b"
+    r"|\b[oi]?fstream\b"
+    r"|\bsleep_(?:for|until)\b")
+THROW_RE = re.compile(r"\bthrow\b")
+
+TOKEN_RULES = (
+    ("rt-allocation", ALLOC_RE),
+    ("rt-mutex", MUTEX_RE),
+    ("rt-io", IO_RE),
+    ("rt-throw", THROW_RE),
+)
+
+
+class _Universe:
+    """Merged FileModels plus the name indices used for call resolution."""
+
+    def __init__(self, models):
+        self.models = models
+        self.by_name: dict[str, list] = {}        # name -> [Function]
+        self.by_qualified: dict[str, object] = {}  # Cls::name -> Function
+        self.by_file: dict[str, dict] = {}         # rel -> {name: Function}
+        self.members: dict[str, dict] = {}         # class -> {member: type}
+        self.methods: dict[str, set] = {}          # class -> method names
+        self.virtuals: set = set()
+        for model in models:
+            self.virtuals |= model.virtuals
+            for cls, mem in model.members.items():
+                self.members.setdefault(cls, {}).update(mem)
+            for cls, names in model.methods.items():
+                self.methods.setdefault(cls, set()).update(names)
+            for func in model.functions:
+                self.by_name.setdefault(func.name, []).append(func)
+                # first definition wins; redefinitions of the same
+                # qualified name (e.g. overloads) collapse.
+                self.by_qualified.setdefault(func.qualified, func)
+                self.by_file.setdefault(func.sf.rel, {}) \
+                    .setdefault(func.name, func)
+
+    def roots(self):
+        return [f for m in self.models for f in m.functions if f.realtime]
+
+    def resolve(self, func, recv, qual, name):
+        """Map one call site to a scanned Function, or None."""
+        if recv is not None:
+            rtype = None
+            if recv == "this":
+                rtype = func.cls
+            elif func.cls and recv in self.members.get(func.cls, {}):
+                rtype = self.members[func.cls][recv]
+            elif recv in func.params:
+                rtype = func.params[recv]
+            if rtype:
+                hit = self.by_qualified.get(f"{rtype}::{name}")
+                if hit is not None:
+                    return hit
+            return None
+        if qual:
+            cls = qual.rsplit("::", 1)[-1]
+            hit = self.by_qualified.get(f"{cls}::{name}")
+            if hit is not None:
+                return hit
+            # namespace qualifier, not a class: fall through to name lookup
+        if func.cls:
+            hit = self.by_qualified.get(f"{func.cls}::{name}")
+            if hit is not None:
+                return hit
+        hit = self.by_file.get(func.sf.rel, {}).get(name)
+        if hit is not None:
+            return hit
+        cands = self.by_name.get(name, [])
+        if len(cands) == 1:
+            return cands[0]
+        return None
+
+
+class RealtimePass(Pass):
+    pass_id = "realtime"
+    title = "realtime-safety call-graph check"
+
+    def rules(self):
+        return dict(RULES)
+
+    # -- analysis -----------------------------------------------------------
+
+    def _scan_universe(self, ctx, files):
+        models = []
+        for path in files:
+            models.append(cppmodel.scan_file(ctx.files.get(path)))
+        return _Universe(models)
+
+    def _check(self, ctx, result, universe):
+        roots = universe.roots()
+        result.stats["roots"] = sorted(f.qualified for f in roots)
+        seen = set()
+        edges = 0
+        virtual_hits = 0
+        queue = [(f, [f.qualified]) for f in roots]
+        reported = set()
+
+        def report(func, lineno, rule, message, chain):
+            key = (func.sf.rel, lineno, rule)
+            if key in reported:
+                return
+            if func.sf.allowed(lineno, self.pass_id, rule):
+                return
+            reported.add(key)
+            via = " -> ".join(chain)
+            result.add(func.sf.rel, lineno, rule,
+                       f"{message} in {func.qualified}() "
+                       f"[realtime path: {via}]")
+
+        while queue:
+            func, chain = queue.pop(0)
+            if id(func) in seen:
+                continue
+            seen.add(id(func))
+            for lineno, code in func.body:
+                for rule, regex in TOKEN_RULES:
+                    if regex.search(code):
+                        report(func, lineno, rule, RULES[rule], chain)
+                edge_allowed = func.sf.allowed(lineno, self.pass_id, "call")
+                for recv, _op, qual, name in cppmodel.extract_calls(code):
+                    if edge_allowed:
+                        continue
+                    if name in universe.virtuals:
+                        virtual_hits += 1
+                        report(func, lineno, "rt-virtual-call",
+                               f"virtual dispatch via {name}()", chain)
+                        continue
+                    callee = universe.resolve(func, recv, qual, name)
+                    if callee is None or id(callee) in seen:
+                        continue
+                    edges += 1
+                    queue.append((callee, chain + [callee.qualified]))
+        result.stats["closure_functions"] = len(seen)
+        result.stats["call_edges_traversed"] = edges
+
+    def run(self, ctx):
+        result = PassResult(self.pass_id)
+        files = ctx.src_files()
+        if not files:
+            result.errors.append("no sources under src/ — wrong --root?")
+            return result
+        universe = self._scan_universe(ctx, files)
+        result.files_scanned = len(files)
+        if not universe.roots():
+            result.errors.append(
+                "no `// rjf: realtime` annotations found — the realtime "
+                "pass has nothing to protect (annotations removed?)")
+            return result
+        self._check(ctx, result, universe)
+        return result
+
+    # -- self-test ----------------------------------------------------------
+
+    SEEDS = {
+        "rt-allocation": ("src/rt/alloc.cpp", """\
+// rjf: realtime
+void hot_alloc() {
+  int* p = new int(3);
+  (void)p;
+}
+"""),
+        "rt-io": ("src/rt/io.cpp", """\
+#include <cstdio>
+// rjf: realtime
+void hot_io() {
+  printf("tick");
+}
+"""),
+        "rt-throw": ("src/rt/throwy.cpp", """\
+// rjf: realtime
+void hot_throw(int v) {
+  if (v < 0) throw v;
+  (void)v;
+}
+"""),
+    }
+
+    MUTEX_HELPER = ("src/rt/helper.h", """\
+#pragma once
+#include <mutex>
+namespace rt {
+inline std::mutex& mu();
+inline void helper_lock() {
+  std::lock_guard<std::mutex> g(mu());
+}
+inline void helper_clean(int& v) { v += 1; }
+}  // namespace rt
+""")
+    MUTEX_CALLER = ("src/rt/mutexy.cpp", """\
+#include "rt/helper.h"
+namespace rt {
+// rjf: realtime
+void hot_path(int& v) {
+  helper_clean(v);
+  helper_lock();
+}
+}  // namespace rt
+""")
+    VIRT_HEADER = ("src/rt/virt.h", """\
+#pragma once
+struct Sink {
+  virtual ~Sink() = default;
+  virtual void on_thing(int v) = 0;
+};
+""")
+    VIRT_CALLER = ("src/rt/virt.cpp", """\
+#include "rt/virt.h"
+// rjf: realtime
+void hot_virtual(Sink* sink) {
+  sink->on_thing(1);
+}
+""")
+
+    def self_test(self):
+        from base import Context
+
+        def write_tree(tmp, edits=None):
+            files = dict(self.SEEDS)
+            files["mutex-helper"] = self.MUTEX_HELPER
+            files["mutex-caller"] = self.MUTEX_CALLER
+            files["virt-header"] = self.VIRT_HEADER
+            files["virt-caller"] = self.VIRT_CALLER
+            for rel, text in files.values():
+                path = tmp / rel
+                path.parent.mkdir(parents=True, exist_ok=True)
+                if edits and rel in edits:
+                    text = edits[rel](text)
+                path.write_text(text, encoding="utf-8")
+
+        failures = 0
+        with tempfile.TemporaryDirectory() as td:
+            tmp = pathlib.Path(td).resolve()
+            write_tree(tmp)
+            res = self.run(Context(tmp))
+            got = {(f.rel, f.rule) for f in res.findings}
+            want = {
+                ("src/rt/alloc.cpp", "rt-allocation"),
+                ("src/rt/io.cpp", "rt-io"),
+                ("src/rt/throwy.cpp", "rt-throw"),
+                ("src/rt/helper.h", "rt-mutex"),        # transitive!
+                ("src/rt/virt.cpp", "rt-virtual-call"),
+            }
+            if got != want:
+                print(f"  FAIL realtime: expected {sorted(want)}, "
+                      f"got {sorted(got)}")
+                failures += 1
+            else:
+                print(f"  ok realtime: all {len(want)} seeded violations "
+                      "detected (mutex via transitive helper call)")
+            if len(res.findings) != len(want):
+                print(f"  FAIL realtime: duplicate findings: {res.findings}")
+                failures += 1
+
+        # Round 2: per-rule allow tags suppress every direct finding.
+        def tag(rule):
+            def edit(text):
+                lines = text.splitlines()
+                pat = {
+                    "rt-allocation": "new int",
+                    "rt-io": "printf",
+                    "rt-throw": "throw v",
+                    "rt-mutex": "lock_guard",
+                }[rule]
+                for i, line in enumerate(lines):
+                    if pat in line:
+                        lines[i] = line + \
+                            f"  // rjf-analyze: allow(realtime.{rule})"
+                return "\n".join(lines) + "\n"
+            return edit
+
+        with tempfile.TemporaryDirectory() as td:
+            tmp = pathlib.Path(td).resolve()
+            write_tree(tmp, edits={
+                "src/rt/alloc.cpp": tag("rt-allocation"),
+                "src/rt/io.cpp": tag("rt-io"),
+                "src/rt/throwy.cpp": tag("rt-throw"),
+                "src/rt/helper.h": tag("rt-mutex"),
+            })
+            # virt.cpp: tag the dispatch line itself
+            virt = tmp / "src/rt/virt.cpp"
+            text = virt.read_text(encoding="utf-8").replace(
+                "sink->on_thing(1);",
+                "sink->on_thing(1);  "
+                "// rjf-analyze: allow(realtime.rt-virtual-call)")
+            virt.write_text(text, encoding="utf-8")
+            res = self.run(Context(tmp))
+            if res.findings:
+                print("  FAIL realtime: allow tags did not suppress: "
+                      f"{res.findings}")
+                failures += 1
+            else:
+                print("  ok realtime: per-rule allow tags suppress all five")
+
+        # Round 3: an audited call edge (allow(realtime.call)) stops
+        # traversal — the transitive mutex finding disappears without
+        # touching the helper.
+        with tempfile.TemporaryDirectory() as td:
+            tmp = pathlib.Path(td).resolve()
+            write_tree(tmp, edits={
+                "src/rt/mutexy.cpp": lambda t: t.replace(
+                    "  helper_lock();",
+                    "  helper_lock();  // rjf-analyze: allow(realtime.call)"),
+            })
+            res = self.run(Context(tmp))
+            got = {(f.rel, f.rule) for f in res.findings}
+            if ("src/rt/helper.h", "rt-mutex") in got:
+                print("  FAIL realtime: audited edge still traversed")
+                failures += 1
+            elif len(got) != 4:
+                print(f"  FAIL realtime: unexpected residue {sorted(got)}")
+                failures += 1
+            else:
+                print("  ok realtime: allow(realtime.call) prunes the "
+                      "audited edge (helper mutex no longer reported)")
+        return failures
+
+
+PASS = RealtimePass()

@@ -1,0 +1,38 @@
+"""Machine-readable report for CI artifact upload."""
+
+from __future__ import annotations
+
+import json
+
+TOOL = "rjf_analyze"
+VERSION = "1.0"
+
+
+def build_report(root, compdb_path, results):
+    passes = {}
+    total = 0
+    for pass_obj, result in results:
+        findings = sorted(result.findings, key=lambda f: f.key())
+        total += len(findings)
+        passes[pass_obj.pass_id] = {
+            "title": pass_obj.title,
+            "files_scanned": result.files_scanned,
+            "rules": pass_obj.rules(),
+            "stats": result.stats,
+            "errors": result.errors,
+            "findings": [f.as_dict() for f in findings],
+        }
+    return {
+        "tool": TOOL,
+        "version": VERSION,
+        "root": str(root),
+        "compile_commands": str(compdb_path) if compdb_path else None,
+        "total_findings": total,
+        "passes": passes,
+    }
+
+
+def write_report(path, report):
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -1,0 +1,309 @@
+"""Seed-discipline pass: every RNG engine must be seeded on purpose.
+
+The determinism guarantees (bit-identical sweeps at any thread count,
+byte-identical campaign resume) rest on one convention: all randomness
+flows from an explicit base seed through dsp::derive_seed / splitmix
+substreams down to dsp::Xoshiro256 engines. An engine constructed with a
+literal, or default-constructed and never seeded, silently satisfies the
+type system while producing streams that are either shared between
+components that must be independent or disconnected from the campaign
+seed entirely — the exact bug class behind PR 3's thread-local cache fix.
+
+Scope: all of src/ (every subsystem feeds deterministic sweeps; a
+literal-seeded engine in a PHY or channel model corrupts trial
+independence just as surely as one in the sweep core).
+
+Rules:
+
+  engine-literal-seed      an engine constructed from a bare integer
+                           literal (Xoshiro256 rng(12345)). Seeds must be
+                           derive_seed(...) expressions, function
+                           parameters, or substream draws. A literal mixed
+                           into an expression with a parameter
+                           (config.seed ^ 0xC0FFEE) is fine — that is a
+                           substream tag, not a seed.
+  engine-default-construct an engine with no seed at all: a local
+                           `Xoshiro256 rng;`, a `Xoshiro256()` temporary,
+                           or a member (name ending in '_') that no
+                           constructor initializer in the scanned set ever
+                           seeds.
+  foreign-engine           a <random> engine (std::mt19937 & friends).
+                           Their streams are not reachable from
+                           derive_seed's splitmix partitioning; use
+                           dsp::Xoshiro256.
+
+Heuristics, stated honestly: members are recognised by the repo's `name_`
+convention and matched to constructor-initializer entries `name_(expr)` /
+`name_{expr}` anywhere in the scanned set (same-name members of two
+classes alias — acceptable for a lint whose findings are all reviewed).
+The defining module src/dsp/rng.{h,cpp} is exempt: the default-seed
+constant lives there by design.
+
+Escape hatch: `// rjf-analyze: allow(seeds.<rule>)` on the offending line.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import tempfile
+
+from base import Pass, PassResult
+from lexer import SourceFile
+
+ENGINE = r"(?:dsp::)?Xoshiro256"
+FOREIGN_RE = re.compile(
+    r"\bstd::(mt19937(_64)?|minstd_rand0?|default_random_engine"
+    r"|ranlux(24|48)(_base)?|knuth_b|subtract_with_carry_engine"
+    r"|linear_congruential_engine|mersenne_twister_engine)\b")
+
+# `Xoshiro256 name(args)` / `Xoshiro256 name{args}` declarations.
+DECL_INIT_RE = re.compile(
+    ENGINE + r"\s+(?P<name>\w+)\s*(?P<open>[({])(?P<args>[^)}]*)[)}]")
+# `Xoshiro256 name;` declarations (no initializer).
+DECL_BARE_RE = re.compile(ENGINE + r"\s+(?P<name>\w+)\s*;")
+# `Xoshiro256(args)` temporaries / most-vexing constructions.
+TEMP_RE = re.compile(ENGINE + r"\s*[({](?P<args>[^)}]*)[)}]")
+# Constructor-initializer entries: `: name_(expr)` / `, name_{expr}`.
+MEMINIT_RE = re.compile(r"[:,]\s*(?P<name>\w+_)\s*[({](?P<args>[^)}]*)[)}]")
+
+INT_LITERAL_RE = re.compile(
+    r"^(0[xX][0-9a-fA-F']+|0[bB][01']+|[0-9][0-9']*)"
+    r"(u|U|l|L|ul|UL|uL|Ul|ll|LL|ull|ULL)?$")
+
+# The engine's own module defines the default-seed constant.
+EXEMPT = {"src/dsp/rng.h", "src/dsp/rng.cpp"}
+
+RULE_TABLE = [
+    ("engine-literal-seed", "src",
+     "RNG engine seeded from a bare integer literal (derive the seed from"
+     " the campaign/sweep seed or take it as a parameter)"),
+    ("engine-default-construct", "src",
+     "RNG engine never explicitly seeded (default-constructed local,"
+     " temporary, or member with no seeding constructor initializer)"),
+    ("foreign-engine", "src",
+     "std::<random> engine outside the derive_seed/splitmix seed fabric"
+     " (use dsp::Xoshiro256)"),
+]
+
+
+def _is_literal_seed(args: str) -> bool:
+    return INT_LITERAL_RE.match(args.strip()) is not None
+
+
+class SeedPass(Pass):
+    pass_id = "seeds"
+    title = "RNG seed discipline (derive_seed / explicit parameters only)"
+
+    def rules(self):
+        return {rid: desc for rid, _scope, desc in RULE_TABLE}
+
+    def _scan(self, sources: list[SourceFile], result: PassResult):
+        # First sweep: collect every constructor-initializer that passes a
+        # nonempty argument to a `name_` member, across the whole set.
+        seeded_members: set[str] = set()
+        for sf in sources:
+            for _lineno, code, _raw in sf.lines():
+                for m in MEMINIT_RE.finditer(code):
+                    if m.group("args").strip():
+                        seeded_members.add(m.group("name"))
+
+        for sf in sources:
+            if sf.rel in EXEMPT:
+                continue
+            for lineno, code, _raw in sf.lines():
+                if FOREIGN_RE.search(code):
+                    if not sf.allowed(lineno, self.pass_id, "foreign-engine"):
+                        result.add(sf.rel, lineno, "foreign-engine",
+                                   RULE_TABLE[2][2])
+                spans = []  # regions already claimed by a decl match
+
+                def claimed(start, end):
+                    return any(s < end and start < e for s, e in spans)
+
+                for m in DECL_INIT_RE.finditer(code):
+                    spans.append(m.span())
+                    args = m.group("args").strip()
+                    if not args:
+                        if not sf.allowed(lineno, self.pass_id,
+                                          "engine-default-construct"):
+                            result.add(sf.rel, lineno,
+                                       "engine-default-construct",
+                                       f"engine '{m.group('name')}' value-"
+                                       "initialized with no seed")
+                    elif _is_literal_seed(args):
+                        if not sf.allowed(lineno, self.pass_id,
+                                          "engine-literal-seed"):
+                            result.add(sf.rel, lineno, "engine-literal-seed",
+                                       f"engine '{m.group('name')}' seeded"
+                                       f" from literal {args}")
+                for m in DECL_BARE_RE.finditer(code):
+                    spans.append(m.span())
+                    name = m.group("name")
+                    if name.endswith("_") and name in seeded_members:
+                        continue  # member seeded in some ctor init list
+                    if not sf.allowed(lineno, self.pass_id,
+                                      "engine-default-construct"):
+                        what = ("member" if name.endswith("_") else "local")
+                        result.add(sf.rel, lineno, "engine-default-construct",
+                                   f"engine {what} '{name}' is never"
+                                   " explicitly seeded")
+                for m in TEMP_RE.finditer(code):
+                    if claimed(*m.span()):
+                        continue
+                    args = m.group("args").strip()
+                    if not args:
+                        if not sf.allowed(lineno, self.pass_id,
+                                          "engine-default-construct"):
+                            result.add(sf.rel, lineno,
+                                       "engine-default-construct",
+                                       "temporary engine constructed with"
+                                       " no seed")
+                    elif _is_literal_seed(args):
+                        if not sf.allowed(lineno, self.pass_id,
+                                          "engine-literal-seed"):
+                            result.add(sf.rel, lineno, "engine-literal-seed",
+                                       f"engine seeded from literal {args}")
+
+        # Constructor-initializer seeds themselves may not be literals.
+        for sf in sources:
+            if sf.rel in EXEMPT:
+                continue
+            engine_members = set()
+            for _lineno, code, _raw in sf.lines():
+                for m in DECL_BARE_RE.finditer(code):
+                    if m.group("name").endswith("_"):
+                        engine_members.add(m.group("name"))
+            if not engine_members:
+                continue
+            for other in sources:
+                for lineno, code, _raw in other.lines():
+                    for m in MEMINIT_RE.finditer(code):
+                        if m.group("name") not in engine_members:
+                            continue
+                        args = m.group("args").strip()
+                        if args and _is_literal_seed(args):
+                            if not other.allowed(lineno, self.pass_id,
+                                                 "engine-literal-seed"):
+                                result.add(other.rel, lineno,
+                                           "engine-literal-seed",
+                                           f"engine member"
+                                           f" '{m.group('name')}' seeded"
+                                           f" from literal {args}")
+
+    def run(self, ctx):
+        result = PassResult(self.pass_id)
+        files = ctx.src_files()
+        sources = [ctx.files.get(p) for p in files]
+        result.files_scanned = len(sources)
+        self._scan(sources, result)
+        # Duplicate literal-member findings can arise once per declaring
+        # file; dedupe on (file, line, rule).
+        seen = set()
+        unique = []
+        for f in result.findings:
+            if f.key() not in seen:
+                seen.add(f.key())
+                unique.append(f)
+        result.findings = unique
+        result.stats = {"seeded_ctor_members_matched": True}
+        return result
+
+    # -- self-test ----------------------------------------------------------
+
+    _SELFTEST_FILES = {
+        # engine-literal-seed: a bare literal seed.
+        "src/alpha/literal.cpp":
+            "void f() { dsp::Xoshiro256 rng(12345); (void)rng; }\n",
+        # engine-default-construct: a local with no seed at all.
+        "src/alpha/unseeded.cpp":
+            "void g() { dsp::Xoshiro256 rng; (void)rng; }\n",
+        # foreign-engine: a <random> engine bypassing the seed fabric.
+        "src/alpha/foreign.cpp":
+            "void h() { std::mt19937 gen(7); (void)gen; }\n",
+        # Clean shapes that must NOT fire: parameter seed, derive_seed,
+        # literal-as-substream-tag, member seeded via ctor initializer.
+        "src/alpha/clean.cpp":
+            "void ok(std::uint64_t seed) {\n"
+            "  dsp::Xoshiro256 a(seed);\n"
+            "  dsp::Xoshiro256 b(dsp::derive_seed(seed, 3));\n"
+            "  dsp::Xoshiro256 c(seed ^ 0xC0FFEEULL);\n"
+            "}\n",
+        "src/alpha/member.h":
+            "class Thing {\n"
+            " public:\n"
+            "  explicit Thing(std::uint64_t seed);\n"
+            " private:\n"
+            "  dsp::Xoshiro256 rng_;\n"
+            "};\n",
+        "src/alpha/member.cpp":
+            '#include "alpha/member.h"\n'
+            "Thing::Thing(std::uint64_t seed) : rng_(seed) {}\n",
+    }
+
+    _SELFTEST_WANT = {
+        ("src/alpha/literal.cpp", "engine-literal-seed"),
+        ("src/alpha/unseeded.cpp", "engine-default-construct"),
+        ("src/alpha/foreign.cpp", "foreign-engine"),
+    }
+
+    def _run_tree(self, root: pathlib.Path):
+        result = PassResult(self.pass_id)
+        sources = [SourceFile(p, root)
+                   for p in sorted((root / "src").glob("**/*"))
+                   if p.suffix in (".h", ".cpp")]
+        self._scan(sources, result)
+        return result
+
+    def self_test(self) -> int:
+        with tempfile.TemporaryDirectory() as td:
+            root = pathlib.Path(td).resolve()
+            for rel, body in self._SELFTEST_FILES.items():
+                p = root / rel
+                p.parent.mkdir(parents=True, exist_ok=True)
+                p.write_text(body, encoding="utf-8")
+            result = self._run_tree(root)
+            got = {(f.rel, f.rule) for f in result.findings}
+            if got != self._SELFTEST_WANT:
+                print("seeds pass self-test FAILED")
+                print("  expected:", sorted(self._SELFTEST_WANT))
+                print("  got:     ", sorted(got))
+                return 1
+            if len(result.findings) != len(self._SELFTEST_WANT):
+                print("seeds pass self-test FAILED: expected exactly one"
+                      " violation per rule, got",
+                      [f.key() for f in result.findings])
+                return 1
+
+            # Tag each offending line and assert full suppression.
+            for f in result.findings:
+                p = root / f.rel
+                lines = p.read_text(encoding="utf-8").splitlines()
+                lines[f.line - 1] += \
+                    f"  // rjf-analyze: allow(seeds.{f.rule})"
+                p.write_text("\n".join(lines) + "\n", encoding="utf-8")
+            residue = self._run_tree(root)
+            if residue.findings:
+                print("seeds pass self-test FAILED: allow-tags did not"
+                      " suppress:")
+                for f in residue.findings:
+                    print(f"  {f!r}")
+                return 1
+
+            # An unseeded member (no ctor initializer anywhere) must fire.
+            orphan = root / "src" / "alpha" / "orphan_member.h"
+            orphan.write_text(
+                "class Orphan {\n  dsp::Xoshiro256 rng2_;\n};\n",
+                encoding="utf-8")
+            residue = self._run_tree(root)
+            keys = {(f.rel, f.rule) for f in residue.findings}
+            if keys != {("src/alpha/orphan_member.h",
+                         "engine-default-construct")}:
+                print("seeds pass self-test FAILED: unseeded member not"
+                      " flagged, got", sorted(keys))
+                return 1
+
+        print("seeds pass self-test OK: 3 rules seeded, caught, and"
+              " suppressed via allow-tags; ctor-initializer members and"
+              " substream expressions pass clean")
+        return 0

@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Self-test for tools/check_bench_regression.py (the CI perf gate).
+
+Pytest-style test functions against synthetic BENCH fixtures, with a
+zero-dependency runner so CI can execute it directly:
+
+  python3 tools/test_check_bench_regression.py     # discovers test_* below
+
+If pytest is available it will also collect these functions unchanged.
+Every test drives the real CLI in a subprocess, so the exit codes the CI
+job branches on are exactly what is asserted here.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = pathlib.Path(__file__).resolve().parent / "check_bench_regression.py"
+
+
+def run_gate(*argv):
+    """Run the gate; return (exit_code, stdout+stderr)."""
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), *argv],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def bench_file(tmp, name, **values):
+    path = pathlib.Path(tmp) / name
+    path.write_text(json.dumps(values), encoding="utf-8")
+    return str(path)
+
+
+# -- relative 10%-drop gate (--key/--baseline) ------------------------------
+
+def test_drop_within_floor_passes():
+    with tempfile.TemporaryDirectory() as tmp:
+        base = bench_file(tmp, "base.json", rate=100.0)
+        fresh = bench_file(tmp, "fresh.json", rate=91.0)  # -9% < 10% drop
+        code, out = run_gate("--baseline", base, "--fresh", fresh,
+                             "--key", "rate")
+        assert code == 0, out
+        assert "[ok] rate" in out, out
+
+
+def test_drop_at_exact_floor_passes():
+    # floor is exclusive: fresh == 0.90 * baseline is NOT a regression.
+    with tempfile.TemporaryDirectory() as tmp:
+        base = bench_file(tmp, "base.json", rate=100.0)
+        fresh = bench_file(tmp, "fresh.json", rate=90.0)
+        code, out = run_gate("--baseline", base, "--fresh", fresh,
+                             "--key", "rate")
+        assert code == 0, out
+
+
+def test_drop_beyond_floor_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        base = bench_file(tmp, "base.json", rate=100.0)
+        fresh = bench_file(tmp, "fresh.json", rate=89.0)  # -11% > 10% drop
+        code, out = run_gate("--baseline", base, "--fresh", fresh,
+                             "--key", "rate")
+        assert code == 1, out
+        assert "[FAIL] rate" in out, out
+
+
+def test_custom_max_drop_widens_floor():
+    with tempfile.TemporaryDirectory() as tmp:
+        base = bench_file(tmp, "base.json", rate=100.0)
+        fresh = bench_file(tmp, "fresh.json", rate=75.0)
+        code, out = run_gate("--baseline", base, "--fresh", fresh,
+                             "--key", "rate", "--max-drop", "0.30")
+        assert code == 0, out
+
+
+def test_faster_than_baseline_never_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        base = bench_file(tmp, "base.json", rate=100.0)
+        fresh = bench_file(tmp, "fresh.json", rate=250.0)
+        code, out = run_gate("--baseline", base, "--fresh", fresh,
+                             "--key", "rate")
+        assert code == 0, out
+
+
+def test_key_missing_from_baseline_is_skipped():
+    # A brand-new benchmark has no committed baseline yet: skip, not fail.
+    with tempfile.TemporaryDirectory() as tmp:
+        base = bench_file(tmp, "base.json", other=1.0)
+        fresh = bench_file(tmp, "fresh.json", rate=1.0)
+        code, out = run_gate("--baseline", base, "--fresh", fresh,
+                             "--key", "rate")
+        assert code == 0, out
+        assert "[skip] rate" in out, out
+
+
+def test_key_missing_from_fresh_fails():
+    # The baseline promises a rate the fresh run never measured.
+    with tempfile.TemporaryDirectory() as tmp:
+        base = bench_file(tmp, "base.json", rate=100.0)
+        fresh = bench_file(tmp, "fresh.json", other=1.0)
+        code, out = run_gate("--baseline", base, "--fresh", fresh,
+                             "--key", "rate")
+        assert code == 1, out
+        assert "missing from fresh run" in out, out
+
+
+def test_nonpositive_baseline_is_skipped():
+    with tempfile.TemporaryDirectory() as tmp:
+        base = bench_file(tmp, "base.json", rate=0.0)
+        fresh = bench_file(tmp, "fresh.json", rate=123.0)
+        code, out = run_gate("--baseline", base, "--fresh", fresh,
+                             "--key", "rate")
+        assert code == 0, out
+        assert "[skip] rate" in out, out
+
+
+# -- absolute floors (--min-value) ------------------------------------------
+
+def test_min_value_floor_holds():
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = bench_file(tmp, "fresh.json",
+                           sweep_deterministic=1, sweep_speedup=2.4)
+        code, out = run_gate("--fresh", fresh,
+                             "--min-value", "sweep_deterministic=1",
+                             "--min-value", "sweep_speedup=0.9")
+        assert code == 0, out
+
+
+def test_min_value_below_floor_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = bench_file(tmp, "fresh.json", sweep_deterministic=0)
+        code, out = run_gate("--fresh", fresh,
+                             "--min-value", "sweep_deterministic=1")
+        assert code == 1, out
+        assert "[FAIL] sweep_deterministic" in out, out
+
+
+def test_min_value_missing_key_fails():
+    # An unmeasured invariant is a failure, not a skip.
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = bench_file(tmp, "fresh.json", other=1)
+        code, out = run_gate("--fresh", fresh,
+                             "--min-value", "sweep_deterministic=1")
+        assert code == 1, out
+        assert "missing from fresh run" in out, out
+
+
+# -- absolute ceilings (--max-value) ----------------------------------------
+
+def test_max_value_ceiling_holds():
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = bench_file(tmp, "fresh.json", fault_zero_fault_mismatch=0)
+        code, out = run_gate("--fresh", fresh,
+                             "--max-value", "fault_zero_fault_mismatch=0")
+        assert code == 0, out
+
+
+def test_max_value_above_ceiling_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = bench_file(tmp, "fresh.json", fault_zero_fault_mismatch=3)
+        code, out = run_gate("--fresh", fresh,
+                             "--max-value", "fault_zero_fault_mismatch=0")
+        assert code == 1, out
+        assert "[FAIL] fault_zero_fault_mismatch" in out, out
+
+
+def test_max_value_missing_key_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = bench_file(tmp, "fresh.json", other=0)
+        code, out = run_gate("--fresh", fresh,
+                             "--max-value", "fault_zero_fault_mismatch=0")
+        assert code == 1, out
+
+
+# -- CLI contract ------------------------------------------------------------
+
+def test_mixed_pass_and_fail_fails_overall():
+    with tempfile.TemporaryDirectory() as tmp:
+        base = bench_file(tmp, "base.json", fast=100.0, slow=100.0)
+        fresh = bench_file(tmp, "fresh.json", fast=150.0, slow=50.0)
+        code, out = run_gate("--baseline", base, "--fresh", fresh,
+                             "--key", "fast", "--key", "slow")
+        assert code == 1, out
+        assert "[ok] fast" in out and "[FAIL] slow" in out, out
+
+
+def test_key_without_baseline_is_usage_error():
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = bench_file(tmp, "fresh.json", rate=1.0)
+        code, out = run_gate("--fresh", fresh, "--key", "rate")
+        assert code == 2, out
+
+
+def test_nothing_to_check_is_usage_error():
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = bench_file(tmp, "fresh.json", rate=1.0)
+        code, out = run_gate("--fresh", fresh)
+        assert code == 2, out
+
+
+def test_malformed_bound_is_usage_error():
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = bench_file(tmp, "fresh.json", rate=1.0)
+        code, out = run_gate("--fresh", fresh, "--min-value", "rate")
+        assert code == 2, out
+        code, out = run_gate("--fresh", fresh, "--min-value", "rate=fast")
+        assert code == 2, out
+
+
+def main() -> int:
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failures = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"  ok {name}")
+        except AssertionError as exc:
+            failures += 1
+            print(f"  FAIL {name}: {exc}")
+    print(f"test_check_bench_regression: {len(tests) - failures}/{len(tests)}"
+          " passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
